@@ -1,0 +1,118 @@
+// Experiment F1 (DESIGN.md): the Fig. 1 architecture end-to-end — a
+// declarative query flows through the optimizer (adornment + magic +
+// semi-naive rewriting) into the interpreting evaluation system, reading
+// base data from both main-memory relations and persistent relations
+// paged through the buffer pool. Also measures 'consulting' throughput
+// (paper §2: interpreted CORAL makes consulting fast; the abandoned
+// compiled-to-C++ backend traded compile time for little gain).
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "bench/bench_util.h"
+#include "src/core/database.h"
+#include "src/storage/storage_manager.h"
+
+namespace coral {
+namespace {
+
+constexpr char kModule[] = R"(
+  module routes.
+  export reachable(bf), hops(bff).
+  reachable(X, Y) :- link(X, Y).
+  reachable(X, Y) :- link(X, Z), reachable(Z, Y).
+  hops(X, Y, N) :- link(X, Y), N = 1.
+  hops(X, Y, N) :- link(X, Z), hops(Z, Y, M), N = M + 1, M < 64.
+  end_module.
+)";
+
+/// End-to-end over in-memory base data.
+void BM_EndToEnd_MemoryBase(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Database db;
+  if (!db.Consult(kModule).ok()) return;
+  if (!db.Consult(bench::ChainFacts("link", n)).ok()) return;
+  for (auto _ : state) {
+    auto res = db.Query_("reachable(n0, Y)");
+    if (!res.ok() || res->rows.size() != static_cast<size_t>(n)) {
+      state.SkipWithError("bad result");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_EndToEnd_MemoryBase)->Arg(64)->Arg(256);
+
+/// Same query, base data in a persistent relation (page-level I/O path).
+void BM_EndToEnd_PersistentBase(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto dir = std::filesystem::temp_directory_path() / "coral_bench_arch";
+  std::filesystem::create_directories(dir);
+  std::string prefix = (dir / ("arch" + std::to_string(n))).string();
+  std::filesystem::remove(prefix + ".db");
+  std::filesystem::remove(prefix + ".wal");
+
+  Database db;
+  auto sm = StorageManager::Open(prefix, db.factory());
+  if (!sm.ok()) return;
+  auto rel = (*sm)->CreateRelation("link", 2);
+  if (!rel.ok()) return;
+  for (int i = 0; i < n; ++i) {
+    const Arg* args[] = {
+        db.factory()->MakeAtom("n" + std::to_string(i)),
+        db.factory()->MakeAtom("n" + std::to_string(i + 1))};
+    (*rel)->Insert(db.factory()->MakeTuple(args));
+  }
+  if (!(*sm)->AttachTo(&db).ok()) return;
+  if (!db.Consult(kModule).ok()) return;
+  for (auto _ : state) {
+    auto res = db.Query_("reachable(n0, Y)");
+    if (!res.ok() || res->rows.size() != static_cast<size_t>(n)) {
+      state.SkipWithError("bad result");
+      return;
+    }
+  }
+  state.counters["disk_reads"] = static_cast<double>((*sm)->disk()->reads());
+  (void)(*sm)->Close();
+}
+BENCHMARK(BM_EndToEnd_PersistentBase)->Arg(64)->Arg(256);
+
+/// 'Consulting' throughput: parse + load facts + register module. The
+/// paper kept the interpreter because consulting "takes very little time,
+/// comparable to Prolog systems" (§2).
+void BM_ConsultProgram(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  std::string text = std::string(kModule) + bench::ChainFacts("link", n);
+  for (auto _ : state) {
+    Database db;
+    auto st = db.Consult(text);
+    if (!st.ok()) {
+      state.SkipWithError(st.status().ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ConsultProgram)->Arg(1000)->Arg(10000);
+
+/// Compile (rewrite) cost per query form: adornment + supplementary magic
+/// + semi-naive structures.
+void BM_CompileQueryForm(benchmark::State& state) {
+  for (auto _ : state) {
+    Database db;
+    if (!db.Consult(kModule).ok()) return;
+    auto listing = db.modules()->RewrittenListing("routes", "reachable",
+                                                  "bf");
+    if (!listing.ok()) {
+      state.SkipWithError(listing.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(listing->size());
+  }
+}
+BENCHMARK(BM_CompileQueryForm);
+
+}  // namespace
+}  // namespace coral
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Experiment F2 (DESIGN.md): binding environments vs naive substitution
+// (paper §3.1 / Fig. 2: "A naive scheme would replace every reference to
+// the variable by its binding. It is more efficient however to record
+// variable bindings in a binding environment, at least during the course
+// of an inference"). We measure one simulated inference: bind k variables
+// of a template term, read the instantiated term once, undo — via the
+// bindenv/trail, vs physically substituting (copying) the term.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/data/term_factory.h"
+#include "src/data/unify.h"
+
+namespace coral {
+namespace {
+
+/// f(X0, g(X1, g(X2, ... )), ...): a term with `k` distinct variables
+/// spread over nested structure.
+const Arg* Template(TermFactory* f, int k) {
+  const Arg* acc = f->MakeAtom("leaf");
+  for (int i = k - 1; i >= 0; --i) {
+    const Arg* args[] = {f->MakeVariable(static_cast<uint32_t>(i), "X"),
+                         acc};
+    acc = f->MakeFunctor("g", args);
+  }
+  return acc;
+}
+
+void BM_Inference_BindEnv(benchmark::State& state) {
+  TermFactory f;
+  int k = static_cast<int>(state.range(0));
+  const Arg* tmpl = Template(&f, k);
+  BindEnv env(static_cast<uint32_t>(k));
+  Trail trail;
+  for (auto _ : state) {
+    Trail::Mark m = trail.mark();
+    // Bind all variables (as rule evaluation would while matching).
+    for (int i = 0; i < k; ++i) {
+      env.Set(static_cast<uint32_t>(i), f.MakeInt(i), nullptr);
+      trail.Record(&env, static_cast<uint32_t>(i));
+    }
+    // One read of the instantiated term (e.g. to emit the head tuple).
+    VarRenamer ren;
+    const Arg* resolved = ResolveTerm(tmpl, &env, &f, &ren);
+    benchmark::DoNotOptimize(resolved);
+    trail.UndoTo(m);  // next candidate tuple: O(k) undo
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_Inference_BindEnv)->Arg(4)->Arg(16)->Arg(64)->Complexity();
+
+void BM_Inference_SubstitutionCopy(benchmark::State& state) {
+  TermFactory f;
+  int k = static_cast<int>(state.range(0));
+  const Arg* tmpl = Template(&f, k);
+  BindEnv env(static_cast<uint32_t>(k));
+  Trail trail;
+  for (auto _ : state) {
+    // Naive scheme: substitute (copy the whole term) after EVERY variable
+    // binding — k copies of an O(k) term per inference.
+    Trail::Mark m = trail.mark();
+    const Arg* cur = tmpl;
+    for (int i = 0; i < k; ++i) {
+      env.Set(static_cast<uint32_t>(i), f.MakeInt(i), nullptr);
+      trail.Record(&env, static_cast<uint32_t>(i));
+      VarRenamer ren;
+      cur = ResolveTerm(tmpl, &env, &f, &ren);
+    }
+    benchmark::DoNotOptimize(cur);
+    trail.UndoTo(m);
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_Inference_SubstitutionCopy)
+    ->Arg(4)->Arg(16)->Arg(64)->Complexity();
+
+}  // namespace
+}  // namespace coral
+
+BENCHMARK_MAIN();

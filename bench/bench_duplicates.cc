@@ -1,0 +1,81 @@
+// Experiment C11 (DESIGN.md): subsumption/duplicate checks vs multiset
+// semantics (paper §4.2: duplicate checks on all relations by default; a
+// multiset relation keeps one copy per derivation, with duplicate checks
+// only on the magic predicates — consistent with SQL on non-recursive
+// queries).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/database.h"
+
+namespace coral {
+namespace {
+
+// A duplicate-heavy projection: result(X) :- e(X, Y) over a dense graph
+// derives each X once per outgoing edge.
+std::string Module(bool multiset) {
+  return std::string(R"(
+    module m.
+    export result(f).
+    @eager.
+  )") + (multiset ? "@multiset result.\n" : "") + R"(
+    result(X) :- e(X, Y).
+    end_module.
+  )";
+}
+
+void Run(benchmark::State& state, bool multiset) {
+  int v = static_cast<int>(state.range(0));
+  Database db;
+  if (!db.Consult(Module(multiset)).ok()) return;
+  // Dense: every node has v/4 outgoing edges -> v/4 duplicates per X.
+  if (!db.Consult(bench::RandomGraphFacts("e", v, v * v / 4, false)).ok()) {
+    return;
+  }
+  for (auto _ : state) {
+    auto res = db.Query_("result(X)");
+    if (!res.ok()) {
+      state.SkipWithError(res.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(res->rows.size());
+  }
+  state.counters["inserts"] =
+      static_cast<double>(db.modules()->last_stats().inserts);
+}
+
+void BM_Projection_SetSemantics(benchmark::State& state) {
+  Run(state, false);
+}
+void BM_Projection_Multiset(benchmark::State& state) { Run(state, true); }
+BENCHMARK(BM_Projection_SetSemantics)->Arg(32)->Arg(64);
+BENCHMARK(BM_Projection_Multiset)->Arg(32)->Arg(64);
+
+// Subsumption with non-ground facts: inserting ground facts into a
+// relation holding k non-ground facts costs k matching attempts each.
+#include "src/data/term_factory.h"
+#include "src/rel/hash_relation.h"
+
+void BM_Insert_WithNonGroundSubsumers(benchmark::State& state) {
+  TermFactory f;
+  HashRelation rel("p", 2);
+  int k = static_cast<int>(state.range(0));
+  // k non-ground facts p(_i, ci) that do not subsume the inserts below.
+  for (int i = 0; i < k; ++i) {
+    const Arg* args[] = {f.CanonicalVar(0), f.MakeAtom("c" + std::to_string(i))};
+    rel.Insert(f.MakeTuple(args));
+  }
+  int64_t next = 0;
+  for (auto _ : state) {
+    const Arg* args[] = {f.MakeInt(next), f.MakeInt(next)};
+    ++next;
+    benchmark::DoNotOptimize(rel.Insert(f.MakeTuple(args)));
+  }
+}
+BENCHMARK(BM_Insert_WithNonGroundSubsumers)->Arg(0)->Arg(16)->Arg(256);
+
+}  // namespace
+}  // namespace coral
+
+BENCHMARK_MAIN();

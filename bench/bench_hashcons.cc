@@ -1,0 +1,83 @@
+// Experiment C4 (DESIGN.md): hash-consing makes unification of large
+// ground terms a unique-identifier comparison (paper §3.1: "two (ground)
+// functor terms unify if and only if their unique identifiers are the
+// same"). Compare against full structural equality, which is what a
+// system without hash-consing would pay.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/data/term_factory.h"
+#include "src/data/unify.h"
+
+namespace coral {
+namespace {
+
+const Arg* DeepList(TermFactory* f, int depth) {
+  std::vector<const Arg*> elems;
+  elems.reserve(depth);
+  for (int i = 0; i < depth; ++i) {
+    const Arg* inner[] = {f->MakeInt(i), f->MakeAtom("x")};
+    elems.push_back(f->MakeFunctor("pair", inner));
+  }
+  return f->MakeList(elems);
+}
+
+void BM_Unify_HashConsed(benchmark::State& state) {
+  TermFactory f;
+  const Arg* a = DeepList(&f, static_cast<int>(state.range(0)));
+  const Arg* b = DeepList(&f, static_cast<int>(state.range(0)));
+  Trail trail;
+  for (auto _ : state) {
+    bool ok = Unify(a, nullptr, b, nullptr, &trail);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Unify_HashConsed)
+    ->Arg(8)->Arg(64)->Arg(512)->Arg(2048)->Complexity();
+
+void BM_Equality_Structural(benchmark::State& state) {
+  TermFactory f;
+  const Arg* a = DeepList(&f, static_cast<int>(state.range(0)));
+  const Arg* b = DeepList(&f, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    bool ok = StructuralEqualArgs(a, b);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Equality_Structural)
+    ->Arg(8)->Arg(64)->Arg(512)->Arg(2048)->Complexity();
+
+// Construction cost: hash-consing pays at construction (table lookups);
+// this is the trade the paper makes to get O(1) unification.
+void BM_Construct_GroundTerm(benchmark::State& state) {
+  TermFactory f;
+  int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeepList(&f, depth));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Construct_GroundTerm)->Arg(8)->Arg(64)->Arg(512)->Complexity();
+
+// Duplicate checks on ground tuples: a pointer-set probe thanks to tuple
+// hash-consing.
+void BM_DuplicateCheck_GroundTuple(benchmark::State& state) {
+  TermFactory f;
+  const Arg* args[] = {DeepList(&f, static_cast<int>(state.range(0))),
+                       f.MakeInt(1)};
+  const Tuple* t = f.MakeTuple(args);
+  for (auto _ : state) {
+    const Tuple* again = f.MakeTuple(args);
+    benchmark::DoNotOptimize(again == t);
+  }
+}
+BENCHMARK(BM_DuplicateCheck_GroundTuple)->Arg(64);
+
+}  // namespace
+}  // namespace coral
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// Experiment C5 (DESIGN.md): argument-form and pattern-form indices
+// accelerate retrieval (paper §3.3, §5.5.1). Point lookups over growing
+// relations: unindexed list relation vs hash relation with an argument
+// index vs pattern-form index drilling into functor terms.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/data/term_factory.h"
+#include "src/rel/hash_relation.h"
+#include "src/rel/list_relation.h"
+
+namespace coral {
+namespace {
+
+void Fill(TermFactory* f, Relation* rel, int n) {
+  for (int i = 0; i < n; ++i) {
+    const Arg* args[] = {f->MakeInt(i % 997), f->MakeInt(i)};
+    rel->Insert(f->MakeTuple(args));
+  }
+}
+
+size_t Drain(std::unique_ptr<TupleIterator> it) {
+  size_t n = 0;
+  while (it->Next()) ++n;
+  return n;
+}
+
+void BM_PointLookup_ListRelation(benchmark::State& state) {
+  TermFactory f;
+  ListRelation rel("p", 2);
+  Fill(&f, &rel, static_cast<int>(state.range(0)));
+  BindEnv env(1);
+  bench::Lcg rng;
+  for (auto _ : state) {
+    TermRef pattern[] = {{f.MakeInt(static_cast<int64_t>(rng.Next(997))),
+                          nullptr},
+                         {f.MakeVariable(0, "X"), &env}};
+    benchmark::DoNotOptimize(Drain(rel.Select(pattern)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PointLookup_ListRelation)
+    ->Arg(1000)->Arg(10000)->Arg(100000)->Complexity();
+
+void BM_PointLookup_ArgumentIndex(benchmark::State& state) {
+  TermFactory f;
+  HashRelation rel("p", 2);
+  rel.AddArgumentIndex({0});
+  Fill(&f, &rel, static_cast<int>(state.range(0)));
+  BindEnv env(1);
+  bench::Lcg rng;
+  for (auto _ : state) {
+    TermRef pattern[] = {{f.MakeInt(static_cast<int64_t>(rng.Next(997))),
+                          nullptr},
+                         {f.MakeVariable(0, "X"), &env}};
+    benchmark::DoNotOptimize(Drain(rel.Select(pattern)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PointLookup_ArgumentIndex)
+    ->Arg(1000)->Arg(10000)->Arg(100000)->Complexity();
+
+// Pattern-form index: emp(Name, addr(Street, City)) keyed on (Name, City)
+// — the paper's own example (§5.5.1) — vs full scans of the same data.
+void FillEmp(TermFactory* f, HashRelation* rel, int n) {
+  bench::Lcg rng(7);
+  for (int i = 0; i < n; ++i) {
+    const Arg* addr_args[] = {
+        f->MakeAtom("street" + std::to_string(rng.Next(50))),
+        f->MakeAtom("city" + std::to_string(i % 199))};
+    const Arg* args[] = {f->MakeAtom("emp" + std::to_string(i)),
+                         f->MakeFunctor("addr", addr_args)};
+    rel->Insert(f->MakeTuple(args));
+  }
+}
+
+void RunEmpLookup(benchmark::State& state, bool with_index) {
+  TermFactory f;
+  HashRelation rel("emp", 2);
+  if (with_index) {
+    const Arg* addr_pat[] = {f.CanonicalVar(1), f.CanonicalVar(2)};
+    std::vector<const Arg*> pat = {f.CanonicalVar(0),
+                                   f.MakeFunctor("addr", addr_pat)};
+    rel.AddPatternIndex(pat, 3, {0, 2});
+  }
+  FillEmp(&f, &rel, static_cast<int>(state.range(0)));
+  BindEnv env(1);
+  bench::Lcg rng(13);
+  for (auto _ : state) {
+    int64_t i = static_cast<int64_t>(rng.Next(state.range(0)));
+    const Arg* qaddr[] = {f.MakeVariable(0, "S"),
+                          f.MakeAtom("city" + std::to_string(i % 199))};
+    TermRef pattern[] = {{f.MakeAtom("emp" + std::to_string(i)), nullptr},
+                         {f.MakeFunctor("addr", qaddr), &env}};
+    benchmark::DoNotOptimize(Drain(rel.Select(pattern)));
+  }
+}
+
+void BM_PatternLookup_NoIndex(benchmark::State& state) {
+  RunEmpLookup(state, false);
+}
+void BM_PatternLookup_PatternIndex(benchmark::State& state) {
+  RunEmpLookup(state, true);
+}
+BENCHMARK(BM_PatternLookup_NoIndex)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_PatternLookup_PatternIndex)->Arg(1000)->Arg(10000);
+
+// Insert overhead of maintaining indices.
+void BM_Insert_NoIndex(benchmark::State& state) {
+  TermFactory f;
+  for (auto _ : state) {
+    HashRelation rel("p", 2);
+    Fill(&f, &rel, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(rel.size());
+  }
+}
+void BM_Insert_TwoIndexes(benchmark::State& state) {
+  TermFactory f;
+  for (auto _ : state) {
+    HashRelation rel("p", 2);
+    rel.AddArgumentIndex({0});
+    rel.AddArgumentIndex({1});
+    Fill(&f, &rel, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(rel.size());
+  }
+}
+BENCHMARK(BM_Insert_NoIndex)->Arg(10000);
+BENCHMARK(BM_Insert_TwoIndexes)->Arg(10000);
+
+}  // namespace
+}  // namespace coral
+
+BENCHMARK_MAIN();

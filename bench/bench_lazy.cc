@@ -1,0 +1,68 @@
+// Experiment C8 (DESIGN.md): lazy evaluation (paper §5.4.3) returns
+// answers at the end of every fixpoint iteration instead of at the end of
+// the computation: time-to-first-answer is ~one iteration, not the whole
+// fixpoint.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/cxx/coral.h"
+
+namespace coral {
+namespace {
+
+std::string TcModule(const char* extra) {
+  return std::string(R"(
+    module tc.
+    export tc(bf).
+  )") + extra + R"(
+    tc(X, Y) :- par(X, Y).
+    tc(X, Y) :- par(X, Z), tc(Z, Y).
+    end_module.
+  )";
+}
+
+void RunFirst(benchmark::State& state, const char* extra) {
+  int n = static_cast<int>(state.range(0));
+  Coral c;
+  if (!c.Consult(TcModule(extra)).ok()) return;
+  if (!c.Consult(bench::ChainFacts("par", n)).ok()) return;
+  for (auto _ : state) {
+    auto scan = c.OpenScan("tc(n0, Y)");
+    if (!scan.ok()) {
+      state.SkipWithError(scan.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(scan->Next());  // first answer only
+  }
+}
+
+void RunAll(benchmark::State& state, const char* extra) {
+  int n = static_cast<int>(state.range(0));
+  Coral c;
+  if (!c.Consult(TcModule(extra)).ok()) return;
+  if (!c.Consult(bench::ChainFacts("par", n)).ok()) return;
+  for (auto _ : state) {
+    auto scan = c.OpenScan("tc(n0, Y)");
+    if (!scan.ok()) return;
+    benchmark::DoNotOptimize(scan->Count());
+  }
+}
+
+void BM_FirstAnswer_Lazy(benchmark::State& state) { RunFirst(state, ""); }
+void BM_FirstAnswer_Eager(benchmark::State& state) {
+  RunFirst(state, "@eager.");
+}
+void BM_AllAnswers_Lazy(benchmark::State& state) { RunAll(state, ""); }
+void BM_AllAnswers_Eager(benchmark::State& state) {
+  RunAll(state, "@eager.");
+}
+BENCHMARK(BM_FirstAnswer_Lazy)->Arg(128)->Arg(512)->Arg(2048);
+BENCHMARK(BM_FirstAnswer_Eager)->Arg(128)->Arg(512)->Arg(2048);
+BENCHMARK(BM_AllAnswers_Lazy)->Arg(512);
+BENCHMARK(BM_AllAnswers_Eager)->Arg(512);
+
+}  // namespace
+}  // namespace coral
+
+BENCHMARK_MAIN();

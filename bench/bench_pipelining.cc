@@ -1,0 +1,102 @@
+// Experiment C6 (DESIGN.md): pipelining vs materialization (paper §5):
+// "Pipelining uses facts on-the-fly and does not store them, at the
+// potential cost of recomputation. Materialization stores facts and looks
+// them up to avoid recomputation." Pipelining wins when only the first
+// few answers are consumed; materialization wins when subresults are
+// shared heavily.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/database.h"
+#include "src/cxx/coral.h"
+
+namespace coral {
+namespace {
+
+std::string PathModule(const char* strategy) {
+  return std::string(R"(
+    module paths.
+    export path(bf).
+  )") + strategy + R"(
+    path(X, Y) :- e(X, Y).
+    path(X, Y) :- e(X, Z), path(Z, Y).
+    end_module.
+  )";
+}
+
+/// Consume only the FIRST answer of a query over a long chain.
+void RunFirstAnswer(benchmark::State& state, const char* strategy) {
+  int n = static_cast<int>(state.range(0));
+  Coral c;
+  if (!c.Consult(PathModule(strategy)).ok()) return;
+  if (!c.Consult(bench::ChainFacts("e", n)).ok()) return;
+  for (auto _ : state) {
+    auto scan = c.OpenScan("path(n0, Y)");
+    if (!scan.ok()) {
+      state.SkipWithError(scan.status().ToString().c_str());
+      return;
+    }
+    const Tuple* first = scan->Next();
+    benchmark::DoNotOptimize(first);
+  }
+}
+
+void BM_FirstAnswer_Pipelined(benchmark::State& state) {
+  RunFirstAnswer(state, "@pipelining.");
+}
+void BM_FirstAnswer_Materialized(benchmark::State& state) {
+  RunFirstAnswer(state, "@materialized. @eager.");
+}
+void BM_FirstAnswer_MaterializedLazy(benchmark::State& state) {
+  RunFirstAnswer(state, "@materialized.");
+}
+BENCHMARK(BM_FirstAnswer_Pipelined)->Arg(64)->Arg(256);
+BENCHMARK(BM_FirstAnswer_Materialized)->Arg(64)->Arg(256);
+BENCHMARK(BM_FirstAnswer_MaterializedLazy)->Arg(64)->Arg(256);
+
+/// Consume ALL answers over a DAG with heavy subgoal sharing: top-down
+/// recomputes shared subpaths exponentially often, bottom-up stores them.
+std::string LadderFacts(int n) {
+  // A "ladder": a_i -> a_{i+1} and a_i -> b_{i+1}; b_i -> a_{i+1}, b_{i+1}.
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    std::string ai = "a" + std::to_string(i), bi = "b" + std::to_string(i);
+    std::string an = "a" + std::to_string(i + 1),
+                bn = "b" + std::to_string(i + 1);
+    out += "e(" + ai + ", " + an + ").\n";
+    out += "e(" + ai + ", " + bn + ").\n";
+    out += "e(" + bi + ", " + an + ").\n";
+    out += "e(" + bi + ", " + bn + ").\n";
+  }
+  return out;
+}
+
+void RunAllAnswers(benchmark::State& state, const char* strategy) {
+  int n = static_cast<int>(state.range(0));
+  Coral c;
+  if (!c.Consult(PathModule(strategy)).ok()) return;
+  if (!c.Consult(LadderFacts(n)).ok()) return;
+  for (auto _ : state) {
+    auto scan = c.OpenScan("path(a0, Y)");
+    if (!scan.ok()) {
+      state.SkipWithError(scan.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(scan->Count());
+  }
+}
+
+void BM_AllAnswers_SharedSubgoals_Pipelined(benchmark::State& state) {
+  RunAllAnswers(state, "@pipelining.");
+}
+void BM_AllAnswers_SharedSubgoals_Materialized(benchmark::State& state) {
+  RunAllAnswers(state, "@materialized.");
+}
+BENCHMARK(BM_AllAnswers_SharedSubgoals_Pipelined)->Arg(8)->Arg(12);
+BENCHMARK(BM_AllAnswers_SharedSubgoals_Materialized)->Arg(8)->Arg(12);
+
+}  // namespace
+}  // namespace coral
+
+BENCHMARK_MAIN();

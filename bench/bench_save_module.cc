@@ -1,0 +1,91 @@
+// Experiment C7 (DESIGN.md): the save-module facility (paper §5.4.2) —
+// retaining module state across calls avoids recomputation when the same
+// subgoals recur in many invocations; by default all intermediate facts
+// are discarded at the end of each call.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/database.h"
+
+namespace coral {
+namespace {
+
+std::string AncModule(bool save) {
+  return std::string(R"(
+    module anc.
+    export anc(bf).
+  )") + (save ? "@save_module.\n" : "") + R"(
+    anc(X, Y) :- par(X, Y).
+    anc(X, Y) :- par(X, Z), anc(Z, Y).
+    end_module.
+  )";
+}
+
+/// `q` queries, all on overlapping suffixes of one chain.
+void RunRepeatedQueries(benchmark::State& state, bool save) {
+  int n = static_cast<int>(state.range(0));
+  const int kQueries = 16;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    if (!db.Consult(AncModule(save)).ok()) return;
+    if (!db.Consult(bench::ChainFacts("par", n)).ok()) return;
+    state.ResumeTiming();
+    for (int q = 0; q < kQueries; ++q) {
+      std::string node = "n" + std::to_string((q * 3) % (n / 2));
+      auto res = db.Query_("anc(" + node + ", Y)");
+      if (!res.ok()) {
+        state.SkipWithError(res.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(res->rows.size());
+    }
+    state.PauseTiming();
+    state.counters["inserts"] =
+        static_cast<double>(db.modules()->last_stats().inserts);
+    state.ResumeTiming();
+  }
+}
+
+void BM_RepeatedQueries_Discard(benchmark::State& state) {
+  RunRepeatedQueries(state, false);
+}
+void BM_RepeatedQueries_SaveModule(benchmark::State& state) {
+  RunRepeatedQueries(state, true);
+}
+BENCHMARK(BM_RepeatedQueries_Discard)->Arg(64)->Arg(128);
+BENCHMARK(BM_RepeatedQueries_SaveModule)->Arg(64)->Arg(128);
+
+/// The degenerate favourable case: the SAME query repeated — a saved
+/// module answers from retained state.
+void RunSameQuery(benchmark::State& state, bool save) {
+  int n = static_cast<int>(state.range(0));
+  Database db;
+  if (!db.Consult(AncModule(save)).ok()) return;
+  if (!db.Consult(bench::ChainFacts("par", n)).ok()) return;
+  // Warm-up call (compilation + first evaluation).
+  (void)db.Query_("anc(n0, Y)");
+  for (auto _ : state) {
+    auto res = db.Query_("anc(n0, Y)");
+    if (!res.ok()) {
+      state.SkipWithError(res.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(res->rows.size());
+  }
+}
+
+void BM_SameQuery_Discard(benchmark::State& state) {
+  RunSameQuery(state, false);
+}
+void BM_SameQuery_SaveModule(benchmark::State& state) {
+  RunSameQuery(state, true);
+}
+BENCHMARK(BM_SameQuery_Discard)->Arg(128);
+BENCHMARK(BM_SameQuery_SaveModule)->Arg(128);
+
+}  // namespace
+}  // namespace coral
+
+BENCHMARK_MAIN();

@@ -1,0 +1,182 @@
+// Experiment C9 (DESIGN.md): persistent relations are paged on demand
+// through the client buffer pool (paper §2: "a get-next-tuple request on
+// a persistent relation results in a page-level I/O request by the buffer
+// manager"). Scans vs buffer-pool sizes; B-tree point lookups vs heap
+// scans; persistent vs in-memory relation access.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "bench/bench_util.h"
+#include "src/data/term_factory.h"
+#include "src/rel/hash_relation.h"
+#include "src/storage/storage_manager.h"
+
+namespace coral {
+namespace {
+
+constexpr int kRows = 20000;
+
+std::string TempPrefix(const std::string& tag) {
+  auto dir = std::filesystem::temp_directory_path() / "coral_bench_storage";
+  std::filesystem::create_directories(dir);
+  return (dir / tag).string();
+}
+
+void FillPersistent(PersistentRelation* rel, TermFactory* f) {
+  for (int i = 0; i < kRows; ++i) {
+    const Arg* args[] = {f->MakeInt(i % 1000), f->MakeInt(i)};
+    rel->Insert(f->MakeTuple(args));
+  }
+}
+
+/// Full scan with varying pool frames: small pools thrash.
+void BM_PersistentScan_PoolFrames(benchmark::State& state) {
+  TermFactory f;
+  std::string prefix = TempPrefix("scan" + std::to_string(state.range(0)));
+  std::filesystem::remove(prefix + ".db");
+  std::filesystem::remove(prefix + ".wal");
+  StorageManager::Options opts;
+  opts.pool_frames = static_cast<size_t>(state.range(0));
+  auto sm = StorageManager::Open(prefix, &f, opts);
+  if (!sm.ok()) return;
+  auto rel = (*sm)->CreateRelation("big", 2);
+  if (!rel.ok()) return;
+  FillPersistent(*rel, &f);
+  for (auto _ : state) {
+    size_t n = 0;
+    auto it = (*rel)->Scan();
+    while (it->Next()) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["pool_misses"] =
+      static_cast<double>((*sm)->pool()->misses());
+  state.counters["disk_reads"] = static_cast<double>((*sm)->disk()->reads());
+  (void)(*sm)->Close();
+}
+BENCHMARK(BM_PersistentScan_PoolFrames)->Arg(4)->Arg(64)->Arg(1024);
+
+/// B-tree point lookups vs scanning the heap for the same selection.
+void BM_PersistentPointLookup_BTree(benchmark::State& state) {
+  TermFactory f;
+  std::string prefix = TempPrefix("btree");
+  std::filesystem::remove(prefix + ".db");
+  std::filesystem::remove(prefix + ".wal");
+  auto sm = StorageManager::Open(prefix, &f);
+  if (!sm.ok()) return;
+  auto rel = (*sm)->CreateRelation("big", 2);
+  if (!rel.ok()) return;
+  FillPersistent(*rel, &f);
+  if (!(*rel)->AddIndex({0}).ok()) return;
+  BindEnv env(1);
+  bench::Lcg rng;
+  for (auto _ : state) {
+    TermRef pattern[] = {{f.MakeInt(static_cast<int64_t>(rng.Next(1000))),
+                          nullptr},
+                         {f.MakeVariable(0, "X"), &env}};
+    auto it = (*rel)->Select(pattern);
+    size_t n = 0;
+    while (it->Next()) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  (void)(*sm)->Close();
+}
+BENCHMARK(BM_PersistentPointLookup_BTree);
+
+void BM_PersistentPointLookup_HeapScan(benchmark::State& state) {
+  TermFactory f;
+  std::string prefix = TempPrefix("heapscan");
+  std::filesystem::remove(prefix + ".db");
+  std::filesystem::remove(prefix + ".wal");
+  auto sm = StorageManager::Open(prefix, &f);
+  if (!sm.ok()) return;
+  auto rel = (*sm)->CreateRelation("big", 2);
+  if (!rel.ok()) return;
+  FillPersistent(*rel, &f);
+  bench::Lcg rng;
+  for (auto _ : state) {
+    // No secondary index: selection on column 0 only can't use the
+    // primary (both-column) index; falls back to a heap scan.
+    BindEnv env(1);
+    TermRef pattern[] = {{f.MakeInt(static_cast<int64_t>(rng.Next(1000))),
+                          nullptr},
+                         {f.MakeVariable(0, "X"), &env}};
+    auto it = (*rel)->Select(pattern);
+    size_t n = 0;
+    while (it->Next()) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  (void)(*sm)->Close();
+}
+BENCHMARK(BM_PersistentPointLookup_HeapScan);
+
+/// The memory-vs-disk shape: same data, in-memory hash relation.
+void BM_InMemoryScan_Reference(benchmark::State& state) {
+  TermFactory f;
+  HashRelation rel("big", 2);
+  for (int i = 0; i < kRows; ++i) {
+    const Arg* args[] = {f.MakeInt(i % 1000), f.MakeInt(i)};
+    rel.Insert(f.MakeTuple(args));
+  }
+  for (auto _ : state) {
+    size_t n = 0;
+    auto it = rel.Scan();
+    while (it->Next()) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_InMemoryScan_Reference);
+
+/// Transaction overhead: insert batches with/without WAL transactions.
+void BM_Insert_NoTxn(benchmark::State& state) {
+  TermFactory f;
+  std::string prefix = TempPrefix("ins_plain");
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove(prefix + ".db");
+    std::filesystem::remove(prefix + ".wal");
+    auto sm = StorageManager::Open(prefix, &f);
+    if (!sm.ok()) return;
+    auto rel = (*sm)->CreateRelation("t", 2);
+    if (!rel.ok()) return;
+    state.ResumeTiming();
+    for (int i = 0; i < 2000; ++i) {
+      const Arg* args[] = {f.MakeInt(i), f.MakeInt(i)};
+      (*rel)->Insert(f.MakeTuple(args));
+    }
+    state.PauseTiming();
+    (void)(*sm)->Close();
+    state.ResumeTiming();
+  }
+}
+void BM_Insert_InTxn(benchmark::State& state) {
+  TermFactory f;
+  std::string prefix = TempPrefix("ins_txn");
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove(prefix + ".db");
+    std::filesystem::remove(prefix + ".wal");
+    auto sm = StorageManager::Open(prefix, &f);
+    if (!sm.ok()) return;
+    auto rel = (*sm)->CreateRelation("t", 2);
+    if (!rel.ok()) return;
+    state.ResumeTiming();
+    if (!(*sm)->Begin().ok()) return;
+    for (int i = 0; i < 2000; ++i) {
+      const Arg* args[] = {f.MakeInt(i), f.MakeInt(i)};
+      (*rel)->Insert(f.MakeTuple(args));
+    }
+    if (!(*sm)->Commit().ok()) return;
+    state.PauseTiming();
+    (void)(*sm)->Close();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_Insert_NoTxn);
+BENCHMARK(BM_Insert_InTxn);
+
+}  // namespace
+}  // namespace coral
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Shared workload generators for the benchmark harness. Deterministic
+// (fixed-seed LCG) so runs are reproducible.
+
+#ifndef CORAL_BENCH_BENCH_UTIL_H_
+#define CORAL_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace coral::bench {
+
+/// Tiny deterministic PRNG (we avoid std::mt19937 for header brevity).
+class Lcg {
+ public:
+  explicit Lcg(uint64_t seed = 0x5eed) : state_(seed) {}
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_ >> 33;
+  }
+  uint64_t Next(uint64_t bound) { return Next() % bound; }
+
+ private:
+  uint64_t state_;
+};
+
+/// edge(n0, n1). ... chain of `n` edges.
+inline std::string ChainFacts(const std::string& pred, int n,
+                              const std::string& node_prefix = "n") {
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    out += pred + "(" + node_prefix + std::to_string(i) + ", " +
+           node_prefix + std::to_string(i + 1) + ").\n";
+  }
+  return out;
+}
+
+/// Random graph with `v` nodes and `e` directed edges (with costs when
+/// `with_cost`), possibly cyclic.
+inline std::string RandomGraphFacts(const std::string& pred, int v, int e,
+                                    bool with_cost, uint64_t seed = 42) {
+  Lcg rng(seed);
+  std::string out;
+  for (int i = 0; i < e; ++i) {
+    int a = static_cast<int>(rng.Next(v));
+    int b = static_cast<int>(rng.Next(v));
+    out += pred + "(v" + std::to_string(a) + ", v" + std::to_string(b);
+    if (with_cost) {
+      out += ", " + std::to_string(1 + rng.Next(9));
+    }
+    out += ").\n";
+  }
+  return out;
+}
+
+/// Complete binary tree of `depth` levels: move(n1, n2), move(n1, n3)...
+inline std::string BinaryTreeMoves(int depth) {
+  std::string out;
+  int internal = (1 << (depth - 1)) - 1;
+  for (int i = 1; i <= internal; ++i) {
+    out += "move(t" + std::to_string(i) + ", t" + std::to_string(2 * i) +
+           ").\n";
+    out += "move(t" + std::to_string(i) + ", t" + std::to_string(2 * i + 1) +
+           ").\n";
+  }
+  return out;
+}
+
+inline constexpr char kAncestorModule[] = R"(
+  module anc.
+  export anc(bf).
+  anc(X, Y) :- par(X, Y).
+  anc(X, Y) :- par(X, Z), anc(Z, Y).
+  end_module.
+)";
+
+}  // namespace coral::bench
+
+#endif  // CORAL_BENCH_BENCH_UTIL_H_

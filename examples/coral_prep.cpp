@@ -1,0 +1,33 @@
+// The CORAL/C++ preprocessor driver (paper §6.1: "A file containing C++
+// code with embedded CORAL code must first be passed through a CORAL
+// preprocessor and then compiled using a standard C++ compiler").
+//
+//   $ ./coral_prep input.cC > output.cc
+//   $ c++ -I<repo> output.cc libcoral.a ...
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/cxx/preprocessor.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: coral_prep <file.cC>\n";
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "coral_prep: cannot open " << argv[1] << "\n";
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto out = coral::PreprocessCoralCpp(buf.str());
+  if (!out.ok()) {
+    std::cerr << "coral_prep: " << out.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << *out;
+  return 0;
+}

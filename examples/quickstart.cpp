@@ -1,0 +1,67 @@
+// Quickstart: load facts, define a recursive module, run queries.
+//
+//   $ ./quickstart
+//
+// Demonstrates the two public entry points: the Coral embedded-C++ facade
+// (paper §6) and plain CORAL command text (paper §2).
+
+#include <iostream>
+
+#include "src/cxx/coral.h"
+
+int main() {
+  coral::Coral c;
+
+  // 1. Base facts: a small family tree. Facts can also be loaded from a
+  //    text file with c.db()->ConsultFile(path) — 'consulting' (paper §2).
+  auto st = c.Consult(R"(
+    par(kathy, tom).   par(kathy, mary).
+    par(tom, bob).     par(tom, liz).
+    par(bob, ann).     par(bob, pat).
+    par(pat, jim).
+  )");
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+
+  // 2. A declarative module: ancestor as the transitive closure of par.
+  //    The export adornment bf says queries bind the first argument; the
+  //    optimizer applies Supplementary Magic rewriting for it (paper §4.1).
+  st = c.Consult(R"(
+    module ancestors.
+    export anc(bf, ff).
+    anc(X, Y) :- par(X, Y).
+    anc(X, Y) :- par(X, Z), anc(Z, Y).
+    end_module.
+  )");
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+
+  // 3. Queries through the command interface.
+  auto out = c.Command("?- anc(tom, D).");
+  std::cout << "Descendants of tom:\n" << *out;
+
+  // 4. The same data through a C_ScanDesc cursor (paper §6.1).
+  auto scan = c.OpenScan("anc(kathy, D)");
+  std::cout << "\nDescendants of kathy (via C_ScanDesc):\n";
+  while (const coral::Tuple* t = scan->Next()) {
+    std::cout << "  " << *t->arg(1) << "\n";
+  }
+
+  // 5. Conjunctive query with negation and comparison builtins.
+  out = c.Command(R"(
+    person(kathy). person(tom). person(mary). person(bob).
+    person(liz). person(ann). person(pat). person(jim).
+    ?- person(P), not par(P, _).
+  )");
+  std::cout << "\nPeople with no recorded children:\n" << *out;
+
+  // 6. The rewritten program (the optimizer's debugging dump, paper §2).
+  auto listing = c.db()->modules()->RewrittenListing("ancestors", "anc",
+                                                     "bf");
+  std::cout << "\nRewritten program for anc(bf):\n" << *listing;
+  return 0;
+}

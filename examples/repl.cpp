@@ -1,0 +1,122 @@
+// The interactive interface (paper §2): consult programs and data, type
+// queries, inspect rewritten programs and evaluation statistics.
+//
+//   $ ./repl [file.crl ...]
+//
+// Commands:
+//   any CORAL text            facts, modules, annotations, ?- queries
+//   :consult <file>           load a file
+//   :listing <mod> <pred> <adornment>   show the rewritten program
+//   :stats                    statistics of the last module evaluation
+//   :explain <fact>           derivation tree (module needs @explain)
+//   :help, :quit
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/core/database.h"
+
+namespace {
+
+void RunText(coral::Database* db, const std::string& text) {
+  auto out = db->Run(text);
+  if (!out.ok()) {
+    std::cout << "error: " << out.status().ToString() << "\n";
+    return;
+  }
+  std::cout << *out;
+}
+
+void ConsultFile(coral::Database* db, const std::string& path) {
+  auto queries = db->ConsultFile(path);
+  if (!queries.ok()) {
+    std::cout << "error: " << queries.status().ToString() << "\n";
+    return;
+  }
+  std::cout << "consulted " << path << "\n";
+  for (const coral::Query& q : *queries) {
+    auto result = db->ExecuteQuery(q);
+    if (!result.ok()) {
+      std::cout << "error: " << result.status().ToString() << "\n";
+      continue;
+    }
+    std::cout << result->query.ToString() << "\n" << result->ToString();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  coral::Database db;
+  for (int i = 1; i < argc; ++i) ConsultFile(&db, argv[i]);
+
+  std::cout << "CORAL deductive database (1993 reproduction). :help for "
+               "commands.\n";
+  std::string line, buffer;
+  while (true) {
+    std::cout << (buffer.empty() ? "coral> " : "...    ") << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty() && buffer.empty()) continue;
+
+    if (buffer.empty() && line[0] == ':') {
+      std::istringstream cmd(line);
+      std::string op;
+      cmd >> op;
+      if (op == ":quit" || op == ":q") break;
+      if (op == ":help") {
+        std::cout << "  :consult <file>\n  :listing <module> <pred> "
+                     "<adornment>\n  :explain <fact>\n  :stats\n  :quit\n"
+                     "  ...or type CORAL text (facts, modules, ?- queries)\n";
+        continue;
+      }
+      if (op == ":consult") {
+        std::string path;
+        cmd >> path;
+        ConsultFile(&db, path);
+        continue;
+      }
+      if (op == ":listing") {
+        std::string mod, pred, ad;
+        cmd >> mod >> pred >> ad;
+        auto listing = db.modules()->RewrittenListing(mod, pred, ad);
+        if (!listing.ok()) {
+          std::cout << "error: " << listing.status().ToString() << "\n";
+        } else {
+          std::cout << *listing;
+        }
+        continue;
+      }
+      if (op == ":explain") {
+        std::string fact;
+        std::getline(cmd, fact);
+        auto tree = db.Explain(fact);
+        if (!tree.ok()) {
+          std::cout << "error: " << tree.status().ToString() << "\n";
+        } else {
+          std::cout << *tree;
+        }
+        continue;
+      }
+      if (op == ":stats") {
+        const coral::EvalStats& s = db.modules()->last_stats();
+        std::cout << "last module evaluation: " << s.solutions
+                  << " body solutions, " << s.inserts << " inserts, "
+                  << s.iterations << " fixpoint iterations\n";
+        continue;
+      }
+      std::cout << "unknown command " << op << " (:help)\n";
+      continue;
+    }
+
+    // Accumulate until the input is complete (ends with '.').
+    buffer += line;
+    buffer += "\n";
+    size_t last = buffer.find_last_not_of(" \t\r\n");
+    if (last == std::string::npos || buffer[last] != '.') continue;
+    RunText(&db, buffer);
+    buffer.clear();
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Set-grouping and aggregate operations in rule heads (paper §1, §5.4.1,
+// Fig. 3): heads like s(X, min(<C>)) or children(X, <Y>) group body
+// solutions by the non-aggregated head arguments and fold the grouped
+// variable with min/max/sum/count/avg/any, or collect it into a set term.
+
+#ifndef CORAL_CORE_AGGREGATE_H_
+#define CORAL_CORE_AGGREGATE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/data/unify.h"
+#include "src/lang/ast.h"
+#include "src/util/status.h"
+
+namespace coral {
+
+/// Per-head-argument aggregation role.
+struct AggArgSpec {
+  AggFn fn = AggFn::kNone;     // kNone: plain group-by argument
+  const Arg* term = nullptr;   // the original head argument term
+  const Arg* var = nullptr;    // grouped variable (aggregate args only)
+};
+
+/// Analysis of a rule head's aggregation structure.
+struct AggHeadSpec {
+  bool is_aggregate = false;
+  std::vector<AggArgSpec> args;
+};
+
+/// Recognizes min(<C>), sum(<X>), bare <X> (set-of), etc.
+AggHeadSpec AnalyzeAggHead(const Literal& head);
+
+/// Accumulates body solutions and emits one tuple per group.
+class GroupAccumulator {
+ public:
+  GroupAccumulator(const AggHeadSpec* spec, BindEnv* env,
+                   TermFactory* factory)
+      : spec_(spec), env_(env), factory_(factory) {}
+
+  /// Records the current solution (bindings live in the env the spec's
+  /// terms are scoped by).
+  Status Feed();
+
+  /// Builds the grouped head tuples. The accumulator is spent afterwards.
+  StatusOr<std::vector<const Tuple*>> Finish();
+
+ private:
+  struct AggState {
+    const Arg* best = nullptr;     // min / max / any
+    const Arg* sum = nullptr;      // running sum (as a term)
+    int64_t count = 0;
+    std::vector<const Arg*> collected;  // set-of
+  };
+  struct Group {
+    std::vector<const Arg*> key;   // resolved group-by values (positional)
+    std::vector<AggState> states;  // one per aggregate position
+  };
+
+  const AggHeadSpec* spec_;
+  BindEnv* env_;
+  TermFactory* factory_;
+  std::unordered_map<uint64_t, std::vector<Group>> groups_;
+  std::vector<uint64_t> group_order_;  // hashes in first-seen order
+};
+
+}  // namespace coral
+
+#endif  // CORAL_CORE_AGGREGATE_H_

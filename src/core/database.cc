@@ -1,0 +1,329 @@
+#include "src/core/database.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "src/lang/parser.h"
+#include "src/rel/hash_relation.h"
+#include "src/rewrite/seminaive.h"
+#include "src/util/logging.h"
+
+namespace coral {
+
+std::string AnswerRow::ToString() const {
+  if (bindings.empty()) return "true";
+  std::string s;
+  for (size_t i = 0; i < bindings.size(); ++i) {
+    if (i) s += ", ";
+    s += bindings[i].first + " = " + bindings[i].second->ToString();
+  }
+  return s;
+}
+
+std::string QueryResult::ToString() const {
+  std::string s;
+  if (rows.empty()) return "false\n";
+  for (const AnswerRow& row : rows) {
+    s += row.ToString();
+    s += "\n";
+  }
+  return s;
+}
+
+namespace {
+
+/// Single-solution generator succeeding iff `f` returns true.
+class OnceFnGenerator : public BuiltinGenerator {
+ public:
+  explicit OnceFnGenerator(std::function<bool(Trail*)> f)
+      : f_(std::move(f)) {}
+  bool Next(Trail* trail) override {
+    if (done_) return false;
+    done_ = true;
+    return f_(trail);
+  }
+
+ private:
+  std::function<bool(Trail*)> f_;
+  bool done_ = false;
+};
+
+/// Extracts (pred, args tuple) from a reified fact term like p(a, b).
+StatusOr<std::pair<PredRef, const Tuple*>> ReifyFact(TermRef t,
+                                                     TermFactory* factory) {
+  TermRef r = Deref(t.term, t.env);
+  if (r.term->kind() != ArgKind::kAtomOrFunctor) {
+    return Status::InvalidArgument("assert/retract need a predicate term");
+  }
+  const auto* f = ArgCast<FunctorArg>(r.term);
+  std::vector<TermRef> refs;
+  refs.reserve(f->arity());
+  for (const Arg* a : f->args()) refs.push_back({a, r.env});
+  const Tuple* tuple = ResolveTuple(refs, factory);
+  return std::make_pair(PredRef{f->functor(), f->arity()}, tuple);
+}
+
+}  // namespace
+
+Database::Database()
+    : factory_(std::make_unique<TermFactory>()),
+      modules_(std::make_unique<ModuleManager>(this)) {
+  builtins_.RegisterStandard();
+
+  // Update predicates (paper §5.2: pipelining guarantees an evaluation
+  // order, so side-effecting predicates like updates become meaningful).
+  Database* db = this;
+  builtins_.Register(
+      "assert", 1,
+      [db](std::span<const TermRef> args, TermFactory* factory)
+          -> StatusOr<std::unique_ptr<BuiltinGenerator>> {
+        TermRef t = args[0];
+        return std::unique_ptr<BuiltinGenerator>(
+            new OnceFnGenerator([db, t, factory](Trail*) {
+              auto fact = ReifyFact(t, factory);
+              if (!fact.ok()) return false;
+              Relation* rel = db->GetOrCreateBaseRelation(fact->first);
+              if (!rel->ValidateInsert(fact->second).ok()) return false;
+              rel->Insert(fact->second);
+              return true;  // succeeds even if a duplicate (like Prolog)
+            }));
+      });
+  builtins_.Register(
+      "retract", 1,
+      [db](std::span<const TermRef> args, TermFactory* factory)
+          -> StatusOr<std::unique_ptr<BuiltinGenerator>> {
+        TermRef t = args[0];
+        return std::unique_ptr<BuiltinGenerator>(
+            new OnceFnGenerator([db, t, factory](Trail*) {
+              auto fact = ReifyFact(t, factory);
+              if (!fact.ok()) return false;
+              Relation* rel = db->FindBaseRelation(fact->first);
+              if (rel == nullptr) return false;
+              // Delete every stored fact the pattern subsumes.
+              std::vector<const Tuple*> doomed;
+              std::unique_ptr<TupleIterator> it = rel->Scan();
+              while (const Tuple* stored = it->Next()) {
+                if (SubsumesTuple(fact->second, stored)) {
+                  doomed.push_back(stored);
+                }
+              }
+              size_t removed = 0;
+              for (const Tuple* d : doomed) removed += rel->Delete(d);
+              return removed > 0;
+            }));
+      });
+}
+
+Database::~Database() = default;
+
+Relation* Database::FindBaseRelation(const PredRef& pred) const {
+  auto it = base_.find(pred);
+  return it == base_.end() ? nullptr : it->second;
+}
+
+Relation* Database::GetOrCreateBaseRelation(const PredRef& pred) {
+  auto it = base_.find(pred);
+  if (it != base_.end()) return it->second;
+  auto rel = std::make_unique<HashRelation>(pred.sym->name, pred.arity);
+  Relation* raw = rel.get();
+  owned_relations_.push_back(std::move(rel));
+  base_.emplace(pred, raw);
+  return raw;
+}
+
+Status Database::RegisterRelation(const PredRef& pred,
+                                  std::unique_ptr<Relation> relation) {
+  CORAL_CHECK(relation != nullptr);
+  if (relation->arity() != pred.arity) {
+    return Status::InvalidArgument("relation arity mismatch for " +
+                                   pred.ToString());
+  }
+  Relation* raw = relation.get();
+  owned_relations_.push_back(std::move(relation));
+  base_[pred] = raw;
+  return Status::OK();
+}
+
+Status Database::RegisterExternalRelation(const PredRef& pred,
+                                          Relation* relation) {
+  CORAL_CHECK(relation != nullptr);
+  if (relation->arity() != pred.arity) {
+    return Status::InvalidArgument("relation arity mismatch for " +
+                                   pred.ToString());
+  }
+  base_[pred] = relation;
+  return Status::OK();
+}
+
+StatusOr<bool> Database::InsertFact(const Rule& fact) {
+  if (!fact.is_fact()) {
+    return Status::InvalidArgument("not a fact: " + fact.ToString());
+  }
+  PredRef pred = fact.head.pred_ref();
+  Relation* rel = GetOrCreateBaseRelation(pred);
+  const Tuple* t = factory_->MakeTuple(fact.head.args);
+  CORAL_RETURN_IF_ERROR(rel->ValidateInsert(t));
+  return rel->Insert(t);
+}
+
+StatusOr<size_t> Database::DeleteFacts(const Rule& fact) {
+  if (!fact.is_fact()) {
+    return Status::InvalidArgument("not a fact: " + fact.ToString());
+  }
+  PredRef pred = fact.head.pred_ref();
+  Relation* rel = FindBaseRelation(pred);
+  if (rel == nullptr) return size_t{0};
+  const Tuple* pattern = factory_->MakeTuple(fact.head.args);
+  std::vector<const Tuple*> doomed;
+  std::unique_ptr<TupleIterator> it = rel->Scan();
+  while (const Tuple* t = it->Next()) {
+    if (SubsumesTuple(pattern, t)) doomed.push_back(t);
+  }
+  size_t removed = 0;
+  for (const Tuple* t : doomed) removed += rel->Delete(t);
+  return removed;
+}
+
+Status Database::ApplyIndexDecl(const IndexDecl& decl) {
+  PredRef pred{decl.pred, static_cast<uint32_t>(decl.pattern.size())};
+  auto* rel = dynamic_cast<HashRelation*>(GetOrCreateBaseRelation(pred));
+  if (rel == nullptr) {
+    return Status::Unsupported("@make_index: relation " + pred.ToString() +
+                               " does not support in-memory indices");
+  }
+  if (decl.argument_form) {
+    rel->AddArgumentIndex(decl.cols);
+  } else {
+    rel->AddPatternIndex(decl.pattern, decl.var_count, decl.key_slots);
+  }
+  return Status::OK();
+}
+
+Status Database::ApplyAggSelDecl(const AggSelDecl& decl) {
+  PredRef pred{decl.pred, static_cast<uint32_t>(decl.pattern.size())};
+  Relation* rel = GetOrCreateBaseRelation(pred);
+  rel->AddAggregateSelection(std::make_unique<AggregateSelection>(
+      decl.kind, decl.pattern, decl.var_count, decl.group_args,
+      decl.agg_arg));
+  return Status::OK();
+}
+
+StatusOr<std::vector<Query>> Database::Consult(std::string_view text) {
+  Parser parser(text, factory_.get());
+  CORAL_ASSIGN_OR_RETURN(Program prog, parser.ParseProgram());
+  // Annotations first: indices backfill, but aggregate selections only
+  // constrain inserts made after they are attached.
+  for (const IndexDecl& decl : prog.top_indexes) {
+    CORAL_RETURN_IF_ERROR(ApplyIndexDecl(decl));
+  }
+  for (const AggSelDecl& decl : prog.top_agg_selections) {
+    CORAL_RETURN_IF_ERROR(ApplyAggSelDecl(decl));
+  }
+  for (const Rule& fact : prog.top_facts) {
+    CORAL_RETURN_IF_ERROR(InsertFact(fact).status());
+  }
+  for (ModuleDecl& mod : prog.modules) {
+    CORAL_RETURN_IF_ERROR(modules_->AddModule(std::move(mod)));
+  }
+  return std::move(prog.queries);
+}
+
+StatusOr<std::vector<Query>> Database::ConsultFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open file " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Consult(buf.str());
+}
+
+StatusOr<QueryResult> Database::ExecuteQuery(const Query& query) {
+  QueryResult result;
+  result.query = query;
+
+  BindEnv env(query.var_count);
+  Trail trail;
+  ExternalResolver resolver(this);
+  std::vector<std::unique_ptr<GoalSource>> sources;
+  sources.reserve(query.body.size());
+  for (const Literal& lit : query.body) {
+    CORAL_ASSIGN_OR_RETURN(std::unique_ptr<GoalSource> src,
+                           resolver.Make(&lit, &env));
+    sources.push_back(std::move(src));
+  }
+  Rule pseudo;
+  pseudo.body = query.body;
+  RuleCursor cursor(std::move(sources), ComputeBacktrackPoints(pseudo),
+                    /*intelligent_bt=*/true, &trail);
+
+  // Named variables reported in declaration order.
+  std::vector<std::pair<std::string, const Variable*>> named;
+  for (uint32_t slot = 0; slot < query.var_count; ++slot) {
+    const std::string& name = query.var_names[slot];
+    if (!name.empty() && name[0] != '_') {
+      named.emplace_back(name, factory_->MakeVariable(slot, name));
+    }
+  }
+
+  std::unordered_set<std::string> seen;
+  while (cursor.Next()) {
+    AnswerRow row;
+    for (const auto& [name, var] : named) {
+      VarRenamer renamer;
+      const Arg* value = ResolveTerm(var, &env, factory_.get(), &renamer);
+      row.bindings.emplace_back(name, value);
+    }
+    // Top-level answers are shown set-style: duplicates collapse.
+    std::string key = row.ToString();
+    if (seen.insert(key).second) result.rows.push_back(std::move(row));
+  }
+  cursor.UndoAll();
+  CORAL_RETURN_IF_ERROR(cursor.status());
+  return result;
+}
+
+StatusOr<QueryResult> Database::Query_(const std::string& text) {
+  std::string q = text;
+  // Trim leading whitespace.
+  size_t start = q.find_first_not_of(" \t\r\n");
+  q = start == std::string::npos ? "" : q.substr(start);
+  if (q.rfind("?-", 0) != 0 && q.rfind("?", 0) != 0) q = "?- " + q;
+  size_t end = q.find_last_not_of(" \t\r\n");
+  if (end != std::string::npos && q[end] != '.') q += ".";
+  Parser parser(q, factory_.get());
+  CORAL_ASSIGN_OR_RETURN(Program prog, parser.ParseProgram());
+  if (prog.queries.size() != 1) {
+    return Status::InvalidArgument("expected exactly one query");
+  }
+  return ExecuteQuery(prog.queries[0]);
+}
+
+StatusOr<std::string> Database::Explain(const std::string& fact_text) {
+  uint32_t var_count = 0;
+  CORAL_ASSIGN_OR_RETURN(const Arg* term,
+                         Parser::ParseTerm(fact_text, factory_.get(),
+                                           &var_count));
+  if (term->kind() != ArgKind::kAtomOrFunctor) {
+    return Status::InvalidArgument("expected a fact like anc(a, c)");
+  }
+  const auto* f = ArgCast<FunctorArg>(term);
+  std::vector<TermRef> refs;
+  refs.reserve(f->arity());
+  for (const Arg* a : f->args()) refs.push_back({a, nullptr});
+  const Tuple* tuple = ResolveTuple(refs, factory_.get());
+  return modules_->ExplainLast(tuple);
+}
+
+StatusOr<std::string> Database::Run(std::string_view text) {
+  CORAL_ASSIGN_OR_RETURN(std::vector<Query> queries, Consult(text));
+  std::string out;
+  for (const Query& q : queries) {
+    CORAL_ASSIGN_OR_RETURN(QueryResult result, ExecuteQuery(q));
+    out += result.query.ToString();
+    out += "\n";
+    out += result.ToString();
+  }
+  return out;
+}
+
+}  // namespace coral

@@ -1,0 +1,116 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// The Database facade: the single-user CORAL client (paper §2, Fig. 1).
+// Owns the term factory, base relations (in-memory by default; persistent
+// or computed relations can be registered), the builtin registry, and the
+// module manager. 'Consulting' text loads facts, modules, annotations and
+// queries — conversion into main-memory relations with any specified
+// indices, exactly as §2 describes.
+
+#ifndef CORAL_CORE_DATABASE_H_
+#define CORAL_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/builtins.h"
+#include "src/core/module_manager.h"
+#include "src/data/term_factory.h"
+#include "src/lang/ast.h"
+#include "src/rel/relation.h"
+#include "src/util/status.h"
+
+namespace coral {
+
+/// One query answer: bindings of the query's named variables (anonymous
+/// variables are omitted), plus whether the query succeeded at all (for
+/// fully ground queries bindings are empty).
+struct AnswerRow {
+  std::vector<std::pair<std::string, const Arg*>> bindings;
+  std::string ToString() const;
+};
+
+struct QueryResult {
+  Query query;
+  std::vector<AnswerRow> rows;
+  std::string ToString() const;
+};
+
+class Database {
+ public:
+  Database();
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  TermFactory* factory() { return factory_.get(); }
+  BuiltinRegistry* builtins() { return &builtins_; }
+  ModuleManager* modules() { return modules_.get(); }
+
+  // ---- base relations ----
+  /// Existing base relation or nullptr.
+  Relation* FindBaseRelation(const PredRef& pred) const;
+  /// Existing or freshly created (empty HashRelation).
+  Relation* GetOrCreateBaseRelation(const PredRef& pred);
+  /// Registers a custom Relation implementation (persistent relation,
+  /// C++-computed relation, ...; paper §7.2 extensibility). The database
+  /// takes ownership.
+  Status RegisterRelation(const PredRef& pred,
+                          std::unique_ptr<Relation> relation);
+  /// Registers a relation owned elsewhere (e.g. by a StorageManager); the
+  /// owner must outlive the database's use of it.
+  Status RegisterExternalRelation(const PredRef& pred, Relation* relation);
+
+  /// Inserts a fact (rule with empty body; may be non-ground) into its
+  /// base relation. Returns true if the relation changed.
+  StatusOr<bool> InsertFact(const Rule& fact);
+  /// Deletes all stored facts subsumed by the given fact pattern;
+  /// returns how many were removed.
+  StatusOr<size_t> DeleteFacts(const Rule& fact);
+
+  // ---- program loading ----
+  /// Parses and applies `text`: facts, indices, aggregate selections and
+  /// modules take effect; queries contained in the text are returned (not
+  /// executed).
+  StatusOr<std::vector<Query>> Consult(std::string_view text);
+  /// Consults a file (paper §2: data in text files is 'consulted').
+  StatusOr<std::vector<Query>> ConsultFile(const std::string& path);
+
+  // ---- queries ----
+  /// Evaluates a (possibly conjunctive) query against base relations,
+  /// module exports and builtins.
+  StatusOr<QueryResult> ExecuteQuery(const Query& query);
+  /// Parses and executes a single query string like "?- path(1, X)."
+  /// (the "?-" may be omitted).
+  StatusOr<QueryResult> Query_(const std::string& text);
+
+  /// Convenience for the interactive interface: consults `text`, executes
+  /// any queries in it, and returns printable results.
+  StatusOr<std::string> Run(std::string_view text);
+
+  /// Explanation tool: derivation tree for a ground fact like
+  /// "anc(a, c)", from the most recent evaluation of a module annotated
+  /// with @explain.
+  StatusOr<std::string> Explain(const std::string& fact_text);
+
+  /// When set, every compiled query form's rewritten program is also
+  /// stored as a text file `<dir>/<module>.<pred>.<adornment>.crl` —
+  /// the paper's §2 debugging aid. Empty disables.
+  void set_listing_dir(std::string dir) { listing_dir_ = std::move(dir); }
+  const std::string& listing_dir() const { return listing_dir_; }
+
+ private:
+  Status ApplyIndexDecl(const IndexDecl& decl);
+  Status ApplyAggSelDecl(const AggSelDecl& decl);
+
+  std::unique_ptr<TermFactory> factory_;
+  BuiltinRegistry builtins_;
+  std::unique_ptr<ModuleManager> modules_;
+  std::unordered_map<PredRef, Relation*, PredRefHash> base_;
+  std::vector<std::unique_ptr<Relation>> owned_relations_;
+  std::string listing_dir_;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_CORE_DATABASE_H_

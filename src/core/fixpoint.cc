@@ -1,0 +1,279 @@
+// Fixpoint iteration engine of MaterializedInstance: Basic Semi-Naive,
+// Predicate Semi-Naive and Naive drivers over the compiled SCC plans
+// (paper §4.2, §5.3).
+
+#include <unordered_set>
+
+#include "src/core/database.h"
+#include "src/core/module_eval.h"
+#include "src/util/logging.h"
+
+namespace coral {
+
+std::pair<Mark, Mark> MaterializedInstance::WindowFor(
+    size_t scc_idx, const PredRef& pred, RangeSel sel,
+    const std::unordered_map<PredRef, Mark, PredRefHash>* cur) {
+  Relation* rel = internal(pred);
+  if (rel == nullptr) return {0, kMaxMark};  // external: full extension
+  Mark prev = 0;
+  auto pit = prev_marks_[scc_idx].find(pred);
+  if (pit != prev_marks_[scc_idx].end()) prev = pit->second;
+  Mark cur_mark = kMaxMark;
+  if (cur != nullptr) {
+    auto cit = cur->find(pred);
+    if (cit != cur->end()) cur_mark = cit->second;
+  }
+  switch (sel) {
+    case RangeSel::kFull:
+      return {0, cur_mark};
+    case RangeSel::kOld:
+      return {0, prev};
+    case RangeSel::kDelta:
+      return {prev, cur_mark};
+  }
+  CORAL_UNREACHABLE();
+}
+
+StatusOr<std::unique_ptr<GoalSource>> MaterializedInstance::MakeSource(
+    const Literal* lit, BindEnv* env, Mark from, Mark to) {
+  PredRef pred = lit->pred_ref();
+  if (Relation* rel = internal(pred)) {
+    if (lit->negated) {
+      return std::unique_ptr<GoalSource>(
+          new NegationGoalSource(lit, env, rel));
+    }
+    return std::unique_ptr<GoalSource>(
+        new RelationGoalSource(lit, env, rel, from, to));
+  }
+  return ExternalResolver(db_).Make(lit, env);
+}
+
+bool MaterializedInstance::HeadInsert(const PredRef& pred, const Tuple* t) {
+  // Under Ordered Search, magic facts are intercepted into staging: the
+  // context decides when a subgoal becomes available (paper §5.4.1).
+  if (prog_->ordered_search) {
+    if (Relation* stage = staging(pred)) {
+      bool inserted = stage->Insert(t);
+      if (inserted) ++stats_.inserts;
+      return inserted;
+    }
+  }
+  Relation* rel = internal(pred);
+  CORAL_CHECK(rel != nullptr) << pred.ToString();
+  bool inserted = rel->Insert(t);
+  if (inserted) ++stats_.inserts;
+  return inserted;
+}
+
+StatusOr<bool> MaterializedInstance::ApplyVersion(
+    size_t scc_idx, const RuleVersion& v, bool naive_override,
+    const std::unordered_map<PredRef, Mark, PredRefHash>* cur) {
+  const Rule& rule = prog_->rules[v.rule_index];
+  const bool psn = !v.evaluate_once && cur == nullptr;
+
+  // Empty-delta short circuit (BSN/naive path; PSN has its own below):
+  // without it a version whose delta literal sits late in the body would
+  // enumerate the whole join prefix every iteration just to find nothing.
+  if (!psn && v.delta_pos >= 0 && !naive_override) {
+    PredRef dpred = rule.body[v.delta_pos].pred_ref();
+    auto [dfrom, dto] = WindowFor(scc_idx, dpred, RangeSel::kDelta, cur);
+    if (dfrom >= dto) return false;
+    Relation* drel = internal(dpred);
+    if (drel != nullptr) {
+      // The window may span only empty subsidiaries; a quick probe.
+      std::unique_ptr<TupleIterator> probe = drel->ScanRange(dfrom, dto);
+      if (probe->Next() == nullptr) return false;
+    }
+  }
+
+  // PSN: the delta window closes at a snapshot taken now, so facts
+  // derived by earlier rules in this very pass are already visible
+  // (immediate availability — the property PSN exploits, paper §4.2).
+  Mark psn_from = 0, psn_to = 0;
+  size_t version_idx = 0;
+  if (psn) {
+    // Locate this version's PSN mark slot.
+    const auto& versions = prog_->seminaive.sccs[scc_idx].versions;
+    for (; version_idx < versions.size(); ++version_idx) {
+      if (&versions[version_idx] == &v) break;
+    }
+    CORAL_CHECK(version_idx < versions.size());
+    if (v.delta_pos >= 0) {
+      Relation* drel = internal(rule.body[v.delta_pos].pred_ref());
+      CORAL_CHECK(drel != nullptr);
+      psn_from = psn_marks_[scc_idx][version_idx];
+      psn_to = drel->Snapshot();
+      if (psn_from >= psn_to) return false;  // empty delta: skip
+    }
+  }
+
+  // Find (or create) the environment slot for this version.
+  BindEnv* env;
+  if (v.evaluate_once) {
+    const auto& once = prog_->seminaive.sccs[scc_idx].once;
+    size_t idx = 0;
+    for (; idx < once.size(); ++idx) {
+      if (&once[idx] == &v) break;
+    }
+    env = EnvFor(scc_idx, true, idx, rule.var_count);
+  } else {
+    const auto& versions = prog_->seminaive.sccs[scc_idx].versions;
+    size_t idx = 0;
+    for (; idx < versions.size(); ++idx) {
+      if (&versions[idx] == &v) break;
+    }
+    env = EnvFor(scc_idx, false, idx, rule.var_count);
+  }
+
+  std::vector<std::unique_ptr<GoalSource>> sources;
+  sources.reserve(rule.body.size());
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    const Literal& lit = rule.body[i];
+    Mark from = 0, to = kMaxMark;
+    if (!lit.negated && internal(lit.pred_ref()) != nullptr) {
+      if (psn) {
+        if (static_cast<int>(i) == v.delta_pos) {
+          from = psn_from;
+          to = psn_to;
+        } else {
+          Relation* rel = internal(lit.pred_ref());
+          from = 0;
+          to = rel->Snapshot();
+        }
+      } else {
+        RangeSel sel = naive_override ? RangeSel::kFull : v.ranges[i];
+        std::tie(from, to) = WindowFor(scc_idx, lit.pred_ref(), sel, cur);
+      }
+    }
+    CORAL_ASSIGN_OR_RETURN(std::unique_ptr<GoalSource> src,
+                           MakeSource(&lit, env, from, to));
+    sources.push_back(std::move(src));
+  }
+
+  RuleCursor cursor(std::move(sources), v.backtrack,
+                    decl_->intelligent_backtracking, &trail_);
+  bool changed = false;
+  Status inner;
+
+  if (v.is_aggregate) {
+    const AggHeadSpec* spec = AggSpecFor(v.rule_index);
+    GroupAccumulator acc(spec, env, db_->factory());
+    while (cursor.Next()) {
+      ++stats_.solutions;
+      inner = acc.Feed();
+      if (!inner.ok()) break;
+    }
+    cursor.UndoAll();
+    CORAL_RETURN_IF_ERROR(inner);
+    CORAL_RETURN_IF_ERROR(cursor.status());
+    CORAL_ASSIGN_OR_RETURN(std::vector<const Tuple*> tuples, acc.Finish());
+    PredRef head = rule.head.pred_ref();
+    for (const Tuple* t : tuples) changed |= HeadInsert(head, t);
+  } else {
+    PredRef head = rule.head.pred_ref();
+    std::vector<TermRef> head_refs(rule.head.args.size());
+    while (cursor.Next()) {
+      ++stats_.solutions;
+      for (size_t i = 0; i < rule.head.args.size(); ++i) {
+        head_refs[i] = {rule.head.args[i], env};
+      }
+      const Tuple* t = ResolveTuple(head_refs, db_->factory());
+      bool inserted = HeadInsert(head, t);
+      changed |= inserted;
+      if (inserted && decl_->explain) {
+        // Explanation tool: record which body facts produced the head.
+        Derivation d;
+        d.head_pred = head;
+        d.head = t;
+        d.rule_index = v.rule_index;
+        for (const Literal& lit : rule.body) {
+          if (lit.negated) continue;
+          if (db_->builtins()->Find(lit.pred->name,
+                                    static_cast<uint32_t>(lit.args.size()))
+              != nullptr &&
+              internal(lit.pred_ref()) == nullptr) {
+            continue;
+          }
+          std::vector<TermRef> refs;
+          refs.reserve(lit.args.size());
+          for (const Arg* a : lit.args) refs.push_back({a, env});
+          d.body.emplace_back(lit.pred_ref(),
+                              ResolveTuple(refs, db_->factory()));
+        }
+        derivations_.push_back(std::move(d));
+      }
+    }
+    cursor.UndoAll();
+    CORAL_RETURN_IF_ERROR(cursor.status());
+  }
+
+  if (psn && v.delta_pos >= 0) {
+    psn_marks_[scc_idx][version_idx] = psn_to;
+  }
+  return changed;
+}
+
+Status MaterializedInstance::RunOnceRules(size_t scc_idx) {
+  for (const RuleVersion& v : prog_->seminaive.sccs[scc_idx].once) {
+    CORAL_RETURN_IF_ERROR(ApplyVersion(scc_idx, v, false, nullptr).status());
+  }
+  return Status::OK();
+}
+
+Status MaterializedInstance::RunIteration(size_t scc_idx, bool* changed) {
+  *changed = false;
+  const SccPlan& plan = prog_->seminaive.sccs[scc_idx];
+  FixpointKind kind = decl_->fixpoint;
+
+  if (kind == FixpointKind::kPredicateSemiNaive) {
+    for (const RuleVersion& v : plan.versions) {
+      CORAL_ASSIGN_OR_RETURN(bool c, ApplyVersion(scc_idx, v, false, nullptr));
+      *changed |= c;
+    }
+    return Status::OK();
+  }
+
+  // BSN / Naive: snapshot every internal relation once per iteration.
+  std::unordered_map<PredRef, Mark, PredRefHash> cur;
+  cur.reserve(internal_.size());
+  for (auto& [pred, rel] : internal_) cur[pred] = rel->Snapshot();
+
+  if (kind == FixpointKind::kNaive) {
+    // One application per distinct rule, full windows.
+    std::unordered_set<uint32_t> seen;
+    for (const RuleVersion& v : plan.versions) {
+      if (!seen.insert(v.rule_index).second) continue;
+      CORAL_ASSIGN_OR_RETURN(bool c, ApplyVersion(scc_idx, v, true, &cur));
+      *changed |= c;
+    }
+    return Status::OK();
+  }
+
+  for (const RuleVersion& v : plan.versions) {
+    CORAL_ASSIGN_OR_RETURN(bool c, ApplyVersion(scc_idx, v, false, &cur));
+    *changed |= c;
+  }
+  prev_marks_[scc_idx] = std::move(cur);
+  return Status::OK();
+}
+
+Status MaterializedInstance::RunGlobalPass(bool* changed) {
+  *changed = false;
+  size_t n = prog_->seminaive.sccs.size();
+  for (size_t s = 0; s < n; ++s) {
+    if (!once_done_[s]) {
+      CORAL_RETURN_IF_ERROR(RunOnceRules(s));
+      once_done_[s] = true;
+      *changed = true;
+    }
+    bool scc_changed = true;
+    while (scc_changed) {
+      CORAL_RETURN_IF_ERROR(RunIteration(s, &scc_changed));
+      ++stats_.iterations;
+      *changed |= scc_changed;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace coral

@@ -1,0 +1,175 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Materialized module evaluation (paper §5.3, §5.4): bottom-up fixpoint
+// over the compiled module structure (SCC plans with semi-naive rule
+// versions), with Basic Semi-Naive / Predicate Semi-Naive / Naive
+// strategies, lazy per-iteration answer delivery (§5.4.3), the save-module
+// facility (§5.4.2), and hooks for Ordered Search (§5.4.1).
+
+#ifndef CORAL_CORE_MODULE_EVAL_H_
+#define CORAL_CORE_MODULE_EVAL_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/aggregate.h"
+#include "src/core/join.h"
+#include "src/rel/hash_relation.h"
+#include "src/rewrite/rewriter.h"
+
+namespace coral {
+
+class Database;
+
+/// Evaluation counters, exposed for tests and the benchmark harness.
+struct EvalStats {
+  uint64_t solutions = 0;   // rule-body solutions enumerated
+  uint64_t inserts = 0;     // tuples newly inserted (after dup checks)
+  uint64_t iterations = 0;  // fixpoint iterations across SCCs
+};
+
+/// One recorded derivation step (the Explanation tool, enabled by the
+/// @explain module annotation): head was derived by rule `rule_index`
+/// from the listed body facts (relation literals only).
+struct Derivation {
+  PredRef head_pred;
+  const Tuple* head = nullptr;
+  uint32_t rule_index = 0;
+  std::vector<std::pair<PredRef, const Tuple*>> body;
+};
+
+/// Builds goal sources for literals that are NOT module-internal:
+/// builtins, base relations, exports of other modules (inter-module
+/// calls, paper §5.6), or freshly auto-created empty relations.
+class ExternalResolver {
+ public:
+  explicit ExternalResolver(Database* db) : db_(db) {}
+  StatusOr<std::unique_ptr<GoalSource>> Make(const Literal* lit,
+                                             BindEnv* env) const;
+
+ private:
+  Database* db_;
+};
+
+/// The run-time state of one materialized (module, query form) activation:
+/// relations for every internal predicate, fixpoint bookkeeping, and the
+/// trail. Non-save modules create one per call and discard it afterwards
+/// (paper §5.4.2 default); save modules keep one alive across calls.
+class MaterializedInstance {
+ public:
+  MaterializedInstance(const RewrittenProgram* prog, const ModuleDecl* decl,
+                       Database* db);
+  ~MaterializedInstance();
+
+  /// Creates internal relations; attaches aggregate selections, multiset
+  /// flags, declared and optimizer-chosen indices.
+  Status Init();
+
+  /// Registers the query's bound arguments as a magic seed. With the
+  /// save-module facility, re-seeding an already-covered subgoal is a
+  /// no-op; a new subgoal resumes evaluation incrementally.
+  Status Seed(std::span<const TermRef> query_args);
+
+  /// Runs the fixpoint to completion (all SCCs stable).
+  Status RunToCompletion();
+
+  /// Lazy evaluation (paper §5.4.3): advances by one fixpoint iteration
+  /// (or phase); sets *done when evaluation is complete. Callers poll the
+  /// answer relation between steps.
+  Status RunStep(bool* done);
+
+  Relation* answer_relation() const;
+  Relation* internal(const PredRef& pred) const;
+  const RewrittenProgram& prog() const { return *prog_; }
+  const ModuleDecl& decl() const { return *decl_; }
+  const EvalStats& stats() const { return stats_; }
+  bool in_step() const { return in_step_; }
+  bool complete() const { return complete_; }
+  Database* db() const { return db_; }
+
+  /// Recorded derivations (empty unless the module has @explain).
+  const std::vector<Derivation>& derivations() const { return derivations_; }
+  /// Renders the derivation tree of `fact` (an answer or intermediate
+  /// tuple). Predicates are shown with their original names.
+  std::string Explain(const Tuple* fact) const;
+
+ private:
+  friend class OrderedSearchEval;
+
+  // --- fixpoint engine (fixpoint.cc) ---
+  Status RunOnceRules(size_t scc_idx);
+  Status RunIteration(size_t scc_idx, bool* changed);
+  /// Runs every SCC to a local fixpoint once; used by Ordered Search.
+  Status RunGlobalPass(bool* changed);
+  StatusOr<bool> ApplyVersion(size_t scc_idx, const RuleVersion& v,
+                              bool naive_override,
+                              const std::unordered_map<PredRef, Mark,
+                                                       PredRefHash>* cur);
+  StatusOr<std::unique_ptr<GoalSource>> MakeSource(const Literal* lit,
+                                                   BindEnv* env, Mark from,
+                                                   Mark to);
+  std::pair<Mark, Mark> WindowFor(size_t scc_idx, const PredRef& pred,
+                                  RangeSel sel,
+                                  const std::unordered_map<PredRef, Mark,
+                                                           PredRefHash>* cur);
+  bool HeadInsert(const PredRef& pred, const Tuple* t);
+  BindEnv* EnvFor(size_t scc_idx, bool once, size_t idx,
+                  uint32_t var_count);
+  const AggHeadSpec* AggSpecFor(uint32_t rule_index);
+  Relation* staging(const PredRef& magic_pred) const;
+
+  const RewrittenProgram* prog_;
+  const ModuleDecl* decl_;
+  Database* db_;
+
+  std::unordered_map<PredRef, std::unique_ptr<HashRelation>, PredRefHash>
+      internal_;
+  std::unordered_map<PredRef, std::unique_ptr<HashRelation>, PredRefHash>
+      staging_;  // Ordered Search: magic-head inserts are intercepted here
+  Trail trail_;
+
+  // Lazy / resumable evaluation state.
+  size_t cur_scc_ = 0;
+  std::vector<bool> once_done_;
+  bool complete_ = false;
+  bool in_step_ = false;
+  std::vector<const Tuple*> pending_seeds_;  // Ordered Search seeds
+
+  // Per-SCC previous marks (BSN) and per-version marks (PSN).
+  std::vector<std::unordered_map<PredRef, Mark, PredRefHash>> prev_marks_;
+  std::vector<std::vector<Mark>> psn_marks_;
+
+  // Cached rule environments and aggregation specs.
+  std::vector<std::vector<std::unique_ptr<BindEnv>>> version_envs_;
+  std::vector<std::vector<std::unique_ptr<BindEnv>>> once_envs_;
+  std::unordered_map<uint32_t, AggHeadSpec> agg_specs_;
+
+  EvalStats stats_;
+  std::vector<Derivation> derivations_;  // @explain only
+};
+
+/// TupleIterator over a materialized instance's answers that drives lazy
+/// evaluation: when the answers seen so far are exhausted, it runs more
+/// fixpoint iterations (paper §5.6: "answers are returned at the end of
+/// each fixpoint iteration in the called module; further iterations are
+/// carried out if more answers are requested").
+class LazyAnswerIterator : public TupleIterator {
+ public:
+  LazyAnswerIterator(std::shared_ptr<MaterializedInstance> inst,
+                     const Tuple* goal);
+  const Tuple* Next() override;
+  const Status& status() const override { return status_; }
+
+ private:
+  std::shared_ptr<MaterializedInstance> inst_;
+  const Tuple* goal_;
+  std::unique_ptr<BindEnv> goal_env_;
+  Mark seen_ = 0;
+  std::unique_ptr<TupleIterator> batch_;
+  bool done_ = false;
+  Status status_;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_CORE_MODULE_EVAL_H_

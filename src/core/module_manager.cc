@@ -1,0 +1,297 @@
+#include "src/core/module_manager.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "src/core/database.h"
+#include "src/util/logging.h"
+
+namespace coral {
+
+namespace {
+
+/// Scan over a completed instance's answers; keeps the instance (and thus
+/// the relations backing the yielded tuples' terms — actually the factory
+/// owns those, but marks and tombstones live here) alive.
+class EagerAnswerIterator : public TupleIterator {
+ public:
+  EagerAnswerIterator(std::shared_ptr<MaterializedInstance> inst,
+                      const Tuple* goal)
+      : inst_(std::move(inst)),
+        goal_(goal),
+        env_(std::make_unique<BindEnv>(goal->var_count())) {
+    std::vector<TermRef> refs;
+    refs.reserve(goal_->arity());
+    for (uint32_t i = 0; i < goal_->arity(); ++i) {
+      refs.push_back({goal_->arg(i), env_.get()});
+    }
+    scan_ = inst_->answer_relation()->Select(refs, 0, kMaxMark);
+  }
+  const Tuple* Next() override { return scan_->Next(); }
+
+ private:
+  std::shared_ptr<MaterializedInstance> inst_;
+  const Tuple* goal_;
+  std::unique_ptr<BindEnv> env_;
+  std::unique_ptr<TupleIterator> scan_;
+};
+
+/// RAII guard for the inter-module call depth.
+class DepthGuard {
+ public:
+  explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+  ~DepthGuard() { --*depth_; }
+
+ private:
+  int* depth_;
+};
+
+constexpr int kMaxCallDepth = 256;
+
+}  // namespace
+
+Status ModuleManager::AddModule(ModuleDecl decl) {
+  // Validate exports against definitions.
+  for (const QueryFormDecl& form : decl.exports) {
+    PredRef pred{form.pred, static_cast<uint32_t>(form.adornment.size())};
+    bool defined = false;
+    for (const Rule& r : decl.rules) {
+      if (r.head.pred == form.pred) {
+        defined = true;
+        if (r.head.args.size() != form.adornment.size()) {
+          return Status::InvalidArgument(
+              "module " + decl.name + ": export adornment '" +
+              form.adornment + "' does not match arity of " +
+              form.pred->name);
+        }
+      }
+    }
+    if (!defined) {
+      return Status::InvalidArgument("module " + decl.name +
+                                     " exports undefined predicate " +
+                                     form.pred->name);
+    }
+    (void)pred;
+  }
+
+  // Replace an existing module of the same name.
+  for (auto it = modules_.begin(); it != modules_.end(); ++it) {
+    if ((*it)->decl.name == decl.name) {
+      for (auto eit = export_index_.begin(); eit != export_index_.end();) {
+        if (eit->second == it->get()) {
+          eit = export_index_.erase(eit);
+        } else {
+          ++eit;
+        }
+      }
+      for (auto lit = local_index_.begin(); lit != local_index_.end();) {
+        if (lit->second == decl.name) {
+          lit = local_index_.erase(lit);
+        } else {
+          ++lit;
+        }
+      }
+      modules_.erase(it);
+      names_.erase(std::find(names_.begin(), names_.end(), decl.name));
+      break;
+    }
+  }
+
+  auto entry = std::make_unique<ModuleEntry>();
+  entry->decl = std::move(decl);
+  if (entry->decl.eval_mode == EvalMode::kPipelined) {
+    entry->pipelined =
+        std::make_unique<PipelinedModule>(&entry->decl, db_);
+  }
+  for (const QueryFormDecl& form : entry->decl.exports) {
+    PredRef pred{form.pred, static_cast<uint32_t>(form.adornment.size())};
+    export_index_[pred] = entry.get();
+  }
+  // Non-exported rule heads are module-local (paper §5): visible to this
+  // module's own rules only.
+  for (const Rule& r : entry->decl.rules) {
+    PredRef head = r.head.pred_ref();
+    if (export_index_.count(head) == 0) {
+      local_index_[head] = entry->decl.name;
+    }
+  }
+  names_.push_back(entry->decl.name);
+  modules_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+bool ModuleManager::Exports(const PredRef& pred) const {
+  return export_index_.count(pred) > 0;
+}
+
+const std::string& ModuleManager::LocalOwner(const PredRef& pred) const {
+  static const std::string kNone;
+  auto it = local_index_.find(pred);
+  // Exported elsewhere wins: a name can be local in one module and
+  // exported by another.
+  if (it == local_index_.end() || export_index_.count(pred) > 0) {
+    return kNone;
+  }
+  return it->second;
+}
+
+const QueryFormDecl* ModuleManager::SelectForm(
+    const ModuleEntry& entry, const PredRef& pred,
+    std::span<const TermRef> args) const {
+  // Query binding pattern: an argument is 'b' unless it dereferences to
+  // an unbound variable (partially instantiated terms count as bound —
+  // Magic Templates handles non-ground seeds).
+  std::string qpat;
+  for (const TermRef& r : args) {
+    TermRef d = Deref(r.term, r.env);
+    qpat += d.term->kind() == ArgKind::kVariable ? 'f' : 'b';
+  }
+
+  const QueryFormDecl* best = nullptr;
+  int best_score = INT32_MIN;
+  for (const QueryFormDecl& form : entry.decl.exports) {
+    if (form.pred != pred.sym || form.adornment.size() != pred.arity) {
+      continue;
+    }
+    int matched = 0, excess = 0;
+    for (size_t i = 0; i < form.adornment.size(); ++i) {
+      if (form.adornment[i] != 'b') continue;
+      if (qpat[i] == 'b') {
+        ++matched;
+      } else {
+        ++excess;  // form propagates an argument the query leaves free
+      }
+    }
+    // Prefer forms whose bound positions are all provided by the query
+    // (no free seeding); among those the most selective.
+    int score = excess == 0 ? 1000 + matched : matched - 10 * excess;
+    if (score > best_score) {
+      best_score = score;
+      best = &form;
+    }
+  }
+  return best;
+}
+
+StatusOr<ModuleManager::CompiledForm*> ModuleManager::CompileForm(
+    ModuleEntry* entry, const QueryFormDecl& form) {
+  std::string key = form.pred->name + "/" +
+                    std::to_string(form.adornment.size()) + "@" +
+                    form.adornment;
+  auto it = entry->forms.find(key);
+  if (it != entry->forms.end()) return &it->second;
+  CORAL_ASSIGN_OR_RETURN(RewrittenProgram prog,
+                         RewriteModule(entry->decl, form, db_->factory()));
+  // Paper §2: "The rewritten program is stored as a text file — which is
+  // useful as a debugging aid for the user."
+  if (!db_->listing_dir().empty()) {
+    std::string path = db_->listing_dir() + "/" + entry->decl.name + "." +
+                       form.pred->name + "." + form.adornment + ".crl";
+    std::ofstream out(path);
+    if (out) {
+      out << "% rewritten program for module " << entry->decl.name
+          << ", query form " << form.pred->name << "(" << form.adornment
+          << ")\n" << prog.listing;
+    }
+  }
+  CompiledForm cf;
+  cf.prog = std::make_unique<RewrittenProgram>(std::move(prog));
+  auto [nit, inserted] = entry->forms.emplace(key, std::move(cf));
+  CORAL_CHECK(inserted);
+  return &nit->second;
+}
+
+StatusOr<std::unique_ptr<TupleIterator>> ModuleManager::OpenQuery(
+    const PredRef& pred, std::span<const TermRef> args) {
+  auto eit = export_index_.find(pred);
+  if (eit == export_index_.end()) {
+    return Status::NotFound("no module exports " + pred.ToString());
+  }
+  ModuleEntry* entry = eit->second;
+  if (call_depth_ >= kMaxCallDepth) {
+    return Status::FailedPrecondition(
+        "inter-module call depth exceeded (cyclic module calls?)");
+  }
+  DepthGuard guard(&call_depth_);
+
+  if (entry->decl.eval_mode == EvalMode::kPipelined) {
+    return entry->pipelined->OpenQuery(pred, args);
+  }
+
+  const QueryFormDecl* form = SelectForm(*entry, pred, args);
+  if (form == nullptr) {
+    return Status::NotFound("no query form of " + pred.ToString() +
+                            " matches this call");
+  }
+  CORAL_ASSIGN_OR_RETURN(CompiledForm * cf, CompileForm(entry, *form));
+
+  std::shared_ptr<MaterializedInstance> inst;
+  if (entry->decl.save_module) {
+    if (cf->saved == nullptr) {
+      cf->saved = std::make_shared<MaterializedInstance>(
+          cf->prog.get(), &entry->decl, db_);
+      CORAL_RETURN_IF_ERROR(cf->saved->Init());
+    }
+    inst = cf->saved;
+    if (inst->in_step()) {
+      return Status::FailedPrecondition(
+          "recursive invocation of save module " + entry->decl.name +
+          " (paper §5.4.2 restriction)");
+    }
+  } else {
+    inst = std::make_shared<MaterializedInstance>(cf->prog.get(),
+                                                  &entry->decl, db_);
+    CORAL_RETURN_IF_ERROR(inst->Init());
+  }
+  CORAL_RETURN_IF_ERROR(inst->Seed(args));
+  last_instance_ = inst;
+
+  const Tuple* goal = ResolveTuple(args, db_->factory());
+
+  // Save modules and modules with aggregate selections compute all
+  // answers before returning any (paper §5.6); otherwise answers are
+  // delivered per fixpoint iteration (lazy, §5.4.3).
+  bool eager = entry->decl.save_module || entry->decl.eager ||
+               !entry->decl.agg_selections.empty() ||
+               entry->decl.ordered_search;
+  if (eager) {
+    CORAL_RETURN_IF_ERROR(inst->RunToCompletion());
+    return std::unique_ptr<TupleIterator>(
+        new EagerAnswerIterator(std::move(inst), goal));
+  }
+  return std::unique_ptr<TupleIterator>(
+      new LazyAnswerIterator(std::move(inst), goal));
+}
+
+StatusOr<std::string> ModuleManager::RewrittenListing(
+    const std::string& module_name, const std::string& pred,
+    const std::string& adornment) {
+  for (auto& entry : modules_) {
+    if (entry->decl.name != module_name) continue;
+    Symbol sym = db_->factory()->symbols().Intern(pred);
+    QueryFormDecl form{sym, adornment};
+    CORAL_ASSIGN_OR_RETURN(CompiledForm * cf,
+                           CompileForm(entry.get(), form));
+    return cf->prog->listing;
+  }
+  return Status::NotFound("no module named " + module_name);
+}
+
+const EvalStats& ModuleManager::last_stats() const {
+  static const EvalStats kEmpty;
+  return last_instance_ == nullptr ? kEmpty : last_instance_->stats();
+}
+
+StatusOr<std::string> ModuleManager::ExplainLast(const Tuple* fact) const {
+  if (last_instance_ == nullptr) {
+    return Status::FailedPrecondition("no module evaluation has run");
+  }
+  if (!last_instance_->decl().explain) {
+    return Status::FailedPrecondition(
+        "module " + last_instance_->decl().name +
+        " does not record derivations; add the @explain annotation");
+  }
+  return last_instance_->Explain(fact);
+}
+
+}  // namespace coral

@@ -1,0 +1,93 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// The module system (paper §2, §5, §5.6): modules export predicates with
+// query forms; a query on an exported predicate sets up a call on the
+// module, which presents a scan-like get-next-tuple interface returning
+// all answers to the subquery — independent of whether the callee is
+// pipelined or materialized, lazy or eager, saved or transient.
+
+#ifndef CORAL_CORE_MODULE_MANAGER_H_
+#define CORAL_CORE_MODULE_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/module_eval.h"
+#include "src/core/pipeline.h"
+
+namespace coral {
+
+class Database;
+
+class ModuleManager {
+ public:
+  explicit ModuleManager(Database* db) : db_(db) {}
+
+  /// Validates and registers a module; its exports become visible to all
+  /// other modules and to queries. Re-adding a module with the same name
+  /// replaces it.
+  Status AddModule(ModuleDecl decl);
+
+  /// True if some module exports `pred`.
+  bool Exports(const PredRef& pred) const;
+
+  /// Name of the module defining `pred` locally (without exporting it);
+  /// empty string when no module claims it. Only exported predicates are
+  /// visible outside their module (paper §5).
+  const std::string& LocalOwner(const PredRef& pred) const;
+
+  /// Opens an inter-module (or top-level) call: selects the best matching
+  /// query form for the binding pattern of `args`, compiles it on first
+  /// use, and returns the answer scan (paper §5.6).
+  StatusOr<std::unique_ptr<TupleIterator>> OpenQuery(
+      const PredRef& pred, std::span<const TermRef> args);
+
+  /// The rewritten-program listing for (module, form); compiles on demand.
+  /// Useful for debugging, mirroring the paper's text-file dump.
+  StatusOr<std::string> RewrittenListing(const std::string& module_name,
+                                         const std::string& pred,
+                                         const std::string& adornment);
+
+  /// Evaluation statistics of the most recent materialized activation
+  /// (save-module instances aggregate across calls).
+  const EvalStats& last_stats() const;
+
+  /// Explanation tool: derivation tree of a fact derived by the most
+  /// recent materialized activation of a module with @explain. `fact` is
+  /// matched against recorded heads (answers and intermediates).
+  StatusOr<std::string> ExplainLast(const Tuple* fact) const;
+
+  const std::vector<std::string>& module_names() const { return names_; }
+
+ private:
+  struct CompiledForm {
+    std::unique_ptr<RewrittenProgram> prog;
+    std::shared_ptr<MaterializedInstance> saved;  // save-module only
+  };
+  struct ModuleEntry {
+    ModuleDecl decl;
+    // key: "pred/arity@adornment"
+    std::map<std::string, CompiledForm> forms;
+    std::unique_ptr<PipelinedModule> pipelined;
+  };
+
+  StatusOr<CompiledForm*> CompileForm(ModuleEntry* entry,
+                                      const QueryFormDecl& form);
+  const QueryFormDecl* SelectForm(const ModuleEntry& entry,
+                                  const PredRef& pred,
+                                  std::span<const TermRef> args) const;
+
+  Database* db_;
+  std::vector<std::unique_ptr<ModuleEntry>> modules_;
+  std::vector<std::string> names_;
+  std::unordered_map<PredRef, ModuleEntry*, PredRefHash> export_index_;
+  std::unordered_map<PredRef, std::string, PredRefHash> local_index_;
+  int call_depth_ = 0;
+  std::shared_ptr<MaterializedInstance> last_instance_;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_CORE_MODULE_MANAGER_H_

@@ -1,0 +1,163 @@
+#include "src/core/ordered_search.h"
+
+#include "src/core/database.h"
+#include "src/util/logging.h"
+
+namespace coral {
+
+namespace {
+
+bool VariantTuples(const Tuple* a, const Tuple* b) {
+  if (a == b) return true;
+  if (a->IsGround() || b->IsGround()) return false;  // interned if equal
+  return SubsumesTuple(a, b) && SubsumesTuple(b, a);
+}
+
+}  // namespace
+
+int OrderedSearchEval::FindOnStack(const PredRef& pred,
+                                   const Tuple* goal) const {
+  if (goal->IsGround()) {
+    auto it = ground_depth_.find(goal);
+    if (it == ground_depth_.end()) return -1;
+    // Distinct magic predicates could stage equal tuples; verify.
+    for (const GoalEntry& g : stack_[it->second].goals) {
+      if (g.magic_pred == pred && g.goal == goal) {
+        return static_cast<int>(it->second);
+      }
+    }
+    return -1;
+  }
+  for (size_t d = 0; d < stack_.size(); ++d) {
+    for (const GoalEntry& g : stack_[d].goals) {
+      if (g.magic_pred == pred && VariantTuples(g.goal, goal)) {
+        return static_cast<int>(d);
+      }
+    }
+  }
+  return -1;
+}
+
+void OrderedSearchEval::Collapse(size_t depth) {
+  CORAL_CHECK(depth < stack_.size());
+  Node merged = std::move(stack_[depth]);
+  for (size_t d = depth + 1; d < stack_.size(); ++d) {
+    for (GoalEntry& g : stack_[d].goals) {
+      if (g.goal->IsGround()) ground_depth_[g.goal] = depth;
+      merged.goals.push_back(g);
+    }
+  }
+  stack_.resize(depth);
+  stack_.push_back(std::move(merged));
+}
+
+bool OrderedSearchEval::ReleaseOne() {
+  if (stack_.empty()) return false;
+  Node& top = stack_.back();
+  for (GoalEntry& g : top.goals) {
+    if (g.released) continue;
+    Relation* magic = inst_->internal(g.magic_pred);
+    CORAL_CHECK(magic != nullptr);
+    magic->Insert(g.goal);
+    g.released = true;
+    return true;
+  }
+  return false;
+}
+
+Status OrderedSearchEval::Drain(bool* changed) {
+  *changed = false;
+  for (auto& [magic_pred, stage] : inst_->staging_) {
+    Mark from = 0;
+    auto it = drain_marks_.find(magic_pred);
+    if (it != drain_marks_.end()) from = it->second;
+    Mark to = stage->Snapshot();
+    drain_marks_[magic_pred] = to;
+    if (from >= to) continue;
+    std::unique_ptr<TupleIterator> scan = stage->ScanRange(from, to);
+    while (const Tuple* goal = scan->Next()) {
+      // Already completed? (done facts subsume later regenerations)
+      auto dit = inst_->prog_->done_of.find(magic_pred);
+      if (dit != inst_->prog_->done_of.end()) {
+        Relation* done = inst_->internal(dit->second);
+        if (done != nullptr && done->Contains(goal)) continue;
+      }
+      int depth = FindOnStack(magic_pred, goal);
+      if (depth >= 0) {
+        // Regeneration of a live subgoal: mutual dependency. Collapse so
+        // the whole cycle completes together (paper §5.4.1 / [23]).
+        if (static_cast<size_t>(depth) + 1 < stack_.size()) {
+          Collapse(static_cast<size_t>(depth));
+          *changed = true;
+        }
+        continue;
+      }
+      // A goal released in an earlier (popped but not done-guarded)
+      // node? Released goals live in the magic relation.
+      Relation* magic = inst_->internal(magic_pred);
+      if (magic != nullptr && magic->Contains(goal)) continue;
+      if (goal->IsGround()) ground_depth_[goal] = stack_.size();
+      stack_.push_back(Node{{GoalEntry{goal, magic_pred, false}}});
+      *changed = true;
+    }
+  }
+  return Status::OK();
+}
+
+Status OrderedSearchEval::Run() {
+  // Seed goals become the initial context nodes (oldest deepest).
+  for (const Tuple* seed : inst_->pending_seeds_) {
+    if (FindOnStack(inst_->prog_->seed_pred, seed) < 0) {
+      if (seed->IsGround()) ground_depth_[seed] = stack_.size();
+      stack_.push_back(
+          Node{{GoalEntry{seed, inst_->prog_->seed_pred, false}}});
+    }
+  }
+  inst_->pending_seeds_.clear();
+
+  while (!stack_.empty()) {
+    // Make one subgoal of the top node available and evaluate.
+    bool released = ReleaseOne();
+    bool pass_changed = true;
+    while (pass_changed) {
+      CORAL_RETURN_IF_ERROR(inst_->RunGlobalPass(&pass_changed));
+      bool stack_changed = false;
+      CORAL_RETURN_IF_ERROR(Drain(&stack_changed));
+      pass_changed |= stack_changed;
+      if (stack_changed) {
+        // New or collapsed subgoals: release from the (new) top first.
+        released = ReleaseOne() || released;
+      }
+    }
+    if (!stack_.empty() && stack_.back().AllReleased()) {
+      // Top node completely evaluated: mark all its subgoals done. The
+      // done deltas re-enable guarded rules on the next pass.
+      Node node = std::move(stack_.back());
+      stack_.pop_back();
+      for (const GoalEntry& g : node.goals) {
+        if (g.goal->IsGround()) ground_depth_.erase(g.goal);
+      }
+      for (const GoalEntry& g : node.goals) {
+        auto dit = inst_->prog_->done_of.find(g.magic_pred);
+        if (dit == inst_->prog_->done_of.end()) continue;
+        Relation* done = inst_->internal(dit->second);
+        CORAL_CHECK(done != nullptr);
+        done->Insert(g.goal);
+      }
+      // Run the guarded rules now enabled.
+      bool changed = true;
+      while (changed) {
+        CORAL_RETURN_IF_ERROR(inst_->RunGlobalPass(&changed));
+        bool stack_changed = false;
+        CORAL_RETURN_IF_ERROR(Drain(&stack_changed));
+        changed |= stack_changed;
+      }
+    } else if (!released && !stack_.empty() &&
+               !stack_.back().AllReleased()) {
+      return Status::Internal("ordered search made no progress");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace coral

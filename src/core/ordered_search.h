@@ -1,0 +1,70 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Ordered Search (paper §5.4.1, citing [23]): orders the use of generated
+// subgoals for left-to-right modularly stratified programs with negation,
+// set-grouping and aggregation. A *context* stack stores subgoals (magic
+// facts) in an ordered fashion and decides which subgoal to make available
+// next; magic facts derived during evaluation are intercepted (staged)
+// instead of becoming visible. When a subgoal — and everything generated
+// after it — is completely evaluated, its node is popped and a fact is
+// added to the corresponding 'done' predicate, enabling the guarded rules
+// (negation reduced to set-difference; aggregation applied per completed
+// subgoal). Mutually dependent subgoals (a regeneration of a subgoal
+// already on the stack) collapse into a single node and complete together.
+
+#ifndef CORAL_CORE_ORDERED_SEARCH_H_
+#define CORAL_CORE_ORDERED_SEARCH_H_
+
+#include <vector>
+
+#include "src/core/module_eval.h"
+
+namespace coral {
+
+class OrderedSearchEval {
+ public:
+  explicit OrderedSearchEval(MaterializedInstance* inst) : inst_(inst) {}
+
+  /// Consumes the instance's pending seed goals and runs to completion.
+  Status Run();
+
+ private:
+  struct GoalEntry {
+    const Tuple* goal;
+    PredRef magic_pred;
+    bool released = false;
+  };
+  struct Node {
+    std::vector<GoalEntry> goals;
+    bool AllReleased() const {
+      for (const GoalEntry& g : goals) {
+        if (!g.released) return false;
+      }
+      return true;
+    }
+  };
+
+  /// Moves one unreleased goal of the top node into its magic relation.
+  bool ReleaseOne();
+
+  /// Drains newly staged magic facts: pushes fresh subgoals as new nodes;
+  /// collapses when a stack goal is regenerated. Returns true if the
+  /// stack changed.
+  Status Drain(bool* changed);
+
+  /// Index of the stack node holding a variant of (pred, goal); -1 none.
+  int FindOnStack(const PredRef& pred, const Tuple* goal) const;
+
+  /// Merges nodes depth..top into one node at `depth`.
+  void Collapse(size_t depth);
+
+  MaterializedInstance* inst_;
+  std::vector<Node> stack_;
+  std::unordered_map<PredRef, Mark, PredRefHash> drain_marks_;
+  // Ground goals are canonical tuples: O(1) stack-depth lookups. Only
+  // non-ground goals (rare) need the variant scan.
+  std::unordered_map<const Tuple*, size_t> ground_depth_;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_CORE_ORDERED_SEARCH_H_

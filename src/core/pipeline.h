@@ -1,0 +1,81 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Pipelined (top-down) module evaluation (paper §5.2): rule evaluation
+// works in a co-routining fashion — a query on a predicate tries its rules
+// in textual order; when a rule succeeds the computation is frozen inside
+// the scan object and the answer returned; the next get-next-tuple request
+// reactivates it. Facts are used on-the-fly and never stored, at the
+// potential cost of recomputation (and, as in Prolog, of non-termination
+// on cyclic data). Side-effect builtins are meaningful here because the
+// evaluation order is guaranteed.
+
+#ifndef CORAL_CORE_PIPELINE_H_
+#define CORAL_CORE_PIPELINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/join.h"
+#include "src/lang/ast.h"
+
+namespace coral {
+
+class Database;
+
+class PipelinedModule {
+ public:
+  PipelinedModule(const ModuleDecl* decl, Database* db);
+
+  bool Defines(const PredRef& pred) const;
+
+  /// Opens a pipelined call: answers are produced one at a time, each
+  /// materialized as a tuple over the goal's arguments.
+  StatusOr<std::unique_ptr<TupleIterator>> OpenQuery(
+      const PredRef& pred, std::span<const TermRef> args) const;
+
+  /// Maximum proof depth before the scan fails with an error (guards the
+  /// C++ stack; Prolog-style evaluation can diverge on cyclic data).
+  static constexpr int kMaxDepth = 4000;
+
+ private:
+  friend class PipelinedPredScan;
+  const ModuleDecl* decl_;
+  Database* db_;
+  std::unordered_map<PredRef, std::vector<const Rule*>, PredRefHash> rules_;
+};
+
+/// A suspended computation of one predicate goal inside a pipelined
+/// module; usable directly as a GoalSource for nested local literals.
+class PipelinedPredScan : public GoalSource {
+ public:
+  PipelinedPredScan(const PipelinedModule* mod, const Literal* lit,
+                    BindEnv* env, Trail* trail, int depth);
+  ~PipelinedPredScan() override;
+
+  bool Next(Trail* trail) override;
+  void Abandon() override;
+  const Status& status() const override { return status_; }
+
+ protected:
+  void DoReset() override;
+
+ private:
+  bool ActivateRule(const Rule* rule);
+
+  const PipelinedModule* mod_;
+  const Literal* lit_;
+  BindEnv* env_;
+  Trail* trail_;
+  int depth_;
+
+  size_t rule_idx_ = 0;
+  const Rule* active_rule_ = nullptr;
+  std::unique_ptr<BindEnv> rule_env_;
+  std::unique_ptr<RuleCursor> cursor_;
+  Trail::Mark rule_mark_ = 0;
+  Status status_;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_CORE_PIPELINE_H_

@@ -1,0 +1,65 @@
+#include "src/cxx/computed_relation.h"
+
+#include "src/data/unify.h"
+
+namespace coral {
+
+namespace {
+
+/// Iterator over a computed result; carries the producer's status.
+class ComputedIterator : public TupleIterator {
+ public:
+  ComputedIterator(std::vector<const Tuple*> tuples, Status status)
+      : tuples_(std::move(tuples)), status_(std::move(status)) {}
+  const Tuple* Next() override {
+    return pos_ < tuples_.size() ? tuples_[pos_++] : nullptr;
+  }
+  const Status& status() const override { return status_; }
+
+ private:
+  std::vector<const Tuple*> tuples_;
+  size_t pos_ = 0;
+  Status status_;
+};
+
+}  // namespace
+
+bool ComputedRelation::Contains(const Tuple* t) const {
+  std::vector<TermRef> refs;
+  refs.reserve(t->arity());
+  BindEnv env(t->var_count());
+  for (uint32_t i = 0; i < t->arity(); ++i) {
+    refs.push_back({t->arg(i), &env});
+  }
+  std::vector<const Tuple*> out;
+  Status st = fn_(refs, factory_, &out);
+  if (!st.ok()) return false;
+  for (const Tuple* cand : out) {
+    if (cand == t || cand->Equals(*t)) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<TupleIterator> ComputedRelation::ScanRange(Mark from,
+                                                           Mark to) const {
+  if (from > 0 || to == 0) return std::make_unique<EmptyIterator>();
+  // All-free call.
+  BindEnv env(arity());
+  std::vector<TermRef> refs;
+  for (uint32_t i = 0; i < arity(); ++i) {
+    refs.push_back({factory_->CanonicalVar(i), &env});
+  }
+  std::vector<const Tuple*> out;
+  Status st = fn_(refs, factory_, &out);
+  return std::make_unique<ComputedIterator>(std::move(out), std::move(st));
+}
+
+std::unique_ptr<TupleIterator> ComputedRelation::Select(
+    std::span<const TermRef> pattern, Mark from, Mark to) const {
+  if (from > 0 || to == 0) return std::make_unique<EmptyIterator>();
+  std::vector<const Tuple*> out;
+  Status st = fn_(pattern, factory_, &out);
+  return std::make_unique<ComputedIterator>(std::move(out), std::move(st));
+}
+
+}  // namespace coral

@@ -1,0 +1,119 @@
+#include "src/cxx/coral.h"
+
+#include "src/lang/parser.h"
+
+namespace coral {
+
+StatusOr<const Arg*> Coral::Term(const std::string& text) {
+  uint32_t var_count = 0;
+  return Parser::ParseTerm(text, factory(), &var_count);
+}
+
+Relation* Coral::GetRelation(const std::string& name, uint32_t arity) {
+  PredRef pred{factory()->symbols().Intern(name), arity};
+  return db_->GetOrCreateBaseRelation(pred);
+}
+
+StatusOr<bool> Coral::Insert(const std::string& pred,
+                             std::initializer_list<const Arg*> args) {
+  Rule fact;
+  fact.head.pred = factory()->symbols().Intern(pred);
+  fact.head.args.assign(args.begin(), args.end());
+  return db_->InsertFact(fact);
+}
+
+StatusOr<size_t> Coral::Delete(const std::string& pred,
+                               std::initializer_list<const Arg*> args) {
+  Rule fact;
+  fact.head.pred = factory()->symbols().Intern(pred);
+  fact.head.args.assign(args.begin(), args.end());
+  return db_->DeleteFacts(fact);
+}
+
+StatusOr<C_ScanDesc> Coral::OpenScan(const std::string& goal) {
+  // Parse the goal as a single-literal query.
+  std::string text = "?- " + goal;
+  size_t end = text.find_last_not_of(" \t\r\n");
+  if (end != std::string::npos && text[end] != '.') text += ".";
+  Parser parser(text, factory());
+  CORAL_ASSIGN_OR_RETURN(Program prog, parser.ParseProgram());
+  if (prog.queries.size() != 1 || prog.queries[0].body.size() != 1) {
+    return Status::InvalidArgument(
+        "OpenScan takes a single-literal goal; use Command for conjunctive "
+        "queries");
+  }
+  const Literal& lit = prog.queries[0].body[0];
+  if (lit.negated) {
+    return Status::InvalidArgument("cannot open a scan on a negated goal");
+  }
+  PredRef pred = lit.pred_ref();
+
+  // A goal environment shared by the iterator's lifetime.
+  struct GoalState {
+    Query query;
+    std::unique_ptr<BindEnv> env;
+  };
+  auto state = std::make_shared<GoalState>();
+  state->query = prog.queries[0];
+  state->env = std::make_unique<BindEnv>(state->query.var_count);
+  std::vector<TermRef> refs;
+  for (const Arg* a : state->query.body[0].args) {
+    refs.push_back({a, state->env.get()});
+  }
+
+  std::unique_ptr<TupleIterator> it;
+  if (db_->modules()->Exports(pred)) {
+    CORAL_ASSIGN_OR_RETURN(it, db_->modules()->OpenQuery(pred, refs));
+  } else {
+    Relation* rel = db_->GetOrCreateBaseRelation(pred);
+    it = rel->Select(refs);
+  }
+
+  // Candidate streams are supersets: filter by unification against the
+  // goal, and keep the goal state alive with the iterator.
+  class FilteringIterator : public TupleIterator {
+   public:
+    FilteringIterator(std::unique_ptr<TupleIterator> inner,
+                      std::shared_ptr<GoalState> state)
+        : inner_(std::move(inner)), state_(std::move(state)), tuple_env_(0) {}
+    const Tuple* Next() override {
+      while (const Tuple* t = inner_->Next()) {
+        if (t->arity() != state_->query.body[0].args.size()) continue;
+        tuple_env_.EnsureSize(t->var_count());
+        Trail trail;
+        bool match = true;
+        const auto& args = state_->query.body[0].args;
+        for (uint32_t i = 0; i < t->arity() && match; ++i) {
+          match = Unify(args[i], state_->env.get(), t->arg(i), &tuple_env_,
+                        &trail);
+        }
+        trail.UndoTo(0);
+        if (match) return t;
+      }
+      return nullptr;
+    }
+    const Status& status() const override { return inner_->status(); }
+
+   private:
+    std::unique_ptr<TupleIterator> inner_;
+    std::shared_ptr<GoalState> state_;
+    BindEnv tuple_env_;
+  };
+
+  return C_ScanDesc(
+      std::make_unique<FilteringIterator>(std::move(it), std::move(state)));
+}
+
+Status Coral::RegisterPredicate(const std::string& pred, uint32_t arity,
+                                ComputedPredicateFn fn) {
+  PredRef ref{factory()->symbols().Intern(pred), arity};
+  if (db_->FindBaseRelation(ref) != nullptr) {
+    return Status::AlreadyExists("predicate " + ref.ToString() +
+                                 " already has a relation");
+  }
+  return db_->RegisterRelation(
+      ref, std::make_unique<ComputedRelation>(pred, arity, factory(),
+                                              std::move(fn)));
+}
+
+}  // namespace coral

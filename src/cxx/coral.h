@@ -1,0 +1,97 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// The CORAL/C++ interface (paper §6): imperative programs manipulate
+// relations computed by declarative modules without breaking the relation
+// abstraction, embed CORAL commands, construct and take apart terms and
+// tuples, open scans (C_ScanDesc), and define new predicates in C++.
+
+#ifndef CORAL_CXX_CORAL_H_
+#define CORAL_CXX_CORAL_H_
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+
+#include "src/core/database.h"
+#include "src/cxx/computed_relation.h"
+#include "src/cxx/scan_desc.h"
+
+namespace coral {
+
+/// The embedded-C++ facade over a CORAL database.
+class Coral {
+ public:
+  /// A self-contained CORAL system (typical "main program in C++" mode).
+  Coral() : owned_(std::make_unique<Database>()), db_(owned_.get()) {}
+  /// Wraps an existing database without taking ownership.
+  explicit Coral(Database* db) : db_(db) {}
+
+  Database* db() { return db_; }
+  TermFactory* factory() { return db_->factory(); }
+
+  // ---- embedded CORAL commands (paper §6.1) ----
+  /// Executes any command sequence legal at the interactive interface:
+  /// facts, modules, annotations, queries. Returns the printed output of
+  /// the queries it contained.
+  StatusOr<std::string> Command(const std::string& coral_text) {
+    return db_->Run(coral_text);
+  }
+  /// Consults declarations only (queries in the text are ignored).
+  Status Consult(const std::string& coral_text) {
+    return db_->Consult(coral_text).status();
+  }
+
+  // ---- argument construction (paper §6.1 class Arg) ----
+  const Arg* Int(int64_t v) { return factory()->MakeInt(v); }
+  const Arg* Double(double v) { return factory()->MakeDouble(v); }
+  const Arg* String(std::string_view v) { return factory()->MakeString(v); }
+  const Arg* Atom(std::string_view v) { return factory()->MakeAtom(v); }
+  const Arg* Big(const BigInt& v) { return factory()->MakeBigInt(v); }
+  const Arg* List(std::initializer_list<const Arg*> elems) {
+    std::vector<const Arg*> v(elems);
+    return factory()->MakeList(v);
+  }
+  const Arg* Functor(std::string_view name,
+                     std::initializer_list<const Arg*> args) {
+    std::vector<const Arg*> v(args);
+    return factory()->MakeFunctor(name, v);
+  }
+  /// Parses a term from text (variables allowed).
+  StatusOr<const Arg*> Term(const std::string& text);
+
+  // ---- tuples and relation values (paper §6.1) ----
+  const Tuple* MakeTuple(std::initializer_list<const Arg*> args) {
+    std::vector<const Arg*> v(args);
+    return factory()->MakeTuple(v);
+  }
+
+  /// The base relation for name/arity (created empty if absent).
+  Relation* GetRelation(const std::string& name, uint32_t arity);
+
+  /// Inserts a fact; creates the relation on first use.
+  StatusOr<bool> Insert(const std::string& pred,
+                        std::initializer_list<const Arg*> args);
+  /// Deletes the stored facts subsumed by the given argument pattern.
+  StatusOr<size_t> Delete(const std::string& pred,
+                          std::initializer_list<const Arg*> args);
+
+  // ---- scans (paper §6.1 C_ScanDesc) ----
+  /// Opens a cursor over the answers to a single-literal goal, e.g.
+  /// "path(1, X)". Resolves to a module export, a base relation or a
+  /// computed relation. Non-ground answers are hidden (paper §6.1).
+  StatusOr<C_ScanDesc> OpenScan(const std::string& goal);
+
+  // ---- predicates defined in C++ (paper §6.2) ----
+  /// Registers `fn` as the definition of pred/arity; declarative rules
+  /// can then call it like any other predicate. Substitute for the
+  /// paper's incremental .o loading (DESIGN.md §4).
+  Status RegisterPredicate(const std::string& pred, uint32_t arity,
+                           ComputedPredicateFn fn);
+
+ private:
+  std::unique_ptr<Database> owned_;
+  Database* db_;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_CXX_CORAL_H_

@@ -1,0 +1,37 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// The CORAL/C++ preprocessor (paper §6.1–§6.2): C++ source with embedded
+// CORAL command blocks and _coral_export declarations is translated into
+// plain C++ before compilation. Exactly as the paper says, it "operates
+// purely at a syntactic level" — no type checking, no verification that
+// exported functions exist.
+//
+// Input syntax:
+//
+//   \coral{                      embedded commands (paper §6.1): any text
+//     anc(X, Y) :- par(X, Y).    legal at the interactive interface.
+//     ?- anc(tom, D).            Expands to coral__.Command(R"(...)")
+//   }                            against the ambient `coral::Coral coral__`.
+//
+//   _coral_export(pred, arity);  declares that the C++ function `pred`
+//                                (a ComputedPredicateFn) defines the
+//                                predicate pred/arity (paper §6.2).
+//                                All exports are gathered into
+//                                coral_register_exports(coral::Coral&).
+
+#ifndef CORAL_CXX_PREPROCESSOR_H_
+#define CORAL_CXX_PREPROCESSOR_H_
+
+#include <string>
+
+#include "src/util/status.h"
+
+namespace coral {
+
+/// Translates one source text. The result is self-contained C++ (plus a
+/// #include of the Coral facade header prepended when any construct was
+/// expanded).
+StatusOr<std::string> PreprocessCoralCpp(const std::string& source);
+
+}  // namespace coral
+
+#endif  // CORAL_CXX_PREPROCESSOR_H_

@@ -1,0 +1,31 @@
+#include "src/cxx/scan_desc.h"
+
+namespace coral {
+
+const Tuple* C_ScanDesc::Next() {
+  if (it_ == nullptr) return nullptr;
+  while (const Tuple* t = it_->Next()) {
+    if (hide_non_ground_ && !t->IsGround()) continue;
+    return t;
+  }
+  return nullptr;
+}
+
+std::vector<const Tuple*> C_ScanDesc::ToVector() {
+  std::vector<const Tuple*> out;
+  while (const Tuple* t = Next()) out.push_back(t);
+  return out;
+}
+
+size_t C_ScanDesc::Count() {
+  size_t n = 0;
+  while (Next() != nullptr) ++n;
+  return n;
+}
+
+const Status& C_ScanDesc::status() const {
+  static const Status kOk;
+  return it_ == nullptr ? kOk : it_->status();
+}
+
+}  // namespace coral

@@ -1,0 +1,317 @@
+#include "src/data/arg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace coral {
+
+std::string Arg::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Arg& arg) {
+  arg.Print(os);
+  return os;
+}
+
+bool IntArg::Equals(const Arg& other) const {
+  if (this == &other) return true;
+  return other.kind() == ArgKind::kInt &&
+         static_cast<const IntArg&>(other).value_ == value_;
+}
+
+void IntArg::Print(std::ostream& os) const { os << value_; }
+
+bool DoubleArg::Equals(const Arg& other) const {
+  if (this == &other) return true;
+  return other.kind() == ArgKind::kDouble &&
+         static_cast<const DoubleArg&>(other).value_ == value_;
+}
+
+void DoubleArg::Print(std::ostream& os) const {
+  // Shortest representation that round-trips exactly, and always in a
+  // form that re-parses as a double (not an int).
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value_);
+    if (std::strtod(buf, nullptr) == value_) break;
+  }
+  std::string s = buf;
+  if (s.find_first_of(".eE") == std::string::npos &&
+      s.find_first_of("0123456789") != std::string::npos) {
+    s += ".0";
+  }
+  os << s;
+}
+
+bool StringArg::Equals(const Arg& other) const {
+  if (this == &other) return true;
+  return other.kind() == ArgKind::kString &&
+         static_cast<const StringArg&>(other).value() == *value_;
+}
+
+void StringArg::Print(std::ostream& os) const {
+  os << '"';
+  for (char c : *value_) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+bool BigIntArg::Equals(const Arg& other) const {
+  if (this == &other) return true;
+  return other.kind() == ArgKind::kBigInt &&
+         static_cast<const BigIntArg&>(other).value() == *value_;
+}
+
+void BigIntArg::Print(std::ostream& os) const {
+  os << value_->ToString() << 'B';
+}
+
+namespace {
+
+/// True if `t` is a cons cell ".", used for list pretty-printing.
+bool IsCons(const Arg* t) {
+  return t->kind() == ArgKind::kAtomOrFunctor &&
+         ArgCast<FunctorArg>(t)->arity() == 2 &&
+         ArgCast<FunctorArg>(t)->name() == ".";
+}
+
+bool IsNil(const Arg* t) { return IsAtom(t, "[]"); }
+
+/// True if the functor name needs quoting when printed.
+bool NeedsQuoting(const std::string& name) {
+  if (name.empty()) return true;
+  if (!(std::islower(static_cast<unsigned char>(name[0])))) return true;
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsAtom(const Arg* a, std::string_view name) {
+  return a->kind() == ArgKind::kAtomOrFunctor &&
+         ArgCast<FunctorArg>(a)->arity() == 0 &&
+         ArgCast<FunctorArg>(a)->name() == name;
+}
+
+bool FunctorArg::Equals(const Arg& other) const {
+  if (this == &other) return true;
+  // Two distinct ground hash-consed terms are never equal.
+  if (IsGround() && other.IsGround()) return false;
+  if (other.kind() != ArgKind::kAtomOrFunctor) return false;
+  const auto& o = static_cast<const FunctorArg&>(other);
+  if (o.functor_ != functor_ || o.arity_ != arity_) return false;
+  for (uint32_t i = 0; i < arity_; ++i) {
+    if (!args_[i]->Equals(*o.args_[i])) return false;
+  }
+  return true;
+}
+
+void FunctorArg::Print(std::ostream& os) const {
+  // Lists print in bracket notation.
+  if (IsNil(this)) {
+    os << "[]";
+    return;
+  }
+  if (IsCons(this)) {
+    os << '[';
+    const Arg* cur = this;
+    bool first = true;
+    while (IsCons(cur)) {
+      if (!first) os << ',';
+      first = false;
+      const auto* cell = ArgCast<FunctorArg>(cur);
+      cell->arg(0)->Print(os);
+      cur = cell->arg(1);
+    }
+    if (!IsNil(cur)) {
+      os << '|';
+      cur->Print(os);
+    }
+    os << ']';
+    return;
+  }
+  if (NeedsQuoting(functor_->name)) {
+    os << '\'' << functor_->name << '\'';
+  } else {
+    os << functor_->name;
+  }
+  if (arity_ > 0) {
+    os << '(';
+    for (uint32_t i = 0; i < arity_; ++i) {
+      if (i) os << ',';
+      args_[i]->Print(os);
+    }
+    os << ')';
+  }
+}
+
+bool SetArg::Contains(const Arg* value) const {
+  // Elements are sorted by CompareArgs; binary search.
+  uint32_t lo = 0, hi = size_;
+  while (lo < hi) {
+    uint32_t mid = (lo + hi) / 2;
+    int c = CompareArgs(elems_[mid], value);
+    if (c == 0) return true;
+    if (c < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return false;
+}
+
+bool SetArg::Equals(const Arg& other) const {
+  if (this == &other) return true;
+  if (IsGround() && other.IsGround()) return false;
+  if (other.kind() != ArgKind::kSet) return false;
+  const auto& o = static_cast<const SetArg&>(other);
+  if (o.size_ != size_) return false;
+  for (uint32_t i = 0; i < size_; ++i) {
+    if (!elems_[i]->Equals(*o.elems_[i])) return false;
+  }
+  return true;
+}
+
+void SetArg::Print(std::ostream& os) const {
+  os << '{';
+  for (uint32_t i = 0; i < size_; ++i) {
+    if (i) os << ',';
+    elems_[i]->Print(os);
+  }
+  os << '}';
+}
+
+bool Variable::Equals(const Arg& other) const {
+  return other.kind() == ArgKind::kVariable &&
+         static_cast<const Variable&>(other).slot_ == slot_;
+}
+
+void Variable::Print(std::ostream& os) const { os << *name_; }
+
+namespace {
+
+int KindRank(ArgKind k) {
+  switch (k) {
+    case ArgKind::kInt:
+    case ArgKind::kDouble:
+    case ArgKind::kBigInt:
+      return 0;  // numeric types compare with each other
+    case ArgKind::kString:
+      return 1;
+    case ArgKind::kAtomOrFunctor:
+      return 2;
+    case ArgKind::kSet:
+      return 3;
+    case ArgKind::kVariable:
+      return 4;
+    case ArgKind::kUser:
+      return 5;
+  }
+  return 6;
+}
+
+int Sign(int64_t v) { return v < 0 ? -1 : (v > 0 ? 1 : 0); }
+
+int CompareNumeric(const Arg* a, const Arg* b) {
+  // BigInt involved: exact integer compare where possible.
+  if (a->kind() == ArgKind::kBigInt || b->kind() == ArgKind::kBigInt) {
+    auto as_big = [](const Arg* t) -> BigInt {
+      if (t->kind() == ArgKind::kBigInt) return ArgCast<BigIntArg>(t)->value();
+      if (t->kind() == ArgKind::kInt) {
+        return BigInt(ArgCast<IntArg>(t)->value());
+      }
+      // Double vs bigint: compare via double approximation of the double
+      // operand rounded to integer; adequate for ordering purposes.
+      return BigInt(static_cast<int64_t>(ArgCast<DoubleArg>(t)->value()));
+    };
+    return as_big(a).Compare(as_big(b));
+  }
+  if (a->kind() == ArgKind::kInt && b->kind() == ArgKind::kInt) {
+    int64_t x = ArgCast<IntArg>(a)->value();
+    int64_t y = ArgCast<IntArg>(b)->value();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  auto as_double = [](const Arg* t) {
+    return t->kind() == ArgKind::kInt
+               ? static_cast<double>(ArgCast<IntArg>(t)->value())
+               : ArgCast<DoubleArg>(t)->value();
+  };
+  double x = as_double(a), y = as_double(b);
+  if (x < y) return -1;
+  if (x > y) return 1;
+  // Equal numerically: break ties by kind so the order is total.
+  return Sign(static_cast<int>(a->kind()) - static_cast<int>(b->kind()));
+}
+
+}  // namespace
+
+int CompareArgs(const Arg* a, const Arg* b) {
+  if (a == b) return 0;
+  int ra = KindRank(a->kind()), rb = KindRank(b->kind());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (a->kind()) {
+    case ArgKind::kInt:
+    case ArgKind::kDouble:
+    case ArgKind::kBigInt:
+      return CompareNumeric(a, b);
+    case ArgKind::kString:
+      return ArgCast<StringArg>(a)->value().compare(
+          ArgCast<StringArg>(b)->value());
+    case ArgKind::kAtomOrFunctor: {
+      const auto* fa = ArgCast<FunctorArg>(a);
+      const auto* fb = ArgCast<FunctorArg>(b);
+      int c = fa->name().compare(fb->name());
+      if (c != 0) return Sign(c);
+      if (fa->arity() != fb->arity()) {
+        return fa->arity() < fb->arity() ? -1 : 1;
+      }
+      for (uint32_t i = 0; i < fa->arity(); ++i) {
+        c = CompareArgs(fa->arg(i), fb->arg(i));
+        if (c != 0) return c;
+      }
+      return 0;
+    }
+    case ArgKind::kSet: {
+      const auto* sa = ArgCast<SetArg>(a);
+      const auto* sb = ArgCast<SetArg>(b);
+      uint32_t n = std::min(sa->size(), sb->size());
+      for (uint32_t i = 0; i < n; ++i) {
+        int c = CompareArgs(sa->elem(i), sb->elem(i));
+        if (c != 0) return c;
+      }
+      if (sa->size() != sb->size()) return sa->size() < sb->size() ? -1 : 1;
+      return 0;
+    }
+    case ArgKind::kVariable: {
+      uint32_t x = ArgCast<Variable>(a)->slot();
+      uint32_t y = ArgCast<Variable>(b)->slot();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ArgKind::kUser: {
+      // User types order by tag then uid: stable within a run.
+      const auto* ua = ArgCast<UserArg>(a);
+      const auto* ub = ArgCast<UserArg>(b);
+      if (ua->type_tag() != ub->type_tag()) {
+        return ua->type_tag() < ub->type_tag() ? -1 : 1;
+      }
+      return a->uid() < b->uid() ? -1 : (a->uid() > b->uid() ? 1 : 0);
+    }
+  }
+  CORAL_UNREACHABLE();
+}
+
+}  // namespace coral

@@ -1,0 +1,232 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// The Arg class hierarchy (paper §3): the generic class Arg is the root of
+// all CORAL data types, with virtual Equals / Hash / Print forming the
+// abstract-data-type interface that makes the type system extensible
+// (paper §7.1). Subclasses: integers, doubles, strings, arbitrary
+// precision integers, variables, functor terms (lists are functor terms
+// with the cons functor), and sets produced by set-grouping.
+//
+// All ground terms are produced canonically by TermFactory (hash-consing,
+// paper §3.1), so ground equality is pointer equality and every term
+// carries a unique id (`uid`) that doubles as its hash basis.
+
+#ifndef CORAL_DATA_ARG_H_
+#define CORAL_DATA_ARG_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "src/data/symbol_table.h"
+#include "src/util/bigint.h"
+
+namespace coral {
+
+/// Discriminator for fast dispatch without virtual calls on hot paths.
+enum class ArgKind : uint8_t {
+  kInt,
+  kDouble,
+  kString,
+  kBigInt,
+  kAtomOrFunctor,  // arity-0 functor terms are atoms
+  kSet,            // result of set-grouping <X>
+  kVariable,
+  kUser,           // user-defined abstract data types (paper §7.1)
+};
+
+/// Root of all CORAL data types.
+class Arg {
+ public:
+  virtual ~Arg() = default;
+
+  ArgKind kind() const { return kind_; }
+  /// True when the term contains no variables. Ground terms are
+  /// hash-consed: two ground terms are equal iff their pointers are equal.
+  bool IsGround() const { return ground_; }
+  /// Unique identifier assigned by the factory; for ground terms this is
+  /// the paper's hash-consing id (two ground terms unify iff ids match).
+  uint64_t uid() const { return uid_; }
+  /// Structural hash, precomputed at construction. Terms containing
+  /// variables hash all variables alike, so variants hash identically.
+  uint64_t Hash() const { return hash_; }
+
+  /// Structural equality. For ground terms `this == &other` suffices (and
+  /// is used as a fast path); for non-ground terms variables are equal iff
+  /// their slots are equal.
+  virtual bool Equals(const Arg& other) const = 0;
+
+  /// Prints the external (re-parseable) representation.
+  virtual void Print(std::ostream& os) const = 0;
+
+  std::string ToString() const;
+
+ protected:
+  Arg(ArgKind kind, bool ground, uint64_t uid, uint64_t hash)
+      : kind_(kind), ground_(ground), uid_(uid), hash_(hash) {}
+
+ private:
+  ArgKind kind_;
+  bool ground_;
+  uint64_t uid_;
+  uint64_t hash_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Arg& arg);
+
+/// 64-bit machine integer.
+class IntArg : public Arg {
+ public:
+  IntArg(int64_t value, uint64_t uid, uint64_t hash)
+      : Arg(ArgKind::kInt, true, uid, hash), value_(value) {}
+  int64_t value() const { return value_; }
+  bool Equals(const Arg& other) const override;
+  void Print(std::ostream& os) const override;
+
+ private:
+  int64_t value_;
+};
+
+/// Double-precision float.
+class DoubleArg : public Arg {
+ public:
+  DoubleArg(double value, uint64_t uid, uint64_t hash)
+      : Arg(ArgKind::kDouble, true, uid, hash), value_(value) {}
+  double value() const { return value_; }
+  bool Equals(const Arg& other) const override;
+  void Print(std::ostream& os) const override;
+
+ private:
+  double value_;
+};
+
+/// Quoted string constant. Distinct from atoms.
+class StringArg : public Arg {
+ public:
+  StringArg(const std::string* value, uint64_t uid, uint64_t hash)
+      : Arg(ArgKind::kString, true, uid, hash), value_(value) {}
+  const std::string& value() const { return *value_; }
+  bool Equals(const Arg& other) const override;
+  void Print(std::ostream& os) const override;
+
+ private:
+  const std::string* value_;  // owned by TermFactory
+};
+
+/// Arbitrary-precision integer (paper §3.1; BigNum substitute).
+class BigIntArg : public Arg {
+ public:
+  BigIntArg(const BigInt* value, uint64_t uid, uint64_t hash)
+      : Arg(ArgKind::kBigInt, true, uid, hash), value_(value) {}
+  const BigInt& value() const { return *value_; }
+  bool Equals(const Arg& other) const override;
+  void Print(std::ostream& os) const override;
+
+ private:
+  const BigInt* value_;  // owned by TermFactory
+};
+
+/// A functor term f(t1,...,tn); arity 0 is an atom. Lists use the cons
+/// functor "." and the atom "[]" (paper §3.1: lists are functor terms).
+class FunctorArg : public Arg {
+ public:
+  FunctorArg(Symbol functor, std::span<const Arg* const> args, bool ground,
+             uint64_t uid, uint64_t hash, const Arg** stored_args)
+      : Arg(ArgKind::kAtomOrFunctor, ground, uid, hash),
+        functor_(functor),
+        arity_(static_cast<uint32_t>(args.size())),
+        args_(stored_args) {}
+
+  Symbol functor() const { return functor_; }
+  const std::string& name() const { return functor_->name; }
+  uint32_t arity() const { return arity_; }
+  const Arg* arg(uint32_t i) const { return args_[i]; }
+  std::span<const Arg* const> args() const { return {args_, arity_}; }
+
+  bool Equals(const Arg& other) const override;
+  void Print(std::ostream& os) const override;
+
+ private:
+  Symbol functor_;
+  uint32_t arity_;
+  const Arg** args_;  // arena storage owned by TermFactory
+};
+
+/// A set of terms produced by set-grouping. Elements are kept sorted by
+/// the total term order so equal sets have identical layouts.
+class SetArg : public Arg {
+ public:
+  SetArg(std::span<const Arg* const> elems, bool ground, uint64_t uid,
+         uint64_t hash, const Arg** stored)
+      : Arg(ArgKind::kSet, ground, uid, hash),
+        size_(static_cast<uint32_t>(elems.size())),
+        elems_(stored) {}
+
+  uint32_t size() const { return size_; }
+  const Arg* elem(uint32_t i) const { return elems_[i]; }
+  std::span<const Arg* const> elems() const { return {elems_, size_}; }
+  /// Membership test by structural equality (binary search).
+  bool Contains(const Arg* value) const;
+
+  bool Equals(const Arg& other) const override;
+  void Print(std::ostream& os) const override;
+
+ private:
+  uint32_t size_;
+  const Arg** elems_;
+};
+
+/// A variable. Facts as well as rules may contain variables (paper §3.1);
+/// a variable in a fact is universally quantified. `slot` indexes the
+/// clause- or tuple-local binding environment.
+class Variable : public Arg {
+ public:
+  Variable(uint32_t slot, const std::string* name, uint64_t uid,
+           uint64_t hash)
+      : Arg(ArgKind::kVariable, false, uid, hash), slot_(slot), name_(name) {}
+
+  uint32_t slot() const { return slot_; }
+  const std::string& name() const { return *name_; }
+
+  bool Equals(const Arg& other) const override;
+  void Print(std::ostream& os) const override;
+
+ private:
+  uint32_t slot_;
+  const std::string* name_;
+};
+
+/// Base for user-defined abstract data types (paper §7.1). Users subclass
+/// and implement the virtual interface; UserHash/UserEquals let distinct
+/// extensions coexist. Instances are registered with the TermFactory which
+/// assigns uid/hash on construction via MakeUser.
+class UserArg : public Arg {
+ public:
+  UserArg(uint32_t type_tag, uint64_t uid, uint64_t hash)
+      : Arg(ArgKind::kUser, true, uid, hash), type_tag_(type_tag) {}
+
+  /// Discriminates between different user-defined types.
+  uint32_t type_tag() const { return type_tag_; }
+
+ private:
+  uint32_t type_tag_;
+};
+
+/// Total order over terms: numeric types compare numerically with each
+/// other; otherwise ordered by kind, then by value (functors by name,
+/// arity, then arguments lexicographically; variables by slot). Used by
+/// aggregates (min/max), set canonicalization and sort-based operations.
+int CompareArgs(const Arg* a, const Arg* b);
+
+/// Downcast helpers (checked in debug builds).
+template <typename T>
+const T* ArgCast(const Arg* a) {
+  return static_cast<const T*>(a);
+}
+
+/// True if `a` is the atom `name` (arity-0 functor).
+bool IsAtom(const Arg* a, std::string_view name);
+
+}  // namespace coral
+
+#endif  // CORAL_DATA_ARG_H_

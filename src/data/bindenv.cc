@@ -1,0 +1,15 @@
+#include "src/data/bindenv.h"
+
+namespace coral {
+
+TermRef Deref(const Arg* term, BindEnv* env) {
+  while (term->kind() == ArgKind::kVariable && env != nullptr) {
+    const Binding& b = env->binding(ArgCast<Variable>(term)->slot());
+    if (!b.bound()) break;
+    term = b.value;
+    env = b.env;
+  }
+  return TermRef{term, env};
+}
+
+}  // namespace coral

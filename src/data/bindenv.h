@@ -1,0 +1,116 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Binding environments and the trail (paper §3.1, Fig. 2). During an
+// inference, variable bindings are recorded in a bindenv rather than
+// substituted into terms; a binding pairs the bound value with the
+// environment that scopes the value's own variables. The trail records
+// bindings so the nested-loops join can undo them when it advances a scan
+// (paper §5.3, "CORAL maintains a trail of variable bindings").
+
+#ifndef CORAL_DATA_BINDENV_H_
+#define CORAL_DATA_BINDENV_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/data/arg.h"
+#include "src/util/logging.h"
+
+namespace coral {
+
+class BindEnv;
+
+/// A (term, environment) pair: the environment interprets the term's
+/// variables. Ground terms may carry a null environment.
+struct TermRef {
+  const Arg* term = nullptr;
+  BindEnv* env = nullptr;
+};
+
+/// A binding: the value a variable slot is bound to, plus the environment
+/// scoping the value's variables (Fig. 2 of the paper).
+struct Binding {
+  const Arg* value = nullptr;
+  BindEnv* env = nullptr;
+  bool bound() const { return value != nullptr; }
+};
+
+/// Fixed-size vector of bindings, one per variable slot of a clause or
+/// stored tuple.
+class BindEnv {
+ public:
+  explicit BindEnv(uint32_t nslots) : slots_(nslots) {}
+
+  uint32_t size() const { return static_cast<uint32_t>(slots_.size()); }
+
+  const Binding& binding(uint32_t slot) const {
+    CORAL_DCHECK(slot < slots_.size());
+    return slots_[slot];
+  }
+
+  void Set(uint32_t slot, const Arg* value, BindEnv* value_env) {
+    CORAL_DCHECK(slot < slots_.size());
+    slots_[slot].value = value;
+    slots_[slot].env = value_env;
+  }
+
+  void Clear(uint32_t slot) {
+    CORAL_DCHECK(slot < slots_.size());
+    slots_[slot].value = nullptr;
+    slots_[slot].env = nullptr;
+  }
+
+  /// Unbinds every slot (e.g. when a scan over a rule restarts).
+  void ClearAll() {
+    for (auto& b : slots_) b = Binding{};
+  }
+
+  /// Grows the environment to at least `nslots` slots.
+  void EnsureSize(uint32_t nslots) {
+    if (slots_.size() < nslots) slots_.resize(nslots);
+  }
+
+ private:
+  std::vector<Binding> slots_;
+};
+
+/// Undo log of variable bindings.
+class Trail {
+ public:
+  using Mark = size_t;
+
+  Mark mark() const { return entries_.size(); }
+
+  void Record(BindEnv* env, uint32_t slot) { entries_.emplace_back(env, slot); }
+
+  /// Unbinds everything recorded after `m`.
+  void UndoTo(Mark m) {
+    while (entries_.size() > m) {
+      auto [env, slot] = entries_.back();
+      env->Clear(slot);
+      entries_.pop_back();
+    }
+  }
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<std::pair<BindEnv*, uint32_t>> entries_;
+};
+
+/// Follows variable bindings until reaching a non-variable term or an
+/// unbound variable. The result's env interprets the result's variables.
+TermRef Deref(const Arg* term, BindEnv* env);
+
+/// Binds the variable `var` (scoped by `env`) to (value, value_env),
+/// recording the binding on the trail.
+inline void BindVar(const Variable* var, BindEnv* env, const Arg* value,
+                    BindEnv* value_env, Trail* trail) {
+  CORAL_DCHECK(env != nullptr);
+  env->Set(var->slot(), value, value_env);
+  trail->Record(env, var->slot());
+}
+
+}  // namespace coral
+
+#endif  // CORAL_DATA_BINDENV_H_

@@ -1,0 +1,65 @@
+#include "src/data/hashcons.h"
+
+#include <algorithm>
+
+namespace coral {
+
+namespace {
+
+template <typename Node>
+bool SameChildren(std::span<const Arg* const> a,
+                  std::span<const Arg* const> b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+}  // namespace
+
+const FunctorArg* FunctorHashcons::Find(Symbol sym,
+                                        std::span<const Arg* const> args,
+                                        uint64_t hash) const {
+  auto it = buckets_.find(hash);
+  if (it == buckets_.end()) return nullptr;
+  for (const FunctorArg* cand : it->second) {
+    if (cand->functor() == sym &&
+        SameChildren<FunctorArg>(cand->args(), args)) {
+      return cand;
+    }
+  }
+  return nullptr;
+}
+
+void FunctorHashcons::Insert(const FunctorArg* node, uint64_t hash) {
+  buckets_[hash].push_back(node);
+  ++count_;
+}
+
+const Tuple* TupleHashcons::Find(std::span<const Arg* const> args,
+                                 uint64_t hash) const {
+  auto it = buckets_.find(hash);
+  if (it == buckets_.end()) return nullptr;
+  for (const Tuple* cand : it->second) {
+    if (SameChildren<Tuple>(cand->args(), args)) return cand;
+  }
+  return nullptr;
+}
+
+void TupleHashcons::Insert(const Tuple* node, uint64_t hash) {
+  buckets_[hash].push_back(node);
+  ++count_;
+}
+
+const SetArg* SetHashcons::Find(std::span<const Arg* const> elems,
+                                uint64_t hash) const {
+  auto it = buckets_.find(hash);
+  if (it == buckets_.end()) return nullptr;
+  for (const SetArg* cand : it->second) {
+    if (SameChildren<SetArg>(cand->elems(), elems)) return cand;
+  }
+  return nullptr;
+}
+
+void SetHashcons::Insert(const SetArg* node, uint64_t hash) {
+  buckets_[hash].push_back(node);
+}
+
+}  // namespace coral

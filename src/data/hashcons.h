@@ -1,0 +1,63 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Hash-consing tables (paper §3.1, citing Goto's monocopy scheme). Ground
+// functor terms, sets and tuples are canonicalized: two ground terms unify
+// iff they are the same node, i.e. iff their unique identifiers are equal.
+// Because every type constructs its identifiers from its children's
+// identifiers, no cross-type integration is needed — the orthogonality the
+// paper highlights for extensibility.
+
+#ifndef CORAL_DATA_HASHCONS_H_
+#define CORAL_DATA_HASHCONS_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/data/arg.h"
+#include "src/data/tuple.h"
+
+namespace coral {
+
+/// Canonicalization table for ground functor terms keyed by
+/// (functor symbol, child node pointers).
+class FunctorHashcons {
+ public:
+  /// Returns the canonical node for (sym, args) or nullptr.
+  const FunctorArg* Find(Symbol sym, std::span<const Arg* const> args,
+                         uint64_t hash) const;
+  void Insert(const FunctorArg* node, uint64_t hash);
+
+  size_t size() const { return count_; }
+
+ private:
+  std::unordered_map<uint64_t, std::vector<const FunctorArg*>> buckets_;
+  size_t count_ = 0;
+};
+
+/// Canonicalization table for ground tuples keyed by element pointers.
+class TupleHashcons {
+ public:
+  const Tuple* Find(std::span<const Arg* const> args, uint64_t hash) const;
+  void Insert(const Tuple* node, uint64_t hash);
+
+  size_t size() const { return count_; }
+
+ private:
+  std::unordered_map<uint64_t, std::vector<const Tuple*>> buckets_;
+  size_t count_ = 0;
+};
+
+/// Canonicalization table for ground sets keyed by sorted elements.
+class SetHashcons {
+ public:
+  const SetArg* Find(std::span<const Arg* const> elems, uint64_t hash) const;
+  void Insert(const SetArg* node, uint64_t hash);
+
+ private:
+  std::unordered_map<uint64_t, std::vector<const SetArg*>> buckets_;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_DATA_HASHCONS_H_

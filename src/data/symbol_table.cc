@@ -1,0 +1,20 @@
+#include "src/data/symbol_table.h"
+
+namespace coral {
+
+Symbol SymbolTable::Intern(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  entries_.push_back(SymbolInfo{std::string(name),
+                                static_cast<uint32_t>(entries_.size())});
+  Symbol sym = &entries_.back();
+  index_.emplace(std::string_view(sym->name), sym);
+  return sym;
+}
+
+Symbol SymbolTable::Find(std::string_view name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : it->second;
+}
+
+}  // namespace coral

@@ -1,0 +1,48 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Interned functor / predicate / atom names. A Symbol is a stable pointer
+// to an interned entry, so name equality is pointer equality everywhere in
+// the engine.
+
+#ifndef CORAL_DATA_SYMBOL_TABLE_H_
+#define CORAL_DATA_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace coral {
+
+/// One interned name. `id` is dense (0..n-1) and usable as an array index.
+struct SymbolInfo {
+  std::string name;
+  uint32_t id;
+};
+
+using Symbol = const SymbolInfo*;
+
+/// Interns strings into stable SymbolInfo entries. Not thread-safe; CORAL
+/// is a single-user client (paper §2).
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Returns the unique Symbol for `name`, interning it on first use.
+  Symbol Intern(std::string_view name);
+
+  /// Returns the Symbol for `name` or nullptr if never interned.
+  Symbol Find(std::string_view name) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::deque<SymbolInfo> entries_;  // deque: stable addresses
+  std::unordered_map<std::string_view, Symbol> index_;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_DATA_SYMBOL_TABLE_H_

@@ -1,0 +1,23 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Shared structural-hash scheme. TermFactory computes each node's hash at
+// construction with these seeds; HashResolvedTerm (unify.h) recomputes the
+// same hash for a term viewed through a binding environment, so index
+// lookups on bound-but-unmaterialized values agree with stored hashes.
+
+#ifndef CORAL_DATA_TERM_HASH_H_
+#define CORAL_DATA_TERM_HASH_H_
+
+#include <cstdint>
+
+#include "src/data/symbol_table.h"
+#include "src/util/hash.h"
+
+namespace coral {
+
+inline constexpr uint64_t kSetHashSeed = 0x5e7ull;
+
+inline uint64_t FunctorHashSeed(Symbol sym) { return HashString(sym->name); }
+
+}  // namespace coral
+
+#endif  // CORAL_DATA_TERM_HASH_H_

@@ -1,0 +1,38 @@
+#include "src/data/tuple.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace coral {
+
+bool Tuple::Equals(const Tuple& other) const {
+  if (this == &other) return true;
+  if (ground_ && other.ground_) return false;  // hash-consed
+  if (arity_ != other.arity_) return false;
+  for (uint32_t i = 0; i < arity_; ++i) {
+    if (!args_[i]->Equals(*other.args_[i])) return false;
+  }
+  return true;
+}
+
+void Tuple::Print(std::ostream& os) const {
+  os << '(';
+  for (uint32_t i = 0; i < arity_; ++i) {
+    if (i) os << ',';
+    args_[i]->Print(os);
+  }
+  os << ')';
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t) {
+  t.Print(os);
+  return os;
+}
+
+}  // namespace coral

@@ -1,0 +1,62 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Tuples of Args (paper §3). Ground tuples are hash-consed by the
+// TermFactory so duplicate detection on ground relations is a pointer-set
+// lookup. Non-ground tuples (facts with universally quantified variables)
+// store their variables in canonical form: slots 0..var_count-1 numbered
+// in order of first occurrence, with no external binding environment.
+
+#ifndef CORAL_DATA_TUPLE_H_
+#define CORAL_DATA_TUPLE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "src/data/arg.h"
+
+namespace coral {
+
+/// An immutable tuple of term arguments.
+class Tuple {
+ public:
+  Tuple(std::span<const Arg* const> args, const Arg** stored, bool ground,
+        uint32_t var_count, uint64_t uid, uint64_t hash)
+      : arity_(static_cast<uint32_t>(args.size())),
+        var_count_(var_count),
+        ground_(ground),
+        uid_(uid),
+        hash_(hash),
+        args_(stored) {}
+
+  uint32_t arity() const { return arity_; }
+  const Arg* arg(uint32_t i) const { return args_[i]; }
+  std::span<const Arg* const> args() const { return {args_, arity_}; }
+
+  /// Number of distinct variables (0 for ground tuples). A fresh binding
+  /// environment of this size scopes the tuple during joins.
+  uint32_t var_count() const { return var_count_; }
+  bool IsGround() const { return ground_; }
+  uint64_t uid() const { return uid_; }
+  uint64_t Hash() const { return hash_; }
+
+  /// Structural equality; pointer equality for ground tuples.
+  bool Equals(const Tuple& other) const;
+
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+ private:
+  uint32_t arity_;
+  uint32_t var_count_;
+  bool ground_;
+  uint64_t uid_;
+  uint64_t hash_;
+  const Arg** args_;  // arena storage owned by TermFactory
+};
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t);
+
+}  // namespace coral
+
+#endif  // CORAL_DATA_TUPLE_H_

@@ -1,0 +1,263 @@
+#include "src/data/unify.h"
+
+#include <vector>
+
+#include "src/data/term_hash.h"
+#include "src/util/hash.h"
+
+namespace coral {
+
+bool Unify(const Arg* a, BindEnv* env_a, const Arg* b, BindEnv* env_b,
+           Trail* trail) {
+  TermRef ra = Deref(a, env_a);
+  TermRef rb = Deref(b, env_b);
+  a = ra.term;
+  env_a = ra.env;
+  b = rb.term;
+  env_b = rb.env;
+
+  if (a->kind() == ArgKind::kVariable) {
+    const auto* va = ArgCast<Variable>(a);
+    if (b->kind() == ArgKind::kVariable && env_a == env_b &&
+        va->slot() == ArgCast<Variable>(b)->slot()) {
+      return true;  // same variable
+    }
+    CORAL_DCHECK(env_a != nullptr);
+    BindVar(va, env_a, b, env_b, trail);
+    return true;
+  }
+  if (b->kind() == ArgKind::kVariable) {
+    CORAL_DCHECK(env_b != nullptr);
+    BindVar(ArgCast<Variable>(b), env_b, a, env_a, trail);
+    return true;
+  }
+
+  // Hash-consing fast path: ground terms unify iff same canonical node.
+  if (a->IsGround() && b->IsGround()) return a == b;
+
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case ArgKind::kAtomOrFunctor: {
+      const auto* fa = ArgCast<FunctorArg>(a);
+      const auto* fb = ArgCast<FunctorArg>(b);
+      if (fa->functor() != fb->functor() || fa->arity() != fb->arity()) {
+        return false;
+      }
+      for (uint32_t i = 0; i < fa->arity(); ++i) {
+        if (!Unify(fa->arg(i), env_a, fb->arg(i), env_b, trail)) return false;
+      }
+      return true;
+    }
+    case ArgKind::kSet: {
+      // Sets unify element-wise in sorted order. Sets containing unbound
+      // variables are rare (set-grouping produces ground sets); this
+      // positional rule is a documented approximation.
+      const auto* sa = ArgCast<SetArg>(a);
+      const auto* sb = ArgCast<SetArg>(b);
+      if (sa->size() != sb->size()) return false;
+      for (uint32_t i = 0; i < sa->size(); ++i) {
+        if (!Unify(sa->elem(i), env_a, sb->elem(i), env_b, trail)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    default:
+      // Primitive kinds are always ground, handled above.
+      return a->Equals(*b);
+  }
+}
+
+namespace {
+
+// `bindable` is the pattern's own environment: the only scope whose
+// variables may be bound. A pattern variable already dereferenced into
+// target scope is rigid and must coincide with the target variable.
+bool MatchImpl(const Arg* pattern, BindEnv* env_p, const Arg* target,
+               BindEnv* env_t, BindEnv* bindable, Trail* trail);
+
+}  // namespace
+
+bool Match(const Arg* pattern, BindEnv* env_p, const Arg* target,
+           BindEnv* env_t, Trail* trail) {
+  return MatchImpl(pattern, env_p, target, env_t, env_p, trail);
+}
+
+namespace {
+
+bool MatchImpl(const Arg* pattern, BindEnv* env_p, const Arg* target,
+               BindEnv* env_t, BindEnv* bindable, Trail* trail) {
+  TermRef rp = Deref(pattern, env_p);
+  TermRef rt = Deref(target, env_t);
+  pattern = rp.term;
+  env_p = rp.env;
+  target = rt.term;
+  env_t = rt.env;
+
+  if (pattern->kind() == ArgKind::kVariable && env_p == bindable) {
+    CORAL_DCHECK(env_p != nullptr);
+    BindVar(ArgCast<Variable>(pattern), env_p, target, env_t, trail);
+    return true;
+  }
+  if (pattern->kind() == ArgKind::kVariable) {
+    // Rigid (target-scope) variable: must be the identical variable.
+    return env_p == env_t && target->kind() == ArgKind::kVariable &&
+           ArgCast<Variable>(pattern)->slot() ==
+               ArgCast<Variable>(target)->slot();
+  }
+  if (target->kind() == ArgKind::kVariable) return false;  // rigid
+
+  if (pattern->IsGround() && target->IsGround()) return pattern == target;
+
+  if (pattern->kind() != target->kind()) return false;
+  switch (pattern->kind()) {
+    case ArgKind::kAtomOrFunctor: {
+      const auto* fp = ArgCast<FunctorArg>(pattern);
+      const auto* ft = ArgCast<FunctorArg>(target);
+      if (fp->functor() != ft->functor() || fp->arity() != ft->arity()) {
+        return false;
+      }
+      for (uint32_t i = 0; i < fp->arity(); ++i) {
+        if (!MatchImpl(fp->arg(i), env_p, ft->arg(i), env_t, bindable,
+                       trail)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case ArgKind::kSet: {
+      const auto* sp = ArgCast<SetArg>(pattern);
+      const auto* st = ArgCast<SetArg>(target);
+      if (sp->size() != st->size()) return false;
+      for (uint32_t i = 0; i < sp->size(); ++i) {
+        if (!MatchImpl(sp->elem(i), env_p, st->elem(i), env_t, bindable,
+                       trail)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    default:
+      return pattern->Equals(*target);
+  }
+}
+
+}  // namespace
+
+bool SubsumesTuple(const Tuple* general, const Tuple* specific) {
+  if (general == specific) return true;
+  if (general->arity() != specific->arity()) return false;
+  if (general->IsGround() && specific->IsGround()) return false;
+  // A ground tuple subsumes only itself (handled above); a general tuple
+  // with variables needs a matching pass.
+  BindEnv env_g(general->var_count());
+  BindEnv env_s(specific->var_count());
+  Trail trail;
+  for (uint32_t i = 0; i < general->arity(); ++i) {
+    if (!Match(general->arg(i), &env_g, specific->arg(i), &env_s, &trail)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void LinkRenamedVars(const VarRenamer& renamer, BindEnv* new_env,
+                     TermFactory* factory, Trail* trail) {
+  for (const auto& [orig, canonical_slot] : renamer.entries()) {
+    // The original variable was unbound at rename time; bind it to the
+    // canonical variable in the new environment.
+    BindEnv* orig_env = const_cast<BindEnv*>(orig.first);
+    if (orig_env == nullptr) continue;
+    const Variable* cv = factory->CanonicalVar(canonical_slot);
+    orig_env->Set(orig.second, cv, new_env);
+    trail->Record(orig_env, orig.second);
+  }
+}
+
+uint32_t VarRenamer::Rename(const BindEnv* env, uint32_t slot) {
+  for (const auto& [key, renamed] : map_) {
+    if (key.first == env && key.second == slot) return renamed;
+  }
+  uint32_t next = static_cast<uint32_t>(map_.size());
+  map_.push_back({{env, slot}, next});
+  return next;
+}
+
+const Arg* ResolveTerm(const Arg* term, BindEnv* env, TermFactory* factory,
+                       VarRenamer* renamer) {
+  TermRef r = Deref(term, env);
+  term = r.term;
+  env = r.env;
+  if (term->IsGround()) return term;  // structure sharing
+
+  switch (term->kind()) {
+    case ArgKind::kVariable: {
+      uint32_t slot = renamer->Rename(env, ArgCast<Variable>(term)->slot());
+      return factory->CanonicalVar(slot);
+    }
+    case ArgKind::kAtomOrFunctor: {
+      const auto* f = ArgCast<FunctorArg>(term);
+      std::vector<const Arg*> resolved(f->arity());
+      for (uint32_t i = 0; i < f->arity(); ++i) {
+        resolved[i] = ResolveTerm(f->arg(i), env, factory, renamer);
+      }
+      return factory->MakeFunctor(f->functor(), resolved);
+    }
+    case ArgKind::kSet: {
+      const auto* s = ArgCast<SetArg>(term);
+      std::vector<const Arg*> resolved(s->size());
+      for (uint32_t i = 0; i < s->size(); ++i) {
+        resolved[i] = ResolveTerm(s->elem(i), env, factory, renamer);
+      }
+      return factory->MakeSet(std::move(resolved));
+    }
+    default:
+      return term;
+  }
+}
+
+bool HashResolvedTerm(const Arg* term, BindEnv* env, uint64_t* out) {
+  TermRef r = Deref(term, env);
+  term = r.term;
+  env = r.env;
+  if (term->IsGround()) {
+    *out = term->Hash();
+    return true;
+  }
+  switch (term->kind()) {
+    case ArgKind::kVariable:
+      return false;
+    case ArgKind::kAtomOrFunctor: {
+      const auto* f = ArgCast<FunctorArg>(term);
+      uint64_t h = FunctorHashSeed(f->functor());
+      for (const Arg* c : f->args()) {
+        uint64_t ch;
+        if (!HashResolvedTerm(c, env, &ch)) return false;
+        h = HashCombine(h, ch);
+      }
+      *out = h;
+      return true;
+    }
+    case ArgKind::kSet: {
+      // A non-ground set's element order may change once bindings are
+      // substituted (elements sort by value); hashing through an env
+      // would need re-sorting. Sets bound through envs are rare: treat
+      // as unhashable so callers fall back to scans.
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+const Tuple* ResolveTuple(std::span<const TermRef> args,
+                          TermFactory* factory) {
+  VarRenamer renamer;
+  std::vector<const Arg*> resolved(args.size());
+  for (size_t i = 0; i < args.size(); ++i) {
+    resolved[i] = ResolveTerm(args[i].term, args[i].env, factory, &renamer);
+  }
+  return factory->MakeTuple(resolved);
+}
+
+}  // namespace coral

@@ -1,0 +1,81 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Unification, one-way matching (subsumption) and term resolution.
+// Ground-vs-ground unification is a pointer comparison thanks to
+// hash-consing (paper §3.1): "two (ground) functor terms unify if and
+// only if their unique identifiers are the same".
+
+#ifndef CORAL_DATA_UNIFY_H_
+#define CORAL_DATA_UNIFY_H_
+
+#include "src/data/bindenv.h"
+#include "src/data/term_factory.h"
+#include "src/data/tuple.h"
+
+namespace coral {
+
+/// Unifies (a, env_a) with (b, env_b), recording new bindings on `trail`.
+/// On failure the caller must undo the trail to its pre-call mark; partial
+/// bindings are left recorded. No occurs check (as in most Prolog and
+/// deductive systems of the era).
+bool Unify(const Arg* a, BindEnv* env_a, const Arg* b, BindEnv* env_b,
+           Trail* trail);
+
+/// One-way matching: only variables of `pattern` may be bound; variables
+/// of `target` are rigid. Succeeds iff pattern subsumes target under
+/// env_p/env_t.
+bool Match(const Arg* pattern, BindEnv* env_p, const Arg* target,
+           BindEnv* env_t, Trail* trail);
+
+/// True iff `general` subsumes `specific` (there is a substitution on
+/// general's variables making it equal to specific). Both tuples must be
+/// in canonical-variable form. Used for duplicate elimination in the
+/// presence of non-ground facts.
+bool SubsumesTuple(const Tuple* general, const Tuple* specific);
+
+/// Maps (env, slot) pairs of unbound variables onto fresh canonical slots
+/// during resolution of a derived fact.
+class VarRenamer {
+ public:
+  /// Returns the canonical slot for the unbound variable (env, slot),
+  /// allocating the next one on first sight.
+  uint32_t Rename(const BindEnv* env, uint32_t slot);
+  uint32_t count() const { return static_cast<uint32_t>(map_.size()); }
+
+  /// (original env, original slot) -> canonical slot, in allocation order.
+  const std::vector<std::pair<std::pair<const BindEnv*, uint32_t>, uint32_t>>&
+  entries() const {
+    return map_;
+  }
+
+ private:
+  std::vector<std::pair<std::pair<const BindEnv*, uint32_t>, uint32_t>> map_;
+};
+
+/// After building a term from resolved pieces (whose unbound variables
+/// were renamed into `new_env`'s slots), bind each original variable to
+/// its canonical stand-in so bindings flow both ways through the new
+/// environment. Used by term-constructing builtins (e.g. append) to
+/// preserve variable sharing across environments.
+void LinkRenamedVars(const VarRenamer& renamer, BindEnv* new_env,
+                     TermFactory* factory, Trail* trail);
+
+/// Fully substitutes bindings into `term`, renaming remaining unbound
+/// variables to canonical variables via `renamer`. Ground subterms are
+/// returned as-is (structure sharing). The result is self-contained: it
+/// can be stored in a relation without its bindenv.
+const Arg* ResolveTerm(const Arg* term, BindEnv* env, TermFactory* factory,
+                       VarRenamer* renamer);
+
+/// Resolves each of `args` under `env` (sharing one renamer) and builds a
+/// canonical tuple.
+const Tuple* ResolveTuple(std::span<const TermRef> args, TermFactory* factory);
+
+/// Computes the structural hash of (term, env) as if the bindings were
+/// substituted and the result built by the factory: the value equals
+/// Arg::Hash() of the materialized term. Returns false when the resolved
+/// term contains an unbound variable (index keys must be ground).
+bool HashResolvedTerm(const Arg* term, BindEnv* env, uint64_t* out);
+
+}  // namespace coral
+
+#endif  // CORAL_DATA_UNIFY_H_

@@ -1,0 +1,97 @@
+#include "src/lang/ast.h"
+
+#include <sstream>
+
+namespace coral {
+
+namespace {
+
+bool IsOperatorName(const std::string& n) {
+  return n == "=" || n == "\\=" || n == "<" || n == ">" || n == "=<" ||
+         n == ">=";
+}
+
+}  // namespace
+
+bool IsOperatorSymbol(Symbol sym) { return IsOperatorName(sym->name); }
+
+std::string Literal::ToString() const {
+  std::ostringstream oss;
+  if (negated) oss << "not ";
+  if (args.size() == 2 && IsOperatorName(pred->name)) {
+    args[0]->Print(oss);
+    oss << ' ' << pred->name << ' ';
+    args[1]->Print(oss);
+    return oss.str();
+  }
+  oss << pred->name;
+  if (!args.empty()) {
+    oss << '(';
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (i) oss << ',';
+      args[i]->Print(oss);
+    }
+    oss << ')';
+  }
+  return oss.str();
+}
+
+std::string Rule::ToString() const {
+  std::string s = head.ToString();
+  if (!body.empty()) {
+    s += " :- ";
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (i) s += ", ";
+      s += body[i].ToString();
+    }
+  }
+  s += ".";
+  return s;
+}
+
+std::string ModuleDecl::ToString() const {
+  std::ostringstream oss;
+  oss << "module " << name << ".\n";
+  for (const QueryFormDecl& q : exports) {
+    oss << "export " << q.pred->name << "(" << q.adornment << ").\n";
+  }
+  for (const Rule& r : rules) oss << r.ToString() << "\n";
+  oss << "end_module.\n";
+  return oss.str();
+}
+
+std::string Query::ToString() const {
+  std::string s = "?- ";
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i) s += ", ";
+    s += body[i].ToString();
+  }
+  s += ".";
+  return s;
+}
+
+AggFn AggFnFromName(const std::string& name) {
+  if (name == "min") return AggFn::kMin;
+  if (name == "max") return AggFn::kMax;
+  if (name == "sum") return AggFn::kSum;
+  if (name == "count") return AggFn::kCount;
+  if (name == "avg") return AggFn::kAvg;
+  if (name == "any") return AggFn::kAny;
+  return AggFn::kNone;
+}
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kNone: return "none";
+    case AggFn::kMin: return "min";
+    case AggFn::kMax: return "max";
+    case AggFn::kSum: return "sum";
+    case AggFn::kCount: return "count";
+    case AggFn::kAvg: return "avg";
+    case AggFn::kAny: return "any";
+    case AggFn::kSetOf: return "setof";
+  }
+  return "?";
+}
+
+}  // namespace coral

@@ -1,0 +1,152 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// AST for the CORAL declarative language. Terms are built directly as
+// canonical Arg nodes by the parser (variables get clause-local slots), so
+// the same structures flow through rewriting into evaluation — the paper's
+// "internal representation" that the interpreter executes.
+
+#ifndef CORAL_LANG_AST_H_
+#define CORAL_LANG_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/arg.h"
+#include "src/rel/agg_selection.h"
+#include "src/util/hash.h"
+
+namespace coral {
+
+/// Identity of a predicate: name symbol + arity.
+struct PredRef {
+  Symbol sym = nullptr;
+  uint32_t arity = 0;
+
+  bool operator==(const PredRef& o) const {
+    return sym == o.sym && arity == o.arity;
+  }
+  std::string ToString() const {
+    return sym->name + "/" + std::to_string(arity);
+  }
+};
+
+struct PredRefHash {
+  size_t operator()(const PredRef& p) const {
+    return HashCombine(HashMix64(p.sym->id), p.arity);
+  }
+};
+
+/// One literal in a rule body or head. Comparison and arithmetic goals
+/// are literals whose predicate symbol is the operator ("=", "<", ...).
+struct Literal {
+  Symbol pred = nullptr;
+  std::vector<const Arg*> args;
+  bool negated = false;
+
+  PredRef pred_ref() const {
+    return PredRef{pred, static_cast<uint32_t>(args.size())};
+  }
+  std::string ToString() const;
+};
+
+/// A rule; facts are rules with an empty body. Variables use slots
+/// 0..var_count-1, numbered by first occurrence; var_names maps slots back
+/// to source names for printing.
+struct Rule {
+  Literal head;
+  std::vector<Literal> body;
+  uint32_t var_count = 0;
+  std::vector<std::string> var_names;
+
+  bool is_fact() const { return body.empty(); }
+  std::string ToString() const;
+};
+
+/// Module-level evaluation strategy choices (paper §4, §5).
+enum class EvalMode { kMaterialized, kPipelined };
+enum class FixpointKind { kBasicSemiNaive, kPredicateSemiNaive, kNaive };
+enum class RewriteKind { kSupplementaryMagic, kMagic, kFactoring, kNone };
+
+/// One exported query form: predicate + adornment string over {b, f}
+/// (paper §2/§4.1), e.g. export s_p(bfff, ffff) yields two decls.
+struct QueryFormDecl {
+  Symbol pred = nullptr;
+  std::string adornment;
+};
+
+/// Parsed @aggregate_selection declaration (paper §5.5.2).
+struct AggSelDecl {
+  Symbol pred = nullptr;
+  AggregateSelection::Kind kind = AggregateSelection::Kind::kMin;
+  std::vector<const Arg*> pattern;  // canonical slots 0..var_count-1
+  uint32_t var_count = 0;
+  std::vector<const Arg*> group_args;
+  const Arg* agg_arg = nullptr;  // null only for argument-less any
+};
+
+/// Parsed @make_index declaration (paper §5.5.1). Argument-form when the
+/// pattern is a list of distinct plain variables; pattern-form otherwise.
+struct IndexDecl {
+  Symbol pred = nullptr;
+  std::vector<const Arg*> pattern;
+  uint32_t var_count = 0;
+  std::vector<uint32_t> key_slots;
+  bool argument_form = false;
+  std::vector<uint32_t> cols;  // for argument-form
+};
+
+/// A declarative program module (paper §5): unit of compilation with its
+/// own evaluation strategy, chosen by annotations.
+struct ModuleDecl {
+  std::string name;
+  std::vector<QueryFormDecl> exports;
+  std::vector<Rule> rules;
+
+  EvalMode eval_mode = EvalMode::kMaterialized;
+  FixpointKind fixpoint = FixpointKind::kBasicSemiNaive;
+  RewriteKind rewrite = RewriteKind::kSupplementaryMagic;
+  bool save_module = false;        // paper §5.4.2
+  bool lazy_eval = false;          // paper §5.4.3
+  bool eager = false;              // compute all answers before returning
+  bool ordered_search = false;     // paper §5.4.1
+  bool intelligent_backtracking = true;
+  bool explain = false;            // record derivations (Explanation tool)
+  bool reorder_joins = false;      // optimizer picks the join order (§4.2)
+  std::vector<AggSelDecl> agg_selections;
+  std::vector<IndexDecl> indexes;
+  std::vector<Symbol> multiset_preds;  // paper §4.2 multiset semantics
+
+  std::string ToString() const;
+};
+
+/// A query: conjunction of literals (interactive `?- ...`).
+struct Query {
+  std::vector<Literal> body;
+  uint32_t var_count = 0;
+  std::vector<std::string> var_names;
+  std::string ToString() const;
+};
+
+/// Result of parsing one source file / command string.
+struct Program {
+  std::vector<ModuleDecl> modules;
+  std::vector<Rule> top_facts;     // facts outside any module
+  std::vector<Query> queries;
+  std::vector<IndexDecl> top_indexes;
+  std::vector<AggSelDecl> top_agg_selections;
+};
+
+/// Functor names used as in-term markers by the parser.
+inline constexpr const char* kGroupMarker = "$group";  // <X> in rule heads
+
+/// True if `sym` names a comparison / unification operator.
+bool IsOperatorSymbol(Symbol sym);
+
+/// Aggregate function recognized in rule heads: min, max, sum, count, avg,
+/// any, or set-of for a bare <X>.
+enum class AggFn { kNone, kMin, kMax, kSum, kCount, kAvg, kAny, kSetOf };
+AggFn AggFnFromName(const std::string& name);
+const char* AggFnName(AggFn fn);
+
+}  // namespace coral
+
+#endif  // CORAL_LANG_AST_H_

@@ -1,0 +1,226 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+
+namespace coral {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+}  // namespace
+
+Status Lexer::Error(const std::string& msg) const {
+  return Status::InvalidArgument("lex error at line " +
+                                 std::to_string(tok_line_) + ":" +
+                                 std::to_string(tok_col_) + ": " + msg);
+}
+
+char Lexer::Advance() {
+  char c = input_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (pos_ < input_.size()) {
+    char c = Peek();
+    if (c == '%') {
+      while (pos_ < input_.size() && Peek() != '\n') Advance();
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::MakeToken(TokenKind kind, std::string text) const {
+  Token t;
+  t.kind = kind;
+  t.text = std::move(text);
+  t.line = tok_line_;
+  t.col = tok_col_;
+  return t;
+}
+
+StatusOr<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> out;
+  while (true) {
+    SkipWhitespaceAndComments();
+    tok_line_ = line_;
+    tok_col_ = col_;
+    if (pos_ >= input_.size()) {
+      out.push_back(MakeToken(TokenKind::kEof));
+      return out;
+    }
+    char c = Peek();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text;
+      while (pos_ < input_.size() && IsIdentChar(Peek())) text += Advance();
+      bool is_var = std::isupper(static_cast<unsigned char>(text[0])) ||
+                    text[0] == '_';
+      out.push_back(
+          MakeToken(is_var ? TokenKind::kVariable : TokenKind::kIdent, text));
+      continue;
+    }
+
+    if (IsDigit(c)) {
+      std::string text;
+      while (pos_ < input_.size() && IsDigit(Peek())) text += Advance();
+      bool is_double = false;
+      // '.' starts a fraction only when followed by a digit; otherwise it
+      // terminates the clause.
+      if (Peek() == '.' && IsDigit(Peek(1))) {
+        is_double = true;
+        text += Advance();
+        while (pos_ < input_.size() && IsDigit(Peek())) text += Advance();
+      }
+      if (Peek() == 'e' || Peek() == 'E') {
+        size_t save = pos_;
+        std::string exp;
+        exp += Advance();
+        if (Peek() == '+' || Peek() == '-') exp += Advance();
+        if (IsDigit(Peek())) {
+          is_double = true;
+          while (pos_ < input_.size() && IsDigit(Peek())) exp += Advance();
+          text += exp;
+        } else {
+          pos_ = save;  // 'e' belongs to a following identifier
+        }
+      }
+      out.push_back(MakeToken(
+          is_double ? TokenKind::kDouble : TokenKind::kInteger, text));
+      continue;
+    }
+
+    switch (c) {
+      case '"': {
+        Advance();
+        std::string text;
+        while (pos_ < input_.size() && Peek() != '"') {
+          char ch = Advance();
+          if (ch == '\\' && pos_ < input_.size()) {
+            char esc = Advance();
+            switch (esc) {
+              case 'n': text += '\n'; break;
+              case 't': text += '\t'; break;
+              default: text += esc;
+            }
+          } else {
+            text += ch;
+          }
+        }
+        if (pos_ >= input_.size()) return Error("unterminated string");
+        Advance();  // closing quote
+        out.push_back(MakeToken(TokenKind::kString, text));
+        continue;
+      }
+      case '\'': {
+        Advance();
+        std::string text;
+        while (pos_ < input_.size() && Peek() != '\'') {
+          char ch = Advance();
+          if (ch == '\\' && pos_ < input_.size()) text += Advance();
+          else text += ch;
+        }
+        if (pos_ >= input_.size()) return Error("unterminated quoted atom");
+        Advance();
+        out.push_back(MakeToken(TokenKind::kQuotedAtom, text));
+        continue;
+      }
+      case '(': Advance(); out.push_back(MakeToken(TokenKind::kLParen)); continue;
+      case ')': Advance(); out.push_back(MakeToken(TokenKind::kRParen)); continue;
+      case '[': Advance(); out.push_back(MakeToken(TokenKind::kLBracket)); continue;
+      case ']': Advance(); out.push_back(MakeToken(TokenKind::kRBracket)); continue;
+      case '{': Advance(); out.push_back(MakeToken(TokenKind::kLBrace)); continue;
+      case '}': Advance(); out.push_back(MakeToken(TokenKind::kRBrace)); continue;
+      case ',': Advance(); out.push_back(MakeToken(TokenKind::kComma)); continue;
+      case '|': Advance(); out.push_back(MakeToken(TokenKind::kBar)); continue;
+      case '@': Advance(); out.push_back(MakeToken(TokenKind::kAt)); continue;
+      case '+': Advance(); out.push_back(MakeToken(TokenKind::kPlus)); continue;
+      case '*': Advance(); out.push_back(MakeToken(TokenKind::kStar)); continue;
+      case '/': Advance(); out.push_back(MakeToken(TokenKind::kSlash)); continue;
+      case '-': Advance(); out.push_back(MakeToken(TokenKind::kMinus)); continue;
+      case '.':
+        Advance();
+        out.push_back(MakeToken(TokenKind::kDot));
+        continue;
+      case ':':
+        Advance();
+        if (Peek() == '-') {
+          Advance();
+          out.push_back(MakeToken(TokenKind::kColonDash));
+          continue;
+        }
+        return Error("expected ':-'");
+      case '?':
+        Advance();
+        if (Peek() == '-') {
+          Advance();
+          out.push_back(MakeToken(TokenKind::kQueryDash));
+          continue;
+        }
+        // Bare '?' also introduces a query (interactive shorthand).
+        out.push_back(MakeToken(TokenKind::kQueryDash));
+        continue;
+      case '=':
+        Advance();
+        if (Peek() == '<') {
+          Advance();
+          out.push_back(MakeToken(TokenKind::kLessEq));
+        } else {
+          out.push_back(MakeToken(TokenKind::kEquals));
+        }
+        continue;
+      case '<':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          out.push_back(MakeToken(TokenKind::kLessEq));
+        } else {
+          out.push_back(MakeToken(TokenKind::kLess));
+        }
+        continue;
+      case '>':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          out.push_back(MakeToken(TokenKind::kGreaterEq));
+        } else {
+          out.push_back(MakeToken(TokenKind::kGreater));
+        }
+        continue;
+      case '\\':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          out.push_back(MakeToken(TokenKind::kNotEquals));
+          continue;
+        }
+        return Error("expected '\\='");
+      case '!':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          out.push_back(MakeToken(TokenKind::kNotEquals));
+          continue;
+        }
+        return Error("expected '!='");
+      default:
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+}
+
+}  // namespace coral

@@ -1,0 +1,44 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Hand-written lexer for the CORAL language. '%' starts a line comment.
+// A '.' terminates a clause when followed by whitespace, a comment or end
+// of input; otherwise it is part of a number.
+
+#ifndef CORAL_LANG_LEXER_H_
+#define CORAL_LANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/lang/token.h"
+#include "src/util/status.h"
+
+namespace coral {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  /// Tokenizes the whole input. The final token is always kEof.
+  StatusOr<std::vector<Token>> Tokenize();
+
+ private:
+  Status Error(const std::string& msg) const;
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+  char Advance();
+  void SkipWhitespaceAndComments();
+  Token MakeToken(TokenKind kind, std::string text = "") const;
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  int tok_line_ = 1;
+  int tok_col_ = 1;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_LANG_LEXER_H_

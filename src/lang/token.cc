@@ -1,0 +1,51 @@
+#include "src/lang/token.h"
+
+namespace coral {
+
+const char* TokenKindName(TokenKind k) {
+  switch (k) {
+    case TokenKind::kEof: return "end of input";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kVariable: return "variable";
+    case TokenKind::kInteger: return "integer";
+    case TokenKind::kDouble: return "double";
+    case TokenKind::kString: return "string";
+    case TokenKind::kQuotedAtom: return "quoted atom";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kBar: return "'|'";
+    case TokenKind::kColonDash: return "':-'";
+    case TokenKind::kQueryDash: return "'?-'";
+    case TokenKind::kAt: return "'@'";
+    case TokenKind::kEquals: return "'='";
+    case TokenKind::kNotEquals: return "'\\='";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kGreater: return "'>'";
+    case TokenKind::kLessEq: return "'=<'";
+    case TokenKind::kGreaterEq: return "'>='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kError: return "invalid token";
+  }
+  return "unknown";
+}
+
+std::string Token::Describe() const {
+  std::string s = TokenKindName(kind);
+  if (!text.empty()) {
+    s += " '";
+    s += text;
+    s += "'";
+  }
+  return s;
+}
+
+}  // namespace coral

@@ -1,0 +1,58 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Token stream for the CORAL declarative language.
+
+#ifndef CORAL_LANG_TOKEN_H_
+#define CORAL_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace coral {
+
+enum class TokenKind : uint8_t {
+  kEof,
+  kIdent,      // lowercase-leading identifier: atoms, predicate names
+  kVariable,   // uppercase- or underscore-leading identifier
+  kInteger,    // also arbitrary-precision when out of int64 range
+  kDouble,
+  kString,     // "..."
+  kQuotedAtom, // '...'
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kDot,        // clause terminator
+  kBar,        // | in lists
+  kColonDash,  // :-
+  kQueryDash,  // ?-
+  kAt,         // @
+  kEquals,     // =
+  kNotEquals,  // \=  (also !=)
+  kLess,       // <
+  kGreater,    // >
+  kLessEq,     // =< (also <=)
+  kGreaterEq,  // >=
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kError,
+};
+
+const char* TokenKindName(TokenKind k);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;     // identifier/number/string payload
+  int line = 0;
+  int col = 0;
+
+  std::string Describe() const;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_LANG_TOKEN_H_

@@ -1,0 +1,65 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// HashRelation: the default in-memory relation (paper §3.2). Ground-tuple
+// duplicate checks are O(1) thanks to tuple hash-consing; non-ground
+// facts are checked by subsumption. Argument-form and pattern-form hash
+// indices can be attached at creation or later (paper §2: "indices can
+// also be created at a later time").
+
+#ifndef CORAL_REL_HASH_RELATION_H_
+#define CORAL_REL_HASH_RELATION_H_
+
+#include <memory>
+
+#include "src/rel/index.h"
+#include "src/rel/memory_relation.h"
+
+namespace coral {
+
+class HashRelation : public MemoryRelation {
+ public:
+  HashRelation(std::string name, uint32_t arity)
+      : MemoryRelation(std::move(name), arity) {}
+
+  bool Contains(const Tuple* t) const override;
+
+  std::unique_ptr<TupleIterator> Select(std::span<const TermRef> pattern,
+                                        Mark from, Mark to) const override;
+  using Relation::Select;
+
+  /// Attaches an argument-form index on `cols`, backfilling existing
+  /// tuples. No-op if an identical index exists.
+  void AddArgumentIndex(std::vector<uint32_t> cols);
+
+  /// Attaches a pattern-form index (see PatternIndex), backfilling.
+  void AddPatternIndex(std::vector<const Arg*> pattern, uint32_t var_count,
+                       std::vector<uint32_t> key_slots);
+
+  /// Attaches a user-defined Index implementation (paper §7.2: "new index
+  /// implementations can be added without modifying the rest of the
+  /// system"), backfilling existing tuples.
+  void AddCustomIndex(std::unique_ptr<Index> index);
+
+  size_t index_count() const { return indexes_.size(); }
+
+  /// True if an argument index on exactly `cols` exists.
+  bool HasArgumentIndex(const std::vector<uint32_t>& cols) const;
+
+ protected:
+  void DoInsert(const Tuple* t) override;
+  bool DoDelete(const Tuple* t) override;
+
+ private:
+  void Backfill(Index* index);
+
+  // Live occurrence counts of ground tuples (multisets count > 1).
+  std::unordered_map<const Tuple*, uint32_t> ground_counts_;
+  // Live non-ground stored tuples, with repeats under multiset semantics.
+  std::vector<const Tuple*> nonground_live_;
+  // Indexes sorted by descending key width (most selective first).
+  std::vector<std::unique_ptr<Index>> indexes_;
+  std::vector<const ArgumentIndex*> argument_indexes_;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_REL_HASH_RELATION_H_

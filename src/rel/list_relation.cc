@@ -1,0 +1,32 @@
+#include "src/rel/list_relation.h"
+
+#include "src/data/unify.h"
+
+namespace coral {
+
+bool ListRelation::Contains(const Tuple* t) const {
+  for (const Subsidiary& sub : subs_) {
+    for (const Tuple* stored : sub.tuples) {
+      if (IsDeleted(stored)) continue;
+      if (stored == t) return true;  // ground tuples are interned
+      if (SubsumesTuple(stored, t)) return true;
+    }
+  }
+  return false;
+}
+
+void ListRelation::DoInsert(const Tuple* t) { AppendToCurrent(t); }
+
+bool ListRelation::DoDelete(const Tuple* t) {
+  size_t occurrences = 0;
+  for (const Subsidiary& sub : subs_) {
+    for (const Tuple* stored : sub.tuples) {
+      if (stored == t && !IsDeleted(stored)) ++occurrences;
+    }
+  }
+  if (occurrences == 0) return false;
+  MarkDeleted(t, occurrences);
+  return true;
+}
+
+}  // namespace coral

@@ -1,0 +1,28 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// ListRelation: the paper's "relations organized as linked lists" (§7.2) —
+// unindexed sequential storage with linear duplicate checks. Kept both as
+// the simplest Relation implementation and as the baseline that the
+// indexing benchmarks (experiment C5) compare against.
+
+#ifndef CORAL_REL_LIST_RELATION_H_
+#define CORAL_REL_LIST_RELATION_H_
+
+#include "src/rel/memory_relation.h"
+
+namespace coral {
+
+class ListRelation : public MemoryRelation {
+ public:
+  ListRelation(std::string name, uint32_t arity)
+      : MemoryRelation(std::move(name), arity) {}
+
+  bool Contains(const Tuple* t) const override;
+
+ protected:
+  void DoInsert(const Tuple* t) override;
+  bool DoDelete(const Tuple* t) override;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_REL_LIST_RELATION_H_

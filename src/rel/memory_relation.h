@@ -1,0 +1,138 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Shared machinery of in-memory relations: subsidiary relations (one per
+// mark interval, paper §3.2), tombstone deletion, and range scans.
+
+#ifndef CORAL_REL_MEMORY_RELATION_H_
+#define CORAL_REL_MEMORY_RELATION_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/rel/relation.h"
+
+namespace coral {
+
+/// Base for ListRelation and HashRelation. Owns the subsidiary-relation
+/// organization that implements marks; storage of tuples is append-only
+/// with tombstones (Tuple objects are owned by the TermFactory and never
+/// freed, so a tombstoned pointer stays valid for open scans).
+class MemoryRelation : public Relation {
+ public:
+  MemoryRelation(std::string name, uint32_t arity)
+      : Relation(std::move(name), arity), subs_(1) {}
+
+  size_t size() const override { return live_; }
+
+  Mark Snapshot() override {
+    if (subs_.back().tuples.empty()) {
+      return static_cast<Mark>(subs_.size() - 1);
+    }
+    subs_.emplace_back();
+    OnNewSubsidiary(static_cast<uint32_t>(subs_.size() - 1));
+    return static_cast<Mark>(subs_.size() - 1);
+  }
+
+  Mark CurrentMark() const override {
+    return static_cast<Mark>(subs_.size() - 1);
+  }
+
+  std::unique_ptr<TupleIterator> ScanRange(Mark from, Mark to) const override;
+
+ protected:
+  struct Subsidiary {
+    std::vector<const Tuple*> tuples;
+  };
+
+  /// Hook for subclasses that keep per-subsidiary structures (indices).
+  virtual void OnNewSubsidiary(uint32_t sub) { (void)sub; }
+
+  /// Appends to the open subsidiary and maintains live bookkeeping.
+  /// Returns the subsidiary number the tuple landed in.
+  uint32_t AppendToCurrent(const Tuple* t) {
+    uint32_t sub = static_cast<uint32_t>(subs_.size() - 1);
+    subs_[sub].tuples.push_back(t);
+    // Reinsertion after deletion clears the tombstone; the old occurrence
+    // becomes visible again, which can only cause a harmless repeat
+    // derivation (inserts de-duplicate).
+    deleted_.erase(t);
+    ++live_;
+    return sub;
+  }
+
+  bool IsDeleted(const Tuple* t) const { return deleted_.count(t) > 0; }
+
+  void MarkDeleted(const Tuple* t, size_t occurrences) {
+    deleted_.insert(t);
+    live_ -= occurrences;
+  }
+
+  std::vector<Subsidiary> subs_;
+  std::unordered_set<const Tuple*> deleted_;
+  size_t live_ = 0;
+
+  friend class MemoryScanIterator;
+};
+
+/// Walks subsidiaries [from, to), index-based so concurrent appends are
+/// safe; skips tombstoned tuples at yield time.
+class MemoryScanIterator : public TupleIterator {
+ public:
+  MemoryScanIterator(const MemoryRelation* rel, Mark from, Mark to)
+      : rel_(rel), sub_(from), to_(to) {}
+
+  const Tuple* Next() override {
+    while (true) {
+      uint32_t hi = std::min<uint32_t>(
+          to_, static_cast<uint32_t>(rel_->subs_.size()));
+      if (sub_ >= hi) return nullptr;
+      const auto& tuples = rel_->subs_[sub_].tuples;
+      if (pos_ >= tuples.size()) {
+        if (sub_ + 1 >= hi) return nullptr;
+        ++sub_;
+        pos_ = 0;
+        continue;
+      }
+      const Tuple* t = tuples[pos_++];
+      if (!rel_->IsDeleted(t)) return t;
+    }
+  }
+
+ private:
+  const MemoryRelation* rel_;
+  uint32_t sub_;
+  uint32_t to_;
+  size_t pos_ = 0;
+};
+
+/// Yields a prematerialized candidate list, skipping tombstones that
+/// appear after materialization (e.g. aggregate-selection deletes during
+/// consumption).
+class CandidateIterator : public TupleIterator {
+ public:
+  CandidateIterator(std::vector<const Tuple*> candidates,
+                    const std::unordered_set<const Tuple*>* deleted)
+      : candidates_(std::move(candidates)), deleted_(deleted) {}
+
+  const Tuple* Next() override {
+    while (pos_ < candidates_.size()) {
+      const Tuple* t = candidates_[pos_++];
+      if (deleted_->count(t) == 0) return t;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<const Tuple*> candidates_;
+  const std::unordered_set<const Tuple*>* deleted_;
+  size_t pos_ = 0;
+};
+
+inline std::unique_ptr<TupleIterator> MemoryRelation::ScanRange(
+    Mark from, Mark to) const {
+  return std::make_unique<MemoryScanIterator>(this, from, to);
+}
+
+}  // namespace coral
+
+#endif  // CORAL_REL_MEMORY_RELATION_H_

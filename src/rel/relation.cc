@@ -1,0 +1,36 @@
+#include "src/rel/relation.h"
+
+#include "src/data/unify.h"
+#include "src/util/logging.h"
+
+namespace coral {
+
+const Status& TupleIterator::status() const {
+  static const Status kOk;
+  return kOk;
+}
+
+bool Relation::Insert(const Tuple* t) {
+  CORAL_CHECK_EQ(t->arity(), arity_) << " relation " << name_;
+  // Duplicate / subsumption check (paper §4.2: the default is to do
+  // subsumption checks on all relations; multisets skip them).
+  if (!multiset_ && Contains(t)) return false;
+  std::vector<const Tuple*> doomed;
+  for (const auto& sel : selections_) {
+    AggregateSelection::Decision d = sel->Check(t);
+    if (!d.admit) return false;
+    doomed.insert(doomed.end(), d.to_delete.begin(), d.to_delete.end());
+  }
+  for (const Tuple* dt : doomed) Delete(dt);
+  DoInsert(t);
+  for (const auto& sel : selections_) sel->Admit(t);
+  return true;
+}
+
+bool Relation::Delete(const Tuple* t) {
+  if (!DoDelete(t)) return false;
+  for (const auto& sel : selections_) sel->Remove(t);
+  return true;
+}
+
+}  // namespace coral

@@ -1,0 +1,138 @@
+#include "src/rewrite/depgraph.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace coral {
+
+namespace {
+
+/// True if `arg` is an aggregation marker: agg_fn($group(V)) or $group(V).
+bool IsAggArg(const Arg* arg) {
+  if (arg->kind() != ArgKind::kAtomOrFunctor) return false;
+  const auto* f = ArgCast<FunctorArg>(arg);
+  if (f->name() == kGroupMarker && f->arity() == 1) return true;
+  if (f->arity() == 1 && AggFnFromName(f->name()) != AggFn::kNone) {
+    const Arg* inner = f->arg(0);
+    if (inner->kind() == ArgKind::kAtomOrFunctor) {
+      const auto* g = ArgCast<FunctorArg>(inner);
+      return g->name() == kGroupMarker && g->arity() == 1;
+    }
+  }
+  return false;
+}
+
+// Tarjan SCC over predicate nodes.
+struct TarjanState {
+  std::unordered_map<PredRef, uint32_t, PredRefHash> index;
+  std::unordered_map<PredRef, uint32_t, PredRefHash> lowlink;
+  std::unordered_set<PredRef, PredRefHash> on_stack;
+  std::vector<PredRef> stack;
+  uint32_t next_index = 0;
+  std::vector<std::vector<PredRef>> sccs;  // reverse topological order
+  const std::unordered_map<PredRef, std::vector<PredRef>, PredRefHash>* edges;
+
+  void Visit(const PredRef& v) {
+    index[v] = lowlink[v] = next_index++;
+    stack.push_back(v);
+    on_stack.insert(v);
+    auto it = edges->find(v);
+    if (it != edges->end()) {
+      for (const PredRef& w : it->second) {
+        if (index.find(w) == index.end()) {
+          Visit(w);
+          lowlink[v] = std::min(lowlink[v], lowlink[w]);
+        } else if (on_stack.count(w)) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      }
+    }
+    if (lowlink[v] == index[v]) {
+      std::vector<PredRef> scc;
+      while (true) {
+        PredRef w = stack.back();
+        stack.pop_back();
+        on_stack.erase(w);
+        scc.push_back(w);
+        if (w == v) break;
+      }
+      sccs.push_back(std::move(scc));
+    }
+  }
+};
+
+}  // namespace
+
+bool IsAggregateRule(const Rule& rule) {
+  for (const Arg* a : rule.head.args) {
+    if (IsAggArg(a)) return true;
+  }
+  return false;
+}
+
+DepGraph DepGraph::Build(const std::vector<Rule>& rules) {
+  DepGraph g;
+  for (const Rule& r : rules) g.derived_.insert(r.head.pred_ref());
+
+  // Edges head -> derived body predicates. Negative or aggregation
+  // dependencies are recorded to check stratification afterwards.
+  std::unordered_map<PredRef, std::vector<PredRef>, PredRefHash> edges;
+  struct SpecialDep {
+    PredRef from, to;
+    bool negation;
+  };
+  std::vector<SpecialDep> special;
+  for (const Rule& r : rules) {
+    PredRef head = r.head.pred_ref();
+    bool agg = IsAggregateRule(r);
+    for (const Literal& lit : r.body) {
+      PredRef p = lit.pred_ref();
+      if (!g.derived_.count(p)) continue;
+      edges[head].push_back(p);
+      if (lit.negated || agg) {
+        special.push_back(SpecialDep{head, p, lit.negated});
+      }
+    }
+  }
+
+  TarjanState tarjan;
+  tarjan.edges = &edges;
+  for (const PredRef& p : g.derived_) {
+    if (tarjan.index.find(p) == tarjan.index.end()) tarjan.Visit(p);
+  }
+  // Tarjan emits SCCs in reverse topological order of the dependency
+  // direction head->body, i.e. callees come out first — which IS the
+  // bottom-up evaluation order we want.
+  g.sccs_ = std::move(tarjan.sccs);
+  for (uint32_t i = 0; i < g.sccs_.size(); ++i) {
+    for (const PredRef& p : g.sccs_[i]) g.scc_of_[p] = i;
+  }
+
+  for (const SpecialDep& d : special) {
+    if (g.scc_of_.at(d.from) == g.scc_of_.at(d.to)) {
+      g.stratified_ = false;
+      g.violation_ = std::string(d.negation ? "negation" : "aggregation") +
+                     " between mutually recursive predicates " +
+                     d.from.ToString() + " and " + d.to.ToString();
+      break;
+    }
+  }
+  return g;
+}
+
+uint32_t DepGraph::SccOf(const PredRef& p) const {
+  auto it = scc_of_.find(p);
+  CORAL_CHECK(it != scc_of_.end()) << "not a derived predicate: "
+                                   << p.ToString();
+  return it->second;
+}
+
+bool DepGraph::SameScc(const PredRef& p, const PredRef& q) const {
+  auto ip = scc_of_.find(p);
+  auto iq = scc_of_.find(q);
+  if (ip == scc_of_.end() || iq == scc_of_.end()) return false;
+  return ip->second == iq->second;
+}
+
+}  // namespace coral

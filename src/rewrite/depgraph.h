@@ -1,0 +1,62 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Predicate dependency graph and strongly connected components. An SCC is
+// a maximal set of mutually recursive predicates (paper §5.1 fn. 5); the
+// compiled module structure is a list of SCC structures in topological
+// order, each holding its semi-naive rules. The graph also records
+// negative and aggregation dependencies to check (local) stratification.
+
+#ifndef CORAL_REWRITE_DEPGRAPH_H_
+#define CORAL_REWRITE_DEPGRAPH_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/lang/ast.h"
+
+namespace coral {
+
+/// True if the rule's head contains aggregation / set-grouping markers.
+bool IsAggregateRule(const Rule& rule);
+
+/// Dependency analysis over one rule set.
+class DepGraph {
+ public:
+  /// `builtin_preds` are treated as neither base nor derived (no edges).
+  static DepGraph Build(const std::vector<Rule>& rules);
+
+  /// Predicates defined by some rule head.
+  const std::unordered_set<PredRef, PredRefHash>& derived() const {
+    return derived_;
+  }
+  bool IsDerived(const PredRef& p) const { return derived_.count(p) > 0; }
+
+  /// SCCs in topological order: members of scc i depend only on sccs <= i.
+  const std::vector<std::vector<PredRef>>& sccs() const { return sccs_; }
+
+  /// SCC index of a derived predicate.
+  uint32_t SccOf(const PredRef& p) const;
+
+  /// True if p and q are mutually recursive (same SCC).
+  bool SameScc(const PredRef& p, const PredRef& q) const;
+
+  /// True when no negative or aggregation dependency joins two predicates
+  /// of the same SCC — the condition for plain SCC-ordered evaluation of
+  /// negation and aggregation.
+  bool stratified() const { return stratified_; }
+
+  /// Human-readable description of the stratification violation (empty
+  /// when stratified).
+  const std::string& violation() const { return violation_; }
+
+ private:
+  std::unordered_set<PredRef, PredRefHash> derived_;
+  std::unordered_map<PredRef, uint32_t, PredRefHash> scc_of_;
+  std::vector<std::vector<PredRef>> sccs_;
+  bool stratified_ = true;
+  std::string violation_;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_REWRITE_DEPGRAPH_H_

@@ -1,0 +1,34 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Variable liveness analysis used by the rewriting passes. Supplementary
+// predicates carry only the variables that are still needed by later body
+// literals or by the head — this pruning is CORAL's implementation footing
+// for Existential Query Rewriting (paper §4.1: propagate projections).
+
+#ifndef CORAL_REWRITE_EXISTENTIAL_H_
+#define CORAL_REWRITE_EXISTENTIAL_H_
+
+#include <set>
+#include <vector>
+
+#include "src/lang/ast.h"
+
+namespace coral {
+
+/// Adds the slots of all variables in `term` to `out`.
+void CollectVars(const Arg* term, std::set<uint32_t>* out);
+
+/// Slots of all variables appearing in `lit`.
+std::set<uint32_t> VarsOfLiteral(const Literal& lit);
+
+/// True when every variable of `term` is in `bound`.
+bool TermBound(const Arg* term, const std::set<uint32_t>& bound);
+
+/// For each body position i of `rule`, the variables needed at or after i:
+/// vars of literals i..n-1 plus the head. Index n holds just the head's
+/// variables. Used to project supplementary predicates down to live
+/// variables.
+std::vector<std::set<uint32_t>> NeededAfter(const Rule& rule);
+
+}  // namespace coral
+
+#endif  // CORAL_REWRITE_EXISTENTIAL_H_

@@ -1,0 +1,167 @@
+#include "src/rewrite/factoring.h"
+
+#include <set>
+
+#include "src/rewrite/existential.h"
+#include "src/util/logging.h"
+
+namespace coral {
+
+namespace {
+
+/// Slots of variables in `term`, or nullopt if it is not a plain variable.
+const Variable* AsVariable(const Arg* a) {
+  return a->kind() == ArgKind::kVariable ? ArgCast<Variable>(a) : nullptr;
+}
+
+}  // namespace
+
+StatusOr<MagicProgram> ContextFactoring(const AdornedProgram& adorned,
+                                        TermFactory* factory) {
+  if (adorned.adorned.size() != 1) {
+    return Status::Unsupported(
+        "@factoring requires the module to define exactly the query "
+        "predicate (no helper predicates, and the recursive call must use "
+        "the query's own adornment); found " +
+        std::to_string(adorned.adorned.size()) + " adorned predicates");
+  }
+  PredRef pred = adorned.query_pred;
+  const AdornInfo& info = adorned.adorned.at(pred);
+  std::vector<uint32_t> bound = BoundPositions(info.adornment);
+  std::vector<uint32_t> free;
+  for (uint32_t i = 0; i < info.adornment.size(); ++i) {
+    if (info.adornment[i] == 'f') free.push_back(i);
+  }
+  if (bound.empty()) {
+    return Status::Unsupported(
+        "@factoring needs a query form with at least one bound argument");
+  }
+
+  MagicProgram out;
+  Symbol magic_sym = factory->symbols().Intern("m_" + pred.sym->name);
+  Symbol ctx_sym = factory->symbols().Intern("ctx_" + pred.sym->name);
+  PredRef magic{magic_sym, static_cast<uint32_t>(bound.size())};
+  out.seed_pred = magic;
+  out.magic_of.emplace(pred, magic);
+
+  // Bridge: ctx(v...) :- m(v...).
+  {
+    Rule bridge;
+    bridge.head.pred = ctx_sym;
+    Literal seed;
+    seed.pred = magic_sym;
+    for (uint32_t i = 0; i < bound.size(); ++i) {
+      const Arg* v = factory->MakeVariable(i, "B" + std::to_string(i));
+      bridge.head.args.push_back(v);
+      seed.args.push_back(v);
+      bridge.var_names.push_back("B" + std::to_string(i));
+    }
+    bridge.body.push_back(std::move(seed));
+    bridge.var_count = static_cast<uint32_t>(bound.size());
+    out.rules.push_back(std::move(bridge));
+  }
+
+  for (const Rule& r : adorned.rules) {
+    CORAL_CHECK(r.head.pred_ref() == pred);
+    // Classify: recursive iff some body literal uses the adorned pred.
+    int rec_pos = -1;
+    for (size_t i = 0; i < r.body.size(); ++i) {
+      if (r.body[i].pred_ref() == pred) {
+        if (rec_pos >= 0) {
+          return Status::Unsupported(
+              "@factoring: rule has two recursive calls (not linear): " +
+              r.ToString());
+        }
+        rec_pos = static_cast<int>(i);
+      }
+    }
+
+    if (rec_pos < 0) {
+      // Exit rule: P(seed..., free-terms) :- m(seed...), ctx(bound-terms),
+      // body.
+      Rule ans;
+      ans.head.pred = pred.sym;
+      ans.head.args.resize(info.adornment.size());
+      ans.var_names = r.var_names;
+      uint32_t next_slot = r.var_count;
+      Literal seed;
+      seed.pred = magic_sym;
+      for (size_t i = 0; i < bound.size(); ++i) {
+        std::string name = "Q" + std::to_string(i);
+        const Arg* v = factory->MakeVariable(next_slot++, name);
+        ans.var_names.push_back(name);
+        seed.args.push_back(v);
+        ans.head.args[bound[i]] = v;  // answers carry the query's bindings
+      }
+      Literal ctx;
+      ctx.pred = ctx_sym;
+      for (uint32_t b : bound) ctx.args.push_back(r.head.args[b]);
+      for (uint32_t fpos : free) ans.head.args[fpos] = r.head.args[fpos];
+      ans.body.push_back(std::move(seed));
+      ans.body.push_back(std::move(ctx));
+      for (const Literal& lit : r.body) ans.body.push_back(lit);
+      ans.var_count = next_slot;
+      out.rules.push_back(std::move(ans));
+      continue;
+    }
+
+    // Recursive rule: check right-linearity.
+    const Literal& rec = r.body[static_cast<size_t>(rec_pos)];
+    if (rec.negated) {
+      return Status::Unsupported("@factoring: negated recursive call");
+    }
+    if (static_cast<size_t>(rec_pos) != r.body.size() - 1) {
+      return Status::Unsupported(
+          "@factoring: the recursive call must be the last body literal "
+          "(right-linear): " + r.ToString());
+    }
+    // Free head arguments are variables passed through unchanged, and
+    // occur nowhere else in the rule.
+    std::set<uint32_t> free_slots;
+    for (uint32_t fpos : free) {
+      const Variable* hv = AsVariable(r.head.args[fpos]);
+      const Variable* rv = AsVariable(rec.args[fpos]);
+      if (hv == nullptr || rv == nullptr || hv->slot() != rv->slot()) {
+        return Status::Unsupported(
+            "@factoring: free argument " + std::to_string(fpos) +
+            " is not passed through unchanged in: " + r.ToString());
+      }
+      free_slots.insert(hv->slot());
+    }
+    std::set<uint32_t> other_vars;
+    for (uint32_t b : bound) {
+      CollectVars(r.head.args[b], &other_vars);
+      CollectVars(rec.args[b], &other_vars);
+    }
+    for (size_t i = 0; i + 1 < r.body.size(); ++i) {
+      std::set<uint32_t> vs = VarsOfLiteral(r.body[i]);
+      other_vars.insert(vs.begin(), vs.end());
+    }
+    for (uint32_t fs : free_slots) {
+      if (other_vars.count(fs)) {
+        return Status::Unsupported(
+            "@factoring: a free-position variable also occurs elsewhere "
+            "in: " + r.ToString());
+      }
+    }
+
+    // Context propagation: ctx(rec bound args) :- ctx(head bound args),
+    // prefix literals.
+    Rule prop;
+    prop.head.pred = ctx_sym;
+    for (uint32_t b : bound) prop.head.args.push_back(rec.args[b]);
+    Literal ctx;
+    ctx.pred = ctx_sym;
+    for (uint32_t b : bound) ctx.args.push_back(r.head.args[b]);
+    prop.body.push_back(std::move(ctx));
+    for (size_t i = 0; i + 1 < r.body.size(); ++i) {
+      prop.body.push_back(r.body[i]);
+    }
+    prop.var_count = r.var_count;
+    prop.var_names = r.var_names;
+    out.rules.push_back(std::move(prop));
+  }
+  return out;
+}
+
+}  // namespace coral

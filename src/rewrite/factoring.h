@@ -1,0 +1,31 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Context factoring (paper §4.1, citing Kemp/Ramamohanarao/Somogyi [9]
+// and Naughton et al. [16]): for right-linear recursions, the answer join
+// of magic rewriting is redundant — the query's answers are exactly the
+// non-recursive rule applied to the *context* (the set of propagated
+// bound-argument values). The factored program materializes the context
+// relation in O(context) instead of the O(context × answers) adorned
+// answer relation; on a chain, a bound transitive-closure query drops
+// from quadratic to linear.
+//
+// Scope (checked, with clear errors): the module defines only the query
+// predicate; every recursive rule is right-linear — the recursive call is
+// the last literal, carries the head's free arguments through unchanged,
+// and those variables occur nowhere else; at most one seed per activation
+// (hence incompatible with @save_module).
+
+#ifndef CORAL_REWRITE_FACTORING_H_
+#define CORAL_REWRITE_FACTORING_H_
+
+#include "src/rewrite/magic.h"
+
+namespace coral {
+
+/// Applies right-linear context factoring to the adorned program.
+/// `adorned` must define a single adorned predicate (the query's).
+StatusOr<MagicProgram> ContextFactoring(const AdornedProgram& adorned,
+                                        TermFactory* factory);
+
+}  // namespace coral
+
+#endif  // CORAL_REWRITE_FACTORING_H_

@@ -1,0 +1,313 @@
+#include "src/rewrite/rewriter.h"
+
+#include <deque>
+#include <set>
+#include <sstream>
+
+#include "src/rewrite/adorn.h"
+#include "src/rewrite/existential.h"
+#include "src/rewrite/factoring.h"
+#include "src/rewrite/magic.h"
+#include "src/rewrite/supmagic.h"
+#include "src/util/logging.h"
+
+namespace coral {
+
+namespace {
+
+/// Derived predicates whose complete extensions are required (negated
+/// occurrences; bodies of aggregate rules) plus everything they depend on.
+std::unordered_set<PredRef, PredRefHash> ProtectedClosure(
+    const std::vector<Rule>& rules,
+    const std::unordered_set<PredRef, PredRefHash>& derived) {
+  std::unordered_set<PredRef, PredRefHash> protected_set;
+  std::deque<PredRef> work;
+  auto add = [&](const PredRef& p) {
+    if (derived.count(p) && protected_set.insert(p).second) {
+      work.push_back(p);
+    }
+  };
+  for (const Rule& r : rules) {
+    bool agg = IsAggregateRule(r);
+    for (const Literal& lit : r.body) {
+      if (lit.negated || agg) add(lit.pred_ref());
+    }
+  }
+  while (!work.empty()) {
+    PredRef p = work.front();
+    work.pop_front();
+    for (const Rule& r : rules) {
+      if (!(r.head.pred_ref() == p)) continue;
+      for (const Literal& lit : r.body) add(lit.pred_ref());
+    }
+  }
+  return protected_set;
+}
+
+/// Join-order selection (paper §4.2): greedily schedule the most-bound
+/// ready literal next. Negated literals and builtins are "ready" only
+/// when all their variables are bound (safety); positive relation
+/// literals are scored by bound argument count. Ties keep source order,
+/// and a stuck state falls back to the first unscheduled positive
+/// literal, so the pass never loses literals.
+void ReorderRuleBody(Rule* rule, const DepGraph& graph) {
+  if (rule->body.size() < 3) return;  // nothing to gain
+  std::set<uint32_t> bound;
+  // Head arguments contribute no bindings in bottom-up evaluation; the
+  // magic/supplementary guard (first body literal of rewritten rules)
+  // does. Anchor it: never move the first literal.
+  std::vector<Literal> out;
+  std::vector<Literal> rest(rule->body.begin(), rule->body.end());
+  (void)graph;
+
+  auto vars_bound = [&](const Literal& lit) {
+    return VarsOfLiteral(lit).size() ==
+           [&] {
+             size_t n = 0;
+             for (uint32_t v : VarsOfLiteral(lit)) n += bound.count(v);
+             return n;
+           }();
+  };
+  auto bound_args = [&](const Literal& lit) {
+    int n = 0;
+    for (const Arg* a : lit.args) n += TermBound(a, bound);
+    return n;
+  };
+  auto bind_vars = [&](const Literal& lit) {
+    if (lit.negated) return;
+    std::set<uint32_t> vars = VarsOfLiteral(lit);
+    bound.insert(vars.begin(), vars.end());
+  };
+
+  // Anchor the guard.
+  out.push_back(rest.front());
+  bind_vars(rest.front());
+  rest.erase(rest.begin());
+
+  while (!rest.empty()) {
+    int best = -1;
+    int best_score = -1;
+    for (size_t i = 0; i < rest.size(); ++i) {
+      const Literal& lit = rest[i];
+      bool is_op = IsOperatorSymbol(lit.pred);
+      if (lit.negated || is_op) {
+        // Safety: schedule only when fully bound; then run immediately
+        // (filters are free).
+        if (vars_bound(lit)) {
+          best = static_cast<int>(i);
+          best_score = 1 << 20;
+          break;
+        }
+        continue;
+      }
+      int score = bound_args(lit);
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) {
+      // Only unbound negations/operators remain out of order; take the
+      // first to preserve semantics as written.
+      best = 0;
+    }
+    out.push_back(rest[static_cast<size_t>(best)]);
+    bind_vars(rest[static_cast<size_t>(best)]);
+    rest.erase(rest.begin() + best);
+  }
+  rule->body = std::move(out);
+}
+
+std::string ListingOf(const std::vector<Rule>& rules) {
+  std::ostringstream oss;
+  for (const Rule& r : rules) oss << r.ToString() << "\n";
+  return oss.str();
+}
+
+/// Inserts Ordered Search done-guards (paper §5.4.1): a done literal
+/// before every negated adorned literal, and before every positive
+/// adorned literal of an aggregate rule.
+void InsertDoneGuards(RewrittenProgram* prog, TermFactory* factory) {
+  for (Rule& r : prog->rules) {
+    bool agg = IsAggregateRule(r);
+    std::vector<Literal> new_body;
+    for (const Literal& lit : r.body) {
+      auto mit = prog->magic_of.find(lit.pred_ref());
+      bool guard = mit != prog->magic_of.end() && (lit.negated || agg);
+      if (guard) {
+        PredRef magic = mit->second;
+        Symbol done_sym =
+            factory->symbols().Intern("done$" + magic.sym->name);
+        PredRef done{done_sym, magic.arity};
+        prog->done_of.emplace(magic, done);
+        // The done literal carries the magic arguments: the bound args of
+        // the guarded literal. We cannot rebuild them from the magic rule
+        // here, so recompute from the adornment embedded in the name.
+        Literal done_lit;
+        done_lit.pred = done_sym;
+        // Bound args: positions marked 'b' in the adorned predicate name
+        // suffix (after the '@').
+        const std::string& name = lit.pred->name;
+        size_t at = name.rfind('@');
+        CORAL_CHECK(at != std::string::npos);
+        std::string ad = name.substr(at + 1);
+        CORAL_CHECK_EQ(ad.size(), lit.args.size());
+        for (uint32_t i = 0; i < ad.size(); ++i) {
+          if (ad[i] == 'b') done_lit.args.push_back(lit.args[i]);
+        }
+        new_body.push_back(std::move(done_lit));
+      }
+      new_body.push_back(lit);
+    }
+    r.body = std::move(new_body);
+  }
+}
+
+}  // namespace
+
+StatusOr<RewrittenProgram> RewriteModule(const ModuleDecl& module,
+                                         const QueryFormDecl& form,
+                                         TermFactory* factory) {
+  PredRef query_pred{form.pred,
+                     static_cast<uint32_t>(form.adornment.size())};
+
+  // Verify the query predicate is defined and the adornment length is its
+  // arity.
+  bool defined = false;
+  for (const Rule& r : module.rules) {
+    if (r.head.pred == form.pred) {
+      defined = true;
+      if (r.head.args.size() != form.adornment.size()) {
+        return Status::InvalidArgument(
+            "query form adornment '" + form.adornment + "' does not match " +
+            r.head.pred_ref().ToString());
+      }
+    }
+  }
+  if (!defined) {
+    return Status::NotFound("module " + module.name +
+                            " does not define exported predicate " +
+                            form.pred->name);
+  }
+
+  DepGraph original_graph = DepGraph::Build(module.rules);
+
+  RewrittenProgram out;
+  out.ordered_search = module.ordered_search;
+  out.bound_positions = BoundPositions(form.adornment);
+
+  if (module.rewrite == RewriteKind::kNone) {
+    if (module.ordered_search) {
+      return Status::InvalidArgument(
+          "ordered search requires a magic rewriting (paper §5.4.1); "
+          "remove @no_rewriting in module " + module.name);
+    }
+    if (!original_graph.stratified()) {
+      return Status::InvalidArgument(
+          "module " + module.name + " is not stratified (" +
+          original_graph.violation() +
+          "); use @ordered_search with magic rewriting");
+    }
+    out.rules = module.rules;
+    out.answer_pred = query_pred;
+    out.answer_adornment = "";
+    out.uses_magic = false;
+    out.graph = std::move(original_graph);
+    if (module.reorder_joins) {
+      for (Rule& r : out.rules) ReorderRuleBody(&r, out.graph);
+    }
+    out.seminaive =
+        BuildSemiNaive(out.rules, out.graph, module.save_module, nullptr);
+    out.listing = ListingOf(out.rules);
+    return out;
+  }
+
+  // Magic-style rewriting, with automatic fallback: first try adorning
+  // everything; if the rewritten program tangles negation/aggregation into
+  // a recursive SCC (magic can break stratification), recompute with the
+  // affected predicates protected (evaluated fully, unadorned).
+  std::unordered_set<PredRef, PredRefHash> no_adorn;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    CORAL_ASSIGN_OR_RETURN(
+        AdornedProgram adorned,
+        AdornProgram(module.rules, original_graph.derived(), no_adorn,
+                     query_pred, form.adornment, factory));
+    MagicProgram magic;
+    if (module.rewrite == RewriteKind::kMagic) {
+      CORAL_ASSIGN_OR_RETURN(magic, MagicTemplates(adorned, factory));
+    } else if (module.rewrite == RewriteKind::kFactoring) {
+      if (module.save_module) {
+        return Status::Unsupported(
+            "@factoring is incompatible with @save_module: factored "
+            "answers are only attributable to a single seed per call");
+      }
+      CORAL_ASSIGN_OR_RETURN(magic, ContextFactoring(adorned, factory));
+    } else {
+      CORAL_ASSIGN_OR_RETURN(magic, SupplementaryMagic(adorned, factory));
+    }
+
+    RewrittenProgram prog;
+    prog.ordered_search = module.ordered_search;
+    prog.bound_positions = out.bound_positions;
+    prog.rules = std::move(magic.rules);
+    prog.magic_of = std::move(magic.magic_of);
+    prog.seed_pred = magic.seed_pred;
+    prog.uses_magic = true;
+    prog.answer_pred = adorned.query_pred;
+    prog.answer_adornment = form.adornment;
+    for (const auto& [apred, info] : adorned.adorned) {
+      prog.original_of.emplace(apred, info.original);
+    }
+
+    // Append full (unadorned) rules of protected predicates.
+    if (!no_adorn.empty()) {
+      for (const Rule& r : module.rules) {
+        if (no_adorn.count(r.head.pred_ref())) prog.rules.push_back(r);
+      }
+    }
+
+    if (module.ordered_search) {
+      InsertDoneGuards(&prog, factory);
+    }
+
+    prog.graph = DepGraph::Build(prog.rules);
+    if (!prog.graph.stratified() && !module.ordered_search) {
+      if (attempt == 0) {
+        // Retry with protection.
+        no_adorn = ProtectedClosure(module.rules, original_graph.derived());
+        if (no_adorn.empty()) {
+          return Status::InvalidArgument(
+              "module " + module.name + " is not stratified (" +
+              prog.graph.violation() + ")");
+        }
+        continue;
+      }
+      return Status::InvalidArgument(
+          "module " + module.name + " is not stratified even with full "
+          "evaluation of negated/aggregated predicates (" +
+          prog.graph.violation() + "); use @ordered_search");
+    }
+
+    // Join-order selection never runs under Ordered Search: done guards
+    // must stay immediately before the literals they protect.
+    if (module.reorder_joins && !module.ordered_search) {
+      for (Rule& r : prog.rules) ReorderRuleBody(&r, prog.graph);
+    }
+    std::unordered_set<PredRef, PredRefHash> engine_fed;
+    for (const auto& [magic_pred, done] : prog.done_of) {
+      engine_fed.insert(done);
+    }
+    // The query's magic seed has no defining rules but receives facts
+    // from Seed(); it must be delta-capable or save-module resumption
+    // with a fresh subgoal would never re-fire the guarded rules.
+    engine_fed.insert(prog.seed_pred);
+    prog.seminaive = BuildSemiNaive(
+        prog.rules, prog.graph,
+        module.save_module || module.ordered_search, &engine_fed);
+    prog.listing = ListingOf(prog.rules);
+    return prog;
+  }
+  CORAL_UNREACHABLE();
+}
+
+}  // namespace coral

@@ -1,0 +1,63 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// The query optimizer's rewriting orchestration (paper §2, §4): takes a
+// program module and a query form, applies adornment plus the selected
+// magic rewriting, handles negation/aggregation (by automatic fallback to
+// full evaluation of tangled predicates, or by Ordered Search done-guards),
+// performs the semi-naive rewriting, and produces the internal
+// representation the evaluation system interprets — plus a text listing of
+// the rewritten program, the paper's debugging aid.
+
+#ifndef CORAL_REWRITE_REWRITER_H_
+#define CORAL_REWRITE_REWRITER_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "src/data/term_factory.h"
+#include "src/lang/ast.h"
+#include "src/rewrite/depgraph.h"
+#include "src/rewrite/seminaive.h"
+#include "src/util/status.h"
+
+namespace coral {
+
+/// A compiled (rewritten + semi-naive) materialized module for one query
+/// form.
+struct RewrittenProgram {
+  std::vector<Rule> rules;
+  DepGraph graph;
+  SemiNaiveProgram seminaive;
+
+  /// Predicate whose relation holds the query's answers.
+  PredRef answer_pred;
+  /// Adornment of answer_pred ("" when no rewriting was applied).
+  std::string answer_adornment;
+
+  bool uses_magic = false;
+  PredRef seed_pred;                       // magic predicate to seed
+  std::vector<uint32_t> bound_positions;   // of the original query pred
+
+  /// adorned predicate -> magic predicate (for Ordered Search).
+  std::unordered_map<PredRef, PredRef, PredRefHash> magic_of;
+  /// adorned predicate -> its original (pre-adornment) predicate; used to
+  /// attach per-predicate annotations (indices, aggregate selections,
+  /// multiset) to the rewritten relations.
+  std::unordered_map<PredRef, PredRef, PredRefHash> original_of;
+  /// magic predicate -> done predicate (Ordered Search guards).
+  std::unordered_map<PredRef, PredRef, PredRefHash> done_of;
+  bool ordered_search = false;
+
+  /// Rewritten program listing (paper §2: stored as text as a debugging
+  /// aid for the user).
+  std::string listing;
+};
+
+/// Rewrites `module` for `form`. Materialized modules only (pipelined
+/// modules are interpreted from their original rules).
+StatusOr<RewrittenProgram> RewriteModule(const ModuleDecl& module,
+                                         const QueryFormDecl& form,
+                                         TermFactory* factory);
+
+}  // namespace coral
+
+#endif  // CORAL_REWRITE_REWRITER_H_

@@ -1,0 +1,131 @@
+#include "src/rewrite/seminaive.h"
+
+#include <set>
+
+#include "src/rewrite/existential.h"
+#include "src/util/logging.h"
+
+namespace coral {
+
+std::vector<int> ComputeBacktrackPoints(const Rule& rule) {
+  std::vector<int> targets(rule.body.size(), -1);
+  // binder[v] = last body literal index that can bind variable v before
+  // the current position (head-bound vars come from position -1).
+  std::vector<std::set<uint32_t>> binds(rule.body.size());
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (!rule.body[i].negated) binds[i] = VarsOfLiteral(rule.body[i]);
+  }
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    std::set<uint32_t> vars = VarsOfLiteral(rule.body[i]);
+    int target = -1;
+    for (size_t j = 0; j < i; ++j) {
+      for (uint32_t v : vars) {
+        if (binds[j].count(v)) {
+          target = std::max(target, static_cast<int>(j));
+          break;
+        }
+      }
+    }
+    targets[i] = target;
+  }
+  return targets;
+}
+
+SemiNaiveProgram BuildSemiNaive(
+    const std::vector<Rule>& rules, const DepGraph& graph,
+    bool all_internal_delta,
+    const std::unordered_set<PredRef, PredRefHash>* engine_fed) {
+  SemiNaiveProgram out;
+  out.sccs.resize(graph.sccs().size());
+  for (uint32_t i = 0; i < graph.sccs().size(); ++i) {
+    out.sccs[i].preds = graph.sccs()[i];
+  }
+
+  for (uint32_t ri = 0; ri < rules.size(); ++ri) {
+    const Rule& r = rules[ri];
+    PredRef head = r.head.pred_ref();
+    uint32_t scc = graph.SccOf(head);
+    SccPlan& plan = out.sccs[scc];
+
+    // Positions of positive body literals treated differentially: those
+    // in the same SCC (or every derived literal in all-delta mode), plus
+    // done-predicate guards.
+    std::vector<int> recursive;
+    int done_pos = -1;
+    for (size_t i = 0; i < r.body.size(); ++i) {
+      const Literal& lit = r.body[i];
+      if (lit.negated) continue;
+      PredRef p = lit.pred_ref();
+      bool is_fed = engine_fed != nullptr && engine_fed->count(p) > 0;
+      if (is_fed && done_pos < 0 &&
+          p.sym->name.rfind("done$", 0) == 0) {
+        done_pos = static_cast<int>(i);
+      }
+      if (is_fed ||
+          (graph.IsDerived(p) &&
+           (all_internal_delta || graph.SccOf(p) == scc))) {
+        recursive.push_back(static_cast<int>(i));
+      }
+    }
+
+    std::vector<int> backtrack = ComputeBacktrackPoints(r);
+    bool aggregate = IsAggregateRule(r);
+
+    if (aggregate) {
+      // One version; the delta is the first same-SCC literal (the guard:
+      // magic, supplementary or done literal), everything else full.
+      RuleVersion v;
+      v.rule_index = ri;
+      v.is_aggregate = true;
+      v.ranges.assign(r.body.size(), RangeSel::kFull);
+      v.backtrack = backtrack;
+      if (recursive.empty()) {
+        v.evaluate_once = true;
+        plan.once.push_back(std::move(v));
+      } else {
+        // Aggregation fires once per completed subgoal: the delta is the
+        // done guard when present (Ordered Search), else the first
+        // recursive guard (magic / supplementary literal).
+        int delta = done_pos >= 0 ? done_pos : recursive.front();
+        v.delta_pos = delta;
+        v.ranges[delta] = RangeSel::kDelta;
+        plan.versions.push_back(std::move(v));
+      }
+      continue;
+    }
+
+    if (recursive.empty()) {
+      RuleVersion v;
+      v.rule_index = ri;
+      v.evaluate_once = true;
+      v.ranges.assign(r.body.size(), RangeSel::kFull);
+      v.backtrack = backtrack;
+      plan.once.push_back(std::move(v));
+      continue;
+    }
+
+    // One delta version per recursive occurrence: occurrences before the
+    // delta read the full relation, occurrences after read only old facts
+    // — the classic differential so no all-old combination is repeated.
+    for (size_t k = 0; k < recursive.size(); ++k) {
+      RuleVersion v;
+      v.rule_index = ri;
+      v.delta_pos = recursive[k];
+      v.ranges.assign(r.body.size(), RangeSel::kFull);
+      for (size_t k2 = 0; k2 < recursive.size(); ++k2) {
+        if (k2 < k) {
+          v.ranges[recursive[k2]] = RangeSel::kFull;
+        } else if (k2 == k) {
+          v.ranges[recursive[k2]] = RangeSel::kDelta;
+        } else {
+          v.ranges[recursive[k2]] = RangeSel::kOld;
+        }
+      }
+      v.backtrack = backtrack;
+      plan.versions.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+}  // namespace coral

@@ -1,0 +1,76 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Semi-naive rule rewriting (paper §5.3): for each rule of an SCC, create
+// delta versions — one per occurrence of a predicate of the same SCC — so
+// incremental evaluation across iterations never repeats a join of only
+// old facts. The structures here are the paper's §5.1 "semi-naive rule
+// structures": per-literal window classification, precomputed evaluation
+// order information and backtrack points.
+
+#ifndef CORAL_REWRITE_SEMINAIVE_H_
+#define CORAL_REWRITE_SEMINAIVE_H_
+
+#include <vector>
+
+#include "src/lang/ast.h"
+#include "src/rewrite/depgraph.h"
+
+namespace coral {
+
+/// Which mark window of the relation a body literal reads.
+enum class RangeSel {
+  kFull,   // [0, current)
+  kOld,    // [0, previous mark)
+  kDelta,  // [previous mark, current)
+};
+
+/// One delta version of a rule.
+struct RuleVersion {
+  uint32_t rule_index = 0;             // into the rewritten rule list
+  int delta_pos = -1;                  // body literal serving as the delta
+  std::vector<RangeSel> ranges;        // one per body literal
+  bool evaluate_once = false;          // no same-SCC dependency
+  bool is_aggregate = false;           // aggregation/grouping head
+  /// Intelligent backtracking targets (paper §4.2): for body literal i,
+  /// the deepest earlier literal that binds a variable used by literal i
+  /// (-1 = fail the whole rule). Computed left-to-right.
+  std::vector<int> backtrack;
+};
+
+/// All rule versions of one SCC, evaluated together to fixpoint.
+struct SccPlan {
+  std::vector<PredRef> preds;           // members of the SCC
+  std::vector<RuleVersion> versions;    // iterated versions
+  std::vector<RuleVersion> once;        // evaluated once at SCC start
+};
+
+/// The compiled module structure (paper §5.1): SCC plans in bottom-up
+/// topological order.
+struct SemiNaiveProgram {
+  std::vector<SccPlan> sccs;
+};
+
+/// Builds the semi-naive program. `rules` is the final rewritten rule
+/// list; `graph` its dependency graph. Aggregate rules get exactly one
+/// version whose delta (if any) is their guard literal. With
+/// `all_internal_delta`, every positive derived literal (not only
+/// same-SCC ones) gets a delta version: required for evaluations that
+/// re-enter earlier SCCs incrementally — the save-module facility
+/// (paper §5.4.2, "no derivations repeated across multiple calls") and
+/// Ordered Search.
+/// `engine_fed` (may be null) are predicates with no defining rules that
+/// nevertheless receive facts from the engine — magic seed predicates and
+/// Ordered Search done-predicates. Literals over them are delta-capable
+/// (essential for save-module resumption: a new seed must re-fire the
+/// guarded rules). Aggregate rules prefer a done-predicate guard
+/// (name-prefixed "done$") as their delta.
+SemiNaiveProgram BuildSemiNaive(
+    const std::vector<Rule>& rules, const DepGraph& graph,
+    bool all_internal_delta = false,
+    const std::unordered_set<PredRef, PredRefHash>* engine_fed = nullptr);
+
+/// Computes intelligent-backtracking targets for `rule`.
+std::vector<int> ComputeBacktrackPoints(const Rule& rule);
+
+}  // namespace coral
+
+#endif  // CORAL_REWRITE_SEMINAIVE_H_

@@ -1,0 +1,21 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Supplementary Magic Templates (paper §4.1: the default rewriting, citing
+// [3, 18]). Rule prefixes shared between the magic rules and the answer
+// join are materialized in supplementary predicates sup@<r>_<i>_<head>,
+// projected down to live variables (which implements the projection
+// propagation of Existential Query Rewriting, §4.1).
+
+#ifndef CORAL_REWRITE_SUPMAGIC_H_
+#define CORAL_REWRITE_SUPMAGIC_H_
+
+#include "src/rewrite/magic.h"
+
+namespace coral {
+
+/// Supplementary Magic Templates over the adorned program.
+StatusOr<MagicProgram> SupplementaryMagic(const AdornedProgram& adorned,
+                                          TermFactory* factory);
+
+}  // namespace coral
+
+#endif  // CORAL_REWRITE_SUPMAGIC_H_

@@ -1,0 +1,345 @@
+#include "src/storage/btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace coral {
+
+namespace {
+
+// Entry layout in node data area: [uint16 key_len][key bytes][uint64 val].
+size_t EntrySize(size_t key_len) { return 2 + key_len + 8; }
+
+}  // namespace
+
+void BTreeNode::Init(uint32_t type) {
+  std::memset(frame_, 0, kPageSize);
+  Header* h = header();
+  h->page_type = type;
+  h->count = 0;
+  h->free_end = kPageSize;
+  h->next = kInvalidPageId;
+  h->leftmost = kInvalidPageId;
+}
+
+std::string_view BTreeNode::KeyAt(uint16_t i) const {
+  CORAL_DCHECK(i < count());
+  const char* e = frame_ + dir()[i];
+  uint16_t len;
+  std::memcpy(&len, e, 2);
+  return std::string_view(e + 2, len);
+}
+
+uint64_t BTreeNode::ValueAt(uint16_t i) const {
+  CORAL_DCHECK(i < count());
+  const char* e = frame_ + dir()[i];
+  uint16_t len;
+  std::memcpy(&len, e, 2);
+  uint64_t v;
+  std::memcpy(&v, e + 2 + len, 8);
+  return v;
+}
+
+uint16_t BTreeNode::LowerBound(std::string_view key) const {
+  uint16_t lo = 0, hi = count();
+  while (lo < hi) {
+    uint16_t mid = (lo + hi) / 2;
+    if (KeyAt(mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint16_t BTreeNode::UpperBound(std::string_view key) const {
+  uint16_t lo = 0, hi = count();
+  while (lo < hi) {
+    uint16_t mid = (lo + hi) / 2;
+    if (KeyAt(mid) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool BTreeNode::HasRoomFor(size_t key_len) const {
+  size_t dir_end = sizeof(Header) + 2 * (count() + 1);
+  return dir_end + EntrySize(key_len) <= header()->free_end;
+}
+
+bool BTreeNode::InsertAt(uint16_t pos, std::string_view key,
+                         uint64_t value) {
+  if (!HasRoomFor(key.size())) return false;
+  Header* h = header();
+  size_t esize = EntrySize(key.size());
+  h->free_end = static_cast<uint16_t>(h->free_end - esize);
+  char* e = frame_ + h->free_end;
+  uint16_t len = static_cast<uint16_t>(key.size());
+  std::memcpy(e, &len, 2);
+  std::memcpy(e + 2, key.data(), key.size());
+  std::memcpy(e + 2 + key.size(), &value, 8);
+  uint16_t* d = dir();
+  std::memmove(d + pos + 1, d + pos, 2 * (h->count - pos));
+  d[pos] = h->free_end;
+  ++h->count;
+  return true;
+}
+
+void BTreeNode::RemoveAt(uint16_t pos) {
+  Header* h = header();
+  CORAL_DCHECK(pos < h->count);
+  uint16_t* d = dir();
+  std::memmove(d + pos, d + pos + 1, 2 * (h->count - pos - 1));
+  --h->count;
+  // Dead entry bytes are reclaimed by Compact() when the node fills up.
+}
+
+void BTreeNode::Compact() {
+  std::vector<std::pair<std::string, uint64_t>> entries;
+  entries.reserve(count());
+  for (uint16_t i = 0; i < count(); ++i) {
+    entries.emplace_back(std::string(KeyAt(i)), ValueAt(i));
+  }
+  Header saved = *header();
+  Init(saved.page_type);
+  header()->next = saved.next;
+  header()->leftmost = saved.leftmost;
+  for (uint16_t i = 0; i < entries.size(); ++i) {
+    CORAL_CHECK(InsertAt(i, entries[i].first, entries[i].second));
+  }
+}
+
+StatusOr<BTree> BTree::Create(BufferPool* pool) {
+  CORAL_ASSIGN_OR_RETURN(PageGuard guard, pool->New());
+  guard.MarkDirty();
+  BTreeNode node(guard.data());
+  node.Init(SlottedPage::kBTreeLeaf);
+  return BTree(pool, guard.id());
+}
+
+StatusOr<PageId> BTree::DescendToLeaf(std::string_view key) const {
+  PageId page = root_;
+  while (true) {
+    CORAL_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(page));
+    BTreeNode node(guard.data());
+    if (node.is_leaf()) return page;
+    // Entries are (separator, child); keys below the first separator live
+    // under `leftmost`. Duplicates equal to a separator may span BOTH
+    // sides of it (a leaf split can cut a duplicate run), so descend to
+    // the LEFTMOST candidate — the child before the first separator >=
+    // key — and let callers walk rightward along the leaf chain.
+    uint16_t pos = node.LowerBound(key);
+    page = pos == 0 ? node.header()->leftmost
+                    : static_cast<PageId>(node.ValueAt(pos - 1));
+  }
+}
+
+Status BTree::SplitNode(BTreeNode* node, PageGuard* guard,
+                        SplitInfo* split) {
+  CORAL_ASSIGN_OR_RETURN(PageGuard right_guard, pool_->New());
+  right_guard.MarkDirty();
+  BTreeNode right(right_guard.data());
+  right.Init(node->header()->page_type);
+  uint16_t n = node->count();
+  uint16_t mid = n / 2;
+  CORAL_CHECK_GT(mid, 0);
+
+  if (node->is_leaf()) {
+    for (uint16_t i = mid; i < n; ++i) {
+      CORAL_CHECK(right.InsertAt(static_cast<uint16_t>(i - mid),
+                                 node->KeyAt(i), node->ValueAt(i)));
+    }
+    split->separator = std::string(node->KeyAt(mid));
+    right.header()->next = node->header()->next;
+    node->header()->next = right_guard.id();
+  } else {
+    // Internal: the separator at mid moves UP; right gets entries mid+1..
+    // and its leftmost child is the promoted separator's child.
+    split->separator = std::string(node->KeyAt(mid));
+    right.header()->leftmost = static_cast<PageId>(node->ValueAt(mid));
+    for (uint16_t i = mid + 1; i < n; ++i) {
+      CORAL_CHECK(right.InsertAt(static_cast<uint16_t>(i - mid - 1),
+                                 node->KeyAt(i), node->ValueAt(i)));
+    }
+  }
+  // Shrink the left node.
+  for (uint16_t i = n; i-- > mid;) node->RemoveAt(i);
+  node->Compact();
+  split->happened = true;
+  split->right = right_guard.id();
+  right_guard.MarkDirty();
+  guard->MarkDirty();
+  return Status::OK();
+}
+
+Status BTree::InsertRec(PageId page, std::string_view key, uint64_t value,
+                        SplitInfo* split) {
+  CORAL_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(page));
+  guard.MarkDirty();  // before-image precedes any modification (WAL rule)
+  BTreeNode node(guard.data());
+
+  if (node.is_leaf()) {
+    uint16_t pos = node.UpperBound(key);  // duplicates stay adjacent
+    if (!node.InsertAt(pos, key, value)) {
+      node.Compact();
+      if (!node.InsertAt(node.UpperBound(key), key, value)) {
+        CORAL_RETURN_IF_ERROR(SplitNode(&node, &guard, split));
+        // Retry into the correct half.
+        if (key >= split->separator) {
+          CORAL_ASSIGN_OR_RETURN(PageGuard rg, pool_->Fetch(split->right));
+          rg.MarkDirty();
+          BTreeNode right(rg.data());
+          CORAL_CHECK(right.InsertAt(right.UpperBound(key), key, value));
+        } else {
+          CORAL_CHECK(node.InsertAt(node.UpperBound(key), key, value));
+        }
+      }
+    }
+    guard.MarkDirty();
+    return Status::OK();
+  }
+
+  uint16_t pos = node.UpperBound(key);
+  PageId child = pos == 0 ? node.header()->leftmost
+                          : static_cast<PageId>(node.ValueAt(pos - 1));
+  SplitInfo child_split;
+  CORAL_RETURN_IF_ERROR(InsertRec(child, key, value, &child_split));
+  if (!child_split.happened) return Status::OK();
+
+  // Insert (separator, right child) into this node.
+  uint16_t ins = node.UpperBound(child_split.separator);
+  if (!node.InsertAt(ins, child_split.separator, child_split.right)) {
+    node.Compact();
+    ins = node.UpperBound(child_split.separator);
+    if (!node.InsertAt(ins, child_split.separator, child_split.right)) {
+      CORAL_RETURN_IF_ERROR(SplitNode(&node, &guard, split));
+      BTreeNode* target = &node;
+      PageGuard rg;
+      BTreeNode rnode(nullptr);
+      if (child_split.separator >= split->separator) {
+        CORAL_ASSIGN_OR_RETURN(rg, pool_->Fetch(split->right));
+        rg.MarkDirty();
+        rnode = BTreeNode(rg.data());
+        target = &rnode;
+      }
+      CORAL_CHECK(target->InsertAt(
+          target->UpperBound(child_split.separator), child_split.separator,
+          child_split.right));
+    }
+  }
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Status BTree::Insert(std::string_view key, Rid rid) {
+  if (EntrySize(key.size()) > kPageSize / 4) {
+    return Status::InvalidArgument("index key too large");
+  }
+  SplitInfo split;
+  CORAL_RETURN_IF_ERROR(InsertRec(root_, key, PackRid(rid), &split));
+  if (split.happened) {
+    // Grow a new root.
+    CORAL_ASSIGN_OR_RETURN(PageGuard guard, pool_->New());
+    guard.MarkDirty();
+    BTreeNode new_root(guard.data());
+    new_root.Init(SlottedPage::kBTreeInternal);
+    new_root.header()->leftmost = root_;
+    CORAL_CHECK(new_root.InsertAt(0, split.separator, split.right));
+    guard.MarkDirty();
+    root_ = guard.id();
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> BTree::Delete(std::string_view key, Rid rid) {
+  CORAL_ASSIGN_OR_RETURN(PageId leaf, DescendToLeaf(key));
+  uint64_t packed = PackRid(rid);
+  PageId page = leaf;
+  while (page != kInvalidPageId) {
+    CORAL_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(page));
+    BTreeNode node(guard.data());
+    uint16_t pos = node.LowerBound(key);
+    for (; pos < node.count() && node.KeyAt(pos) == key; ++pos) {
+      if (node.ValueAt(pos) == packed) {
+        guard.MarkDirty();
+        node.RemoveAt(pos);
+        return true;
+      }
+    }
+    if (pos < node.count()) return false;  // keys moved past `key`
+    page = node.header()->next;
+  }
+  return false;
+}
+
+Status BTree::Lookup(std::string_view key, std::vector<Rid>* out) const {
+  CORAL_ASSIGN_OR_RETURN(PageId leaf, DescendToLeaf(key));
+  PageId page = leaf;
+  while (page != kInvalidPageId) {
+    CORAL_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(page));
+    BTreeNode node(guard.data());
+    uint16_t pos = node.LowerBound(key);
+    bool saw_greater = false;
+    for (; pos < node.count(); ++pos) {
+      std::string_view k = node.KeyAt(pos);
+      if (k != key) {
+        saw_greater = true;
+        break;
+      }
+      out->push_back(UnpackRid(node.ValueAt(pos)));
+    }
+    if (saw_greater) break;
+    page = node.header()->next;
+  }
+  return Status::OK();
+}
+
+Status BTree::Range(std::string_view lo, std::string_view hi,
+                    std::vector<std::pair<std::string, Rid>>* out) const {
+  CORAL_ASSIGN_OR_RETURN(PageId leaf, DescendToLeaf(lo));
+  PageId page = leaf;
+  while (page != kInvalidPageId) {
+    CORAL_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(page));
+    BTreeNode node(guard.data());
+    uint16_t pos = node.LowerBound(lo);
+    bool past_hi = false;
+    for (; pos < node.count(); ++pos) {
+      std::string_view k = node.KeyAt(pos);
+      if (k > hi) {
+        past_hi = true;
+        break;
+      }
+      out->emplace_back(std::string(k), UnpackRid(node.ValueAt(pos)));
+    }
+    if (past_hi) break;
+    page = node.header()->next;
+  }
+  return Status::OK();
+}
+
+StatusOr<size_t> BTree::CountEntries() const {
+  // Walk to the leftmost leaf, then the leaf chain.
+  PageId page = root_;
+  while (true) {
+    CORAL_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(page));
+    BTreeNode node(guard.data());
+    if (node.is_leaf()) break;
+    page = node.header()->leftmost;
+  }
+  size_t total = 0;
+  while (page != kInvalidPageId) {
+    CORAL_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(page));
+    BTreeNode node(guard.data());
+    total += node.count();
+    page = node.header()->next;
+  }
+  return total;
+}
+
+}  // namespace coral

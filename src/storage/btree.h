@@ -1,0 +1,125 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// B+-tree index over persistent relations (paper §3.3: "B-tree indices
+// for persistent relations are currently available"). Keys are
+// order-preserving byte strings (serialized primitive values); values are
+// record ids. Non-unique: duplicate keys are stored adjacently. Deletion
+// is by tombstone-free entry removal without rebalancing (underflowing
+// nodes are tolerated), a common simplification for single-user systems.
+
+#ifndef CORAL_STORAGE_BTREE_H_
+#define CORAL_STORAGE_BTREE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/storage/buffer_pool.h"
+#include "src/storage/page.h"
+
+namespace coral {
+
+/// Sorted-node view over a raw page. Entries are (key, uint64 value);
+/// the directory keeps key order, entry data grows from the page end.
+class BTreeNode {
+ public:
+  struct Header {
+    uint32_t page_type;  // kBTreeLeaf / kBTreeInternal
+    uint16_t count;
+    uint16_t free_end;
+    PageId next;        // leaf chain; kInvalidPageId for internal
+    uint32_t leftmost;  // internal nodes: child for keys < first key
+  };
+
+  explicit BTreeNode(char* frame) : frame_(frame) {}
+
+  void Init(uint32_t type);
+  Header* header() { return reinterpret_cast<Header*>(frame_); }
+  const Header* header() const {
+    return reinterpret_cast<const Header*>(frame_);
+  }
+  bool is_leaf() const {
+    return header()->page_type == SlottedPage::kBTreeLeaf;
+  }
+  uint16_t count() const { return header()->count; }
+
+  std::string_view KeyAt(uint16_t i) const;
+  uint64_t ValueAt(uint16_t i) const;
+
+  /// First position with key >= `key`.
+  uint16_t LowerBound(std::string_view key) const;
+  /// First position with key > `key`.
+  uint16_t UpperBound(std::string_view key) const;
+
+  bool HasRoomFor(size_t key_len) const;
+  /// Inserts at position `pos` (caller keeps order). False if full.
+  bool InsertAt(uint16_t pos, std::string_view key, uint64_t value);
+  void RemoveAt(uint16_t pos);
+  /// Rebuilds the node dropping dead space.
+  void Compact();
+
+  char* raw() { return frame_; }
+
+ private:
+  uint16_t* dir() {
+    return reinterpret_cast<uint16_t*>(frame_ + sizeof(Header));
+  }
+  const uint16_t* dir() const {
+    return reinterpret_cast<const uint16_t*>(frame_ + sizeof(Header));
+  }
+
+  char* frame_;
+};
+
+/// Packs a Rid into the 64-bit value payload.
+inline uint64_t PackRid(Rid rid) {
+  return (static_cast<uint64_t>(rid.page) << 16) | rid.slot;
+}
+inline Rid UnpackRid(uint64_t v) {
+  return Rid{static_cast<PageId>(v >> 16), static_cast<uint16_t>(v & 0xffff)};
+}
+
+class BTree {
+ public:
+  /// Creates an empty tree (a single leaf root).
+  static StatusOr<BTree> Create(BufferPool* pool);
+  /// Opens an existing tree.
+  static BTree Open(BufferPool* pool, PageId root) {
+    return BTree(pool, root);
+  }
+
+  PageId root() const { return root_; }
+
+  Status Insert(std::string_view key, Rid rid);
+  /// Removes one (key, rid) entry; false if absent.
+  StatusOr<bool> Delete(std::string_view key, Rid rid);
+  /// All rids stored under exactly `key`.
+  Status Lookup(std::string_view key, std::vector<Rid>* out) const;
+  /// All (key, rid) pairs with lo <= key <= hi, in key order.
+  Status Range(std::string_view lo, std::string_view hi,
+               std::vector<std::pair<std::string, Rid>>* out) const;
+
+  /// Number of entries (full scan; for tests).
+  StatusOr<size_t> CountEntries() const;
+
+ private:
+  BTree(BufferPool* pool, PageId root) : pool_(pool), root_(root) {}
+
+  struct SplitInfo {
+    bool happened = false;
+    std::string separator;  // first key of the right node
+    PageId right = kInvalidPageId;
+  };
+
+  Status InsertRec(PageId page, std::string_view key, uint64_t value,
+                   SplitInfo* split);
+  Status SplitNode(BTreeNode* node, PageGuard* guard, SplitInfo* split);
+  /// Leftmost leaf whose keys may contain `key`.
+  StatusOr<PageId> DescendToLeaf(std::string_view key) const;
+
+  BufferPool* pool_;
+  PageId root_;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_STORAGE_BTREE_H_

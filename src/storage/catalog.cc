@@ -1,0 +1,173 @@
+#include "src/storage/catalog.h"
+
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace coral {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x434f52414c444231ull;  // "CORALDB1"
+
+struct MetaPage {
+  uint64_t magic;
+  PageId catalog_heap;
+};
+
+// --- record (de)serialization -----------------------------------------
+
+void PutU16(std::string* out, uint16_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 2);
+}
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 4);
+}
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 8);
+}
+
+template <typename T>
+bool GetRaw(std::span<const char> in, size_t* pos, T* out) {
+  if (*pos + sizeof(T) > in.size()) return false;
+  std::memcpy(out, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+std::string SerializeMeta(const RelationMeta& m) {
+  std::string out;
+  PutU16(&out, static_cast<uint16_t>(m.name.size()));
+  out += m.name;
+  PutU32(&out, m.arity);
+  PutU32(&out, m.heap_first);
+  PutU64(&out, m.count);
+  PutU16(&out, static_cast<uint16_t>(m.indexes.size()));
+  for (const IndexMeta& idx : m.indexes) {
+    PutU16(&out, static_cast<uint16_t>(idx.cols.size()));
+    for (uint32_t c : idx.cols) PutU32(&out, c);
+    PutU32(&out, idx.root);
+  }
+  return out;
+}
+
+StatusOr<RelationMeta> DeserializeMeta(std::span<const char> rec) {
+  RelationMeta m;
+  size_t pos = 0;
+  uint16_t name_len;
+  if (!GetRaw(rec, &pos, &name_len) || pos + name_len > rec.size()) {
+    return Status::Corruption("catalog record truncated");
+  }
+  m.name.assign(rec.data() + pos, name_len);
+  pos += name_len;
+  uint16_t n_idx;
+  if (!GetRaw(rec, &pos, &m.arity) || !GetRaw(rec, &pos, &m.heap_first) ||
+      !GetRaw(rec, &pos, &m.count) || !GetRaw(rec, &pos, &n_idx)) {
+    return Status::Corruption("catalog record truncated");
+  }
+  for (uint16_t i = 0; i < n_idx; ++i) {
+    IndexMeta idx;
+    uint16_t ncols;
+    if (!GetRaw(rec, &pos, &ncols)) {
+      return Status::Corruption("catalog record truncated");
+    }
+    for (uint16_t c = 0; c < ncols; ++c) {
+      uint32_t col;
+      if (!GetRaw(rec, &pos, &col)) {
+        return Status::Corruption("catalog record truncated");
+      }
+      idx.cols.push_back(col);
+    }
+    if (!GetRaw(rec, &pos, &idx.root)) {
+      return Status::Corruption("catalog record truncated");
+    }
+    m.indexes.push_back(std::move(idx));
+  }
+  return m;
+}
+
+}  // namespace
+
+StatusOr<Catalog> Catalog::Open(BufferPool* pool) {
+  Catalog cat;
+  // Bootstrap an empty database: meta page + catalog heap.
+  if (pool->frame_count() == 0) {
+    return Status::InvalidArgument("buffer pool has no frames");
+  }
+  bool fresh = false;
+  {
+    // Try to fetch page 0; allocate on a brand new file.
+    auto guard = pool->Fetch(0);
+    if (!guard.ok()) {
+      CORAL_ASSIGN_OR_RETURN(PageGuard meta_guard, pool->New());
+      CORAL_CHECK_EQ(meta_guard.id(), 0u);
+      fresh = true;
+      meta_guard.MarkDirty();
+      CORAL_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Create(pool));
+      auto* meta = reinterpret_cast<MetaPage*>(meta_guard.data());
+      meta->magic = kMagic;
+      meta->catalog_heap = heap.first_page();
+      cat.catalog_heap_ = heap.first_page();
+    } else {
+      const auto* meta = reinterpret_cast<const MetaPage*>(guard->data());
+      if (meta->magic != kMagic) {
+        return Status::Corruption("not a CORAL database file");
+      }
+      cat.catalog_heap_ = meta->catalog_heap;
+    }
+  }
+  if (!fresh) {
+    CORAL_ASSIGN_OR_RETURN(HeapFile heap,
+                           HeapFile::Open(pool, cat.catalog_heap_));
+    HeapFile::Iterator it = heap.Scan();
+    std::span<const char> rec;
+    Rid rid;
+    while (it.Next(&rec, &rid)) {
+      CORAL_ASSIGN_OR_RETURN(RelationMeta m, DeserializeMeta(rec));
+      cat.entries_.push_back(std::move(m));
+    }
+    CORAL_RETURN_IF_ERROR(it.status());
+  }
+  return cat;
+}
+
+RelationMeta* Catalog::Find(const std::string& name, uint32_t arity) {
+  for (RelationMeta& m : entries_) {
+    if (m.name == name && m.arity == arity) return &m;
+  }
+  return nullptr;
+}
+
+void Catalog::Upsert(RelationMeta meta) {
+  for (RelationMeta& m : entries_) {
+    if (m.name == meta.name && m.arity == meta.arity) {
+      m = std::move(meta);
+      return;
+    }
+  }
+  entries_.push_back(std::move(meta));
+}
+
+Status Catalog::Save(BufferPool* pool) {
+  // Tombstone every existing record, then append the current entries.
+  CORAL_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Open(pool, catalog_heap_));
+  {
+    HeapFile::Iterator it = heap.Scan();
+    std::span<const char> rec;
+    Rid rid;
+    std::vector<Rid> old;
+    while (it.Next(&rec, &rid)) old.push_back(rid);
+    CORAL_RETURN_IF_ERROR(it.status());
+    for (Rid r : old) {
+      CORAL_RETURN_IF_ERROR(heap.Delete(r).status());
+    }
+  }
+  for (const RelationMeta& m : entries_) {
+    std::string rec = SerializeMeta(m);
+    CORAL_RETURN_IF_ERROR(
+        heap.Append(std::span<const char>(rec.data(), rec.size())).status());
+  }
+  return Status::OK();
+}
+
+}  // namespace coral

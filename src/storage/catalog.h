@@ -1,0 +1,52 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Persistent catalog: names, arities, heap roots and index roots of all
+// persistent relations, stored in the database file itself (meta page 0
+// points at a catalog heap file).
+
+#ifndef CORAL_STORAGE_CATALOG_H_
+#define CORAL_STORAGE_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/storage/buffer_pool.h"
+#include "src/storage/heap_file.h"
+
+namespace coral {
+
+struct IndexMeta {
+  std::vector<uint32_t> cols;
+  PageId root = kInvalidPageId;
+};
+
+struct RelationMeta {
+  std::string name;
+  uint32_t arity = 0;
+  PageId heap_first = kInvalidPageId;
+  uint64_t count = 0;
+  std::vector<IndexMeta> indexes;
+};
+
+class Catalog {
+ public:
+  /// Loads (or bootstraps) the catalog. The database's meta page is page
+  /// 0; a fresh file gets it allocated here.
+  static StatusOr<Catalog> Open(BufferPool* pool);
+
+  const std::vector<RelationMeta>& relations() const { return entries_; }
+  RelationMeta* Find(const std::string& name, uint32_t arity);
+
+  /// Adds or replaces an entry. Call Save to persist.
+  void Upsert(RelationMeta meta);
+
+  /// Rewrites the catalog heap.
+  Status Save(BufferPool* pool);
+
+ private:
+  PageId catalog_heap_ = kInvalidPageId;
+  std::vector<RelationMeta> entries_;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_STORAGE_CATALOG_H_

@@ -1,0 +1,104 @@
+#include "src/storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace coral {
+
+DiskManager::~DiskManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status DiskManager::Open(const std::string& path) {
+  CORAL_CHECK(fd_ < 0) << "disk manager already open";
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  path_ = path;
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return Status::IOError("fstat " + path + ": " + std::strerror(errno));
+  }
+  if (st.st_size % kPageSize != 0) {
+    return Status::Corruption("database file size not page-aligned: " +
+                              path);
+  }
+  num_pages_ = static_cast<uint32_t>(st.st_size / kPageSize);
+  return Status::OK();
+}
+
+Status DiskManager::Close() {
+  if (fd_ >= 0) {
+    if (::close(fd_) != 0) {
+      fd_ = -1;
+      return Status::IOError("close: " + std::string(std::strerror(errno)));
+    }
+    fd_ = -1;
+  }
+  return Status::OK();
+}
+
+StatusOr<PageId> DiskManager::AllocatePage() {
+  CORAL_CHECK(fd_ >= 0);
+  PageId id = num_pages_;
+  std::vector<char> zero(kPageSize, 0);
+  ssize_t n = ::pwrite(fd_, zero.data(), kPageSize,
+                       static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("allocate page: " +
+                           std::string(std::strerror(errno)));
+  }
+  ++num_pages_;
+  ++writes_;
+  return id;
+}
+
+Status DiskManager::ReadPage(PageId id, char* buf) {
+  CORAL_CHECK(fd_ >= 0);
+  if (id >= num_pages_) {
+    return Status::OutOfRange("read of unallocated page " +
+                              std::to_string(id));
+  }
+  ssize_t n =
+      ::pread(fd_, buf, kPageSize, static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("read page " + std::to_string(id) + ": " +
+                           std::string(std::strerror(errno)));
+  }
+  ++reads_;
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const char* buf) {
+  CORAL_CHECK(fd_ >= 0);
+  if (id >= num_pages_) {
+    return Status::OutOfRange("write of unallocated page " +
+                              std::to_string(id));
+  }
+  ssize_t n =
+      ::pwrite(fd_, buf, kPageSize, static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("write page " + std::to_string(id) + ": " +
+                           std::string(std::strerror(errno)));
+  }
+  ++writes_;
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  CORAL_CHECK(fd_ >= 0);
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("fsync: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace coral

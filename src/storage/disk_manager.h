@@ -1,0 +1,53 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// The "server" side of the EXODUS-substitute storage manager: a
+// file-backed page store. CORAL's client buffer pool issues page-level
+// read/write requests here — the paper's §2 "a request is forwarded to
+// the EXODUS server and the page with the requested tuple is retrieved",
+// simulated in-process (DESIGN.md §4).
+
+#ifndef CORAL_STORAGE_DISK_MANAGER_H_
+#define CORAL_STORAGE_DISK_MANAGER_H_
+
+#include <string>
+
+#include "src/storage/page.h"
+#include "src/util/status.h"
+
+namespace coral {
+
+class DiskManager {
+ public:
+  DiskManager() = default;
+  ~DiskManager();
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  /// Opens (creating if needed) the database file.
+  Status Open(const std::string& path);
+  Status Close();
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Appends a zeroed page; returns its id.
+  StatusOr<PageId> AllocatePage();
+
+  Status ReadPage(PageId id, char* buf);
+  Status WritePage(PageId id, const char* buf);
+  Status Sync();
+
+  uint32_t num_pages() const { return num_pages_; }
+
+  // I/O counters for the benchmark harness (experiment C9).
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint32_t num_pages_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,99 @@
+#include "src/storage/heap_file.h"
+
+#include "src/util/logging.h"
+
+namespace coral {
+
+StatusOr<HeapFile> HeapFile::Create(BufferPool* pool) {
+  CORAL_ASSIGN_OR_RETURN(PageGuard guard, pool->New());
+  SlottedPage page(guard.data());
+  guard.MarkDirty();
+  page.Init(SlottedPage::kHeapPage);
+  return HeapFile(pool, guard.id(), guard.id());
+}
+
+StatusOr<HeapFile> HeapFile::Open(BufferPool* pool, PageId first) {
+  PageId last = first;
+  while (true) {
+    CORAL_ASSIGN_OR_RETURN(PageGuard guard, pool->Fetch(last));
+    SlottedPage page(guard.data());
+    if (page.header()->page_type != SlottedPage::kHeapPage) {
+      return Status::Corruption("heap chain contains a non-heap page");
+    }
+    PageId next = page.next_page();
+    if (next == kInvalidPageId) break;
+    last = next;
+  }
+  return HeapFile(pool, first, last);
+}
+
+StatusOr<Rid> HeapFile::Append(std::span<const char> record) {
+  if (record.size() > kPageSize / 2) {
+    return Status::InvalidArgument(
+        "record too large for a page: " + std::to_string(record.size()) +
+        " bytes");
+  }
+  CORAL_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(last_));
+  SlottedPage page(guard.data());
+  if (!page.HasRoomFor(record.size())) {
+    CORAL_ASSIGN_OR_RETURN(PageGuard fresh, pool_->New());
+    SlottedPage next(fresh.data());
+    fresh.MarkDirty();
+    next.Init(SlottedPage::kHeapPage);
+    int slot = next.Insert(record);
+    CORAL_CHECK(slot >= 0);
+    guard.MarkDirty();
+    page.set_next_page(fresh.id());
+    last_ = fresh.id();
+    return Rid{fresh.id(), static_cast<uint16_t>(slot)};
+  }
+  guard.MarkDirty();
+  int slot = page.Insert(record);
+  CORAL_CHECK(slot >= 0);
+  return Rid{guard.id(), static_cast<uint16_t>(slot)};
+}
+
+StatusOr<bool> HeapFile::Delete(Rid rid) {
+  CORAL_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(rid.page));
+  SlottedPage page(guard.data());
+  if (page.Get(rid.slot).empty()) return false;
+  guard.MarkDirty();  // before modification: WAL before-image
+  return page.Delete(rid.slot);
+}
+
+StatusOr<std::vector<char>> HeapFile::Read(Rid rid) const {
+  CORAL_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(rid.page));
+  SlottedPage page(guard.data());
+  std::span<const char> rec = page.Get(rid.slot);
+  return std::vector<char>(rec.begin(), rec.end());
+}
+
+bool HeapFile::Iterator::Next(std::span<const char>* record, Rid* rid) {
+  while (true) {
+    if (!loaded_) {
+      if (page_id_ == kInvalidPageId) return false;
+      auto guard = pool_->Fetch(page_id_);
+      if (!guard.ok()) {
+        status_ = guard.status();
+        return false;
+      }
+      guard_ = std::move(guard).value();
+      slot_ = 0;
+      loaded_ = true;
+    }
+    SlottedPage page(guard_.data());
+    while (slot_ < page.slot_count()) {
+      uint16_t s = slot_++;
+      std::span<const char> rec = page.Get(s);
+      if (rec.empty()) continue;  // tombstone
+      *record = rec;
+      *rid = Rid{page_id_, s};
+      return true;
+    }
+    page_id_ = page.next_page();
+    guard_.Release();
+    loaded_ = false;
+  }
+}
+
+}  // namespace coral

@@ -1,0 +1,67 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Heap files: chains of slotted pages holding a persistent relation's
+// records. Scans pull pages through the client buffer pool on demand —
+// "a 'get-next-tuple' request on a persistent relation results in a
+// page-level I/O request by the buffer manager" (paper §2).
+
+#ifndef CORAL_STORAGE_HEAP_FILE_H_
+#define CORAL_STORAGE_HEAP_FILE_H_
+
+#include <vector>
+
+#include "src/storage/buffer_pool.h"
+#include "src/storage/page.h"
+
+namespace coral {
+
+class HeapFile {
+ public:
+  /// Opens an existing heap file rooted at `first` (chases the chain to
+  /// find the append page).
+  static StatusOr<HeapFile> Open(BufferPool* pool, PageId first);
+  /// Creates a fresh heap file; returns it with its root page id set.
+  static StatusOr<HeapFile> Create(BufferPool* pool);
+
+  PageId first_page() const { return first_; }
+
+  /// Appends a record (must fit a page). Returns its rid.
+  StatusOr<Rid> Append(std::span<const char> record);
+
+  /// Tombstones a record. Returns false if absent/already deleted.
+  StatusOr<bool> Delete(Rid rid);
+
+  /// Copies the record out; empty when deleted.
+  StatusOr<std::vector<char>> Read(Rid rid) const;
+
+  /// Forward scan over live records. Keeps one page pinned at a time.
+  class Iterator {
+   public:
+    Iterator(BufferPool* pool, PageId first) : pool_(pool), page_id_(first) {}
+    /// Advances; false at end. On true, *record points into the pinned
+    /// page and is valid until the next call.
+    bool Next(std::span<const char>* record, Rid* rid);
+    const Status& status() const { return status_; }
+
+   private:
+    BufferPool* pool_;
+    PageId page_id_;
+    uint16_t slot_ = 0;
+    PageGuard guard_;
+    bool loaded_ = false;
+    Status status_;
+  };
+
+  Iterator Scan() const { return Iterator(pool_, first_); }
+
+ private:
+  HeapFile(BufferPool* pool, PageId first, PageId last)
+      : pool_(pool), first_(first), last_(last) {}
+
+  BufferPool* pool_;
+  PageId first_;
+  PageId last_;  // cached append target
+};
+
+}  // namespace coral
+
+#endif  // CORAL_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,78 @@
+#include "src/storage/page.h"
+
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace coral {
+
+void SlottedPage::Init(uint32_t page_type) {
+  std::memset(frame_, 0, kPageSize);
+  Header* h = header();
+  h->page_type = page_type;
+  h->slot_count = 0;
+  h->free_end = kPageSize;
+  h->next_page = kInvalidPageId;
+  h->aux = 0;
+}
+
+size_t SlottedPage::FreeSpace() const {
+  size_t slots_end =
+      sizeof(Header) + sizeof(SlotEntry) * header()->slot_count;
+  CORAL_DCHECK(header()->free_end >= slots_end);
+  return header()->free_end - slots_end;
+}
+
+bool SlottedPage::HasRoomFor(size_t size) const {
+  return FreeSpace() >= size + sizeof(SlotEntry);
+}
+
+int SlottedPage::Insert(std::span<const char> record) {
+  if (!HasRoomFor(record.size())) return -1;
+  Header* h = header();
+  uint16_t slot = h->slot_count++;
+  h->free_end = static_cast<uint16_t>(h->free_end - record.size());
+  SlotEntry* e = slot_entry(slot);
+  e->offset = h->free_end;
+  e->length = static_cast<uint16_t>(record.size());
+  std::memcpy(frame_ + e->offset, record.data(), record.size());
+  return slot;
+}
+
+bool SlottedPage::Delete(uint16_t slot) {
+  if (slot >= header()->slot_count) return false;
+  SlotEntry* e = slot_entry(slot);
+  if (e->offset == 0) return false;
+  e->offset = 0;
+  e->length = 0;
+  return true;
+}
+
+std::span<const char> SlottedPage::Get(uint16_t slot) const {
+  if (slot >= header()->slot_count) return {};
+  const SlotEntry* e = slot_entry(slot);
+  if (e->offset == 0) return {};
+  return {frame_ + e->offset, e->length};
+}
+
+void SlottedPage::Compact() {
+  std::vector<std::vector<char>> live;
+  uint16_t n = header()->slot_count;
+  live.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    std::span<const char> r = Get(i);
+    if (!r.empty()) live.emplace_back(r.begin(), r.end());
+  }
+  uint32_t type = header()->page_type;
+  PageId next = header()->next_page;
+  uint32_t aux = header()->aux;
+  Init(type);
+  header()->next_page = next;
+  header()->aux = aux;
+  for (const auto& r : live) {
+    int slot = Insert(std::span<const char>(r.data(), r.size()));
+    CORAL_CHECK(slot >= 0);
+  }
+}
+
+}  // namespace coral

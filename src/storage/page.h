@@ -1,0 +1,104 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Slotted pages: the on-disk unit of the storage manager that substitutes
+// for EXODUS (paper §2, §3.2; see DESIGN.md §4 for the substitution
+// rationale). Records are variable length; slots grow from the front,
+// record data from the back.
+
+#ifndef CORAL_STORAGE_PAGE_H_
+#define CORAL_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace coral {
+
+inline constexpr size_t kPageSize = 8192;
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xffffffffu;
+
+/// Record id: page + slot.
+struct Rid {
+  PageId page = kInvalidPageId;
+  uint16_t slot = 0;
+  bool valid() const { return page != kInvalidPageId; }
+  bool operator==(const Rid& o) const {
+    return page == o.page && slot == o.slot;
+  }
+};
+
+/// A view over one 8 KiB frame laid out as a slotted page.
+///
+/// Layout:
+///   [ PageHeader | slot directory (4B each, growing) ... free ...
+///     record data (growing downward) ]
+/// A slot offset of 0 marks a deleted record (data space is not reclaimed
+/// until compaction, which we do opportunistically on insert).
+class SlottedPage {
+ public:
+  struct Header {
+    uint32_t page_type;     // kHeapPage / kBTreeLeaf / kBTreeInternal / ...
+    uint16_t slot_count;
+    uint16_t free_end;      // offset where record data begins
+    PageId next_page;       // heap chain / leaf chain
+    uint32_t aux;           // type-specific (e.g. B-tree level)
+  };
+  static constexpr uint32_t kHeapPage = 1;
+  static constexpr uint32_t kBTreeLeaf = 2;
+  static constexpr uint32_t kBTreeInternal = 3;
+  static constexpr uint32_t kMetaPage = 4;
+
+  explicit SlottedPage(char* frame) : frame_(frame) {}
+
+  /// Formats a fresh page.
+  void Init(uint32_t page_type);
+
+  Header* header() { return reinterpret_cast<Header*>(frame_); }
+  const Header* header() const {
+    return reinterpret_cast<const Header*>(frame_);
+  }
+
+  uint16_t slot_count() const { return header()->slot_count; }
+  PageId next_page() const { return header()->next_page; }
+  void set_next_page(PageId p) { header()->next_page = p; }
+
+  /// Space available for one more record of `size` bytes (slot included).
+  bool HasRoomFor(size_t size) const;
+
+  /// Appends a record; returns its slot or -1 if full.
+  int Insert(std::span<const char> record);
+
+  /// Marks a slot deleted. Returns false if already deleted / invalid.
+  bool Delete(uint16_t slot);
+
+  /// Record bytes for `slot`; empty span when deleted.
+  std::span<const char> Get(uint16_t slot) const;
+
+  /// Bytes of free space remaining.
+  size_t FreeSpace() const;
+
+  /// Rewrites the page dropping deleted slots' data (slot ids change!).
+  /// Only safe for structures that re-derive slot ids (B-tree nodes).
+  void Compact();
+
+  char* raw() { return frame_; }
+  const char* raw() const { return frame_; }
+
+ private:
+  struct SlotEntry {
+    uint16_t offset;  // 0 = deleted
+    uint16_t length;
+  };
+  SlotEntry* slot_entry(uint16_t i) {
+    return reinterpret_cast<SlotEntry*>(frame_ + sizeof(Header)) + i;
+  }
+  const SlotEntry* slot_entry(uint16_t i) const {
+    return reinterpret_cast<const SlotEntry*>(frame_ + sizeof(Header)) + i;
+  }
+
+  char* frame_;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_STORAGE_PAGE_H_

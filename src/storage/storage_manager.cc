@@ -1,0 +1,167 @@
+#include "src/storage/storage_manager.h"
+
+#include "src/core/database.h"
+#include "src/util/logging.h"
+
+namespace coral {
+
+StatusOr<std::unique_ptr<StorageManager>> StorageManager::Open(
+    const std::string& path_prefix, TermFactory* factory, Options options) {
+  auto sm = std::unique_ptr<StorageManager>(new StorageManager(factory));
+  std::string db_path = path_prefix + ".db";
+  std::string wal_path = path_prefix + ".wal";
+
+  CORAL_RETURN_IF_ERROR(sm->disk_.Open(db_path));
+  // Crash recovery before any page is cached.
+  CORAL_RETURN_IF_ERROR(WriteAheadLog::Recover(wal_path, &sm->disk_));
+  CORAL_RETURN_IF_ERROR(sm->wal_.Open(wal_path));
+
+  sm->pool_ = std::make_unique<BufferPool>(&sm->disk_, options.pool_frames);
+  // WAL protocol: log the before-image on the first modification of each
+  // page inside a transaction.
+  StorageManager* raw = sm.get();
+  sm->pool_->SetModifyHook([raw](PageId page, const char* before) {
+    Status st = raw->wal_.LogBeforeImage(page, before);
+    CORAL_CHECK(st.ok()) << st.ToString();
+  });
+
+  CORAL_ASSIGN_OR_RETURN(sm->catalog_, Catalog::Open(sm->pool_.get()));
+  CORAL_RETURN_IF_ERROR(sm->OpenAll().status());
+  return sm;
+}
+
+StorageManager::~StorageManager() {
+  if (disk_.is_open()) {
+    Status st = Close();
+    if (!st.ok()) {
+      std::fprintf(stderr, "coral: storage close failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+}
+
+Status StorageManager::Close() {
+  CORAL_RETURN_IF_ERROR(SaveCatalog());
+  CORAL_RETURN_IF_ERROR(pool_->FlushAll());
+  return disk_.Close();
+}
+
+Status StorageManager::SaveCatalog() {
+  CORAL_RETURN_IF_ERROR(catalog_.Save(pool_.get()));
+  return pool_->FlushAll();
+}
+
+StatusOr<PersistentRelation*> StorageManager::OpenFromMeta(
+    const RelationMeta& meta) {
+  for (auto& rel : relations_) {
+    if (rel->name() == meta.name && rel->arity() == meta.arity) {
+      return rel.get();
+    }
+  }
+  auto rel = std::unique_ptr<PersistentRelation>(
+      new PersistentRelation(meta.name, meta.arity, this));
+  CORAL_ASSIGN_OR_RETURN(HeapFile heap,
+                         HeapFile::Open(pool_.get(), meta.heap_first));
+  rel->heap_ = std::make_unique<HeapFile>(std::move(heap));
+  rel->count_ = meta.count;
+  for (const IndexMeta& idx : meta.indexes) {
+    PersistentRelation::StoredIndex si;
+    si.cols = idx.cols;
+    si.tree =
+        std::make_unique<BTree>(BTree::Open(pool_.get(), idx.root));
+    rel->indexes_.push_back(std::move(si));
+  }
+  PersistentRelation* raw = rel.get();
+  relations_.push_back(std::move(rel));
+  return raw;
+}
+
+StatusOr<std::vector<PersistentRelation*>> StorageManager::OpenAll() {
+  std::vector<PersistentRelation*> out;
+  for (const RelationMeta& meta : catalog_.relations()) {
+    CORAL_ASSIGN_OR_RETURN(PersistentRelation * rel, OpenFromMeta(meta));
+    out.push_back(rel);
+  }
+  return out;
+}
+
+StatusOr<PersistentRelation*> StorageManager::CreateRelation(
+    const std::string& name, uint32_t arity) {
+  if (FindRelation(name, arity) != nullptr) {
+    return Status::AlreadyExists("persistent relation " + name + "/" +
+                                 std::to_string(arity) + " exists");
+  }
+  auto rel = std::unique_ptr<PersistentRelation>(
+      new PersistentRelation(name, arity, this));
+  CORAL_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Create(pool_.get()));
+  rel->heap_ = std::make_unique<HeapFile>(std::move(heap));
+  // Primary index over all columns: O(log n) duplicate checks.
+  CORAL_ASSIGN_OR_RETURN(BTree tree, BTree::Create(pool_.get()));
+  PersistentRelation::StoredIndex primary;
+  for (uint32_t c = 0; c < arity; ++c) primary.cols.push_back(c);
+  primary.tree = std::make_unique<BTree>(std::move(tree));
+  rel->indexes_.push_back(std::move(primary));
+
+  RelationMeta meta;
+  meta.name = name;
+  meta.arity = arity;
+  meta.heap_first = rel->heap_->first_page();
+  meta.count = 0;
+  meta.indexes.push_back(IndexMeta{rel->indexes_[0].cols,
+                                   rel->indexes_[0].tree->root()});
+  catalog_.Upsert(std::move(meta));
+  CORAL_RETURN_IF_ERROR(SaveCatalog());
+
+  PersistentRelation* raw = rel.get();
+  relations_.push_back(std::move(rel));
+  return raw;
+}
+
+PersistentRelation* StorageManager::FindRelation(const std::string& name,
+                                                 uint32_t arity) {
+  for (auto& rel : relations_) {
+    if (rel->name() == name && rel->arity() == arity) return rel.get();
+  }
+  return nullptr;
+}
+
+Status StorageManager::AttachTo(Database* db) {
+  CORAL_ASSIGN_OR_RETURN(std::vector<PersistentRelation*> rels, OpenAll());
+  for (PersistentRelation* rel : rels) {
+    PredRef pred{db->factory()->symbols().Intern(rel->name()),
+                 rel->arity()};
+    CORAL_RETURN_IF_ERROR(db->RegisterExternalRelation(pred, rel));
+  }
+  return Status::OK();
+}
+
+Status StorageManager::Begin() { return wal_.Begin().status(); }
+
+Status StorageManager::Commit() {
+  CORAL_RETURN_IF_ERROR(SaveCatalog());
+  return wal_.Commit([this]() { return pool_->FlushAll(); });
+}
+
+Status StorageManager::Abort() {
+  Status st = wal_.Abort(&disk_, [this](PageId page) {
+    pool_->Invalidate(page);
+  });
+  if (!st.ok()) return st;
+  // In-memory relation state may be ahead of the restored pages; reload
+  // relation metadata from the (restored) catalog.
+  CORAL_ASSIGN_OR_RETURN(Catalog cat, Catalog::Open(pool_.get()));
+  catalog_ = std::move(cat);
+  for (auto& rel : relations_) {
+    RelationMeta* meta = catalog_.Find(rel->name(), rel->arity());
+    if (meta == nullptr) continue;
+    rel->count_ = meta->count;
+    for (size_t i = 0;
+         i < rel->indexes_.size() && i < meta->indexes.size(); ++i) {
+      *rel->indexes_[i].tree =
+          BTree::Open(pool_.get(), meta->indexes[i].root);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace coral

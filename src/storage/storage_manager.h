@@ -1,0 +1,89 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// The storage-manager facade: the EXODUS substitute assembled (paper §2,
+// Fig. 1; DESIGN.md §4). Owns the "server" (disk manager) and the
+// client-side buffer pool, the write-ahead log, the catalog, and all
+// persistent relations. Attach it to a Database to make persistent
+// relations visible to declarative programs exactly like in-memory ones.
+
+#ifndef CORAL_STORAGE_STORAGE_MANAGER_H_
+#define CORAL_STORAGE_STORAGE_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/buffer_pool.h"
+#include "src/storage/catalog.h"
+#include "src/storage/persistent_relation.h"
+#include "src/storage/wal.h"
+
+namespace coral {
+
+class Database;
+
+struct StorageOptions {
+  size_t pool_frames = 64;
+};
+
+class StorageManager {
+ public:
+  using Options = StorageOptions;
+
+  /// Opens (creating if necessary) the database at `path_prefix` (.db and
+  /// .wal files). Runs crash recovery first. `factory` provides the term
+  /// space that fetched tuples are deserialized into.
+  static StatusOr<std::unique_ptr<StorageManager>> Open(
+      const std::string& path_prefix, TermFactory* factory,
+      Options options = Options());
+
+  ~StorageManager();
+
+  /// Persists the catalog and flushes everything.
+  Status Close();
+
+  /// Test support: drops the database file handle WITHOUT flushing the
+  /// buffer pool or persisting the catalog — exactly what a process kill
+  /// leaves behind. Whatever already reached disk stays; recovery runs on
+  /// the next Open.
+  void SimulateCrash() { (void)disk_.Close(); }
+
+  // ---- relations ----
+  StatusOr<PersistentRelation*> CreateRelation(const std::string& name,
+                                               uint32_t arity);
+  PersistentRelation* FindRelation(const std::string& name, uint32_t arity);
+  /// All persistent relations (opened lazily from the catalog).
+  StatusOr<std::vector<PersistentRelation*>> OpenAll();
+
+  /// Registers every persistent relation as a base relation of `db`, so
+  /// declarative rules read persistent data transparently (paper §2:
+  /// "the data can be accessed purely out of pages in the buffer pool").
+  Status AttachTo(Database* db);
+
+  // ---- transactions (paper §2: supported by the storage toolkit) ----
+  Status Begin();
+  Status Commit();
+  Status Abort();
+
+  Status SaveCatalog();
+
+  TermFactory* factory() { return factory_; }
+  BufferPool* pool() { return pool_.get(); }
+  DiskManager* disk() { return &disk_; }
+  Catalog* catalog() { return &catalog_; }
+
+ private:
+  StorageManager(TermFactory* factory) : factory_(factory) {}
+
+  StatusOr<PersistentRelation*> OpenFromMeta(const RelationMeta& meta);
+
+  TermFactory* factory_;
+  DiskManager disk_;
+  std::unique_ptr<BufferPool> pool_;
+  WriteAheadLog wal_;
+  Catalog catalog_;
+  std::vector<std::unique_ptr<PersistentRelation>> relations_;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_STORAGE_STORAGE_MANAGER_H_

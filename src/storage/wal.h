@@ -1,0 +1,67 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Minimal transaction support for the EXODUS-substitute storage manager.
+// The paper (§2, §9) delegates transactions and recovery to the EXODUS
+// toolkit; we provide the equivalent single-user facility: an undo
+// (before-image) write-ahead log with force-at-commit, giving atomic
+// commit/abort and crash recovery. The first modification of each page
+// within a transaction logs its before-image (flushed before the page can
+// reach disk); abort restores images; recovery undoes all transactions
+// without a commit record.
+
+#ifndef CORAL_STORAGE_WAL_H_
+#define CORAL_STORAGE_WAL_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/storage/disk_manager.h"
+
+namespace coral {
+
+using TxnId = uint64_t;
+
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  ~WriteAheadLog();
+
+  /// Replays `log_path` against `disk`: restores the earliest before-image
+  /// of every page touched by a transaction that never committed, then
+  /// truncates the log. Call before reading any pages.
+  static Status Recover(const std::string& log_path, DiskManager* disk);
+
+  Status Open(const std::string& path);
+
+  StatusOr<TxnId> Begin();
+  bool in_txn() const { return active_txn_ != 0; }
+  TxnId active_txn() const { return active_txn_; }
+
+  /// Records `before` (the page's pre-modification content) durably.
+  /// Idempotent per (transaction, page). No-op outside a transaction.
+  Status LogBeforeImage(PageId page, const char* before);
+
+  /// Forces data pages via `flush_pages`, then logs the commit record.
+  Status Commit(const std::function<Status()>& flush_pages);
+
+  /// Restores all before-images of the active transaction.
+  Status Abort(DiskManager* disk,
+               const std::function<void(PageId)>& invalidate_page);
+
+ private:
+  Status AppendRecord(uint32_t type, TxnId txn, PageId page,
+                      const char* image);
+
+  int fd_ = -1;
+  std::string path_;
+  TxnId next_txn_ = 1;
+  TxnId active_txn_ = 0;  // 0 = none (single-user: one at a time)
+  std::unordered_set<PageId> logged_pages_;
+  std::vector<std::pair<PageId, std::vector<char>>> undo_;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_STORAGE_WAL_H_

@@ -1,0 +1,23 @@
+#include "src/util/arena.h"
+
+#include <algorithm>
+
+namespace coral {
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  bytes_allocated_ += bytes;
+  uintptr_t cur = reinterpret_cast<uintptr_t>(cur_);
+  uintptr_t aligned = (cur + align - 1) & ~(align - 1);
+  if (cur_ == nullptr || aligned + bytes > reinterpret_cast<uintptr_t>(end_)) {
+    size_t block = std::max(block_size_, bytes + align);
+    blocks_.push_back(std::make_unique<char[]>(block));
+    cur_ = blocks_.back().get();
+    end_ = cur_ + block;
+    cur = reinterpret_cast<uintptr_t>(cur_);
+    aligned = (cur + align - 1) & ~(align - 1);
+  }
+  cur_ = reinterpret_cast<char*>(aligned + bytes);
+  return reinterpret_cast<void*>(aligned);
+}
+
+}  // namespace coral

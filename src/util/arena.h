@@ -1,0 +1,61 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Bump-pointer arena. CORAL's data manager shares pointers instead of
+// copying values (paper §9); all Arg objects are allocated here and live as
+// long as the owning TermFactory, replacing the paper's garbage collector
+// with arena lifetime.
+
+#ifndef CORAL_UTIL_ARENA_H_
+#define CORAL_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace coral {
+
+/// A growing bump allocator. Objects are never individually freed; the
+/// whole arena is released at destruction. Destructors of allocated
+/// objects are NOT run, so only trivially-destructible payloads or objects
+/// whose resources are arena-owned may be placed here.
+class Arena {
+ public:
+  explicit Arena(size_t block_size = 64 * 1024) : block_size_(block_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align`.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+
+  /// Constructs a T in the arena. T's destructor will not run.
+  template <typename T, typename... ArgTs>
+  T* New(ArgTs&&... args) {
+    void* p = Allocate(sizeof(T), alignof(T));
+    return new (p) T(std::forward<ArgTs>(args)...);
+  }
+
+  /// Copies `n` elements of T into arena storage and returns the base.
+  template <typename T>
+  T* CopyArray(const T* src, size_t n) {
+    if (n == 0) return nullptr;
+    T* dst = static_cast<T*>(Allocate(sizeof(T) * n, alignof(T)));
+    for (size_t i = 0; i < n; ++i) new (dst + i) T(src[i]);
+    return dst;
+  }
+
+  /// Total bytes handed out (for memory accounting in benches).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+ private:
+  size_t block_size_;
+  size_t bytes_allocated_ = 0;
+  char* cur_ = nullptr;
+  char* end_ = nullptr;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_UTIL_ARENA_H_

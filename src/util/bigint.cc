@@ -1,0 +1,249 @@
+#include "src/util/bigint.h"
+
+#include <algorithm>
+
+#include "src/util/hash.h"
+#include "src/util/logging.h"
+
+namespace coral {
+
+namespace {
+constexpr uint64_t kBase = 1ull << 32;
+}  // namespace
+
+BigInt::BigInt(int64_t v) {
+  negative_ = v < 0;
+  // Avoid overflow on INT64_MIN by widening through unsigned.
+  uint64_t mag = negative_ ? ~static_cast<uint64_t>(v) + 1
+                           : static_cast<uint64_t>(v);
+  while (mag != 0) {
+    limbs_.push_back(static_cast<uint32_t>(mag & 0xffffffffu));
+    mag >>= 32;
+  }
+}
+
+StatusOr<BigInt> BigInt::FromString(std::string_view s) {
+  size_t i = 0;
+  bool neg = false;
+  if (i < s.size() && (s[i] == '+' || s[i] == '-')) {
+    neg = s[i] == '-';
+    ++i;
+  }
+  if (i >= s.size()) {
+    return Status::InvalidArgument("empty bigint literal");
+  }
+  BigInt result;
+  BigInt ten(10);
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') {
+      return Status::InvalidArgument("bad digit in bigint literal: " +
+                                     std::string(s));
+    }
+    result = result * ten + BigInt(s[i] - '0');
+  }
+  if (neg && !result.is_zero()) result.negative_ = true;
+  return result;
+}
+
+void BigInt::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+int BigInt::CompareMagnitude(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (negative_ != other.negative_) return negative_ ? -1 : 1;
+  int mag = CompareMagnitude(*this, other);
+  return negative_ ? -mag : mag;
+}
+
+BigInt BigInt::AddMagnitude(const BigInt& a, const BigInt& b, bool neg) {
+  BigInt r;
+  r.negative_ = neg;
+  size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  r.limbs_.reserve(n + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    r.limbs_.push_back(static_cast<uint32_t>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry) r.limbs_.push_back(static_cast<uint32_t>(carry));
+  r.Trim();
+  return r;
+}
+
+// Requires |a| >= |b|.
+BigInt BigInt::SubMagnitude(const BigInt& a, const BigInt& b, bool neg) {
+  BigInt r;
+  r.negative_ = neg;
+  r.limbs_.reserve(a.limbs_.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= b.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    r.limbs_.push_back(static_cast<uint32_t>(diff));
+  }
+  CORAL_DCHECK(borrow == 0);
+  r.Trim();
+  return r;
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  if (negative_ == o.negative_) return AddMagnitude(*this, o, negative_);
+  int mag = CompareMagnitude(*this, o);
+  if (mag == 0) return BigInt();
+  if (mag > 0) return SubMagnitude(*this, o, negative_);
+  return SubMagnitude(o, *this, o.negative_);
+}
+
+BigInt BigInt::operator-() const {
+  BigInt r = *this;
+  if (!r.is_zero()) r.negative_ = !r.negative_;
+  return r;
+}
+
+BigInt BigInt::operator-(const BigInt& o) const { return *this + (-o); }
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  if (is_zero() || o.is_zero()) return BigInt();
+  BigInt r;
+  r.negative_ = negative_ != o.negative_;
+  r.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < o.limbs_.size(); ++j) {
+      uint64_t cur = static_cast<uint64_t>(limbs_[i]) * o.limbs_[j] +
+                     r.limbs_[i + j] + carry;
+      r.limbs_[i + j] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    size_t k = i + o.limbs_.size();
+    while (carry) {
+      uint64_t cur = r.limbs_[k] + carry;
+      r.limbs_[k] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  r.Trim();
+  return r;
+}
+
+Status BigInt::DivMod(const BigInt& a, const BigInt& b, BigInt* quot,
+                      BigInt* rem) {
+  if (b.is_zero()) return Status::InvalidArgument("bigint division by zero");
+  // Long division over bits of |a|; simple and correct, adequate for the
+  // sizes deductive programs produce.
+  BigInt q, r;
+  q.limbs_.assign(a.limbs_.size(), 0);
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    for (int bit = 31; bit >= 0; --bit) {
+      // r = r*2 + next bit of |a|
+      uint32_t carry = 0;
+      for (size_t k = 0; k < r.limbs_.size(); ++k) {
+        uint32_t nv = (r.limbs_[k] << 1) | carry;
+        carry = r.limbs_[k] >> 31;
+        r.limbs_[k] = nv;
+      }
+      if (carry) r.limbs_.push_back(carry);
+      uint32_t abit = (a.limbs_[i] >> bit) & 1u;
+      if (abit) {
+        if (r.limbs_.empty()) r.limbs_.push_back(0);
+        r.limbs_[0] |= 1u;
+      }
+      r.Trim();
+      BigInt babs = b;
+      babs.negative_ = false;
+      if (CompareMagnitude(r, babs) >= 0) {
+        r = SubMagnitude(r, babs, false);
+        q.limbs_[i] |= (1u << bit);
+      }
+    }
+  }
+  q.negative_ = a.negative_ != b.negative_;
+  q.Trim();
+  r.negative_ = a.negative_;  // C truncation: remainder takes dividend sign
+  r.Trim();
+  *quot = std::move(q);
+  *rem = std::move(r);
+  return Status::OK();
+}
+
+BigInt BigInt::operator/(const BigInt& o) const {
+  BigInt q, r;
+  Status s = DivMod(*this, o, &q, &r);
+  CORAL_CHECK(s.ok()) << s.ToString();
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& o) const {
+  BigInt q, r;
+  Status s = DivMod(*this, o, &q, &r);
+  CORAL_CHECK(s.ok()) << s.ToString();
+  return r;
+}
+
+bool BigInt::FitsInt64(int64_t* out) const {
+  if (limbs_.size() > 2) return false;
+  uint64_t mag = 0;
+  if (limbs_.size() >= 1) mag = limbs_[0];
+  if (limbs_.size() == 2) mag |= static_cast<uint64_t>(limbs_[1]) << 32;
+  if (negative_) {
+    if (mag > (1ull << 63)) return false;
+    *out = static_cast<int64_t>(~mag + 1);
+  } else {
+    if (mag > static_cast<uint64_t>(INT64_MAX)) return false;
+    *out = static_cast<int64_t>(mag);
+  }
+  return true;
+}
+
+std::string BigInt::ToString() const {
+  if (is_zero()) return "0";
+  // Repeatedly divide magnitude by 10^9 to extract decimal chunks.
+  std::vector<uint32_t> work = limbs_;
+  std::string digits;
+  while (!work.empty()) {
+    uint64_t rem = 0;
+    for (size_t i = work.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | work[i];
+      work[i] = static_cast<uint32_t>(cur / 1000000000ull);
+      rem = cur % 1000000000ull;
+    }
+    while (!work.empty() && work.back() == 0) work.pop_back();
+    for (int k = 0; k < 9; ++k) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (negative_) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+uint64_t BigInt::Hash() const {
+  uint64_t h = negative_ ? 0x5bd1e995u : 0;
+  for (uint32_t limb : limbs_) h = HashCombine(h, limb);
+  return h;
+}
+
+}  // namespace coral

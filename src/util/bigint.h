@@ -1,0 +1,74 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Arbitrary-precision signed integers. The paper's CORAL used the DEC
+// France BigNum package for this primitive type (§3.1 fn. 3); we
+// reimplement the needed arithmetic from scratch: sign-magnitude,
+// base-2^32 limbs, schoolbook multiply/divide.
+
+#ifndef CORAL_UTIL_BIGINT_H_
+#define CORAL_UTIL_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace coral {
+
+/// Immutable-style arbitrary precision integer. Zero is canonically
+/// represented with an empty limb vector and non-negative sign.
+class BigInt {
+ public:
+  BigInt() = default;
+  explicit BigInt(int64_t v);
+
+  /// Parses an optionally-signed decimal string.
+  static StatusOr<BigInt> FromString(std::string_view s);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+
+  /// Three-way comparison: -1, 0, +1.
+  int Compare(const BigInt& other) const;
+
+  bool operator==(const BigInt& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigInt& o) const { return Compare(o) != 0; }
+  bool operator<(const BigInt& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigInt& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigInt& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigInt& o) const { return Compare(o) >= 0; }
+
+  BigInt operator+(const BigInt& o) const;
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+  BigInt operator-() const;
+
+  /// Truncating division (C semantics). Dividing by zero is a checked
+  /// failure; use DivMod for a recoverable path.
+  BigInt operator/(const BigInt& o) const;
+  BigInt operator%(const BigInt& o) const;
+
+  /// Quotient and remainder with C truncation semantics.
+  static Status DivMod(const BigInt& a, const BigInt& b, BigInt* quot,
+                       BigInt* rem);
+
+  /// True when the value fits in int64_t; stores it in *out.
+  bool FitsInt64(int64_t* out) const;
+
+  std::string ToString() const;
+  uint64_t Hash() const;
+
+ private:
+  static BigInt AddMagnitude(const BigInt& a, const BigInt& b, bool neg);
+  static BigInt SubMagnitude(const BigInt& a, const BigInt& b, bool neg);
+  static int CompareMagnitude(const BigInt& a, const BigInt& b);
+  void Trim();
+
+  bool negative_ = false;
+  std::vector<uint32_t> limbs_;  // little-endian base 2^32
+};
+
+}  // namespace coral
+
+#endif  // CORAL_UTIL_BIGINT_H_

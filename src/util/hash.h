@@ -1,0 +1,44 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Hashing helpers shared by hash-consing, hash relations and indices.
+
+#ifndef CORAL_UTIL_HASH_H_
+#define CORAL_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace coral {
+
+/// 64-bit mix (splitmix64 finalizer); good avalanche for integer keys.
+inline uint64_t HashMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combiner for multi-part keys.
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return HashMix64(seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) +
+                           (seed >> 2)));
+}
+
+/// FNV-1a over bytes; used for strings and serialized keys.
+inline uint64_t HashBytes(const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+}  // namespace coral
+
+#endif  // CORAL_UTIL_HASH_H_

@@ -1,0 +1,71 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Invariant-checking macros in the RocksDB/Arrow idiom: CORAL_CHECK aborts
+// with a message on violated invariants; CORAL_DCHECK compiles away in
+// release builds.
+
+#ifndef CORAL_UTIL_LOGGING_H_
+#define CORAL_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace coral {
+
+/// Terminates the process after printing `msg` with source location.
+[[noreturn]] inline void FatalError(const char* file, int line,
+                                    const std::string& msg) {
+  std::fprintf(stderr, "CORAL FATAL %s:%d: %s\n", file, line, msg.c_str());
+  std::abort();
+}
+
+namespace internal {
+
+// Accumulates a failure message for CORAL_CHECK streaming syntax.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line) {
+    stream_ << "Check failed: " << expr << " ";
+  }
+  [[noreturn]] ~CheckMessage() { FatalError(file_, line_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed message when the check passes.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace coral
+
+#define CORAL_CHECK(cond)                                               \
+  (cond) ? (void)0                                                     \
+         : ::coral::internal::Voidify() &                              \
+               ::coral::internal::CheckMessage(__FILE__, __LINE__, #cond) \
+                   .stream()
+
+#define CORAL_CHECK_EQ(a, b) CORAL_CHECK((a) == (b))
+#define CORAL_CHECK_NE(a, b) CORAL_CHECK((a) != (b))
+#define CORAL_CHECK_LT(a, b) CORAL_CHECK((a) < (b))
+#define CORAL_CHECK_LE(a, b) CORAL_CHECK((a) <= (b))
+#define CORAL_CHECK_GT(a, b) CORAL_CHECK((a) > (b))
+#define CORAL_CHECK_GE(a, b) CORAL_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define CORAL_DCHECK(cond) CORAL_CHECK(true)
+#else
+#define CORAL_DCHECK(cond) CORAL_CHECK(cond)
+#endif
+
+#define CORAL_UNREACHABLE() \
+  ::coral::FatalError(__FILE__, __LINE__, "unreachable code reached")
+
+#endif  // CORAL_UTIL_LOGGING_H_

@@ -1,0 +1,147 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Status / StatusOr: exception-free error propagation in the RocksDB idiom.
+// Engine-internal invariants use CORAL_CHECK; everything fallible that a
+// user can trigger (parsing, storage I/O, bad annotations) returns Status.
+
+#ifndef CORAL_UTIL_STATUS_H_
+#define CORAL_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace coral {
+
+/// Result code carried by every Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input: parse errors, bad annotations
+  kNotFound,          // missing relation/module/file/page
+  kAlreadyExists,     // duplicate definition
+  kFailedPrecondition,// operation illegal in current state
+  kOutOfRange,        // index/slot out of bounds
+  kIOError,           // storage-layer failure
+  kCorruption,        // on-disk structure damaged
+  kUnsupported,       // feature combination not implemented
+  kInternal,          // engine bug surfaced as recoverable error
+};
+
+/// Returns a human-readable name for `code` ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value. OK Status carries no message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status IOError(std::string m) {
+    return Status(StatusCode::kIOError, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeName(code_);
+    if (!msg_.empty()) {
+      s += ": ";
+      s += msg_;
+    }
+    return s;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of type T or a non-OK Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status s) : status_(std::move(s)) {  // NOLINT implicit
+    CORAL_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT implicit
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    CORAL_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  const T& value() const& {
+    CORAL_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CORAL_CHECK(ok()) << status_.ToString();
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace coral
+
+/// Propagates a non-OK Status to the caller.
+#define CORAL_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::coral::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating error or binding the value.
+#define CORAL_ASSIGN_OR_RETURN(lhs, expr)              \
+  CORAL_ASSIGN_OR_RETURN_IMPL_(                        \
+      CORAL_STATUS_CONCAT_(_statusor, __LINE__), lhs, expr)
+
+#define CORAL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define CORAL_STATUS_CONCAT_(a, b) CORAL_STATUS_CONCAT_IMPL_(a, b)
+#define CORAL_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // CORAL_UTIL_STATUS_H_

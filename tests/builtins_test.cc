@@ -1,0 +1,177 @@
+// Tests of the builtin predicate library: term inspection (functor/arg),
+// sort, update predicates (assert/retract — the side-effecting predicates
+// §5.2 makes meaningful under pipelining), arithmetic edge cases, and
+// module-locality enforcement (§5).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/core/database.h"
+
+namespace coral {
+namespace {
+
+class BuiltinsTest : public ::testing::Test {
+ protected:
+  std::vector<std::string> Ask(const std::string& q) {
+    auto res = db.Query_(q);
+    EXPECT_TRUE(res.ok()) << res.status().ToString() << " for " << q;
+    std::vector<std::string> rows;
+    if (res.ok()) {
+      for (const AnswerRow& r : res->rows) rows.push_back(r.ToString());
+      std::sort(rows.begin(), rows.end());
+    }
+    return rows;
+  }
+
+  Database db;
+};
+
+TEST_F(BuiltinsTest, FunctorDecomposition) {
+  EXPECT_EQ(Ask("functor(point(1, 2), F, N)"),
+            std::vector<std::string>{"F = point, N = 2"});
+  EXPECT_EQ(Ask("functor(hello, F, N)"),
+            std::vector<std::string>{"F = hello, N = 0"});
+  EXPECT_EQ(Ask("functor(42, F, N)"),
+            std::vector<std::string>{"F = 42, N = 0"});
+  EXPECT_EQ(Ask("functor([1,2], F, N)"),
+            std::vector<std::string>{"F = '.', N = 2"});
+  EXPECT_TRUE(Ask("functor(X, f, 2)").empty());  // construction unsupported
+}
+
+TEST_F(BuiltinsTest, ArgExtraction) {
+  EXPECT_EQ(Ask("arg(1, point(a, b), X)"),
+            std::vector<std::string>{"X = a"});
+  EXPECT_EQ(Ask("arg(2, point(a, b), X)"),
+            std::vector<std::string>{"X = b"});
+  EXPECT_TRUE(Ask("arg(3, point(a, b), X)").empty());
+  EXPECT_TRUE(Ask("arg(0, point(a, b), X)").empty());
+  // Matching against a known value.
+  EXPECT_EQ(Ask("arg(1, point(a, b), a)"),
+            std::vector<std::string>{"true"});
+  EXPECT_TRUE(Ask("arg(1, point(a, b), b)").empty());
+}
+
+TEST_F(BuiltinsTest, SortDeduplicates) {
+  EXPECT_EQ(Ask("sort([3, 1, 2, 1], S)"),
+            std::vector<std::string>{"S = [1,2,3]"});
+  EXPECT_EQ(Ask("sort([], S)"), std::vector<std::string>{"S = []"});
+  EXPECT_EQ(Ask("sort([b, a, 2, 1], S)"),
+            std::vector<std::string>{"S = [1,2,a,b]"});  // numbers first
+}
+
+TEST_F(BuiltinsTest, AssertAddsFacts) {
+  ASSERT_TRUE(db.Consult("counter(0).").ok());
+  EXPECT_EQ(Ask("assert(seen(a))"), std::vector<std::string>{"true"});
+  EXPECT_EQ(Ask("seen(X)"), std::vector<std::string>{"X = a"});
+  // assert of a structured fact.
+  EXPECT_EQ(Ask("assert(pos(p(1), [2, 3]))"),
+            std::vector<std::string>{"true"});
+  EXPECT_EQ(Ask("pos(p(1), L)"), std::vector<std::string>{"L = [2,3]"});
+}
+
+TEST_F(BuiltinsTest, RetractRemovesBySubsumption) {
+  ASSERT_TRUE(db.Consult("c(1, a). c(1, b). c(2, a).").ok());
+  // retract does not bind the pattern's variables; it succeeds once.
+  EXPECT_EQ(Ask("retract(c(1, X))").size(), 1u);
+  EXPECT_EQ(Ask("c(A, B)"), std::vector<std::string>{"A = 2, B = a"});
+  // Retracting something absent fails.
+  EXPECT_TRUE(Ask("retract(c(9, y))").empty());
+}
+
+TEST_F(BuiltinsTest, UpdatesInsidePipelinedModule) {
+  // The paper's §5.2 point: pipelining guarantees evaluation order, so
+  // updates inside rules behave predictably.
+  ASSERT_TRUE(db.Consult(R"(
+    module logging.
+    export process(b).
+    @pipelining.
+    process(X) :- input(X), assert(log(X)).
+    end_module.
+    input(job1). input(job2).
+  )").ok());
+  EXPECT_EQ(Ask("process(job1)"), std::vector<std::string>{"true"});
+  EXPECT_EQ(Ask("log(X)"), std::vector<std::string>{"X = job1"});
+  EXPECT_EQ(Ask("process(job2)"), std::vector<std::string>{"true"});
+  EXPECT_EQ(Ask("log(X)"),
+            (std::vector<std::string>{"X = job1", "X = job2"}));
+}
+
+TEST_F(BuiltinsTest, ArithmeticEdgeCases) {
+  EXPECT_TRUE(Ask("X = 1 / 0").empty());
+  EXPECT_TRUE(Ask("X = mod(1, 0)").empty());
+  EXPECT_TRUE(Ask("X = foo + 1").empty());        // non-numeric operand
+  EXPECT_TRUE(Ask("Y = 3, X = Z + Y").empty());   // unbound in arithmetic
+  EXPECT_EQ(Ask("X = -(-5)"), std::vector<std::string>{"X = 5"});
+  EXPECT_EQ(Ask("X = max(2.5, 2)"), std::vector<std::string>{"X = 2.5"});
+  // Bigint division demotes when the result fits.
+  EXPECT_EQ(Ask("X = 18446744073709551616 / 4294967296"),
+            std::vector<std::string>{"X = 4294967296"});
+}
+
+TEST_F(BuiltinsTest, AppendVariableSharing) {
+  // append([1], B, C), B = [2]: C must see the binding through the
+  // constructed cons cell (variable linking across environments).
+  EXPECT_EQ(Ask("append([1], B, C), B = [2]"),
+            std::vector<std::string>{"B = [2], C = [1,2]"});
+  EXPECT_EQ(Ask("append(A, B, [1, 2]), A = [1]"),
+            std::vector<std::string>{"A = [1], B = [2]"});
+}
+
+TEST_F(BuiltinsTest, BetweenAndLengthCompose) {
+  EXPECT_EQ(Ask("between(1, 3, N), length([a, b], N)"),
+            std::vector<std::string>{"N = 2"});
+}
+
+TEST_F(BuiltinsTest, LocalPredicatesInvisibleOutsideModule) {
+  ASSERT_TRUE(db.Consult(R"(
+    module secret.
+    export visible(bf).
+    hidden(X, Y) :- raw(X, Y).
+    visible(X, Y) :- hidden(X, Y).
+    end_module.
+    raw(1, 2).
+  )").ok());
+  EXPECT_EQ(Ask("visible(1, Y)"), std::vector<std::string>{"Y = 2"});
+  // Querying the local predicate errors instead of silently answering
+  // from an empty relation.
+  auto res = db.Query_("hidden(1, Y)");
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.status().message().find("local to module"),
+            std::string::npos);
+  // Another module referencing it errors too.
+  ASSERT_TRUE(db.Consult(R"(
+    module other.
+    export steal(bf).
+    steal(X, Y) :- hidden(X, Y).
+    end_module.
+  )").ok());
+  EXPECT_FALSE(db.Query_("steal(1, Y)").ok());
+}
+
+TEST_F(BuiltinsTest, LocalNameCanBeExportedByAnotherModule) {
+  ASSERT_TRUE(db.Consult(R"(
+    module a.
+    export pa(bf).
+    util(X, X).
+    pa(X, Y) :- util(X, Y).
+    end_module.
+
+    module b.
+    export util(bf).
+    util(X, doubled(X)) :- seedy(X).
+    end_module.
+    seedy(5).
+  )").ok());
+  // util/2 is local to a but exported by b: outside callers get b's.
+  auto res = db.Query_("util(5, Y)");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_EQ(res->rows.size(), 1u);
+  EXPECT_EQ(res->rows[0].ToString(), "Y = doubled(5)");
+}
+
+}  // namespace
+}  // namespace coral

@@ -1,0 +1,164 @@
+// Tests of the CORAL/C++ interface (paper §6): embedded commands,
+// relation/tuple/arg manipulation from C++, C_ScanDesc cursors, and
+// predicates defined by C++ functions used inside declarative rules.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "src/cxx/coral.h"
+
+namespace coral {
+namespace {
+
+TEST(CxxTest, EmbeddedCommandsAndQueries) {
+  Coral c;
+  auto out = c.Command(R"(
+    edge(1, 2). edge(2, 3).
+    module tc. export t(bf).
+    t(X, Y) :- edge(X, Y).
+    t(X, Y) :- edge(X, Z), t(Z, Y).
+    end_module.
+    ?- t(1, X).
+  )");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out->find("X = 3"), std::string::npos);
+}
+
+TEST(CxxTest, ArgAndTupleConstruction) {
+  Coral c;
+  const Arg* l = c.List({c.Int(1), c.Int(2)});
+  EXPECT_EQ(l->ToString(), "[1,2]");
+  const Arg* f = c.Functor("addr", {c.Atom("main"), c.Atom("madison")});
+  EXPECT_EQ(f->ToString(), "addr(main,madison)");
+  const Tuple* t = c.MakeTuple({c.Atom("john"), f});
+  EXPECT_EQ(t->ToString(), "(john,addr(main,madison))");
+  auto parsed = c.Term("addr(main, madison)");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, f);  // hash-consing across construction routes
+}
+
+TEST(CxxTest, InsertDeleteAndScan) {
+  Coral c;
+  ASSERT_TRUE(c.Insert("emp", {c.Atom("alice"), c.Int(120)}).ok());
+  ASSERT_TRUE(c.Insert("emp", {c.Atom("bob"), c.Int(100)}).ok());
+  auto scan = c.OpenScan("emp(X, S)");
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_EQ(scan->Count(), 2u);
+  // Selective scan.
+  auto scan2 = c.OpenScan("emp(alice, S)");
+  ASSERT_TRUE(scan2.ok());
+  auto rows = scan2->ToVector();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0]->arg(1), c.Int(120));
+  // Pattern delete: all of alice's rows (second column free).
+  auto removed = c.Delete("emp", {c.Atom("alice"),
+                                  c.factory()->CanonicalVar(0)});
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 1u);
+  auto scan3 = c.OpenScan("emp(X, S)");
+  ASSERT_TRUE(scan3.ok());
+  EXPECT_EQ(scan3->Count(), 1u);
+}
+
+TEST(CxxTest, ScanOverModuleExport) {
+  Coral c;
+  ASSERT_TRUE(c.Consult(R"(
+    par(tom, bob). par(bob, ann). par(bob, pat).
+    module anc. export anc(bf).
+    anc(X, Y) :- par(X, Y).
+    anc(X, Y) :- par(X, Z), anc(Z, Y).
+    end_module.
+  )").ok());
+  auto scan = c.OpenScan("anc(tom, D)");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->Count(), 3u);
+}
+
+TEST(CxxTest, ScanHidesNonGroundAnswers) {
+  // Paper §6.1: variables cannot be returned as answers through the C++
+  // interface.
+  Coral c;
+  ASSERT_TRUE(c.Consult("likes(X, icecream). likes(sam, pie).").ok());
+  auto scan = c.OpenScan("likes(P, W)");
+  ASSERT_TRUE(scan.ok());
+  auto rows = scan->ToVector();
+  ASSERT_EQ(rows.size(), 1u);  // the non-ground fact is hidden
+  EXPECT_EQ(rows[0]->ToString(), "(sam,pie)");
+}
+
+TEST(CxxTest, RegisteredPredicateCalledFromRules) {
+  // A predicate defined in C++ (paper §6.2): sqrtint(X, Y) with Y the
+  // integer square root of X; requires X bound.
+  Coral c;
+  ASSERT_TRUE(c.RegisterPredicate(
+                   "sqrtint", 2,
+                   [](std::span<const TermRef> args, TermFactory* f,
+                      std::vector<const Tuple*>* out) -> Status {
+                     TermRef x = Deref(args[0].term, args[0].env);
+                     if (x.term->kind() != ArgKind::kInt) {
+                       return Status::FailedPrecondition(
+                           "sqrtint needs a bound integer");
+                     }
+                     int64_t v = ArgCast<IntArg>(x.term)->value();
+                     if (v < 0) return Status::OK();
+                     auto r = static_cast<int64_t>(std::sqrt(double(v)));
+                     const Arg* t[] = {x.term, f->MakeInt(r)};
+                     out->push_back(f->MakeTuple(t));
+                     return Status::OK();
+                   })
+                  .ok());
+  ASSERT_TRUE(c.Consult(R"(
+    num(16). num(25). num(10).
+    module m. export root_of(bf).
+    root_of(X, R) :- num(X), sqrtint(X, R).
+    end_module.
+  )").ok());
+  auto out = c.Command("?- root_of(25, R).");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out->find("R = 5"), std::string::npos);
+  // Direct scan over the computed relation.
+  auto scan = c.OpenScan("sqrtint(144, R)");
+  ASSERT_TRUE(scan.ok());
+  auto rows = scan->ToVector();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0]->arg(1), c.Int(12));
+}
+
+TEST(CxxTest, RegisteredPredicateRejectsDuplicateAndUpdates) {
+  Coral c;
+  auto fn = [](std::span<const TermRef>, TermFactory*,
+               std::vector<const Tuple*>*) { return Status::OK(); };
+  ASSERT_TRUE(c.RegisterPredicate("p", 1, fn).ok());
+  EXPECT_FALSE(c.RegisterPredicate("p", 1, fn).ok());
+  // Inserting into a computed relation is refused.
+  auto ins = c.Command("p(1).");
+  EXPECT_FALSE(ins.ok());
+}
+
+TEST(CxxTest, RelationAbstractionFromCxx) {
+  // Manipulate a declaratively computed relation imperatively without
+  // breaking the relation abstraction (paper §6 mode 1).
+  Coral c;
+  ASSERT_TRUE(c.Consult(R"(
+    e(1,2). e(2,3). e(3,4).
+    module tc. export t(ff).
+    t(X, Y) :- e(X, Y).
+    t(X, Y) :- e(X, Z), t(Z, Y).
+    end_module.
+  )").ok());
+  auto scan = c.OpenScan("t(X, Y)");
+  ASSERT_TRUE(scan.ok());
+  // Copy answers into a new base relation via the Relation interface.
+  Relation* closure = c.GetRelation("closure", 2);
+  while (const Tuple* t = scan->Next()) closure->Insert(t);
+  EXPECT_EQ(closure->size(), 6u);
+  // The copied relation is queryable like any base relation.
+  auto out = c.Command("?- closure(1, X).");
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("X = 4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coral

@@ -1,0 +1,388 @@
+// Unit tests for the data manager: Arg hierarchy, hash-consing, bindenvs,
+// unification, matching, subsumption and resolution (paper §3, Fig. 2).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "src/data/bindenv.h"
+#include "src/data/term_factory.h"
+#include "src/data/tuple.h"
+#include "src/data/unify.h"
+
+namespace coral {
+namespace {
+
+class DataTest : public ::testing::Test {
+ protected:
+  TermFactory f;
+};
+
+TEST_F(DataTest, PrimitiveInterning) {
+  EXPECT_EQ(f.MakeInt(42), f.MakeInt(42));
+  EXPECT_NE(f.MakeInt(42), f.MakeInt(43));
+  EXPECT_EQ(f.MakeDouble(2.5), f.MakeDouble(2.5));
+  EXPECT_EQ(f.MakeString("abc"), f.MakeString("abc"));
+  EXPECT_NE(f.MakeString("abc"), f.MakeString("abd"));
+  EXPECT_EQ(f.MakeAtom("john"), f.MakeAtom("john"));
+  EXPECT_EQ(f.MakeBigInt(BigInt(7)), f.MakeBigInt(BigInt(7)));
+}
+
+TEST_F(DataTest, IntAndDoubleAreDistinctTypes) {
+  const Arg* i = f.MakeInt(1);
+  const Arg* d = f.MakeDouble(1.0);
+  EXPECT_NE(i, d);
+  EXPECT_FALSE(i->Equals(*d));
+  Trail tr;
+  EXPECT_FALSE(Unify(i, nullptr, d, nullptr, &tr));
+}
+
+TEST_F(DataTest, GroundFunctorHashConsing) {
+  // f(1, g(2)) built twice yields the same node: the paper's unique-id
+  // property for ground terms.
+  const Arg* in1[] = {f.MakeInt(2)};
+  const Arg* g1 = f.MakeFunctor("g", in1);
+  const Arg* in2[] = {f.MakeInt(1), g1};
+  const Arg* t1 = f.MakeFunctor("f", in2);
+
+  const Arg* in3[] = {f.MakeInt(2)};
+  const Arg* g2 = f.MakeFunctor("g", in3);
+  const Arg* in4[] = {f.MakeInt(1), g2};
+  const Arg* t2 = f.MakeFunctor("f", in4);
+
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1->uid(), t2->uid());
+  EXPECT_TRUE(t1->IsGround());
+}
+
+TEST_F(DataTest, NonGroundFunctorsNotInterned) {
+  const Variable* x = f.MakeVariable(0, "X");
+  const Arg* a1[] = {x};
+  const Arg* t1 = f.MakeFunctor("f", a1);
+  const Arg* t2 = f.MakeFunctor("f", a1);
+  EXPECT_NE(t1, t2);          // fresh nodes
+  EXPECT_TRUE(t1->Equals(*t2));  // but structurally equal
+  EXPECT_FALSE(t1->IsGround());
+}
+
+TEST_F(DataTest, ListConstructionAndPrinting) {
+  std::vector<const Arg*> elems = {f.MakeInt(1), f.MakeInt(2), f.MakeInt(3)};
+  const Arg* list = f.MakeList(elems);
+  EXPECT_EQ(list->ToString(), "[1,2,3]");
+  EXPECT_EQ(f.Nil()->ToString(), "[]");
+
+  const Variable* t = f.MakeVariable(0, "T");
+  const Arg* partial = f.MakeList(std::span<const Arg* const>(&elems[0], 1), t);
+  EXPECT_EQ(partial->ToString(), "[1|T]");
+
+  // Lists are hash-consed like any ground functor term.
+  EXPECT_EQ(list, f.MakeList(elems));
+}
+
+TEST_F(DataTest, PrintingForms) {
+  EXPECT_EQ(f.MakeInt(-5)->ToString(), "-5");
+  EXPECT_EQ(f.MakeDouble(1.0)->ToString(), "1.0");
+  EXPECT_EQ(f.MakeString("a\"b")->ToString(), "\"a\\\"b\"");
+  EXPECT_EQ(f.MakeAtom("john")->ToString(), "john");
+  EXPECT_EQ(f.MakeAtom("John Smith")->ToString(), "'John Smith'");
+  EXPECT_EQ(f.MakeBigInt(BigInt(12))->ToString(), "12B");
+  const Arg* in[] = {f.MakeAtom("a"), f.MakeInt(1)};
+  EXPECT_EQ(f.MakeFunctor("pair", in)->ToString(), "pair(a,1)");
+}
+
+TEST_F(DataTest, SetCanonicalization) {
+  std::vector<const Arg*> e1 = {f.MakeInt(3), f.MakeInt(1), f.MakeInt(2),
+                                f.MakeInt(1)};
+  const SetArg* s1 = f.MakeSet(e1);
+  EXPECT_EQ(s1->size(), 3u);
+  EXPECT_EQ(s1->ToString(), "{1,2,3}");
+  std::vector<const Arg*> e2 = {f.MakeInt(2), f.MakeInt(3), f.MakeInt(1)};
+  EXPECT_EQ(s1, f.MakeSet(e2));  // order-insensitive identity
+  EXPECT_TRUE(s1->Contains(f.MakeInt(2)));
+  EXPECT_FALSE(s1->Contains(f.MakeInt(9)));
+}
+
+TEST_F(DataTest, CompareArgsTotalOrder) {
+  // Numeric kinds compare numerically across types.
+  EXPECT_LT(CompareArgs(f.MakeInt(1), f.MakeDouble(1.5)), 0);
+  EXPECT_GT(CompareArgs(f.MakeInt(2), f.MakeDouble(1.5)), 0);
+  EXPECT_LT(CompareArgs(f.MakeInt(1), f.MakeBigInt(BigInt(2))), 0);
+  // Numbers sort before strings, strings before functors.
+  EXPECT_LT(CompareArgs(f.MakeInt(99), f.MakeString("a")), 0);
+  EXPECT_LT(CompareArgs(f.MakeString("z"), f.MakeAtom("a")), 0);
+  // Functor order: name, arity, args.
+  const Arg* a1[] = {f.MakeInt(1)};
+  const Arg* a2[] = {f.MakeInt(2)};
+  EXPECT_LT(CompareArgs(f.MakeFunctor("f", a1), f.MakeFunctor("f", a2)), 0);
+  EXPECT_LT(CompareArgs(f.MakeFunctor("f", a1), f.MakeFunctor("g", a1)), 0);
+  EXPECT_LT(CompareArgs(f.MakeAtom("f"), f.MakeFunctor("f", a1)), 0);
+  // Reflexive.
+  EXPECT_EQ(CompareArgs(f.MakeAtom("x"), f.MakeAtom("x")), 0);
+}
+
+TEST_F(DataTest, DerefFollowsChains) {
+  // X -> Y (other env) -> 50: Fig. 2 of the paper.
+  BindEnv e1(2), e2(1);
+  const Variable* x = f.MakeVariable(0, "X");
+  const Variable* y = f.MakeVariable(1, "Y");
+  const Variable* z = f.MakeVariable(0, "Z");
+  Trail tr;
+  BindVar(x, &e1, y, &e1, &tr);
+  BindVar(y, &e1, z, &e2, &tr);
+  BindVar(z, &e2, f.MakeInt(50), nullptr, &tr);
+  TermRef r = Deref(x, &e1);
+  EXPECT_EQ(r.term, f.MakeInt(50));
+}
+
+TEST_F(DataTest, TrailUndoRestoresUnbound) {
+  BindEnv env(1);
+  const Variable* x = f.MakeVariable(0, "X");
+  Trail tr;
+  Trail::Mark m = tr.mark();
+  BindVar(x, &env, f.MakeInt(1), nullptr, &tr);
+  EXPECT_TRUE(env.binding(0).bound());
+  tr.UndoTo(m);
+  EXPECT_FALSE(env.binding(0).bound());
+}
+
+TEST_F(DataTest, UnifyGroundIsPointerComparison) {
+  std::vector<const Arg*> elems;
+  for (int i = 0; i < 100; ++i) elems.push_back(f.MakeInt(i));
+  const Arg* l1 = f.MakeList(elems);
+  const Arg* l2 = f.MakeList(elems);
+  Trail tr;
+  EXPECT_TRUE(Unify(l1, nullptr, l2, nullptr, &tr));
+  EXPECT_EQ(tr.size(), 0u);  // no bindings needed: same node
+}
+
+TEST_F(DataTest, UnifyBindsVariablesBothSides) {
+  // f(X, 10) = f(25, Y)
+  BindEnv e1(1), e2(1);
+  const Variable* x = f.MakeVariable(0, "X");
+  const Variable* y = f.MakeVariable(0, "Y");
+  const Arg* lhs_args[] = {x, f.MakeInt(10)};
+  const Arg* rhs_args[] = {f.MakeInt(25), y};
+  const Arg* lhs = f.MakeFunctor("f", lhs_args);
+  const Arg* rhs = f.MakeFunctor("f", rhs_args);
+  Trail tr;
+  ASSERT_TRUE(Unify(lhs, &e1, rhs, &e2, &tr));
+  EXPECT_EQ(Deref(x, &e1).term, f.MakeInt(25));
+  EXPECT_EQ(Deref(y, &e2).term, f.MakeInt(10));
+}
+
+TEST_F(DataTest, UnifyFailureUndoneByCaller) {
+  // f(X, 1) vs f(2, 3): X binds to 2, then 1 vs 3 fails.
+  BindEnv e1(1);
+  const Variable* x = f.MakeVariable(0, "X");
+  const Arg* lhs_args[] = {x, f.MakeInt(1)};
+  const Arg* rhs_args[] = {f.MakeInt(2), f.MakeInt(3)};
+  const Arg* lhs = f.MakeFunctor("f", lhs_args);
+  const Arg* rhs = f.MakeFunctor("f", rhs_args);
+  Trail tr;
+  Trail::Mark m = tr.mark();
+  EXPECT_FALSE(Unify(lhs, &e1, rhs, nullptr, &tr));
+  tr.UndoTo(m);
+  EXPECT_FALSE(e1.binding(0).bound());
+}
+
+TEST_F(DataTest, UnifyVariableAliasing) {
+  // p(X, X) = p(Y, 3) must bind both X and Y to 3.
+  BindEnv e1(1), e2(1);
+  const Variable* x = f.MakeVariable(0, "X");
+  const Variable* y = f.MakeVariable(0, "Y");
+  const Arg* lhs_args[] = {x, x};
+  const Arg* rhs_args[] = {y, f.MakeInt(3)};
+  const Arg* lhs = f.MakeFunctor("p", lhs_args);
+  const Arg* rhs = f.MakeFunctor("p", rhs_args);
+  Trail tr;
+  ASSERT_TRUE(Unify(lhs, &e1, rhs, &e2, &tr));
+  EXPECT_EQ(Deref(x, &e1).term, f.MakeInt(3));
+  EXPECT_EQ(Deref(y, &e2).term, f.MakeInt(3));
+}
+
+TEST_F(DataTest, UnifySameUnboundVariableNoSelfBinding) {
+  BindEnv e(1);
+  const Variable* x = f.MakeVariable(0, "X");
+  Trail tr;
+  EXPECT_TRUE(Unify(x, &e, x, &e, &tr));
+  EXPECT_EQ(tr.size(), 0u);
+  EXPECT_FALSE(e.binding(0).bound());
+}
+
+TEST_F(DataTest, UnifyDifferentFunctorsFails) {
+  const Arg* a1[] = {f.MakeInt(1)};
+  Trail tr;
+  EXPECT_FALSE(Unify(f.MakeFunctor("f", a1), nullptr,
+                     f.MakeFunctor("g", a1), nullptr, &tr));
+  const Arg* a2[] = {f.MakeInt(1), f.MakeInt(2)};
+  EXPECT_FALSE(Unify(f.MakeFunctor("f", a1), nullptr,
+                     f.MakeFunctor("f", a2), nullptr, &tr));
+}
+
+TEST_F(DataTest, MatchIsOneWay) {
+  // Pattern f(X) matches target f(1); pattern f(1) does not match f(Y).
+  BindEnv ep(1), et(1);
+  const Variable* x = f.MakeVariable(0, "X");
+  const Variable* y = f.MakeVariable(0, "Y");
+  const Arg* px[] = {x};
+  const Arg* t1[] = {f.MakeInt(1)};
+  const Arg* ty[] = {y};
+  Trail tr;
+  EXPECT_TRUE(Match(f.MakeFunctor("f", px), &ep, f.MakeFunctor("f", t1),
+                    nullptr, &tr));
+  tr.UndoTo(0);
+  ep.ClearAll();
+  EXPECT_FALSE(Match(f.MakeFunctor("f", t1), nullptr, f.MakeFunctor("f", ty),
+                     &et, &tr));
+}
+
+TEST_F(DataTest, MatchRepeatedPatternVarNeedsIdenticalTargets) {
+  // Pattern p(X, X) matches p(Y, Y) but not p(Y, Z).
+  BindEnv ep(1), et(2);
+  const Variable* x = f.MakeVariable(0, "X");
+  const Variable* y = f.MakeVariable(0, "Y");
+  const Variable* z = f.MakeVariable(1, "Z");
+  const Arg* pat[] = {x, x};
+  Trail tr;
+  {
+    const Arg* tgt[] = {y, y};
+    EXPECT_TRUE(Match(f.MakeFunctor("p", pat), &ep, f.MakeFunctor("p", tgt),
+                      &et, &tr));
+    tr.UndoTo(0);
+    ep.ClearAll();
+  }
+  {
+    const Arg* tgt[] = {y, z};
+    EXPECT_FALSE(Match(f.MakeFunctor("p", pat), &ep, f.MakeFunctor("p", tgt),
+                       &et, &tr));
+    tr.UndoTo(0);
+  }
+}
+
+TEST_F(DataTest, TupleInterningGround) {
+  const Arg* args[] = {f.MakeInt(1), f.MakeAtom("a")};
+  const Tuple* t1 = f.MakeTuple(args);
+  const Tuple* t2 = f.MakeTuple(args);
+  EXPECT_EQ(t1, t2);
+  EXPECT_TRUE(t1->IsGround());
+  EXPECT_EQ(t1->var_count(), 0u);
+  EXPECT_EQ(t1->ToString(), "(1,a)");
+}
+
+TEST_F(DataTest, TupleNonGroundVarCount) {
+  const Arg* args[] = {f.CanonicalVar(0), f.MakeInt(1), f.CanonicalVar(1)};
+  const Tuple* t = f.MakeTuple(args);
+  EXPECT_FALSE(t->IsGround());
+  EXPECT_EQ(t->var_count(), 2u);
+}
+
+TEST_F(DataTest, SubsumptionBetweenTuples) {
+  // p(X, b) subsumes p(a, b); p(a, b) does not subsume p(X, b).
+  const Arg* gen_args[] = {f.CanonicalVar(0), f.MakeAtom("b")};
+  const Arg* spec_args[] = {f.MakeAtom("a"), f.MakeAtom("b")};
+  const Tuple* gen = f.MakeTuple(gen_args);
+  const Tuple* spec = f.MakeTuple(spec_args);
+  EXPECT_TRUE(SubsumesTuple(gen, spec));
+  EXPECT_FALSE(SubsumesTuple(spec, gen));
+  // p(X, X) does not subsume p(a, b).
+  const Arg* xx[] = {f.CanonicalVar(0), f.CanonicalVar(0)};
+  EXPECT_FALSE(SubsumesTuple(f.MakeTuple(xx), spec));
+  // p(X, Y) subsumes p(X, X)-style variants.
+  const Arg* xy[] = {f.CanonicalVar(0), f.CanonicalVar(1)};
+  EXPECT_TRUE(SubsumesTuple(f.MakeTuple(xy), f.MakeTuple(xx)));
+  EXPECT_FALSE(SubsumesTuple(f.MakeTuple(xx), f.MakeTuple(xy)));
+  // Variants subsume each other.
+  EXPECT_TRUE(SubsumesTuple(gen, gen));
+}
+
+TEST_F(DataTest, ResolveTermSubstitutesAndRenames) {
+  // Rule env: f(X, 10, Y) with X=25, Y=Z (other env), Z unbound.
+  BindEnv e1(2), e2(1);
+  const Variable* x = f.MakeVariable(0, "X");
+  const Variable* y = f.MakeVariable(1, "Y");
+  const Variable* z = f.MakeVariable(0, "Z");
+  Trail tr;
+  BindVar(x, &e1, f.MakeInt(25), nullptr, &tr);
+  BindVar(y, &e1, z, &e2, &tr);
+  const Arg* args[] = {x, f.MakeInt(10), y};
+  const Arg* term = f.MakeFunctor("f", args);
+  VarRenamer ren;
+  const Arg* resolved = ResolveTerm(term, &e1, &f, &ren);
+  EXPECT_EQ(resolved->ToString(), "f(25,10,_0)");
+  EXPECT_EQ(ren.count(), 1u);
+}
+
+TEST_F(DataTest, ResolveSharesGroundStructure) {
+  std::vector<const Arg*> elems;
+  for (int i = 0; i < 10; ++i) elems.push_back(f.MakeInt(i));
+  const Arg* list = f.MakeList(elems);
+  VarRenamer ren;
+  EXPECT_EQ(ResolveTerm(list, nullptr, &f, &ren), list);  // same node
+}
+
+TEST_F(DataTest, ResolveTupleCanonicalizesVariableOrder) {
+  // Head p(Y, X) with both unbound: canonical slots follow occurrence
+  // order, so the tuple becomes p(_0, _1) regardless of original slots.
+  BindEnv env(2);
+  const Variable* x = f.MakeVariable(0, "X");
+  const Variable* y = f.MakeVariable(1, "Y");
+  TermRef refs[] = {{y, &env}, {x, &env}, {y, &env}};
+  const Tuple* t = ResolveTuple(refs, &f);
+  EXPECT_EQ(t->ToString(), "(_0,_1,_0)");
+  EXPECT_EQ(t->var_count(), 2u);
+}
+
+TEST_F(DataTest, StructuralEqualMatchesInterning) {
+  std::vector<const Arg*> elems;
+  for (int i = 0; i < 50; ++i) elems.push_back(f.MakeInt(i));
+  const Arg* l1 = f.MakeList(elems);
+  EXPECT_TRUE(StructuralEqualArgs(l1, f.MakeList(elems)));
+  elems[49] = f.MakeInt(999);
+  EXPECT_FALSE(StructuralEqualArgs(l1, f.MakeList(elems)));
+}
+
+// A user-defined abstract data type (paper §7.1): a 2-D point.
+class PointArg : public UserArg {
+ public:
+  PointArg(uint32_t tag, uint64_t uid, uint64_t hash, double x, double y)
+      : UserArg(tag, uid, hash), x_(x), y_(y) {}
+  bool Equals(const Arg& other) const override {
+    if (other.kind() != ArgKind::kUser) return false;
+    const auto& o = static_cast<const PointArg&>(other);
+    return o.type_tag() == type_tag() && o.x_ == x_ && o.y_ == y_;
+  }
+  void Print(std::ostream& os) const override {
+    os << "point(" << x_ << "," << y_ << ")";
+  }
+
+ private:
+  double x_, y_;
+};
+
+TEST_F(DataTest, UserDefinedTypeParticipates) {
+  const PointArg* p1 = f.NewUser<PointArg>(1, 77, 1.0, 2.0);
+  const PointArg* p2 = f.NewUser<PointArg>(1, 77, 1.0, 2.0);
+  EXPECT_TRUE(p1->Equals(*p2));
+  EXPECT_EQ(p1->Hash(), p2->Hash());
+  EXPECT_EQ(p1->ToString(), "point(1,2)");
+  // User args can sit inside functor terms and unify structurally.
+  const Arg* a1[] = {static_cast<const Arg*>(p1)};
+  const Arg* t1 = f.MakeFunctor("loc", a1);
+  EXPECT_TRUE(t1->IsGround());
+  Trail tr;
+  EXPECT_TRUE(Unify(t1, nullptr, t1, nullptr, &tr));
+}
+
+TEST_F(DataTest, SymbolTableInterning) {
+  SymbolTable& syms = f.symbols();
+  Symbol a = syms.Intern("edge");
+  Symbol b = syms.Intern("edge");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a->name, "edge");
+  EXPECT_EQ(syms.Find("edge"), a);
+  EXPECT_EQ(syms.Find("no_such_symbol_xyz"), nullptr);
+}
+
+}  // namespace
+}  // namespace coral

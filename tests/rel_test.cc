@@ -1,0 +1,413 @@
+// Unit tests for the relation layer: subsidiary-relation marks, hash and
+// list relations, duplicate/subsumption checks, argument- and pattern-form
+// indices, aggregate selections (paper §3.2, §3.3, §5.5).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/data/term_factory.h"
+#include "src/data/unify.h"
+#include "src/rel/hash_relation.h"
+#include "src/rel/list_relation.h"
+
+namespace coral {
+namespace {
+
+class RelTest : public ::testing::Test {
+ protected:
+  const Tuple* T(std::initializer_list<const Arg*> args) {
+    std::vector<const Arg*> v(args);
+    return f.MakeTuple(v);
+  }
+  const Arg* I(int64_t v) { return f.MakeInt(v); }
+  const Arg* A(const char* s) { return f.MakeAtom(s); }
+
+  static std::vector<const Tuple*> Drain(TupleIterator* it) {
+    std::vector<const Tuple*> out;
+    while (const Tuple* t = it->Next()) out.push_back(t);
+    return out;
+  }
+
+  TermFactory f;
+};
+
+TEST_F(RelTest, InsertScanAndDuplicates) {
+  HashRelation r("edge", 2);
+  EXPECT_TRUE(r.Insert(T({I(1), I(2)})));
+  EXPECT_TRUE(r.Insert(T({I(2), I(3)})));
+  EXPECT_FALSE(r.Insert(T({I(1), I(2)})));  // duplicate
+  EXPECT_EQ(r.size(), 2u);
+  auto it = r.Scan();
+  EXPECT_EQ(Drain(it.get()).size(), 2u);
+}
+
+TEST_F(RelTest, MultisetAllowsDuplicates) {
+  HashRelation r("edge", 2);
+  r.set_multiset(true);
+  EXPECT_TRUE(r.Insert(T({I(1), I(2)})));
+  EXPECT_TRUE(r.Insert(T({I(1), I(2)})));
+  EXPECT_EQ(r.size(), 2u);
+  auto it = r.Scan();
+  EXPECT_EQ(Drain(it.get()).size(), 2u);
+  // Delete removes all occurrences of the fact.
+  EXPECT_TRUE(r.Delete(T({I(1), I(2)})));
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST_F(RelTest, SubsumptionRejectsSpecializations) {
+  HashRelation r("p", 2);
+  // Non-ground fact p(X, 7) subsumes later ground p(3, 7).
+  EXPECT_TRUE(r.Insert(T({f.CanonicalVar(0), I(7)})));
+  EXPECT_FALSE(r.Insert(T({I(3), I(7)})));
+  EXPECT_TRUE(r.Insert(T({I(3), I(8)})));
+  EXPECT_EQ(r.size(), 2u);
+  // Variant of the stored non-ground fact is also a duplicate.
+  EXPECT_FALSE(r.Insert(T({f.CanonicalVar(0), I(7)})));
+}
+
+TEST_F(RelTest, DeleteAndTombstones) {
+  HashRelation r("p", 1);
+  const Tuple* t1 = T({I(1)});
+  const Tuple* t2 = T({I(2)});
+  ASSERT_TRUE(r.Insert(t1));
+  ASSERT_TRUE(r.Insert(t2));
+  EXPECT_TRUE(r.Delete(t1));
+  EXPECT_FALSE(r.Delete(t1));  // already gone
+  EXPECT_EQ(r.size(), 1u);
+  auto got = Drain(r.Scan().get());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], t2);
+  // Deletion mid-scan is honored by open iterators.
+  ASSERT_TRUE(r.Insert(t1));
+  auto it = r.Scan();
+  EXPECT_NE(it->Next(), nullptr);
+  r.Delete(t2);
+  // Remaining yields skip t2 wherever it would appear.
+  for (const Tuple* t = it->Next(); t != nullptr; t = it->Next()) {
+    EXPECT_NE(t, t2);
+  }
+}
+
+TEST_F(RelTest, MarksPartitionInsertionOrder) {
+  HashRelation r("p", 1);
+  r.Insert(T({I(1)}));
+  Mark m1 = r.Snapshot();
+  r.Insert(T({I(2)}));
+  r.Insert(T({I(3)}));
+  Mark m2 = r.Snapshot();
+  r.Insert(T({I(4)}));
+
+  EXPECT_EQ(Drain(r.ScanRange(0, m1).get()).size(), 1u);
+  EXPECT_EQ(Drain(r.ScanRange(m1, m2).get()).size(), 2u);
+  EXPECT_EQ(Drain(r.ScanRange(m2, kMaxMark).get()).size(), 1u);
+  EXPECT_EQ(Drain(r.Scan().get()).size(), 4u);
+}
+
+TEST_F(RelTest, SnapshotIdempotentWhenNoInserts) {
+  HashRelation r("p", 1);
+  r.Insert(T({I(1)}));
+  Mark m1 = r.Snapshot();
+  Mark m2 = r.Snapshot();  // nothing inserted in between
+  EXPECT_EQ(m1, m2);
+  EXPECT_TRUE(Drain(r.ScanRange(m1, m2).get()).empty());
+}
+
+TEST_F(RelTest, ScanSeesConcurrentAppends) {
+  HashRelation r("p", 1);
+  r.Insert(T({I(1)}));
+  auto it = r.Scan();
+  EXPECT_NE(it->Next(), nullptr);
+  r.Insert(T({I(2)}));  // appended to the open subsidiary mid-scan
+  EXPECT_NE(it->Next(), nullptr);
+  EXPECT_EQ(it->Next(), nullptr);
+}
+
+TEST_F(RelTest, ArgumentIndexServesBoundLookups) {
+  HashRelation r("edge", 2);
+  r.AddArgumentIndex({0});
+  for (int i = 0; i < 100; ++i) r.Insert(T({I(i % 10), I(i)}));
+  // Lookup edge(3, ?): pattern (3, X).
+  BindEnv env(1);
+  TermRef pattern[] = {{I(3), nullptr}, {f.MakeVariable(0, "X"), &env}};
+  auto got = Drain(r.Select(pattern).get());
+  EXPECT_EQ(got.size(), 10u);
+  for (const Tuple* t : got) EXPECT_EQ(t->arg(0), I(3));
+}
+
+TEST_F(RelTest, ArgumentIndexVarBucketIsAlwaysReturned) {
+  HashRelation r("p", 2);
+  r.AddArgumentIndex({0});
+  r.Insert(T({I(1), I(10)}));
+  r.Insert(T({f.CanonicalVar(0), I(20)}));  // var in key column
+  BindEnv env(1);
+  TermRef pattern[] = {{I(1), nullptr}, {f.MakeVariable(0, "X"), &env}};
+  auto got = Drain(r.Select(pattern).get());
+  // Superset: the exact-key tuple plus the var-bucket tuple.
+  EXPECT_EQ(got.size(), 2u);
+}
+
+TEST_F(RelTest, ArgumentIndexUnboundKeyFallsBackToScan) {
+  HashRelation r("p", 2);
+  r.AddArgumentIndex({0});
+  for (int i = 0; i < 5; ++i) r.Insert(T({I(i), I(i)}));
+  BindEnv env(2);
+  TermRef pattern[] = {{f.MakeVariable(0, "X"), &env},
+                       {f.MakeVariable(1, "Y"), &env}};
+  EXPECT_EQ(Drain(r.Select(pattern).get()).size(), 5u);
+}
+
+TEST_F(RelTest, ArgumentIndexAddedLateIsBackfilled) {
+  HashRelation r("p", 2);
+  for (int i = 0; i < 50; ++i) r.Insert(T({I(i % 5), I(i)}));
+  r.AddArgumentIndex({0});
+  BindEnv env(1);
+  TermRef pattern[] = {{I(2), nullptr}, {f.MakeVariable(0, "X"), &env}};
+  EXPECT_EQ(Drain(r.Select(pattern).get()).size(), 10u);
+}
+
+TEST_F(RelTest, IndexOnBoundComplexTermResolvesBindings) {
+  HashRelation r("p", 1);
+  r.AddArgumentIndex({0});
+  const Arg* fa[] = {I(1), I(2)};
+  const Arg* stored = f.MakeFunctor("f", fa);
+  r.Insert(T({stored}));
+  r.Insert(T({A("other")}));
+  // Query with f(X, 2) where X is bound to 1: index key must hash equal to
+  // the stored ground term's hash.
+  BindEnv env(1);
+  const Variable* x = f.MakeVariable(0, "X");
+  Trail tr;
+  BindVar(x, &env, I(1), nullptr, &tr);
+  const Arg* qa[] = {x, I(2)};
+  const Arg* query = f.MakeFunctor("f", qa);
+  TermRef pattern[] = {{query, &env}};
+  auto got = Drain(r.Select(pattern).get());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0]->arg(0), stored);
+}
+
+TEST_F(RelTest, IndexRespectsMarkRanges) {
+  HashRelation r("p", 2);
+  r.AddArgumentIndex({0});
+  r.Insert(T({I(1), I(10)}));
+  Mark m = r.Snapshot();
+  r.Insert(T({I(1), I(20)}));
+  BindEnv env(1);
+  TermRef pattern[] = {{I(1), nullptr}, {f.MakeVariable(0, "X"), &env}};
+  EXPECT_EQ(Drain(r.Select(pattern, 0, m).get()).size(), 1u);
+  EXPECT_EQ(Drain(r.Select(pattern, m, kMaxMark).get()).size(), 1u);
+  EXPECT_EQ(Drain(r.Select(pattern, 0, kMaxMark).get()).size(), 2u);
+}
+
+TEST_F(RelTest, IndexLookupsStayCorrectAcrossManyMarks) {
+  // Regression: postings are per-bucket sorted by subsidiary; range
+  // lookups must stay exact (and cheap) when hundreds of mark intervals
+  // exist — the access pattern of a long semi-naive evaluation.
+  HashRelation r("p", 2);
+  r.AddArgumentIndex({0});
+  std::vector<Mark> marks;
+  for (int round = 0; round < 200; ++round) {
+    marks.push_back(r.Snapshot());
+    r.Insert(T({I(round % 5), I(round)}));
+  }
+  Mark end = r.Snapshot();
+  BindEnv env(1);
+  TermRef pattern[] = {{I(3), nullptr}, {f.MakeVariable(0, "X"), &env}};
+  // Full range: key 3 occurs for round % 5 == 3 -> 40 tuples.
+  EXPECT_EQ(Drain(r.Select(pattern, 0, end).get()).size(), 40u);
+  // A middle window of 50 rounds: exactly 10 hits.
+  EXPECT_EQ(Drain(r.Select(pattern, marks[100], marks[150]).get()).size(),
+            10u);
+  // Empty window.
+  EXPECT_TRUE(Drain(r.Select(pattern, marks[70], marks[70]).get()).empty());
+  // Single-round window containing the key.
+  EXPECT_EQ(Drain(r.Select(pattern, marks[13], marks[14]).get()).size(), 1u);
+}
+
+TEST_F(RelTest, PatternIndexDrillsIntoFunctors) {
+  // The paper's example: @make_index emp(Name, addr(Street, City))
+  //                                  (Name, City).
+  HashRelation r("emp", 2);
+  // Pattern: emp(_0, addr(_1, _2)), keys slots {0, 2}.
+  const Arg* addr_args[] = {f.CanonicalVar(1), f.CanonicalVar(2)};
+  std::vector<const Arg*> pat = {f.CanonicalVar(0),
+                                 f.MakeFunctor("addr", addr_args)};
+  r.AddPatternIndex(pat, 3, {0, 2});
+
+  auto emp = [&](const char* name, const char* street, const char* city) {
+    const Arg* aa[] = {A(street), A(city)};
+    return T({A(name), f.MakeFunctor("addr", aa)});
+  };
+  r.Insert(emp("john", "main", "madison"));
+  r.Insert(emp("john", "pine", "madison"));
+  r.Insert(emp("john", "elm", "seattle"));
+  r.Insert(emp("mary", "main", "madison"));
+  for (int i = 0; i < 50; ++i) {
+    r.Insert(emp(("e" + std::to_string(i)).c_str(), "x", "nowhere"));
+  }
+
+  // Query: emp(john, addr(S, madison)) — street unknown.
+  BindEnv env(1);
+  const Arg* qaddr_args[] = {f.MakeVariable(0, "S"), A("madison")};
+  TermRef pattern[] = {{A("john"), nullptr},
+                       {f.MakeFunctor("addr", qaddr_args), &env}};
+  auto got = Drain(r.Select(pattern).get());
+  EXPECT_EQ(got.size(), 2u);
+}
+
+TEST_F(RelTest, PatternIndexNonconformingQueryFallsBack) {
+  HashRelation r("emp", 2);
+  std::vector<const Arg*> pat = {f.CanonicalVar(0), f.CanonicalVar(1)};
+  r.AddPatternIndex(pat, 2, {0});
+  r.Insert(T({A("john"), A("home")}));
+  // Query whose first column is unbound: key undetermined, falls back.
+  BindEnv env(2);
+  TermRef pattern[] = {{f.MakeVariable(0, "N"), &env},
+                       {f.MakeVariable(1, "A"), &env}};
+  EXPECT_EQ(Drain(r.Select(pattern).get()).size(), 1u);
+}
+
+TEST_F(RelTest, PatternIndexExcludesNonUnifiableTuples) {
+  // Tuples that cannot unify with the index pattern are excluded, and
+  // queries not unifying with the pattern bypass the index.
+  HashRelation r("emp", 2);
+  const Arg* addr_args[] = {f.CanonicalVar(1), f.CanonicalVar(2)};
+  std::vector<const Arg*> pat = {f.CanonicalVar(0),
+                                 f.MakeFunctor("addr", addr_args)};
+  r.AddPatternIndex(pat, 3, {0, 2});
+  r.Insert(T({A("bob"), A("homeless")}));  // 2nd col not an addr(...)
+  // Query emp(bob, homeless) does not unify with the pattern: the index
+  // cannot serve it; the fallback scan must still find the tuple.
+  TermRef pattern_q[] = {{A("bob"), nullptr}, {A("homeless"), nullptr}};
+  EXPECT_EQ(Drain(r.Select(pattern_q).get()).size(), 1u);
+}
+
+TEST_F(RelTest, SelectPrefersWidestUsableIndex) {
+  HashRelation r("t", 3);
+  r.AddArgumentIndex({0});
+  r.AddArgumentIndex({0, 1});
+  for (int i = 0; i < 100; ++i) r.Insert(T({I(i % 2), I(i % 10), I(i)}));
+  BindEnv env(1);
+  TermRef pattern[] = {{I(1), nullptr}, {I(3), nullptr},
+                       {f.MakeVariable(0, "X"), &env}};
+  auto got = Drain(r.Select(pattern).get());
+  EXPECT_EQ(got.size(), 10u);  // (1,3,*) occurs for i%10==3, i odd
+}
+
+TEST_F(RelTest, ListRelationBasics) {
+  ListRelation r("edge", 2);
+  EXPECT_TRUE(r.Insert(T({I(1), I(2)})));
+  EXPECT_FALSE(r.Insert(T({I(1), I(2)})));
+  EXPECT_TRUE(r.Insert(T({I(2), I(3)})));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(T({I(1), I(2)})));
+  EXPECT_FALSE(r.Contains(T({I(9), I(9)})));
+  EXPECT_TRUE(r.Delete(T({I(1), I(2)})));
+  EXPECT_EQ(r.size(), 1u);
+  Mark m = r.Snapshot();
+  r.Insert(T({I(7), I(8)}));
+  EXPECT_EQ(Drain(r.ScanRange(m, kMaxMark).get()).size(), 1u);
+}
+
+TEST_F(RelTest, AggregateSelectionMinPrunesCostlierFacts) {
+  // @aggregate_selection p(X,Y,C)(X,Y) min(C): shortest-path pruning.
+  HashRelation r("p", 3);
+  std::vector<const Arg*> pat = {f.CanonicalVar(0), f.CanonicalVar(1),
+                                 f.CanonicalVar(2)};
+  std::vector<const Arg*> group = {f.CanonicalVar(0), f.CanonicalVar(1)};
+  r.AddAggregateSelection(std::make_unique<AggregateSelection>(
+      AggregateSelection::Kind::kMin, pat, 3, group, f.CanonicalVar(2)));
+
+  EXPECT_TRUE(r.Insert(T({A("a"), A("b"), I(10)})));
+  // Costlier fact in the same group: rejected.
+  EXPECT_FALSE(r.Insert(T({A("a"), A("b"), I(12)})));
+  // Cheaper fact: admitted, and the costlier one is deleted.
+  EXPECT_TRUE(r.Insert(T({A("a"), A("b"), I(5)})));
+  EXPECT_EQ(r.size(), 1u);
+  auto got = Drain(r.Scan().get());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0]->arg(2), I(5));
+  // Different group unaffected.
+  EXPECT_TRUE(r.Insert(T({A("a"), A("c"), I(100)})));
+  EXPECT_EQ(r.size(), 2u);
+  // Re-inserting the surviving fact is an exact duplicate: rejected by
+  // the duplicate check before aggregate selections are consulted.
+  EXPECT_FALSE(r.Insert(T({A("a"), A("b"), I(5)})));
+}
+
+TEST_F(RelTest, AggregateSelectionMaxMirrorsMin) {
+  HashRelation r("p", 2);
+  std::vector<const Arg*> pat = {f.CanonicalVar(0), f.CanonicalVar(1)};
+  std::vector<const Arg*> group = {f.CanonicalVar(0)};
+  r.AddAggregateSelection(std::make_unique<AggregateSelection>(
+      AggregateSelection::Kind::kMax, pat, 2, group, f.CanonicalVar(1)));
+  EXPECT_TRUE(r.Insert(T({A("g"), I(1)})));
+  EXPECT_TRUE(r.Insert(T({A("g"), I(5)})));
+  EXPECT_FALSE(r.Insert(T({A("g"), I(3)})));
+  auto got = Drain(r.Scan().get());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0]->arg(1), I(5));
+}
+
+TEST_F(RelTest, AggregateSelectionAnyKeepsOneWitness) {
+  // @aggregate_selection p(X,P)(X) any(P): one witness per group.
+  HashRelation r("p", 2);
+  std::vector<const Arg*> pat = {f.CanonicalVar(0), f.CanonicalVar(1)};
+  std::vector<const Arg*> group = {f.CanonicalVar(0)};
+  r.AddAggregateSelection(std::make_unique<AggregateSelection>(
+      AggregateSelection::Kind::kAny, pat, 2, group, nullptr));
+  EXPECT_TRUE(r.Insert(T({A("x"), A("w1")})));
+  EXPECT_FALSE(r.Insert(T({A("x"), A("w2")})));
+  EXPECT_TRUE(r.Insert(T({A("y"), A("w1")})));
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST_F(RelTest, CombinedMinAndAnySelectionsShortestPathStyle) {
+  // The exact combination from the paper's Fig. 3 discussion:
+  //   @aggregate_selection path(X,Y,P,C)(X,Y) min(C).
+  //   @aggregate_selection path(X,Y,P,C)(X,Y,C) any(P).
+  HashRelation r("path", 4);
+  std::vector<const Arg*> pat = {f.CanonicalVar(0), f.CanonicalVar(1),
+                                 f.CanonicalVar(2), f.CanonicalVar(3)};
+  r.AddAggregateSelection(std::make_unique<AggregateSelection>(
+      AggregateSelection::Kind::kMin, pat,
+      4, std::vector<const Arg*>{f.CanonicalVar(0), f.CanonicalVar(1)},
+      f.CanonicalVar(3)));
+  r.AddAggregateSelection(std::make_unique<AggregateSelection>(
+      AggregateSelection::Kind::kAny, pat, 4,
+      std::vector<const Arg*>{f.CanonicalVar(0), f.CanonicalVar(1),
+                              f.CanonicalVar(3)},
+      nullptr));
+
+  EXPECT_TRUE(r.Insert(T({A("a"), A("b"), A("p1"), I(4)})));
+  // Same cost, different witness: pruned by any(P).
+  EXPECT_FALSE(r.Insert(T({A("a"), A("b"), A("p2"), I(4)})));
+  // Cheaper path replaces.
+  EXPECT_TRUE(r.Insert(T({A("a"), A("b"), A("p3"), I(2)})));
+  EXPECT_EQ(r.size(), 1u);
+  auto got = Drain(r.Scan().get());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0]->arg(3), I(2));
+}
+
+TEST_F(RelTest, AggregateSelectionKeepsIndexConsistent) {
+  HashRelation r("p", 2);
+  r.AddArgumentIndex({0});
+  std::vector<const Arg*> pat = {f.CanonicalVar(0), f.CanonicalVar(1)};
+  r.AddAggregateSelection(std::make_unique<AggregateSelection>(
+      AggregateSelection::Kind::kMin, pat, 2,
+      std::vector<const Arg*>{f.CanonicalVar(0)}, f.CanonicalVar(1)));
+  r.Insert(T({A("k"), I(9)}));
+  r.Insert(T({A("k"), I(4)}));  // deletes the 9 tuple
+  BindEnv env(1);
+  TermRef pattern[] = {{A("k"), nullptr}, {f.MakeVariable(0, "C"), &env}};
+  auto got = Drain(r.Select(pattern).get());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0]->arg(1), I(4));
+}
+
+}  // namespace
+}  // namespace coral
