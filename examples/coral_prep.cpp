@@ -2,7 +2,7 @@
 // code with embedded CORAL code must first be passed through a CORAL
 // preprocessor and then compiled using a standard C++ compiler").
 //
-//   $ ./coral_prep input.cC > output.cc
+//   $ ./coral_prep input.cC > output.cc     (or: coral_prep in.cC out.cc)
 //   $ c++ -I<repo> output.cc libcoral.a ...
 
 #include <fstream>
@@ -12,8 +12,8 @@
 #include "src/cxx/preprocessor.h"
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: coral_prep <file.cC>\n";
+  if (argc != 2 && argc != 3) {
+    std::cerr << "usage: coral_prep <file.cC> [out.cc]\n";
     return 2;
   }
   std::ifstream in(argv[1]);
@@ -28,6 +28,15 @@ int main(int argc, char** argv) {
     std::cerr << "coral_prep: " << out.status().ToString() << "\n";
     return 1;
   }
-  std::cout << *out;
+  if (argc == 3) {
+    std::ofstream dst(argv[2]);
+    if (!dst) {
+      std::cerr << "coral_prep: cannot write " << argv[2] << "\n";
+      return 2;
+    }
+    dst << *out;
+  } else {
+    std::cout << *out;
+  }
   return 0;
 }

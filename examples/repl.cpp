@@ -20,8 +20,19 @@
 
 namespace {
 
+// Analyzer warnings don't stop a consult; show them like a compiler
+// does (errors already surface through the failed Status).
+void PrintWarnings(const coral::Database& db) {
+  for (const coral::Diagnostic& d : db.last_diagnostics().items()) {
+    if (d.severity != coral::DiagSeverity::kError) {
+      std::cout << d.ToString() << "\n";
+    }
+  }
+}
+
 void RunText(coral::Database* db, const std::string& text) {
   auto out = db->Run(text);
+  PrintWarnings(*db);
   if (!out.ok()) {
     std::cout << "error: " << out.status().ToString() << "\n";
     return;
@@ -31,6 +42,7 @@ void RunText(coral::Database* db, const std::string& text) {
 
 void ConsultFile(coral::Database* db, const std::string& path) {
   auto queries = db->ConsultFile(path);
+  PrintWarnings(*db);
   if (!queries.ok()) {
     std::cout << "error: " << queries.status().ToString() << "\n";
     return;

@@ -1,0 +1,129 @@
+// Dead-code warnings (CRL120, CRL121).
+//
+// CRL120: a derived predicate unreachable from every exported query form
+// can never be evaluated — modules are queried only through their exports
+// (paper §5) — so its rules are dead weight, usually a renamed or typo'd
+// predicate. Reachability follows head -> body edges (negated and
+// aggregated goals included). Modules without exports are skipped: no
+// root set exists to measure against.
+//
+// CRL121: a named variable occurring exactly once in a rule joins with
+// nothing and constrains nothing — the classic typo detector. The
+// underscore convention opts out, and facts are exempt (a variable in a
+// fact is universally quantified; paper §3.1).
+
+#include <deque>
+#include <map>
+#include <unordered_set>
+
+#include "src/analysis/analyzer.h"
+#include "src/rewrite/existential.h"
+
+namespace coral {
+namespace analysis {
+
+namespace {
+
+void CountVars(const Arg* term, std::map<uint32_t, int>* counts) {
+  switch (term->kind()) {
+    case ArgKind::kVariable:
+      ++(*counts)[ArgCast<Variable>(term)->slot()];
+      break;
+    case ArgKind::kAtomOrFunctor: {
+      const auto* f = ArgCast<FunctorArg>(term);
+      for (const Arg* a : f->args()) CountVars(a, counts);
+      break;
+    }
+    case ArgKind::kSet: {
+      const auto* s = ArgCast<SetArg>(term);
+      for (const Arg* e : s->elems()) CountVars(e, counts);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void CheckDeadPredicates(const ModuleDecl& mod, const DepGraph& graph,
+                         DiagnosticList* out) {
+  if (mod.exports.empty()) return;
+
+  std::unordered_set<PredRef, PredRefHash> reachable;
+  std::deque<PredRef> work;
+  auto visit = [&](const PredRef& p) {
+    if (graph.IsDerived(p) && reachable.insert(p).second) {
+      work.push_back(p);
+    }
+  };
+  for (const QueryFormDecl& form : mod.exports) {
+    visit(PredRef{form.pred,
+                  static_cast<uint32_t>(form.adornment.size())});
+  }
+  while (!work.empty()) {
+    PredRef p = work.front();
+    work.pop_front();
+    for (const Rule& r : mod.rules) {
+      if (!(r.head.pred_ref() == p)) continue;
+      for (const Literal& lit : r.body) visit(lit.pred_ref());
+    }
+  }
+
+  std::unordered_set<PredRef, PredRefHash> flagged;
+  for (size_t i = 0; i < mod.rules.size(); ++i) {
+    const PredRef head = mod.rules[i].head.pred_ref();
+    if (reachable.count(head) > 0 || !flagged.insert(head).second) {
+      continue;
+    }
+    Diagnostic d;
+    d.severity = DiagSeverity::kWarning;
+    d.code = diag::kDeadPredicate;
+    d.module_name = mod.name;
+    d.pred = head.ToString();
+    d.rule_index = static_cast<int>(i);
+    d.loc = mod.rules[i].loc;
+    d.message = "predicate " + head.ToString() +
+                " is defined but unreachable from any export";
+    out->Add(std::move(d));
+  }
+}
+
+void CheckSingletons(const ModuleDecl& mod, DiagnosticList* out) {
+  for (size_t ri = 0; ri < mod.rules.size(); ++ri) {
+    const Rule& r = mod.rules[ri];
+    if (r.is_fact()) continue;
+    std::map<uint32_t, int> counts;
+    for (const Arg* a : r.head.args) CountVars(a, &counts);
+    for (const Literal& lit : r.body) {
+      for (const Arg* a : lit.args) CountVars(a, &counts);
+    }
+    for (const auto& [slot, n] : counts) {
+      if (n != 1) continue;
+      if (slot >= r.var_names.size()) continue;
+      const std::string& name = r.var_names[slot];
+      if (name.empty() || name[0] == '_') continue;
+      Diagnostic d;
+      d.severity = DiagSeverity::kWarning;
+      d.code = diag::kSingletonVar;
+      d.module_name = mod.name;
+      d.pred = r.head.pred_ref().ToString();
+      d.rule_index = static_cast<int>(ri);
+      d.loc = r.loc;
+      d.message = "variable '" + name +
+                  "' occurs only once in this rule; use '_' if the "
+                  "argument is intentionally ignored";
+      out->Add(std::move(d));
+    }
+  }
+}
+
+}  // namespace
+
+void CheckDeadCode(const ModuleDecl& mod, const AnalyzerOptions& opts,
+                   const DepGraph& graph, DiagnosticList* out) {
+  (void)opts;
+  CheckDeadPredicates(mod, graph, out);
+  CheckSingletons(mod, out);
+}
+
+}  // namespace analysis
+}  // namespace coral

@@ -210,6 +210,7 @@ Status Database::ApplyAggSelDecl(const AggSelDecl& decl) {
 }
 
 StatusOr<std::vector<Query>> Database::Consult(std::string_view text) {
+  last_diagnostics_ = DiagnosticList();
   Parser parser(text, factory_.get());
   CORAL_ASSIGN_OR_RETURN(Program prog, parser.ParseProgram());
   // Annotations first: indices backfill, but aggregate selections only
@@ -224,7 +225,8 @@ StatusOr<std::vector<Query>> Database::Consult(std::string_view text) {
     CORAL_RETURN_IF_ERROR(InsertFact(fact).status());
   }
   for (ModuleDecl& mod : prog.modules) {
-    CORAL_RETURN_IF_ERROR(modules_->AddModule(std::move(mod)));
+    CORAL_RETURN_IF_ERROR(
+        modules_->AddModule(std::move(mod), &last_diagnostics_));
   }
   return std::move(prog.queries);
 }

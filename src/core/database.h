@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/diagnostics.h"
 #include "src/core/builtins.h"
 #include "src/core/module_manager.h"
 #include "src/data/term_factory.h"
@@ -93,6 +94,19 @@ class Database {
   /// with @explain.
   StatusOr<std::string> Explain(const std::string& fact_text);
 
+  // ---- static analysis ----
+  /// Diagnostics produced by the semantic analyzer for the modules of the
+  /// most recent Consult / ConsultFile / Run. Errors refuse the offending
+  /// module (Consult returns their text as a Status); warnings accumulate
+  /// here for the caller to display.
+  const DiagnosticList& last_diagnostics() const {
+    return last_diagnostics_;
+  }
+  /// Warnings-as-errors: when on, any analyzer warning refuses the
+  /// module, mirroring a compiler's -Werror.
+  void set_strict(bool strict) { strict_ = strict; }
+  bool strict() const { return strict_; }
+
   /// When set, every compiled query form's rewritten program is also
   /// stored as a text file `<dir>/<module>.<pred>.<adornment>.crl` —
   /// the paper's §2 debugging aid. Empty disables.
@@ -109,6 +123,8 @@ class Database {
   std::unordered_map<PredRef, Relation*, PredRefHash> base_;
   std::vector<std::unique_ptr<Relation>> owned_relations_;
   std::string listing_dir_;
+  DiagnosticList last_diagnostics_;
+  bool strict_ = false;
 };
 
 }  // namespace coral

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 
+#include "src/analysis/analyzer.h"
 #include "src/core/database.h"
 #include "src/util/logging.h"
 
@@ -50,28 +51,25 @@ constexpr int kMaxCallDepth = 256;
 
 }  // namespace
 
-Status ModuleManager::AddModule(ModuleDecl decl) {
-  // Validate exports against definitions.
-  for (const QueryFormDecl& form : decl.exports) {
-    PredRef pred{form.pred, static_cast<uint32_t>(form.adornment.size())};
-    bool defined = false;
-    for (const Rule& r : decl.rules) {
-      if (r.head.pred == form.pred) {
-        defined = true;
-        if (r.head.args.size() != form.adornment.size()) {
-          return Status::InvalidArgument(
-              "module " + decl.name + ": export adornment '" +
-              form.adornment + "' does not match arity of " +
-              form.pred->name);
-        }
-      }
-    }
-    if (!defined) {
-      return Status::InvalidArgument("module " + decl.name +
-                                     " exports undefined predicate " +
-                                     form.pred->name);
-    }
-    (void)pred;
+Status ModuleManager::AddModule(ModuleDecl decl, DiagnosticList* diags) {
+  // Semantic analysis before registration (rule safety, binding modes,
+  // export validity, annotation sanity, dead code, stratification). An
+  // error — or any warning in strict mode — refuses the module and
+  // leaves a previously registered version untouched.
+  AnalyzerOptions opts;
+  opts.strict = db_->strict();
+  const BuiltinRegistry* builtins = db_->builtins();
+  opts.is_builtin = [builtins](const std::string& name, uint32_t arity) {
+    return builtins->Find(name, arity) != nullptr;
+  };
+  DiagnosticList analysis = AnalyzeModule(decl, opts);
+  const bool reject = analysis.ShouldReject(opts.strict);
+  std::string reject_text = analysis.RejectionText(opts.strict);
+  if (diags != nullptr) diags->Append(analysis);
+  if (reject) {
+    return Status::InvalidArgument("module " + decl.name +
+                                   " rejected by semantic analysis:\n" +
+                                   reject_text);
   }
 
   // Replace an existing module of the same name.
@@ -269,7 +267,7 @@ StatusOr<std::string> ModuleManager::RewrittenListing(
   for (auto& entry : modules_) {
     if (entry->decl.name != module_name) continue;
     Symbol sym = db_->factory()->symbols().Intern(pred);
-    QueryFormDecl form{sym, adornment};
+    QueryFormDecl form{sym, adornment, SourceLoc{}};
     CORAL_ASSIGN_OR_RETURN(CompiledForm * cf,
                            CompileForm(entry.get(), form));
     return cf->prog->listing;

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/analysis/diagnostics.h"
 #include "src/core/module_eval.h"
 #include "src/core/pipeline.h"
 
@@ -25,10 +26,13 @@ class ModuleManager {
  public:
   explicit ModuleManager(Database* db) : db_(db) {}
 
-  /// Validates and registers a module; its exports become visible to all
+  /// Analyzes and registers a module; its exports become visible to all
   /// other modules and to queries. Re-adding a module with the same name
-  /// replaces it.
-  Status AddModule(ModuleDecl decl);
+  /// replaces it. The semantic analyzer runs first: diagnostics go to
+  /// `diags` when non-null, and the module is refused (leaving any
+  /// previous version in place) on errors — or on warnings too when the
+  /// database is in strict mode.
+  Status AddModule(ModuleDecl decl, DiagnosticList* diags = nullptr);
 
   /// True if some module exports `pred`.
   bool Exports(const PredRef& pred) const;

@@ -40,6 +40,16 @@ class Coral {
     return db_->Consult(coral_text).status();
   }
 
+  // ---- static analysis ----
+  /// Diagnostics the semantic analyzer produced for the most recent
+  /// Command/Consult. Errors refuse the module (and surface as a failed
+  /// Status); warnings accumulate here.
+  const DiagnosticList& Diagnostics() const {
+    return db_->last_diagnostics();
+  }
+  /// Warnings-as-errors for subsequent consults.
+  void SetStrict(bool strict) { db_->set_strict(strict); }
+
   // ---- argument construction (paper §6.1 class Arg) ----
   const Arg* Int(int64_t v) { return factory()->MakeInt(v); }
   const Arg* Double(double v) { return factory()->MakeDouble(v); }

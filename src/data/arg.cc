@@ -1,6 +1,7 @@
 #include "src/data/arg.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>

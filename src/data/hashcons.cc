@@ -6,7 +6,6 @@ namespace coral {
 
 namespace {
 
-template <typename Node>
 bool SameChildren(std::span<const Arg* const> a,
                   std::span<const Arg* const> b) {
   return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
@@ -21,7 +20,7 @@ const FunctorArg* FunctorHashcons::Find(Symbol sym,
   if (it == buckets_.end()) return nullptr;
   for (const FunctorArg* cand : it->second) {
     if (cand->functor() == sym &&
-        SameChildren<FunctorArg>(cand->args(), args)) {
+        SameChildren(cand->args(), args)) {
       return cand;
     }
   }
@@ -38,7 +37,7 @@ const Tuple* TupleHashcons::Find(std::span<const Arg* const> args,
   auto it = buckets_.find(hash);
   if (it == buckets_.end()) return nullptr;
   for (const Tuple* cand : it->second) {
-    if (SameChildren<Tuple>(cand->args(), args)) return cand;
+    if (SameChildren(cand->args(), args)) return cand;
   }
   return nullptr;
 }
@@ -53,7 +52,7 @@ const SetArg* SetHashcons::Find(std::span<const Arg* const> elems,
   auto it = buckets_.find(hash);
   if (it == buckets_.end()) return nullptr;
   for (const SetArg* cand : it->second) {
-    if (SameChildren<SetArg>(cand->elems(), elems)) return cand;
+    if (SameChildren(cand->elems(), elems)) return cand;
   }
   return nullptr;
 }

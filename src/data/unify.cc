@@ -1,5 +1,6 @@
 #include "src/data/unify.h"
 
+#include <utility>
 #include <vector>
 
 #include "src/data/term_hash.h"
@@ -179,7 +180,7 @@ uint32_t VarRenamer::Rename(const BindEnv* env, uint32_t slot) {
     if (key.first == env && key.second == slot) return renamed;
   }
   uint32_t next = static_cast<uint32_t>(map_.size());
-  map_.push_back({{env, slot}, next});
+  map_.emplace_back(std::make_pair(env, slot), next);
   return next;
 }
 

@@ -15,6 +15,11 @@ bool IsOperatorName(const std::string& n) {
 
 bool IsOperatorSymbol(Symbol sym) { return IsOperatorName(sym->name); }
 
+std::string SourceLoc::ToString() const {
+  if (!valid()) return "";
+  return "line " + std::to_string(line) + ":" + std::to_string(col);
+}
+
 std::string Literal::ToString() const {
   std::ostringstream oss;
   if (negated) oss << "not ";

@@ -16,6 +16,18 @@
 
 namespace coral {
 
+/// A position in the consulted source text, propagated from lexer tokens
+/// so semantic diagnostics can point at the offending clause. Line 0
+/// means "no source location" (e.g. programmatically built ASTs).
+struct SourceLoc {
+  int line = 0;
+  int col = 0;
+
+  bool valid() const { return line > 0; }
+  /// "line L:C" or "" when invalid.
+  std::string ToString() const;
+};
+
 /// Identity of a predicate: name symbol + arity.
 struct PredRef {
   Symbol sym = nullptr;
@@ -41,6 +53,7 @@ struct Literal {
   Symbol pred = nullptr;
   std::vector<const Arg*> args;
   bool negated = false;
+  SourceLoc loc;
 
   PredRef pred_ref() const {
     return PredRef{pred, static_cast<uint32_t>(args.size())};
@@ -56,6 +69,7 @@ struct Rule {
   std::vector<Literal> body;
   uint32_t var_count = 0;
   std::vector<std::string> var_names;
+  SourceLoc loc;
 
   bool is_fact() const { return body.empty(); }
   std::string ToString() const;
@@ -71,6 +85,16 @@ enum class RewriteKind { kSupplementaryMagic, kMagic, kFactoring, kNone };
 struct QueryFormDecl {
   Symbol pred = nullptr;
   std::string adornment;
+  SourceLoc loc;
+};
+
+/// One `@name` annotation occurrence as written, with its location —
+/// kept alongside the digested ModuleDecl flags so the semantic analyzer
+/// can diagnose contradictory or ineffective combinations at the source
+/// line where they were declared.
+struct AnnotationUse {
+  std::string name;
+  SourceLoc loc;
 };
 
 /// Parsed @aggregate_selection declaration (paper §5.5.2).
@@ -81,6 +105,7 @@ struct AggSelDecl {
   uint32_t var_count = 0;
   std::vector<const Arg*> group_args;
   const Arg* agg_arg = nullptr;  // null only for argument-less any
+  SourceLoc loc;
 };
 
 /// Parsed @make_index declaration (paper §5.5.1). Argument-form when the
@@ -92,14 +117,17 @@ struct IndexDecl {
   std::vector<uint32_t> key_slots;
   bool argument_form = false;
   std::vector<uint32_t> cols;  // for argument-form
+  SourceLoc loc;
 };
 
 /// A declarative program module (paper §5): unit of compilation with its
 /// own evaluation strategy, chosen by annotations.
 struct ModuleDecl {
   std::string name;
+  SourceLoc loc;
   std::vector<QueryFormDecl> exports;
   std::vector<Rule> rules;
+  std::vector<AnnotationUse> annotations;  // as written, for diagnostics
 
   EvalMode eval_mode = EvalMode::kMaterialized;
   FixpointKind fixpoint = FixpointKind::kBasicSemiNaive;
@@ -123,6 +151,7 @@ struct Query {
   std::vector<Literal> body;
   uint32_t var_count = 0;
   std::vector<std::string> var_names;
+  SourceLoc loc;
   std::string ToString() const;
 };
 

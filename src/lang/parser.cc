@@ -81,8 +81,9 @@ Status Parser::ParseTopLevel(Program* out) {
 }
 
 Status Parser::ParseModule(Program* out) {
-  Bump();  // 'module'
   ModuleDecl mod;
+  mod.loc = LocHere();
+  Bump();  // 'module'
   mod.name = Cur().text;
   CORAL_RETURN_IF_ERROR(Expect(TokenKind::kIdent));
   CORAL_RETURN_IF_ERROR(Expect(TokenKind::kDot));
@@ -112,11 +113,12 @@ Status Parser::ParseExport(ModuleDecl* mod) {
   //   export s_p(bfff, ffff), helper(bf).
   while (true) {
     if (!At(TokenKind::kIdent)) return ErrorHere("expected predicate name");
+    SourceLoc loc = LocHere();
     Symbol pred = factory_->symbols().Intern(Cur().text);
     Bump();
     CORAL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
     if (Eat(TokenKind::kRParen)) {  // zero-arity export: alarm()
-      mod->exports.push_back(QueryFormDecl{pred, ""});
+      mod->exports.push_back(QueryFormDecl{pred, "", loc});
       if (!Eat(TokenKind::kComma)) break;
       continue;
     }
@@ -131,7 +133,7 @@ Status Parser::ParseExport(ModuleDecl* mod) {
         }
       }
       Bump();
-      mod->exports.push_back(QueryFormDecl{pred, ad});
+      mod->exports.push_back(QueryFormDecl{pred, ad, loc});
       if (!Eat(TokenKind::kComma)) break;
     }
     CORAL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
@@ -141,10 +143,12 @@ Status Parser::ParseExport(ModuleDecl* mod) {
 }
 
 Status Parser::ParseAnnotation(ModuleDecl* mod, Program* top) {
+  SourceLoc loc = LocHere();
   Bump();  // '@'
   if (!At(TokenKind::kIdent)) return ErrorHere("expected annotation name");
   std::string name = Cur().text;
   Bump();
+  if (mod != nullptr) mod->annotations.push_back(AnnotationUse{name, loc});
 
   auto module_only = [&]() -> Status {
     if (mod == nullptr) {
@@ -157,6 +161,7 @@ Status Parser::ParseAnnotation(ModuleDecl* mod, Program* top) {
   if (name == "aggregate_selection") {
     BeginClause();
     CORAL_ASSIGN_OR_RETURN(AggSelDecl decl, ParseAggregateSelection());
+    decl.loc = loc;
     if (mod != nullptr) {
       mod->agg_selections.push_back(std::move(decl));
     } else {
@@ -167,6 +172,7 @@ Status Parser::ParseAnnotation(ModuleDecl* mod, Program* top) {
   if (name == "make_index") {
     BeginClause();
     CORAL_ASSIGN_OR_RETURN(IndexDecl decl, ParseMakeIndex());
+    decl.loc = loc;
     if (mod != nullptr) {
       mod->indexes.push_back(std::move(decl));
     } else {
@@ -308,6 +314,7 @@ StatusOr<IndexDecl> Parser::ParseMakeIndex() {
 Status Parser::ParseRuleOrFact(std::vector<Rule>* rules) {
   BeginClause();
   Rule rule;
+  rule.loc = LocHere();
   CORAL_ASSIGN_OR_RETURN(rule.head, ParsePositiveLiteral());
   if (rule.head.negated) {
     return ErrorHere("rule head cannot be negated");
@@ -327,9 +334,10 @@ Status Parser::ParseRuleOrFact(std::vector<Rule>* rules) {
 }
 
 Status Parser::ParseQuery(Program* out) {
+  Query q;
+  q.loc = LocHere();
   Bump();  // '?-'
   BeginClause();
-  Query q;
   while (true) {
     CORAL_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
     q.body.push_back(std::move(lit));
@@ -344,9 +352,11 @@ Status Parser::ParseQuery(Program* out) {
 
 StatusOr<Literal> Parser::ParseLiteral() {
   if (At(TokenKind::kIdent) && Cur().text == "not") {
+    SourceLoc loc = LocHere();
     Bump();
     CORAL_ASSIGN_OR_RETURN(Literal lit, ParsePositiveLiteral());
     lit.negated = true;
+    lit.loc = loc;
     return lit;
   }
   return ParsePositiveLiteral();
@@ -355,6 +365,7 @@ StatusOr<Literal> Parser::ParseLiteral() {
 StatusOr<Literal> Parser::ParsePositiveLiteral() {
   // Parse a term; if followed by a comparison operator, build an operator
   // literal, else the term itself must be a predicate application.
+  SourceLoc loc = LocHere();
   CORAL_ASSIGN_OR_RETURN(const Arg* lhs, ParseTermExpr());
 
   const char* op = nullptr;
@@ -373,6 +384,7 @@ StatusOr<Literal> Parser::ParsePositiveLiteral() {
     Literal lit;
     lit.pred = factory_->symbols().Intern(op);
     lit.args = {lhs, rhs};
+    lit.loc = loc;
     return lit;
   }
 
@@ -383,6 +395,7 @@ StatusOr<Literal> Parser::ParsePositiveLiteral() {
   Literal lit;
   lit.pred = f->functor();
   lit.args.assign(f->args().begin(), f->args().end());
+  lit.loc = loc;
   return lit;
 }
 

@@ -48,6 +48,7 @@ class Parser {
   }
   Status Expect(TokenKind k);
   Status ErrorHere(const std::string& msg) const;
+  SourceLoc LocHere() const { return SourceLoc{Cur().line, Cur().col}; }
 
   // --- clause-scoped variable numbering ---
   void BeginClause();

@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "src/analysis/diagnostics.h"
 #include "src/rewrite/adorn.h"
 #include "src/rewrite/existential.h"
 #include "src/rewrite/factoring.h"
@@ -118,6 +119,20 @@ void ReorderRuleBody(Rule* rule, const DepGraph& graph) {
   rule->body = std::move(out);
 }
 
+/// Stratification failures share the diagnostics format of the load-time
+/// analyzer (code CRL140), so the REPL and the C++ API present one shape
+/// of message whether the problem is caught at load or at query compile.
+Status StratificationError(const ModuleDecl& module,
+                           const std::string& detail) {
+  Diagnostic d;
+  d.severity = DiagSeverity::kError;
+  d.code = diag::kNotStratified;
+  d.module_name = module.name;
+  d.loc = module.loc;
+  d.message = detail;
+  return Status::InvalidArgument(d.ToString());
+}
+
 std::string ListingOf(const std::vector<Rule>& rules) {
   std::ostringstream oss;
   for (const Rule& r : rules) oss << r.ToString() << "\n";
@@ -203,10 +218,10 @@ StatusOr<RewrittenProgram> RewriteModule(const ModuleDecl& module,
           "remove @no_rewriting in module " + module.name);
     }
     if (!original_graph.stratified()) {
-      return Status::InvalidArgument(
-          "module " + module.name + " is not stratified (" +
-          original_graph.violation() +
-          "); use @ordered_search with magic rewriting");
+      return StratificationError(
+          module, "module is not stratified (" +
+                      original_graph.violation() +
+                      "); use @ordered_search with magic rewriting");
     }
     out.rules = module.rules;
     out.answer_pred = query_pred;
@@ -276,16 +291,17 @@ StatusOr<RewrittenProgram> RewriteModule(const ModuleDecl& module,
         // Retry with protection.
         no_adorn = ProtectedClosure(module.rules, original_graph.derived());
         if (no_adorn.empty()) {
-          return Status::InvalidArgument(
-              "module " + module.name + " is not stratified (" +
-              prog.graph.violation() + ")");
+          return StratificationError(
+              module, "module is not stratified (" +
+                          prog.graph.violation() + ")");
         }
         continue;
       }
-      return Status::InvalidArgument(
-          "module " + module.name + " is not stratified even with full "
-          "evaluation of negated/aggregated predicates (" +
-          prog.graph.violation() + "); use @ordered_search");
+      return StratificationError(
+          module,
+          "module is not stratified even with full evaluation of "
+          "negated/aggregated predicates (" + prog.graph.violation() +
+          "); use @ordered_search");
     }
 
     // Join-order selection never runs under Ordered Search: done guards

@@ -154,6 +154,8 @@ Status BigInt::DivMod(const BigInt& a, const BigInt& b, BigInt* quot,
   // sizes deductive programs produce.
   BigInt q, r;
   q.limbs_.assign(a.limbs_.size(), 0);
+  BigInt babs = b;
+  babs.negative_ = false;
   for (size_t i = a.limbs_.size(); i-- > 0;) {
     for (int bit = 31; bit >= 0; --bit) {
       // r = r*2 + next bit of |a|
@@ -170,8 +172,6 @@ Status BigInt::DivMod(const BigInt& a, const BigInt& b, BigInt* quot,
         r.limbs_[0] |= 1u;
       }
       r.Trim();
-      BigInt babs = b;
-      babs.negative_ = false;
       if (CompareMagnitude(r, babs) >= 0) {
         r = SubMagnitude(r, babs, false);
         q.limbs_[i] |= (1u << bit);
@@ -204,7 +204,7 @@ BigInt BigInt::operator%(const BigInt& o) const {
 bool BigInt::FitsInt64(int64_t* out) const {
   if (limbs_.size() > 2) return false;
   uint64_t mag = 0;
-  if (limbs_.size() >= 1) mag = limbs_[0];
+  if (!limbs_.empty()) mag = limbs_[0];
   if (limbs_.size() == 2) mag |= static_cast<uint64_t>(limbs_[1]) << 32;
   if (negative_) {
     if (mag > (1ull << 63)) return false;

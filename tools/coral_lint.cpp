@@ -1,0 +1,105 @@
+// coral_lint: standalone checker for CORAL programs.
+//
+//   coral_lint [--strict] file.crl ...
+//
+// Parses each file and runs the static semantic analyzer (rule safety,
+// builtin binding modes, arity consistency, export validity, dead code,
+// annotation sanity, stratification) without loading anything into a
+// database. Diagnostics print one per line as
+//   <file>:<line>:<col>: <severity>: <message> [CRLxxx]
+// Exits nonzero when any file fails to parse or has errors; with
+// --strict, warnings fail the run too.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+#include "src/core/database.h"
+#include "src/lang/parser.h"
+
+namespace {
+
+/// "<file>:<line>:<col>: severity: ..." — the common compiler-tool shape,
+/// so editors and CI annotate the right source line.
+std::string Render(const std::string& file, const coral::Diagnostic& d) {
+  std::ostringstream oss;
+  oss << file;
+  if (d.loc.valid()) oss << ":" << d.loc.line << ":" << d.loc.col;
+  oss << ": " << coral::DiagSeverityName(d.severity) << ": ";
+  if (!d.module_name.empty()) oss << "module '" << d.module_name << "': ";
+  oss << d.message;
+  if (d.code != nullptr && d.code[0] != '\0') oss << " [" << d.code << "]";
+  return oss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool strict = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--strict" || arg == "-Werror") {
+      strict = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: coral_lint [--strict] file.crl ...\n";
+      return 0;
+    } else {
+      files.push_back(std::move(arg));
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "usage: coral_lint [--strict] file.crl ...\n";
+    return 2;
+  }
+
+  // A Database supplies the term factory and the builtin registry (with
+  // the update predicates its constructor registers); nothing is loaded.
+  coral::Database db;
+  coral::AnalyzerOptions opts;
+  opts.strict = strict;
+  const coral::BuiltinRegistry* builtins = db.builtins();
+  opts.is_builtin = [builtins](const std::string& name, uint32_t arity) {
+    return builtins->Find(name, arity) != nullptr;
+  };
+
+  int failed = 0;
+  size_t errors = 0;
+  size_t warnings = 0;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << file << ": error: cannot open file\n";
+      failed = 1;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();  // Parser keeps a view of it
+
+    coral::Parser parser(text, db.factory());
+    auto prog = parser.ParseProgram();
+    if (!prog.ok()) {
+      std::cerr << file << ": error: " << prog.status().message() << "\n";
+      failed = 1;
+      ++errors;
+      continue;
+    }
+    coral::DiagnosticList diags = AnalyzeProgram(*prog, opts);
+    for (const coral::Diagnostic& d : diags.items()) {
+      std::cout << Render(file, d) << "\n";
+    }
+    errors += diags.error_count();
+    warnings += diags.warning_count();
+    if (diags.ShouldReject(strict)) failed = 1;
+  }
+  if (errors + warnings > 0) {
+    std::cout << files.size() << " file(s): " << errors << " error(s), "
+              << warnings << " warning(s)" << (strict ? " [--strict]" : "")
+              << "\n";
+  }
+  return failed;
+}
