@@ -5,9 +5,36 @@
 #define CORAL_BENCH_BENCH_UTIL_H_
 
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 namespace coral::bench {
+
+/// Worker-count override for the *_Parallel benchmark series, set by the
+/// --threads=N command-line flag. 0 = no override: run the full 1/2/4
+/// series baked into the benchmark arguments.
+inline int g_threads_override = 0;
+
+/// Strips --threads=N from argv (benchmark::Initialize rejects flags it
+/// does not know) and records the override. Call first in main().
+inline void ParseThreadsFlag(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      g_threads_override = std::atoi(argv[i] + 10);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+/// The worker count a *_Parallel benchmark run should use: the --threads
+/// override when given, else the series value from the benchmark args.
+inline int ThreadsOr(int series_value) {
+  return g_threads_override > 0 ? g_threads_override : series_value;
+}
 
 /// Tiny deterministic PRNG (we avoid std::mt19937 for header brevity).
 class Lcg {

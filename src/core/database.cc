@@ -117,6 +117,23 @@ Database::Database()
 
 Database::~Database() = default;
 
+void Database::set_num_threads(int n) {
+  if (n < 1) n = 1;
+  if (n > kMaxParallelThreads) n = static_cast<int>(kMaxParallelThreads);
+  num_threads_ = n;
+}
+
+ThreadPool* Database::thread_pool(size_t threads) {
+  if (threads < 1) threads = 1;
+  // Pool workers + the calling thread service a batch, so `threads`
+  // workers would leave one idle; size the pool at threads - 1.
+  size_t want = threads - 1;
+  if (pool_ == nullptr || (want > 0 && pool_->size() < want)) {
+    pool_ = std::make_unique<ThreadPool>(want > 0 ? want : 1);
+  }
+  return pool_.get();
+}
+
 Relation* Database::FindBaseRelation(const PredRef& pred) const {
   auto it = base_.find(pred);
   return it == base_.end() ? nullptr : it->second;

@@ -20,6 +20,7 @@
 #include "src/lang/ast.h"
 #include "src/rel/relation.h"
 #include "src/util/status.h"
+#include "src/util/thread_pool.h"
 
 namespace coral {
 
@@ -113,6 +114,18 @@ class Database {
   void set_listing_dir(std::string dir) { listing_dir_ = std::move(dir); }
   const std::string& listing_dir() const { return listing_dir_; }
 
+  // ---- parallel evaluation ----
+  /// Default worker count for the parallel semi-naive fixpoint. Modules
+  /// annotated @parallel(N) override it; modules without @parallel also
+  /// use it, so embedding code can parallelize any eligible materialized
+  /// module without touching CRL text. 1 (the default) is the sequential
+  /// engine, byte-for-byte. Values are clamped to [1, kMaxParallelThreads].
+  void set_num_threads(int n);
+  int num_threads() const { return num_threads_; }
+  /// The shared worker pool, created on first use with at least `threads`
+  /// workers (grown by recreation if a later caller needs more).
+  ThreadPool* thread_pool(size_t threads);
+
  private:
   Status ApplyIndexDecl(const IndexDecl& decl);
   Status ApplyAggSelDecl(const AggSelDecl& decl);
@@ -125,6 +138,8 @@ class Database {
   std::string listing_dir_;
   DiagnosticList last_diagnostics_;
   bool strict_ = false;
+  int num_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace coral

@@ -2,10 +2,12 @@
 // Predicate Semi-Naive and Naive drivers over the compiled SCC plans
 // (paper §4.2, §5.3).
 
+#include <set>
 #include <unordered_set>
 
 #include "src/core/database.h"
 #include "src/core/module_eval.h"
+#include "src/rewrite/existential.h"
 #include "src/util/logging.h"
 
 namespace coral {
@@ -35,7 +37,8 @@ std::pair<Mark, Mark> MaterializedInstance::WindowFor(
 }
 
 StatusOr<std::unique_ptr<GoalSource>> MaterializedInstance::MakeSource(
-    const Literal* lit, BindEnv* env, Mark from, Mark to) {
+    const Literal* lit, BindEnv* env, Mark from, Mark to,
+    PartitionSpec part) {
   PredRef pred = lit->pred_ref();
   if (Relation* rel = internal(pred)) {
     if (lit->negated) {
@@ -43,7 +46,7 @@ StatusOr<std::unique_ptr<GoalSource>> MaterializedInstance::MakeSource(
           new NegationGoalSource(lit, env, rel));
     }
     return std::unique_ptr<GoalSource>(
-        new RelationGoalSource(lit, env, rel, from, to));
+        new RelationGoalSource(lit, env, rel, from, to, part));
   }
   return ExternalResolver(db_).Make(lit, env);
 }
@@ -213,6 +216,192 @@ StatusOr<bool> MaterializedInstance::ApplyVersion(
   return changed;
 }
 
+size_t MaterializedInstance::EffectiveThreads() const {
+  if (!parallel_safe_) return 1;
+  int64_t n = decl_->parallel_threads > 0 ? decl_->parallel_threads
+                                          : db_->num_threads();
+  if (n < 1) n = 1;
+  if (n > kMaxParallelThreads) n = kMaxParallelThreads;
+  return static_cast<size_t>(n);
+}
+
+Status MaterializedInstance::ApplyVersionPartitioned(
+    size_t scc_idx, const RuleVersion& v, bool naive_override,
+    const std::unordered_map<PredRef, Mark, PredRefHash>* cur,
+    uint32_t part_index, uint32_t part_count, Trail* trail,
+    InsertBuffer* buffer, EvalStats* stats) {
+  const Rule& rule = prog_->rules[v.rule_index];
+
+  // Empty-delta short circuit, exactly as in ApplyVersion.
+  if (v.delta_pos >= 0 && !naive_override) {
+    PredRef dpred = rule.body[v.delta_pos].pred_ref();
+    auto [dfrom, dto] = WindowFor(scc_idx, dpred, RangeSel::kDelta, cur);
+    if (dfrom >= dto) return Status::OK();
+    Relation* drel = internal(dpred);
+    if (drel != nullptr) {
+      std::unique_ptr<TupleIterator> probe = drel->ScanRange(dfrom, dto);
+      if (probe->Next() == nullptr) return Status::OK();
+    }
+  }
+
+  // The partitioned literal: the delta scan when it is a positive internal
+  // literal, else the first positive internal literal. Partitioning any
+  // single body scan splits the rule's solution set into disjoint,
+  // covering shares, so each derivation is produced by exactly one worker.
+  // A rule with an all-external body is evaluated whole by worker 0.
+  int plit = -1;
+  if (v.delta_pos >= 0 && !rule.body[v.delta_pos].negated &&
+      internal(rule.body[v.delta_pos].pred_ref()) != nullptr) {
+    plit = v.delta_pos;
+  } else {
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      const Literal& lit = rule.body[i];
+      if (!lit.negated && internal(lit.pred_ref()) != nullptr) {
+        plit = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+  if (plit < 0 && part_index != 0) return Status::OK();
+
+  // Partition column: the first argument of the partitioned literal that
+  // is a join argument — non-ground, with every variable bound by an
+  // earlier positive literal — so one subgoal's probes stay on one
+  // worker. Constants are degenerate keys (every matching tuple hashes
+  // alike); no join argument falls back to the whole-tuple hash.
+  PartitionSpec part;
+  if (plit >= 0 && part_count > 1) {
+    std::set<uint32_t> bound;
+    for (int i = 0; i < plit; ++i) {
+      const Literal& lit = rule.body[i];
+      if (lit.negated) continue;
+      std::set<uint32_t> vars = VarsOfLiteral(lit);
+      bound.insert(vars.begin(), vars.end());
+    }
+    static const std::set<uint32_t> kNoVars;
+    const Literal& p = rule.body[plit];
+    int col = -1;
+    for (uint32_t c = 0; c < p.args.size(); ++c) {
+      if (TermBound(p.args[c], bound) && !TermBound(p.args[c], kNoVars)) {
+        col = static_cast<int>(c);
+        break;
+      }
+    }
+    part = PartitionSpec{col, part_index, part_count};
+  }
+
+  // Worker-private environment and trail: the shared EnvFor slots exist to
+  // recycle allocations across iterations, which workers must not share.
+  BindEnv env(rule.var_count);
+  std::vector<std::unique_ptr<GoalSource>> sources;
+  sources.reserve(rule.body.size());
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    const Literal& lit = rule.body[i];
+    Mark from = 0, to = kMaxMark;
+    if (!lit.negated && internal(lit.pred_ref()) != nullptr) {
+      RangeSel sel = naive_override ? RangeSel::kFull : v.ranges[i];
+      std::tie(from, to) = WindowFor(scc_idx, lit.pred_ref(), sel, cur);
+    }
+    CORAL_ASSIGN_OR_RETURN(
+        std::unique_ptr<GoalSource> src,
+        MakeSource(&lit, &env, from, to,
+                   static_cast<int>(i) == plit ? part : PartitionSpec{}));
+    sources.push_back(std::move(src));
+  }
+
+  RuleCursor cursor(std::move(sources), v.backtrack,
+                    decl_->intelligent_backtracking, trail);
+  PredRef head = rule.head.pred_ref();
+  auto* hrel = static_cast<HashRelation*>(internal(head));
+  CORAL_CHECK(hrel != nullptr) << head.ToString();
+  // Contains is a pure read, so workers may pre-filter duplicates against
+  // the (frozen) relation — but only when Insert would do nothing more
+  // than that same duplicate check.
+  const bool prefilter = !hrel->multiset() && hrel->selections().empty();
+  std::vector<TermRef> head_refs(rule.head.args.size());
+  while (cursor.Next()) {
+    ++stats->solutions;
+    for (size_t i = 0; i < rule.head.args.size(); ++i) {
+      head_refs[i] = {rule.head.args[i], &env};
+    }
+    const Tuple* t = ResolveTuple(head_refs, db_->factory());
+    if (prefilter && hrel->Contains(t)) continue;
+    buffer->Add(hrel, t, !hrel->multiset());
+  }
+  cursor.UndoAll();
+  return cursor.status();
+}
+
+Status MaterializedInstance::RunIterationParallel(size_t scc_idx,
+                                                  bool* changed,
+                                                  size_t nthreads) {
+  *changed = false;
+  const SccPlan& plan = prog_->seminaive.sccs[scc_idx];
+  const bool naive = decl_->fixpoint == FixpointKind::kNaive;
+
+  // Snapshot every internal relation, as in the sequential iteration. All
+  // worker reads are bounded by this snapshot and all worker derivations
+  // go to buffers, so relations are immutable for the whole parallel
+  // phase; rule applications commute.
+  std::unordered_map<PredRef, Mark, PredRefHash> cur;
+  cur.reserve(internal_.size());
+  for (auto& [pred, rel] : internal_) cur[pred] = rel->Snapshot();
+
+  // Aggregate heads need one accumulator over ALL body solutions of the
+  // rule, so those versions run sequentially after the merge (over the
+  // same snapshot — same input the sequential engine gives them).
+  std::vector<const RuleVersion*> par_versions, agg_versions;
+  std::unordered_set<uint32_t> seen;
+  for (const RuleVersion& v : plan.versions) {
+    if (naive && !seen.insert(v.rule_index).second) continue;
+    (v.is_aggregate ? agg_versions : par_versions).push_back(&v);
+  }
+
+  struct Worker {
+    Trail trail;
+    InsertBuffer buffer;
+    EvalStats stats;
+    Status status;
+  };
+  std::vector<Worker> workers(nthreads);
+
+  db_->thread_pool(nthreads)->Run(nthreads, [&](size_t w) {
+    Worker& wk = workers[w];
+    for (const RuleVersion* v : par_versions) {
+      wk.status = ApplyVersionPartitioned(
+          scc_idx, *v, naive, &cur, static_cast<uint32_t>(w),
+          static_cast<uint32_t>(nthreads), &wk.trail, &wk.buffer,
+          &wk.stats);
+      if (!wk.status.ok()) return;
+    }
+  });
+
+  for (const Worker& wk : workers) {
+    CORAL_RETURN_IF_ERROR(wk.status);
+    stats_.solutions += wk.stats.solutions;
+  }
+
+  // Merge barrier: serial inserts re-run the full duplicate / subsumption
+  // / aggregate-selection machinery, so the relations end the iteration
+  // with exactly the tuple sets the sequential insert order produces.
+  for (const Worker& wk : workers) {
+    for (const InsertBuffer::Entry& e : wk.buffer.entries()) {
+      if (e.rel->Insert(e.tuple)) {
+        ++stats_.inserts;
+        *changed = true;
+      }
+    }
+  }
+
+  for (const RuleVersion* v : agg_versions) {
+    CORAL_ASSIGN_OR_RETURN(bool c, ApplyVersion(scc_idx, *v, naive, &cur));
+    *changed |= c;
+  }
+
+  if (!naive) prev_marks_[scc_idx] = std::move(cur);
+  return Status::OK();
+}
+
 Status MaterializedInstance::RunOnceRules(size_t scc_idx) {
   for (const RuleVersion& v : prog_->seminaive.sccs[scc_idx].once) {
     CORAL_RETURN_IF_ERROR(ApplyVersion(scc_idx, v, false, nullptr).status());
@@ -233,7 +422,14 @@ Status MaterializedInstance::RunIteration(size_t scc_idx, bool* changed) {
     return Status::OK();
   }
 
-  // BSN / Naive: snapshot every internal relation once per iteration.
+  // BSN / Naive: within one iteration every read is bounded by a snapshot
+  // taken at iteration start, so rule applications are data-independent —
+  // the property the parallel engine exploits.
+  size_t nthreads = EffectiveThreads();
+  if (nthreads > 1) {
+    return RunIterationParallel(scc_idx, changed, nthreads);
+  }
+
   std::unordered_map<PredRef, Mark, PredRefHash> cur;
   cur.reserve(internal_.size());
   for (auto& [pred, rel] : internal_) cur[pred] = rel->Snapshot();

@@ -107,7 +107,29 @@ class MaterializedInstance {
                                                        PredRefHash>* cur);
   StatusOr<std::unique_ptr<GoalSource>> MakeSource(const Literal* lit,
                                                    BindEnv* env, Mark from,
-                                                   Mark to);
+                                                   Mark to,
+                                                   PartitionSpec part = {});
+
+  // --- parallel fixpoint engine (fixpoint.cc) ---
+  /// Worker count for this instance: @parallel(N) override or the
+  /// Database-wide default, forced to 1 when the instance is not
+  /// parallel-eligible (see parallel_safe_).
+  size_t EffectiveThreads() const;
+  /// One BSN/Naive iteration evaluated by `nthreads` workers over
+  /// hash-partitioned delta scans with per-worker insert buffers, merged
+  /// serially at the barrier. Produces relation sets identical to
+  /// RunIteration: all reads are bounded by the iteration-start snapshot,
+  /// so rule applications are data-independent within the iteration.
+  Status RunIterationParallel(size_t scc_idx, bool* changed,
+                              size_t nthreads);
+  /// Worker body: one non-aggregate rule version on one delta partition;
+  /// derivations land in `buffer`, never in the relations. trail/stats
+  /// are worker-local.
+  Status ApplyVersionPartitioned(
+      size_t scc_idx, const RuleVersion& v, bool naive_override,
+      const std::unordered_map<PredRef, Mark, PredRefHash>* cur,
+      uint32_t part_index, uint32_t part_count, Trail* trail,
+      InsertBuffer* buffer, EvalStats* stats);
   std::pair<Mark, Mark> WindowFor(size_t scc_idx, const PredRef& pred,
                                   RangeSel sel,
                                   const std::unordered_map<PredRef, Mark,
@@ -127,6 +149,12 @@ class MaterializedInstance {
   std::unordered_map<PredRef, std::unique_ptr<HashRelation>, PredRefHash>
       staging_;  // Ordered Search: magic-head inserts are intercepted here
   Trail trail_;
+
+  // True when every evaluation strategy/feature in use is covered by the
+  // parallel engine: materialized BSN/Naive, no Ordered Search, no
+  // @explain, and no body literal that calls another module or a
+  // side-effecting builtin (assert/retract). Computed once in Init.
+  bool parallel_safe_ = false;
 
   // Lazy / resumable evaluation state.
   size_t cur_scc_ = 0;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -29,6 +30,13 @@ namespace coral {
 /// Factory and arena for terms and tuples. All Args and Tuples returned
 /// are valid until the factory is destroyed; Args from different factories
 /// must never be mixed.
+///
+/// Construction methods are thread-safe (guarded by one internal lock) so
+/// the parallel fixpoint workers can resolve head tuples concurrently;
+/// returned nodes are immutable and may be read from any thread. The
+/// symbol table is only safe through factory methods (MakeAtom /
+/// MakeFunctor-by-name) — direct symbols().Intern() calls remain
+/// single-threaded (parser, setup).
 class TermFactory {
  public:
   TermFactory();
@@ -77,6 +85,7 @@ class TermFactory {
   /// point that each type defines its own identifiers orthogonally.
   template <typename T, typename... As>
   const T* NewUser(uint32_t type_tag, uint64_t content_hash, As&&... args) {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
     auto candidate = std::make_unique<T>(type_tag, NextUid(), content_hash,
                                          std::forward<As>(args)...);
     uint64_t key = HashCombine(content_hash, type_tag);
@@ -111,6 +120,10 @@ class TermFactory {
     return raw;
   }
 
+  // Guards every construction path (arena, hash-cons tables, symbol
+  // interning via MakeAtom). Recursive because constructors compose
+  // (MakeList -> MakeCons -> MakeFunctor -> MakeAtom).
+  mutable std::recursive_mutex mu_;
   Arena arena_;
   SymbolTable symbols_;
   uint64_t next_uid_ = 1;

@@ -78,6 +78,10 @@ struct Rule {
 /// Module-level evaluation strategy choices (paper §4, §5).
 enum class EvalMode { kMaterialized, kPipelined };
 enum class FixpointKind { kBasicSemiNaive, kPredicateSemiNaive, kNaive };
+
+/// Upper bound on @parallel(N) / Database::set_num_threads(): far above
+/// any sensible worker count for one fixpoint, low enough to catch typos.
+inline constexpr int64_t kMaxParallelThreads = 64;
 enum class RewriteKind { kSupplementaryMagic, kMagic, kFactoring, kNone };
 
 /// One exported query form: predicate + adornment string over {b, f}
@@ -139,6 +143,9 @@ struct ModuleDecl {
   bool intelligent_backtracking = true;
   bool explain = false;            // record derivations (Explanation tool)
   bool reorder_joins = false;      // optimizer picks the join order (§4.2)
+  bool parallel = false;           // @parallel: multi-threaded fixpoint
+  int64_t parallel_threads = -1;   // @parallel(N); -1 = no explicit count
+                                   // (use Database::num_threads())
   std::vector<AggSelDecl> agg_selections;
   std::vector<IndexDecl> indexes;
   std::vector<Symbol> multiset_preds;  // paper §4.2 multiset semantics

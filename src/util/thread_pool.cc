@@ -1,0 +1,61 @@
+#include "src/util/thread_pool.h"
+
+namespace coral {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Drain() {
+  // mu_ held on entry and exit; released around each task.
+  while (next_task_ < batch_size_) {
+    size_t task = next_task_++;
+    mu_.unlock();
+    (*fn_)(task);
+    mu_.lock();
+    if (--unfinished_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen = 0;
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || (fn_ != nullptr && generation_ != seen);
+    });
+    if (shutdown_) return;
+    seen = generation_;
+    Drain();
+  }
+}
+
+void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  fn_ = &fn;
+  batch_size_ = n;
+  next_task_ = 0;
+  unfinished_ = n;
+  ++generation_;
+  work_cv_.notify_all();
+  Drain();  // the caller works too
+  done_cv_.wait(lock, [&] { return unfinished_ == 0; });
+  fn_ = nullptr;
+  batch_size_ = 0;
+}
+
+}  // namespace coral

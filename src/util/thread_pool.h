@@ -1,0 +1,58 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// A fixed-size worker pool for the parallel fixpoint engine. Deliberately
+// minimal: tasks are dispatched statically (task i runs on whichever
+// worker picks it up; there is no work stealing) and Run() is a full
+// barrier — it returns only when every task of the batch has finished.
+// That matches the engine's needs exactly: one batch per fixpoint
+// iteration, with a merge/dedup phase between batches that must observe
+// all worker output.
+
+#ifndef CORAL_UTIL_THREAD_POOL_H_
+#define CORAL_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace coral {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1). Workers idle on a condition
+  /// variable between batches.
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Runs fn(0), ..., fn(n-1) across the pool and blocks until all calls
+  /// return. The calling thread participates, so a pool of K threads plus
+  /// the caller services the batch; n may exceed the pool size. Tasks must
+  /// not call Run() on the same pool (no nesting).
+  void Run(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs tasks of the current batch until none remain.
+  void Drain();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a batch
+  std::condition_variable done_cv_;   // Run() waits for completion
+  const std::function<void(size_t)>* fn_ = nullptr;  // current batch
+  size_t batch_size_ = 0;   // tasks in the current batch
+  size_t next_task_ = 0;    // next unclaimed task index
+  size_t unfinished_ = 0;   // tasks claimed or unclaimed, not yet done
+  uint64_t generation_ = 0; // bumped per batch so workers wake exactly once
+  bool shutdown_ = false;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_UTIL_THREAD_POOL_H_

@@ -285,7 +285,134 @@ void RunDifferential(uint64_t seed, bool with_negation) {
   }
 }
 
-void RunAggregateDifferential(uint64_t seed) {
+// Parallel differential: the same generated program is evaluated with 1,
+// 2 and 4 worker threads; every thread count must produce relations that
+// are set-identical to the independent reference fixpoint (and therefore
+// to each other — the 1-thread run is additionally compared directly, so
+// a failure names the first diverging configuration).
+void RunParallelDifferential(uint64_t seed, bool with_negation) {
+  Lcg rng(seed);
+  std::vector<GRule> rules = GenProgram(&rng, with_negation);
+  if (rules.empty()) return;
+  Db base = GenBaseFacts(&rng);
+  for (int d = 0; d < kDerived; ++d) {
+    bool defined = false;
+    for (const GRule& r : rules) defined |= r.head == d;
+    if (!defined) {
+      GRule r;
+      r.head = d;
+      r.head_args[0] = 0;
+      r.head_args[1] = 1;
+      r.body = {GLit{0, false, {0, 1}}};
+      rules.push_back(r);
+    }
+  }
+
+  Db expected = base;
+  ReferenceFixpoint(rules, &expected);
+
+  // Strategies that fall back to the sequential engine (@psn,
+  // @ordered_search) stay in the mix on purpose: the fallback must be as
+  // correct as the parallel path.
+  static const char* kPositive[] = {"",      "@psn.",           "@naive.",
+                                    "@no_rewriting.", "@magic.",
+                                    "@reorder_joins.", "@save_module.",
+                                    "@eager."};
+  static const char* kWithNeg[] = {"",        "@psn.",
+                                   "@naive.", "@no_rewriting.",
+                                   "@magic.", "@ordered_search."};
+  const char* strategy = with_negation
+                             ? kWithNeg[rng.Next(6)]
+                             : kPositive[rng.Next(8)];
+  std::string text = ProgramText(rules, base, strategy);
+
+  static const int kThreads[] = {1, 2, 4};
+  std::set<Fact> single[kDerived];  // 1-thread engine results
+  for (int ti = 0; ti < 3; ++ti) {
+    Database db;
+    db.set_num_threads(kThreads[ti]);
+    auto st = db.Consult(text);
+    ASSERT_TRUE(st.ok()) << st.status().ToString() << "\nseed " << seed
+                         << " threads " << kThreads[ti] << "\n" << text;
+    for (int d = 0; d < kDerived; ++d) {
+      auto res = db.Query_(PredName(kBase + d) + "(X, Y)");
+      ASSERT_TRUE(res.ok())
+          << res.status().ToString() << "\nseed " << seed << " strategy '"
+          << strategy << "' threads " << kThreads[ti] << "\n" << text;
+      std::set<Fact> got;
+      for (const AnswerRow& row : res->rows) {
+        ASSERT_EQ(row.bindings.size(), 2u);
+        ASSERT_EQ(row.bindings[0].second->kind(), ArgKind::kInt);
+        got.insert({static_cast<int>(
+                        ArgCast<IntArg>(row.bindings[0].second)->value()),
+                    static_cast<int>(
+                        ArgCast<IntArg>(row.bindings[1].second)->value())});
+      }
+      EXPECT_EQ(got, expected[kBase + d])
+          << "pred " << PredName(kBase + d) << " vs reference, seed "
+          << seed << " strategy '" << strategy << "' threads "
+          << kThreads[ti] << "\n" << text;
+      if (ti == 0) {
+        single[d] = std::move(got);
+      } else {
+        EXPECT_EQ(got, single[d])
+            << "pred " << PredName(kBase + d)
+            << " diverges from the 1-thread run, seed " << seed
+            << " strategy '" << strategy << "' threads " << kThreads[ti]
+            << "\n" << text;
+      }
+    }
+  }
+}
+
+// @parallel(N) in the module text (instead of Database::set_num_threads)
+// must behave identically.
+void RunAnnotatedParallelDifferential(uint64_t seed) {
+  Lcg rng(seed);
+  std::vector<GRule> rules = GenProgram(&rng, /*with_negation=*/false);
+  if (rules.empty()) return;
+  Db base = GenBaseFacts(&rng);
+  for (int d = 0; d < kDerived; ++d) {
+    bool defined = false;
+    for (const GRule& r : rules) defined |= r.head == d;
+    if (!defined) {
+      GRule r;
+      r.head = d;
+      r.head_args[0] = 0;
+      r.head_args[1] = 1;
+      r.body = {GLit{0, false, {0, 1}}};
+      rules.push_back(r);
+    }
+  }
+  Db expected = base;
+  ReferenceFixpoint(rules, &expected);
+
+  std::string annotation =
+      "@parallel(" + std::to_string(2 + rng.Next(3)) + ").";
+  std::string text = ProgramText(rules, base, annotation);
+  Database db;
+  auto st = db.Consult(text);
+  ASSERT_TRUE(st.ok()) << st.status().ToString() << "\nseed " << seed
+                       << "\n" << text;
+  for (int d = 0; d < kDerived; ++d) {
+    auto res = db.Query_(PredName(kBase + d) + "(X, Y)");
+    ASSERT_TRUE(res.ok()) << res.status().ToString() << "\nseed " << seed
+                          << "\n" << text;
+    std::set<Fact> got;
+    for (const AnswerRow& row : res->rows) {
+      ASSERT_EQ(row.bindings.size(), 2u);
+      got.insert({static_cast<int>(
+                      ArgCast<IntArg>(row.bindings[0].second)->value()),
+                  static_cast<int>(
+                      ArgCast<IntArg>(row.bindings[1].second)->value())});
+    }
+    EXPECT_EQ(got, expected[kBase + d])
+        << "pred " << PredName(kBase + d) << " seed " << seed << " "
+        << annotation << "\n" << text;
+  }
+}
+
+void RunAggregateDifferential(uint64_t seed, int threads = 1) {
   Lcg rng(seed);
   std::vector<GRule> rules = GenProgram(&rng, /*with_negation=*/false);
   if (rules.empty()) return;
@@ -323,6 +450,7 @@ void RunAggregateDifferential(uint64_t seed) {
   text.insert(end_pos, agg_exports + agg_rules);
 
   Database db;
+  db.set_num_threads(threads);
   auto st = db.Consult(text);
   ASSERT_TRUE(st.ok()) << st.status().ToString() << "\n" << text;
 
@@ -375,6 +503,34 @@ TEST(DifferentialTest, PositiveProgramsMatchReference) {
 TEST(DifferentialTest, ProgramsWithBaseNegationMatchReference) {
   for (uint64_t seed = 1000; seed <= 1060; ++seed) {
     RunDifferential(seed, /*with_negation=*/true);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(ParallelDifferentialTest, ThreadMatrixMatchesReference) {
+  for (uint64_t seed = 2000; seed <= 2119; ++seed) {
+    RunParallelDifferential(seed, /*with_negation=*/false);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(ParallelDifferentialTest, ThreadMatrixWithNegationMatchesReference) {
+  for (uint64_t seed = 3000; seed <= 3099; ++seed) {
+    RunParallelDifferential(seed, /*with_negation=*/true);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(ParallelDifferentialTest, ParallelAnnotationMatchesReference) {
+  for (uint64_t seed = 4000; seed <= 4039; ++seed) {
+    RunAnnotatedParallelDifferential(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(ParallelDifferentialTest, AggregatesUnderParallelEvaluation) {
+  for (uint64_t seed = 5000; seed <= 5030; ++seed) {
+    RunAggregateDifferential(seed, /*threads=*/4);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }
