@@ -34,7 +34,7 @@ void BM_EndToEnd_MemoryBase(benchmark::State& state) {
   if (!db.Consult(kModule).ok()) return;
   if (!db.Consult(bench::ChainFacts("link", n)).ok()) return;
   for (auto _ : state) {
-    auto res = db.Query_("reachable(n0, Y)");
+    auto res = db.EvalQuery("reachable(n0, Y)");
     if (!res.ok() || res->rows.size() != static_cast<size_t>(n)) {
       state.SkipWithError("bad result");
       return;
@@ -66,7 +66,7 @@ void BM_EndToEnd_PersistentBase(benchmark::State& state) {
   if (!(*sm)->AttachTo(&db).ok()) return;
   if (!db.Consult(kModule).ok()) return;
   for (auto _ : state) {
-    auto res = db.Query_("reachable(n0, Y)");
+    auto res = db.EvalQuery("reachable(n0, Y)");
     if (!res.ok() || res->rows.size() != static_cast<size_t>(n)) {
       state.SkipWithError("bad result");
       return;

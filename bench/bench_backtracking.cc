@@ -38,7 +38,7 @@ void RunJoin(benchmark::State& state, bool intelligent) {
   facts += "t(a0).\n";  // only one A succeeds
   if (!db.Consult(facts).ok()) return;
   for (auto _ : state) {
-    auto res = db.Query_("ans(A)");
+    auto res = db.EvalQuery("ans(A)");
     if (!res.ok() || res->rows.size() != 1) {
       state.SkipWithError("wrong answer count");
       return;

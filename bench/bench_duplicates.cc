@@ -34,7 +34,7 @@ void Run(benchmark::State& state, bool multiset) {
     return;
   }
   for (auto _ : state) {
-    auto res = db.Query_("result(X)");
+    auto res = db.EvalQuery("result(X)");
     if (!res.ok()) {
       state.SkipWithError(res.status().ToString().c_str());
       return;

@@ -6,7 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
-#include "src/cxx/coral.h"
+#include <coral/coral.h>
 
 namespace coral {
 namespace {

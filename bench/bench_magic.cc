@@ -29,6 +29,7 @@ void RunBoundQuery(benchmark::State& state, const char* rewrite) {
   int len = static_cast<int>(state.range(0));
   int chains = 8;
   Database db;
+  bench::MaybeProfile(&db);
   if (!db.Consult(AncModule(rewrite)).ok()) return;
   std::string facts;
   for (int c = 0; c < chains; ++c) {
@@ -36,7 +37,7 @@ void RunBoundQuery(benchmark::State& state, const char* rewrite) {
   }
   if (!db.Consult(facts).ok()) return;
   for (auto _ : state) {
-    auto res = db.Query_("anc(c0x0, Y)");
+    auto res = db.EvalQuery("anc(c0x0, Y)");
     if (!res.ok() || res->rows.size() != static_cast<size_t>(len)) {
       state.SkipWithError("wrong answer count");
       return;
@@ -46,6 +47,8 @@ void RunBoundQuery(benchmark::State& state, const char* rewrite) {
       static_cast<double>(db.modules()->last_stats().inserts);
   state.counters["derivations"] =
       static_cast<double>(db.modules()->last_stats().solutions);
+  bench::MaybeDumpProfile(&db, std::string("BoundQuery ") + rewrite + "/" +
+                                   std::to_string(len));
 }
 
 void BM_BoundQuery_NoRewriting(benchmark::State& state) {
@@ -73,6 +76,7 @@ BENCHMARK(BM_BoundQuery_ContextFactoring)->Arg(16)->Arg(32)->Arg(64);
 void RunFreeQuery(benchmark::State& state, const char* rewrite) {
   int len = static_cast<int>(state.range(0));
   Database db;
+  bench::MaybeProfile(&db);
   std::string mod = std::string(R"(
     module anc.
     export anc(ff).
@@ -84,7 +88,7 @@ void RunFreeQuery(benchmark::State& state, const char* rewrite) {
   if (!db.Consult(mod).ok()) return;
   if (!db.Consult(bench::ChainFacts("par", len)).ok()) return;
   for (auto _ : state) {
-    auto res = db.Query_("anc(X, Y)");
+    auto res = db.EvalQuery("anc(X, Y)");
     if (!res.ok()) {
       state.SkipWithError(res.status().ToString().c_str());
       return;
@@ -93,6 +97,8 @@ void RunFreeQuery(benchmark::State& state, const char* rewrite) {
   }
   state.counters["inserts"] =
       static_cast<double>(db.modules()->last_stats().inserts);
+  bench::MaybeDumpProfile(&db, std::string("FreeQuery ") + rewrite + "/" +
+                                   std::to_string(len));
 }
 
 void BM_FreeQuery_NoRewriting(benchmark::State& state) {
@@ -107,4 +113,11 @@ BENCHMARK(BM_FreeQuery_SupplementaryMagic)->Arg(32);
 }  // namespace
 }  // namespace coral
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  coral::bench::ParseThreadsFlag(&argc, argv);
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

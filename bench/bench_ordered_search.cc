@@ -25,7 +25,7 @@ void BM_OrderedSearch_WinMove(benchmark::State& state) {
   }
   if (!db.Consult(bench::BinaryTreeMoves(depth)).ok()) return;
   for (auto _ : state) {
-    auto res = db.Query_("win(t1)");
+    auto res = db.EvalQuery("win(t1)");
     if (!res.ok()) {
       state.SkipWithError(res.status().ToString().c_str());
       return;
@@ -58,7 +58,7 @@ void BM_StratifiedNegation_Reference(benchmark::State& state) {
   }
   if (!db.Consult(facts).ok()) return;
   for (auto _ : state) {
-    auto res = db.Query_("haschild(t1)");
+    auto res = db.EvalQuery("haschild(t1)");
     if (!res.ok()) {
       state.SkipWithError(res.status().ToString().c_str());
       return;
@@ -90,7 +90,7 @@ void BM_OrderedSearch_NimChain(benchmark::State& state) {
   }
   if (!db.Consult(facts).ok()) return;
   for (auto _ : state) {
-    auto res = db.Query_("win(p" + std::to_string(n) + ")");
+    auto res = db.EvalQuery("win(p" + std::to_string(n) + ")");
     if (!res.ok()) {
       state.SkipWithError(res.status().ToString().c_str());
       return;

@@ -9,7 +9,7 @@
 
 #include "bench/bench_util.h"
 #include "src/core/database.h"
-#include "src/cxx/coral.h"
+#include <coral/coral.h>
 
 namespace coral {
 namespace {

@@ -34,7 +34,7 @@ void RunRepeatedQueries(benchmark::State& state, bool save) {
     state.ResumeTiming();
     for (int q = 0; q < kQueries; ++q) {
       std::string node = "n" + std::to_string((q * 3) % (n / 2));
-      auto res = db.Query_("anc(" + node + ", Y)");
+      auto res = db.EvalQuery("anc(" + node + ", Y)");
       if (!res.ok()) {
         state.SkipWithError(res.status().ToString().c_str());
         return;
@@ -65,9 +65,9 @@ void RunSameQuery(benchmark::State& state, bool save) {
   if (!db.Consult(AncModule(save)).ok()) return;
   if (!db.Consult(bench::ChainFacts("par", n)).ok()) return;
   // Warm-up call (compilation + first evaluation).
-  (void)db.Query_("anc(n0, Y)");
+  (void)db.EvalQuery("anc(n0, Y)");
   for (auto _ : state) {
-    auto res = db.Query_("anc(n0, Y)");
+    auto res = db.EvalQuery("anc(n0, Y)");
     if (!res.ok()) {
       state.SkipWithError(res.status().ToString().c_str());
       return;

@@ -26,10 +26,11 @@ std::string TcModule(const char* strategy) {
 void RunTc(benchmark::State& state, const char* strategy) {
   int n = static_cast<int>(state.range(0));
   Database db;
+  bench::MaybeProfile(&db);
   if (!db.Consult(TcModule(strategy)).ok()) return;
   if (!db.Consult(bench::ChainFacts("par", n)).ok()) return;
   for (auto _ : state) {
-    auto res = db.Query_("tc(n0, Y)");
+    auto res = db.EvalQuery("tc(n0, Y)");
     if (!res.ok() || res->rows.size() != static_cast<size_t>(n)) {
       state.SkipWithError("wrong answer count");
       return;
@@ -39,6 +40,8 @@ void RunTc(benchmark::State& state, const char* strategy) {
       static_cast<double>(db.modules()->last_stats().solutions);
   state.counters["iterations"] =
       static_cast<double>(db.modules()->last_stats().iterations);
+  bench::MaybeDumpProfile(&db, std::string("Tc ") + strategy + "/" +
+                                   std::to_string(n));
 }
 
 void BM_Tc_Naive(benchmark::State& state) { RunTc(state, "@naive."); }
@@ -70,11 +73,12 @@ void RunMutual(benchmark::State& state, const char* strategy) {
   int k = 8;
   int n = static_cast<int>(state.range(0));
   Database db;
+  bench::MaybeProfile(&db);
   if (!db.Consult(MutualModule(k, strategy)).ok()) return;
   std::string facts = "start(n0).\n" + bench::ChainFacts("step", n);
   if (!db.Consult(facts).ok()) return;
   for (auto _ : state) {
-    auto res = db.Query_("p0(Y)");
+    auto res = db.EvalQuery("p0(Y)");
     if (!res.ok()) {
       state.SkipWithError(res.status().ToString().c_str());
       return;
@@ -83,6 +87,8 @@ void RunMutual(benchmark::State& state, const char* strategy) {
   }
   state.counters["iterations"] =
       static_cast<double>(db.modules()->last_stats().iterations);
+  bench::MaybeDumpProfile(&db, std::string("Mutual ") + strategy + "/" +
+                                   std::to_string(n));
 }
 
 void BM_Mutual_BSN(benchmark::State& state) { RunMutual(state, "@bsn."); }
@@ -98,6 +104,7 @@ void BM_TcWide_Parallel(benchmark::State& state) {
   int v = static_cast<int>(state.range(0));
   int threads = bench::ThreadsOr(static_cast<int>(state.range(1)));
   Database db;
+  bench::MaybeProfile(&db);
   db.set_num_threads(threads);
   if (!db.Consult("module tw.\nexport tc(ff).\n@no_rewriting.\n"
                   "tc(X, Y) :- e(X, Y).\n"
@@ -109,7 +116,7 @@ void BM_TcWide_Parallel(benchmark::State& state) {
     return;
   }
   for (auto _ : state) {
-    auto res = db.Query_("tc(X, Y)");
+    auto res = db.EvalQuery("tc(X, Y)");
     if (!res.ok()) {
       state.SkipWithError(res.status().ToString().c_str());
       return;
@@ -119,6 +126,8 @@ void BM_TcWide_Parallel(benchmark::State& state) {
   state.counters["threads"] = threads;
   state.counters["inserts"] =
       static_cast<double>(db.modules()->last_stats().inserts);
+  bench::MaybeDumpProfile(&db, "TcWide/" + std::to_string(v) + "/t" +
+                                   std::to_string(threads));
 }
 BENCHMARK(BM_TcWide_Parallel)
     ->Args({96, 1})->Args({96, 2})->Args({96, 4})

@@ -41,7 +41,7 @@ constexpr char kNoSelectionBounded[] = R"(
 )";
 
 void RunQuery(Database* db, benchmark::State& state) {
-  auto res = db->Query_("s_p(v0, Y, P, C)");
+  auto res = db->EvalQuery("s_p(v0, Y, P, C)");
   if (!res.ok()) {
     state.SkipWithError(res.status().ToString().c_str());
     return;
@@ -53,11 +53,13 @@ void RunQuery(Database* db, benchmark::State& state) {
 void BM_ShortestPath_WithAggregateSelection(benchmark::State& state) {
   int v = static_cast<int>(state.range(0));
   Database db;
+  bench::MaybeProfile(&db);
   if (!db.Consult(kWithSelection).ok()) return;
   if (!db.Consult(bench::RandomGraphFacts("edge", v, 4 * v, true)).ok()) {
     return;
   }
   for (auto _ : state) RunQuery(&db, state);
+  bench::MaybeDumpProfile(&db, "ShortestPath with-selection/" + std::to_string(v));
   state.counters["EV"] = static_cast<double>(v) * (4 * v);
   state.counters["derivations"] = static_cast<double>(
       db.modules()->last_stats().solutions);
@@ -71,11 +73,13 @@ BENCHMARK(BM_ShortestPath_WithAggregateSelection)
 void BM_ShortestPath_NoSelectionBounded(benchmark::State& state) {
   int v = static_cast<int>(state.range(0));
   Database db;
+  bench::MaybeProfile(&db);
   if (!db.Consult(kNoSelectionBounded).ok()) return;
   if (!db.Consult(bench::RandomGraphFacts("edge", v, 4 * v, true)).ok()) {
     return;
   }
   for (auto _ : state) RunQuery(&db, state);
+  bench::MaybeDumpProfile(&db, "ShortestPath no-selection/" + std::to_string(v));
   state.counters["inserts"] =
       static_cast<double>(db.modules()->last_stats().inserts);
 }
@@ -87,12 +91,16 @@ void BM_ShortestPath_Parallel(benchmark::State& state) {
   int v = static_cast<int>(state.range(0));
   int threads = bench::ThreadsOr(static_cast<int>(state.range(1)));
   Database db;
+  bench::MaybeProfile(&db);
   db.set_num_threads(threads);
   if (!db.Consult(kWithSelection).ok()) return;
   if (!db.Consult(bench::RandomGraphFacts("edge", v, 4 * v, true)).ok()) {
     return;
   }
   for (auto _ : state) RunQuery(&db, state);
+  bench::MaybeDumpProfile(&db,
+                          "ShortestPath parallel/" + std::to_string(v) +
+                              "/t" + std::to_string(threads));
   state.counters["threads"] = threads;
 }
 BENCHMARK(BM_ShortestPath_Parallel)

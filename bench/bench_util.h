@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 
 namespace coral::bench {
@@ -16,18 +17,42 @@ namespace coral::bench {
 /// series baked into the benchmark arguments.
 inline int g_threads_override = 0;
 
-/// Strips --threads=N from argv (benchmark::Initialize rejects flags it
-/// does not know) and records the override. Call first in main().
+/// --profile: enable evaluation statistics on every benchmark database
+/// and print the per-module profile after each benchmark. Collection is
+/// cheap but not free; timings under --profile measure the instrumented
+/// engine (EXPERIMENTS.md records the disabled-mode overhead instead).
+inline bool g_profile = false;
+
+/// Strips the harness's own flags (--threads=N, --profile) from argv
+/// (benchmark::Initialize rejects flags it does not know) and records
+/// them. Call first in main().
 inline void ParseThreadsFlag(int* argc, char** argv) {
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       g_threads_override = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      g_profile = true;
     } else {
       argv[out++] = argv[i];
     }
   }
   *argc = out;
+}
+
+/// Turns profiling on for `db` when --profile was given. Call right
+/// after constructing the benchmark's Database.
+template <typename DB>
+inline void MaybeProfile(DB* db) {
+  if (g_profile) db->set_profiling(true);
+}
+
+/// Prints the collected profile under the given label when --profile was
+/// given. Call after the timing loop.
+template <typename DB>
+inline void MaybeDumpProfile(DB* db, const std::string& label) {
+  if (!g_profile) return;
+  std::cout << "\n--- profile: " << label << " ---\n" << db->ProfileReport();
 }
 
 /// The worker count a *_Parallel benchmark run should use: the --threads

@@ -7,7 +7,7 @@
 
 #include <iostream>
 
-#include "src/cxx/coral.h"
+#include <coral/coral.h>
 
 int main() {
   coral::Coral c;
@@ -33,7 +33,7 @@ int main() {
     basic_part(cable,   12).
   )");
   if (!st.ok()) {
-    std::cerr << st.ToString() << "\n";
+    std::cerr << st.status().ToString() << "\n";
     return 1;
   }
 
@@ -51,7 +51,7 @@ int main() {
     end_module.
   )");
   if (!st.ok()) {
-    std::cerr << st.ToString() << "\n";
+    std::cerr << st.status().ToString() << "\n";
     return 1;
   }
 
@@ -75,7 +75,7 @@ int main() {
     end_module.
   )");
   if (!st.ok()) {
-    std::cerr << st.ToString() << "\n";
+    std::cerr << st.status().ToString() << "\n";
     return 1;
   }
   std::cout << "\none containment chain bike -> bearing (pipelined):\n";

@@ -7,7 +7,7 @@
 
 #include <iostream>
 
-#include "src/cxx/coral.h"
+#include <coral/coral.h>
 
 int main() {
   coral::Coral c;
@@ -26,7 +26,7 @@ int main() {
     end_module.
   )");
   if (!st.ok()) {
-    std::cerr << st.ToString() << "\n";
+    std::cerr << st.status().ToString() << "\n";
     return 1;
   }
 
@@ -45,7 +45,7 @@ int main() {
     owns(rival, omega, 45).
   )");
   if (!st.ok()) {
-    std::cerr << st.ToString() << "\n";
+    std::cerr << st.status().ToString() << "\n";
     return 1;
   }
 

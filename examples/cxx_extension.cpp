@@ -8,8 +8,7 @@
 #include <filesystem>
 #include <iostream>
 
-#include "src/cxx/coral.h"
-#include "src/storage/storage_manager.h"
+#include <coral/coral.h>
 
 int main() {
   namespace fs = std::filesystem;
@@ -94,7 +93,7 @@ int main() {
     near_madison(B, Km) :- distance(madison, B, Km), Km < 1000.0,
                            B \= madison.
     end_module.
-  )");
+  )").status();
   if (!st.ok()) {
     std::cerr << st.ToString() << "\n";
     return 1;

@@ -7,7 +7,7 @@
 #include <iostream>
 #include <string>
 
-#include "src/cxx/coral.h"
+#include <coral/coral.h>
 
 int main() {
   coral::Coral c;
@@ -21,7 +21,7 @@ int main() {
     end_module.
   )");
   if (!st.ok()) {
-    std::cerr << st.ToString() << "\n";
+    std::cerr << st.status().ToString() << "\n";
     return 1;
   }
 
@@ -35,7 +35,7 @@ int main() {
   }
   st = c.Consult(facts);
   if (!st.ok()) {
-    std::cerr << st.ToString() << "\n";
+    std::cerr << st.status().ToString() << "\n";
     return 1;
   }
 

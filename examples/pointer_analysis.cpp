@@ -13,7 +13,7 @@
 #include <iostream>
 #include <string>
 
-#include "src/cxx/coral.h"
+#include <coral/coral.h>
 
 int main() {
   coral::Coral c;
@@ -31,7 +31,7 @@ int main() {
     end_module.
   )");
   if (!st.ok()) {
-    std::cerr << st.ToString() << "\n";
+    std::cerr << st.status().ToString() << "\n";
     return 1;
   }
 
@@ -48,7 +48,7 @@ int main() {
     assign(t, s).
   )");
   if (!st.ok()) {
-    std::cerr << st.ToString() << "\n";
+    std::cerr << st.status().ToString() << "\n";
     return 1;
   }
 

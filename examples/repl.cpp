@@ -16,7 +16,7 @@
 #include <sstream>
 #include <string>
 
-#include "src/core/database.h"
+#include <coral/coral.h>
 
 namespace {
 

@@ -6,7 +6,7 @@
 #include <iostream>
 #include <string>
 
-#include "src/cxx/coral.h"
+#include <coral/coral.h>
 
 int main() {
   coral::Coral c;
@@ -24,7 +24,7 @@ int main() {
     end_module.
   )");
   if (!st.ok()) {
-    std::cerr << st.ToString() << "\n";
+    std::cerr << st.status().ToString() << "\n";
     return 1;
   }
 
@@ -41,7 +41,7 @@ int main() {
     edge(stlouis,  chicago,   480).
   )");
   if (!st.ok()) {
-    std::cerr << st.ToString() << "\n";
+    std::cerr << st.status().ToString() << "\n";
     return 1;
   }
 

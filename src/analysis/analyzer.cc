@@ -202,6 +202,19 @@ void CheckAnnotations(const ModuleDecl& mod, DiagnosticList* out) {
       out->Add(std::move(d));
     }
   }
+  // CRL134: @profile on a pipelined module records only rule activation
+  // and answer counts (no fixpoint, delta, or iteration statistics).
+  if (mod.profile && mod.eval_mode == EvalMode::kPipelined) {
+    Diagnostic d;
+    d.severity = DiagSeverity::kWarning;
+    d.code = diag::kProfilePipelined;
+    d.module_name = mod.name;
+    d.loc = AnnotationLoc(mod, "profile");
+    d.message =
+        "@profile on a @pipelining module records rule activations and "
+        "answers only; fixpoint iteration statistics are not collected";
+    out->Add(std::move(d));
+  }
   if (mod.rewrite == RewriteKind::kFactoring && mod.save_module) {
     Diagnostic d;
     d.severity = DiagSeverity::kError;

@@ -39,6 +39,7 @@ inline constexpr const char* kAnnotationConflict = "CRL130";
 inline constexpr const char* kAnnotationIgnored = "CRL131";
 inline constexpr const char* kAnnotationTarget = "CRL132";
 inline constexpr const char* kBadParallelThreads = "CRL133";
+inline constexpr const char* kProfilePipelined = "CRL134";
 inline constexpr const char* kNotStratified = "CRL140";
 }  // namespace diag
 

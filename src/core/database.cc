@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "src/lang/parser.h"
+#include "src/obs/report.h"
 #include "src/rel/hash_relation.h"
 #include "src/rewrite/seminaive.h"
 #include "src/util/logging.h"
@@ -121,6 +122,9 @@ void Database::set_num_threads(int n) {
   if (n < 1) n = 1;
   if (n > kMaxParallelThreads) n = static_cast<int>(kMaxParallelThreads);
   num_threads_ = n;
+  // Term construction only needs the hash-consing lock when fixpoint
+  // workers can run; single-threaded mode takes the uncontended fast path.
+  factory_->set_concurrent(num_threads_ > 1);
 }
 
 ThreadPool* Database::thread_pool(size_t threads) {
@@ -301,7 +305,7 @@ StatusOr<QueryResult> Database::ExecuteQuery(const Query& query) {
   return result;
 }
 
-StatusOr<QueryResult> Database::Query_(const std::string& text) {
+StatusOr<QueryResult> Database::EvalQuery(const std::string& text) {
   std::string q = text;
   // Trim leading whitespace.
   size_t start = q.find_first_not_of(" \t\r\n");
@@ -331,6 +335,10 @@ StatusOr<std::string> Database::Explain(const std::string& fact_text) {
   for (const Arg* a : f->args()) refs.push_back({a, nullptr});
   const Tuple* tuple = ResolveTuple(refs, factory_.get());
   return modules_->ExplainLast(tuple);
+}
+
+std::string Database::ProfileReport() const {
+  return obs::RenderReport(stats_);
 }
 
 StatusOr<std::string> Database::Run(std::string_view text) {

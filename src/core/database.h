@@ -18,6 +18,8 @@
 #include "src/core/module_manager.h"
 #include "src/data/term_factory.h"
 #include "src/lang/ast.h"
+#include "src/obs/stats.h"
+#include "src/obs/trace.h"
 #include "src/rel/relation.h"
 #include "src/util/status.h"
 #include "src/util/thread_pool.h"
@@ -84,7 +86,11 @@ class Database {
   StatusOr<QueryResult> ExecuteQuery(const Query& query);
   /// Parses and executes a single query string like "?- path(1, X)."
   /// (the "?-" may be omitted).
-  StatusOr<QueryResult> Query_(const std::string& text);
+  StatusOr<QueryResult> EvalQuery(const std::string& text);
+  [[deprecated("renamed to EvalQuery")]] StatusOr<QueryResult> Query_(
+      const std::string& text) {
+    return EvalQuery(text);
+  }
 
   /// Convenience for the interactive interface: consults `text`, executes
   /// any queries in it, and returns printable results.
@@ -114,6 +120,29 @@ class Database {
   void set_listing_dir(std::string dir) { listing_dir_ = std::move(dir); }
   const std::string& listing_dir() const { return listing_dir_; }
 
+  // ---- observability (paper §6, §8: profiling & tracing) ----
+  /// Global profiling switch: when on, every materialized or pipelined
+  /// module activation records per-rule and per-iteration statistics in
+  /// stats(). Modules annotated @profile record regardless of this
+  /// switch. Off (the default) costs one branch per hook site.
+  void set_profiling(bool on) { profiling_ = on; }
+  bool profiling() const { return profiling_; }
+
+  /// Recorded statistics, keyed by module name, aggregated across
+  /// activations until ClearStats().
+  obs::StatsRegistry* stats() { return &stats_; }
+  const obs::StatsRegistry& stats() const { return stats_; }
+  void ClearStats() { stats_.Clear(); }
+
+  /// Pretty-printed report over all recorded statistics.
+  std::string ProfileReport() const;
+
+  /// Structured trace events (iteration begin/end, rule fire, insert,
+  /// module call) are emitted to `sink` while set; nullptr disables.
+  /// The sink is unowned and is called from serial engine code only.
+  void set_trace_sink(obs::TraceSink* sink) { trace_sink_ = sink; }
+  obs::TraceSink* trace_sink() const { return trace_sink_; }
+
   // ---- parallel evaluation ----
   /// Default worker count for the parallel semi-naive fixpoint. Modules
   /// annotated @parallel(N) override it; modules without @parallel also
@@ -140,6 +169,9 @@ class Database {
   bool strict_ = false;
   int num_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;
+  bool profiling_ = false;
+  obs::StatsRegistry stats_;
+  obs::TraceSink* trace_sink_ = nullptr;
 };
 
 }  // namespace coral

@@ -2,6 +2,7 @@
 // Predicate Semi-Naive and Naive drivers over the compiled SCC plans
 // (paper §4.2, §5.3).
 
+#include <chrono>
 #include <set>
 #include <unordered_set>
 
@@ -11,6 +12,17 @@
 #include "src/util/logging.h"
 
 namespace coral {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 std::pair<Mark, Mark> MaterializedInstance::WindowFor(
     size_t scc_idx, const PredRef& pred, RangeSel sel,
@@ -64,7 +76,17 @@ bool MaterializedInstance::HeadInsert(const PredRef& pred, const Tuple* t) {
   Relation* rel = internal(pred);
   CORAL_CHECK(rel != nullptr) << pred.ToString();
   bool inserted = rel->Insert(t);
-  if (inserted) ++stats_.inserts;
+  if (inserted) {
+    ++stats_.inserts;
+    if (trace_ != nullptr) {
+      obs::TraceEvent ev;
+      ev.kind = obs::TraceKind::kInsert;
+      ev.module = decl_->name;
+      ev.pred = DisplayName(pred);
+      ev.detail = t->ToString();
+      trace_->Emit(ev);
+    }
+  }
   return inserted;
 }
 
@@ -73,6 +95,15 @@ StatusOr<bool> MaterializedInstance::ApplyVersion(
     const std::unordered_map<PredRef, Mark, PredRefHash>* cur) {
   const Rule& rule = prog_->rules[v.rule_index];
   const bool psn = !v.evaluate_once && cur == nullptr;
+
+  // Applications are counted before the empty-delta short circuits so
+  // the sequential and parallel drivers agree (the parallel driver
+  // counts per version per iteration, without seeing worker skips).
+  obs::RuleStats* rs =
+      profile_ != nullptr ? &profile_->rule(v.rule_index) : nullptr;
+  if (rs != nullptr) rs->applications.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t obs_sols0 = stats_.solutions;
+  const uint64_t obs_ins0 = stats_.inserts;
 
   // Empty-delta short circuit (BSN/naive path; PSN has its own below):
   // without it a version whose delta literal sits late in the body would
@@ -157,6 +188,7 @@ StatusOr<bool> MaterializedInstance::ApplyVersion(
                     decl_->intelligent_backtracking, &trail_);
   bool changed = false;
   Status inner;
+  uint64_t obs_derived = 0;
 
   if (v.is_aggregate) {
     const AggHeadSpec* spec = AggSpecFor(v.rule_index);
@@ -170,6 +202,7 @@ StatusOr<bool> MaterializedInstance::ApplyVersion(
     CORAL_RETURN_IF_ERROR(inner);
     CORAL_RETURN_IF_ERROR(cursor.status());
     CORAL_ASSIGN_OR_RETURN(std::vector<const Tuple*> tuples, acc.Finish());
+    obs_derived = tuples.size();
     PredRef head = rule.head.pred_ref();
     for (const Tuple* t : tuples) changed |= HeadInsert(head, t);
   } else {
@@ -208,6 +241,25 @@ StatusOr<bool> MaterializedInstance::ApplyVersion(
     }
     cursor.UndoAll();
     CORAL_RETURN_IF_ERROR(cursor.status());
+    obs_derived = stats_.solutions - obs_sols0;  // one head tuple each
+  }
+
+  if (rs != nullptr) {
+    rs->probes.fetch_add(cursor.probes(), std::memory_order_relaxed);
+    rs->solutions.fetch_add(stats_.solutions - obs_sols0,
+                            std::memory_order_relaxed);
+    rs->derived.fetch_add(obs_derived, std::memory_order_relaxed);
+    rs->inserted.fetch_add(stats_.inserts - obs_ins0,
+                           std::memory_order_relaxed);
+  }
+  if (trace_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.kind = obs::TraceKind::kRuleFire;
+    ev.module = decl_->name;
+    ev.scc = static_cast<int32_t>(scc_idx);
+    ev.rule = static_cast<int32_t>(v.rule_index);
+    ev.count = stats_.solutions - obs_sols0;
+    trace_->Emit(ev);
   }
 
   if (psn && v.delta_pos >= 0) {
@@ -319,14 +371,25 @@ Status MaterializedInstance::ApplyVersionPartitioned(
   // than that same duplicate check.
   const bool prefilter = !hrel->multiset() && hrel->selections().empty();
   std::vector<TermRef> head_refs(rule.head.args.size());
+  uint64_t sols = 0;
   while (cursor.Next()) {
-    ++stats->solutions;
+    ++sols;
     for (size_t i = 0; i < rule.head.args.size(); ++i) {
       head_refs[i] = {rule.head.args[i], &env};
     }
     const Tuple* t = ResolveTuple(head_refs, db_->factory());
     if (prefilter && hrel->Contains(t)) continue;
     buffer->Add(hrel, t, !hrel->multiset());
+  }
+  stats->solutions += sols;
+  if (profile_ != nullptr) {
+    // Worker-side counters: disjoint covering partitions make the sums
+    // of solutions/derived thread-count invariant; probes are exact but
+    // schedule-dependent (see RuleStats).
+    obs::RuleStats& rstats = profile_->rule(v.rule_index);
+    rstats.probes.fetch_add(cursor.probes(), std::memory_order_relaxed);
+    rstats.solutions.fetch_add(sols, std::memory_order_relaxed);
+    rstats.derived.fetch_add(sols, std::memory_order_relaxed);
   }
   cursor.UndoAll();
   return cursor.status();
@@ -357,38 +420,82 @@ Status MaterializedInstance::RunIterationParallel(size_t scc_idx,
     (v.is_aggregate ? agg_versions : par_versions).push_back(&v);
   }
 
+  // Rule applications are counted by the driver, once per version per
+  // iteration, matching the sequential engine's per-call count.
+  if (profile_ != nullptr) {
+    for (const RuleVersion* v : par_versions) {
+      profile_->rule(v->rule_index)
+          .applications.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // One buffer per (worker, version): merging version-major below keeps
+  // cross-version duplicate attribution identical to the sequential
+  // engine, which finishes inserting version k before starting k+1.
   struct Worker {
     Trail trail;
-    InsertBuffer buffer;
+    std::vector<InsertBuffer> buffers;
     EvalStats stats;
     Status status;
+    uint64_t ns = 0;
   };
   std::vector<Worker> workers(nthreads);
+  for (Worker& wk : workers) wk.buffers.resize(par_versions.size());
+  const bool timing = profile_ != nullptr;
+
+  // Term construction must lock while workers run, even when the
+  // Database default is single-threaded (e.g. @parallel(N) modules).
+  TermFactory* factory = db_->factory();
+  const bool was_concurrent = factory->concurrent();
+  factory->set_concurrent(true);
 
   db_->thread_pool(nthreads)->Run(nthreads, [&](size_t w) {
     Worker& wk = workers[w];
-    for (const RuleVersion* v : par_versions) {
+    const uint64_t t0 = timing ? NowNs() : 0;
+    for (size_t vi = 0; vi < par_versions.size(); ++vi) {
       wk.status = ApplyVersionPartitioned(
-          scc_idx, *v, naive, &cur, static_cast<uint32_t>(w),
-          static_cast<uint32_t>(nthreads), &wk.trail, &wk.buffer,
+          scc_idx, *par_versions[vi], naive, &cur, static_cast<uint32_t>(w),
+          static_cast<uint32_t>(nthreads), &wk.trail, &wk.buffers[vi],
           &wk.stats);
-      if (!wk.status.ok()) return;
+      if (!wk.status.ok()) break;
     }
+    if (timing) wk.ns = NowNs() - t0;
   });
 
+  factory->set_concurrent(was_concurrent);
+
+  last_worker_ns_.clear();
   for (const Worker& wk : workers) {
     CORAL_RETURN_IF_ERROR(wk.status);
     stats_.solutions += wk.stats.solutions;
+    if (timing) last_worker_ns_.push_back(wk.ns);
   }
 
   // Merge barrier: serial inserts re-run the full duplicate / subsumption
   // / aggregate-selection machinery, so the relations end the iteration
   // with exactly the tuple sets the sequential insert order produces.
-  for (const Worker& wk : workers) {
-    for (const InsertBuffer::Entry& e : wk.buffer.entries()) {
-      if (e.rel->Insert(e.tuple)) {
-        ++stats_.inserts;
-        *changed = true;
+  for (size_t vi = 0; vi < par_versions.size(); ++vi) {
+    obs::RuleStats* rs =
+        profile_ != nullptr
+            ? &profile_->rule(par_versions[vi]->rule_index)
+            : nullptr;
+    for (const Worker& wk : workers) {
+      for (const InsertBuffer::Entry& e : wk.buffers[vi].entries()) {
+        if (e.rel->Insert(e.tuple)) {
+          ++stats_.inserts;
+          *changed = true;
+          if (rs != nullptr) {
+            rs->inserted.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (trace_ != nullptr) {
+            obs::TraceEvent ev;
+            ev.kind = obs::TraceKind::kInsert;
+            ev.module = decl_->name;
+            ev.pred = e.rel->name();
+            ev.detail = e.tuple->ToString();
+            trace_->Emit(ev);
+          }
+        }
       }
     }
   }
@@ -453,6 +560,48 @@ Status MaterializedInstance::RunIteration(size_t scc_idx, bool* changed) {
   return Status::OK();
 }
 
+Status MaterializedInstance::RunIterationObserved(size_t scc_idx,
+                                                  bool* changed) {
+  if (profile_ == nullptr && trace_ == nullptr) {
+    return RunIteration(scc_idx, changed);
+  }
+  const uint64_t iter = stats_.iterations + 1;
+  if (trace_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.kind = obs::TraceKind::kIterBegin;
+    ev.module = decl_->name;
+    ev.scc = static_cast<int32_t>(scc_idx);
+    ev.iter = iter;
+    trace_->Emit(ev);
+  }
+  const uint64_t ins0 = stats_.inserts;
+  const uint64_t sols0 = stats_.solutions;
+  last_worker_ns_.clear();
+  const uint64_t t0 = NowNs();
+  Status st = RunIteration(scc_idx, changed);
+  const uint64_t wall = NowNs() - t0;
+  if (profile_ != nullptr) {
+    obs::IterationStats it;
+    it.scc = static_cast<uint32_t>(scc_idx);
+    it.inserts = stats_.inserts - ins0;
+    it.solutions = stats_.solutions - sols0;
+    it.wall_ns = wall;
+    it.worker_ns = std::move(last_worker_ns_);
+    profile_->RecordIteration(std::move(it));
+  }
+  if (trace_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.kind = obs::TraceKind::kIterEnd;
+    ev.module = decl_->name;
+    ev.scc = static_cast<int32_t>(scc_idx);
+    ev.iter = iter;
+    ev.count = stats_.inserts - ins0;
+    ev.ns = wall;
+    trace_->Emit(ev);
+  }
+  return st;
+}
+
 Status MaterializedInstance::RunGlobalPass(bool* changed) {
   *changed = false;
   size_t n = prog_->seminaive.sccs.size();
@@ -464,7 +613,7 @@ Status MaterializedInstance::RunGlobalPass(bool* changed) {
     }
     bool scc_changed = true;
     while (scc_changed) {
-      CORAL_RETURN_IF_ERROR(RunIteration(s, &scc_changed));
+      CORAL_RETURN_IF_ERROR(RunIterationObserved(s, &scc_changed));
       ++stats_.iterations;
       *changed |= scc_changed;
     }

@@ -165,6 +165,7 @@ bool RuleCursor::Next() {
 
   while (pos_ >= 0) {
     GoalSource& src = *sources_[pos_];
+    ++probes_;
     if (src.Next(trail_)) {
       produced_[pos_] = true;
       if (pos_ == n - 1) return true;

@@ -205,6 +205,11 @@ class RuleCursor {
 
   const Status& status() const { return status_; }
 
+  /// Get-next-tuple calls issued to body goal sources so far — the join
+  /// probe count the profiler reports. A plain counter: each cursor is
+  /// driven by exactly one thread.
+  uint64_t probes() const { return probes_; }
+
  private:
   std::vector<std::unique_ptr<GoalSource>> sources_;
   std::vector<int> backtrack_;
@@ -213,6 +218,7 @@ class RuleCursor {
   std::vector<bool> produced_;
   int pos_ = -2;  // -2: not started; -1: failed/finished
   Trail::Mark start_mark_ = 0;
+  uint64_t probes_ = 0;
   Status status_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "src/core/database.h"
 #include "src/core/ordered_search.h"
+#include "src/obs/report.h"
 #include "src/rewrite/existential.h"
 #include "src/util/logging.h"
 
@@ -310,7 +311,24 @@ Status MaterializedInstance::Init() {
     version_envs_[s].resize(prog_->seminaive.sccs[s].versions.size());
     once_envs_[s].resize(prog_->seminaive.sccs[s].once.size());
   }
+
+  // Profiling: bind this activation to the module's profile. The rule
+  // slots are created here, while single-threaded; counters aggregate
+  // across activations under the module's name.
+  if (decl_->profile || db_->profiling()) {
+    profile_ = db_->stats()->GetOrCreate(decl_->name);
+    profile_->EnsureRules(prog_->rules.size(), [this](size_t i) {
+      return prog_->rules[i].ToString();
+    });
+    profile_->RecordActivation();
+  }
   return Status::OK();
+}
+
+std::string MaterializedInstance::DisplayName(const PredRef& pred) const {
+  auto it = prog_->original_of.find(pred);
+  return it != prog_->original_of.end() ? it->second.sym->name
+                                        : pred.sym->name;
 }
 
 Status MaterializedInstance::Seed(std::span<const TermRef> query_args) {
@@ -354,6 +372,9 @@ Status MaterializedInstance::RunStep(bool* done) {
         "paper §5.4.2)");
   }
   in_step_ = true;
+  // Sinks may attach between steps (a save module outlives a trace
+  // session); re-fetch here, at a serial point.
+  trace_ = db_->trace_sink();
   Status st;
   if (prog_->ordered_search) {
     OrderedSearchEval os(this);
@@ -368,13 +389,23 @@ Status MaterializedInstance::RunStep(bool* done) {
       once_done_[cur_scc_] = true;
     } else {
       bool changed = false;
-      st = RunIteration(cur_scc_, &changed);
+      st = RunIterationObserved(cur_scc_, &changed);
       ++stats_.iterations;
       if (st.ok() && !changed) {
         ++cur_scc_;
         if (cur_scc_ >= n) complete_ = true;
       }
     }
+  }
+  if (complete_ && trace_ != nullptr) {
+    // This call made the activation complete (already-complete instances
+    // return at the top).
+    obs::TraceEvent ev;
+    ev.kind = obs::TraceKind::kModuleDone;
+    ev.module = decl_->name;
+    ev.iter = stats_.iterations;
+    ev.count = stats_.inserts;
+    trace_->Emit(ev);
   }
   in_step_ = false;
   *done = complete_;
@@ -383,11 +414,7 @@ Status MaterializedInstance::RunStep(bool* done) {
 
 std::string MaterializedInstance::Explain(const Tuple* fact) const {
   // Pretty name: strip the adornment of rewritten predicates.
-  auto display = [&](const PredRef& pred) -> std::string {
-    auto it = prog_->original_of.find(pred);
-    return it != prog_->original_of.end() ? it->second.sym->name
-                                          : pred.sym->name;
-  };
+  auto display = [&](const PredRef& pred) { return DisplayName(pred); };
   // (pred, tuple) -> first recorded derivation.
   auto find = [&](const PredRef& pred,
                   const Tuple* t) -> const Derivation* {
@@ -431,6 +458,12 @@ std::string MaterializedInstance::Explain(const Tuple* fact) const {
   for (const Derivation& d : derivations_) {
     if ((d.head == fact || d.head->Equals(*fact))) {
       expand(d.head_pred, fact, 0);
+      // Profiling footer: how much work the module did overall, so an
+      // explanation also answers "and what did it cost?".
+      if (profile_ != nullptr) {
+        out += "--\n";
+        out += obs::RenderModuleProfile(*profile_);
+      }
       return out;
     }
   }

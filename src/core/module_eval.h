@@ -14,6 +14,8 @@
 
 #include "src/core/aggregate.h"
 #include "src/core/join.h"
+#include "src/obs/stats.h"
+#include "src/obs/trace.h"
 #include "src/rel/hash_relation.h"
 #include "src/rewrite/rewriter.h"
 
@@ -93,8 +95,19 @@ class MaterializedInstance {
   /// tuple). Predicates are shown with their original names.
   std::string Explain(const Tuple* fact) const;
 
+  /// The profile this activation records into; nullptr unless the module
+  /// has @profile or Database::set_profiling is on.
+  const obs::ModuleProfile* profile() const { return profile_; }
+
  private:
   friend class OrderedSearchEval;
+
+  // --- observability (fixpoint.cc hooks) ---
+  /// The display (pre-rewriting) name of an internal predicate.
+  std::string DisplayName(const PredRef& pred) const;
+  /// Runs RunIteration wrapped in iteration bookkeeping: trace events,
+  /// wall/worker time and delta sizes when profiling or tracing is on.
+  Status RunIterationObserved(size_t scc_idx, bool* changed);
 
   // --- fixpoint engine (fixpoint.cc) ---
   Status RunOnceRules(size_t scc_idx);
@@ -174,6 +187,14 @@ class MaterializedInstance {
 
   EvalStats stats_;
   std::vector<Derivation> derivations_;  // @explain only
+
+  // Observability (src/obs/): both nullptr in the default configuration,
+  // making every hook a single pointer test. profile_ is bound once in
+  // Init (rule slots must exist first); trace_ is re-fetched from the
+  // Database at each RunStep so sinks can attach to live save modules.
+  obs::ModuleProfile* profile_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
+  std::vector<uint64_t> last_worker_ns_;  // filled by RunIterationParallel
 };
 
 /// TupleIterator over a materialized instance's answers that drives lazy

@@ -212,6 +212,14 @@ StatusOr<std::unique_ptr<TupleIterator>> ModuleManager::OpenQuery(
   }
   DepthGuard guard(&call_depth_);
 
+  if (obs::TraceSink* sink = db_->trace_sink()) {
+    obs::TraceEvent ev;
+    ev.kind = obs::TraceKind::kModuleCall;
+    ev.module = entry->decl.name;
+    ev.pred = pred.ToString();
+    sink->Emit(ev);
+  }
+
   if (entry->decl.eval_mode == EvalMode::kPipelined) {
     return entry->pipelined->OpenQuery(pred, args);
   }

@@ -40,6 +40,9 @@ int OrderedSearchEval::FindOnStack(const PredRef& pred,
 
 void OrderedSearchEval::Collapse(size_t depth) {
   CORAL_CHECK(depth < stack_.size());
+  if (inst_->profile_ != nullptr) {
+    inst_->profile_->os_collapses.fetch_add(1, std::memory_order_relaxed);
+  }
   Node merged = std::move(stack_[depth]);
   for (size_t d = depth + 1; d < stack_.size(); ++d) {
     for (GoalEntry& g : stack_[d].goals) {
@@ -60,6 +63,10 @@ bool OrderedSearchEval::ReleaseOne() {
     CORAL_CHECK(magic != nullptr);
     magic->Insert(g.goal);
     g.released = true;
+    if (inst_->profile_ != nullptr) {
+      inst_->profile_->os_subgoals_released.fetch_add(
+          1, std::memory_order_relaxed);
+    }
     return true;
   }
   return false;

@@ -49,6 +49,11 @@ void PipelinedPredScan::Abandon() {
 }
 
 bool PipelinedPredScan::ActivateRule(const Rule* rule) {
+  if (mod_->profile_ != nullptr) {
+    size_t idx = static_cast<size_t>(rule - mod_->decl_->rules.data());
+    mod_->profile_->rule(idx).applications.fetch_add(
+        1, std::memory_order_relaxed);
+  }
   rule_mark_ = trail_->mark();
   if (rule_env_ == nullptr) {
     rule_env_ = std::make_unique<BindEnv>(rule->var_count);
@@ -140,8 +145,23 @@ bool PipelinedPredScan::Next(Trail* trail) {
 
   while (true) {
     if (active_rule_ != nullptr) {
-      if (cursor_->Next()) return true;
+      if (cursor_->Next()) {
+        if (mod_->profile_ != nullptr) {
+          size_t idx = static_cast<size_t>(active_rule_ -
+                                           mod_->decl_->rules.data());
+          obs::RuleStats& rs = mod_->profile_->rule(idx);
+          rs.solutions.fetch_add(1, std::memory_order_relaxed);
+          rs.derived.fetch_add(1, std::memory_order_relaxed);
+        }
+        return true;
+      }
       if (!cursor_->status().ok()) status_ = cursor_->status();
+      if (mod_->profile_ != nullptr) {
+        size_t idx = static_cast<size_t>(active_rule_ -
+                                         mod_->decl_->rules.data());
+        mod_->profile_->rule(idx).probes.fetch_add(
+            cursor_->probes(), std::memory_order_relaxed);
+      }
       cursor_->UndoAll();
       cursor_.reset();
       trail_->UndoTo(rule_mark_);
@@ -191,6 +211,17 @@ StatusOr<std::unique_ptr<TupleIterator>> PipelinedModule::OpenQuery(
     TermFactory* factory_ = nullptr;
     std::vector<TermRef> factory_refs_;
   };
+
+  // Refresh the profile binding: the global switch may have been toggled
+  // since the previous call (this runs on the calling thread only).
+  profile_ = nullptr;
+  if (decl_->profile || db_->profiling()) {
+    profile_ = db_->stats()->GetOrCreate(decl_->name);
+    profile_->EnsureRules(decl_->rules.size(), [this](size_t i) {
+      return decl_->rules[i].ToString();
+    });
+    profile_->RecordActivation();
+  }
 
   const Tuple* goal = ResolveTuple(args, db_->factory());
   auto it = std::make_unique<PipelinedAnswerIterator>(this, pred, goal);

@@ -17,6 +17,7 @@
 
 #include "src/core/join.h"
 #include "src/lang/ast.h"
+#include "src/obs/stats.h"
 
 namespace coral {
 
@@ -42,6 +43,11 @@ class PipelinedModule {
   const ModuleDecl* decl_;
   Database* db_;
   std::unordered_map<PredRef, std::vector<const Rule*>, PredRefHash> rules_;
+  // Pipelined evaluation stores no relations, so the profile records rule
+  // activation and answer counts only (no fixpoint or delta statistics —
+  // diagnostic CRL134). Refreshed at each OpenQuery; pipelined scans run
+  // on the calling thread only.
+  mutable obs::ModuleProfile* profile_ = nullptr;
 };
 
 /// A suspended computation of one predicate goal inside a pipelined

@@ -29,15 +29,27 @@ class Coral {
   TermFactory* factory() { return db_->factory(); }
 
   // ---- embedded CORAL commands (paper §6.1) ----
+  //
+  // All entry points return StatusOr<> uniformly; see docs/API.md for the
+  // Status codes each can produce (kInvalidArgument for parse/semantic
+  // errors, kNotFound for unknown predicates, kFailedPrecondition for
+  // evaluation-order violations, kInternal for engine bugs).
   /// Executes any command sequence legal at the interactive interface:
   /// facts, modules, annotations, queries. Returns the printed output of
   /// the queries it contained.
   StatusOr<std::string> Command(const std::string& coral_text) {
     return db_->Run(coral_text);
   }
-  /// Consults declarations only (queries in the text are ignored).
-  Status Consult(const std::string& coral_text) {
-    return db_->Consult(coral_text).status();
+  /// Consults declarations only. Queries in the text are parsed but not
+  /// executed; they are returned so the caller can run them (or ignore
+  /// them) — the same convention as Database::Consult.
+  StatusOr<std::vector<Query>> Consult(const std::string& coral_text) {
+    return db_->Consult(coral_text);
+  }
+  /// Parses and evaluates a single query string like "?- path(1, X)."
+  /// (the "?-" may be omitted).
+  StatusOr<QueryResult> EvalQuery(const std::string& text) {
+    return db_->EvalQuery(text);
   }
 
   // ---- static analysis ----
@@ -49,6 +61,20 @@ class Coral {
   }
   /// Warnings-as-errors for subsequent consults.
   void SetStrict(bool strict) { db_->set_strict(strict); }
+
+  // ---- evaluation observability (docs/API.md) ----
+  /// Globally enables per-rule/per-iteration statistics for subsequent
+  /// evaluations, as if every module carried @profile.
+  void SetProfiling(bool on) { db_->set_profiling(on); }
+  /// The statistics registry (one ModuleProfile per profiled module).
+  obs::StatsRegistry* Stats() { return db_->stats(); }
+  /// Human-readable report over everything collected so far.
+  std::string ProfileReport() const { return db_->ProfileReport(); }
+  /// Drops all collected statistics (keeps profiling enabled/disabled).
+  void ClearStats() { db_->ClearStats(); }
+  /// Attaches a structured trace-event sink (nullptr detaches). The sink
+  /// must outlive evaluation; events arrive on the evaluating thread.
+  void SetTraceSink(obs::TraceSink* sink) { db_->set_trace_sink(sink); }
 
   // ---- argument construction (paper §6.1 class Arg) ----
   const Arg* Int(int64_t v) { return factory()->MakeInt(v); }

@@ -39,7 +39,7 @@ const Arg** TermFactory::CopyArgs(std::span<const Arg* const> args) {
 }
 
 const IntArg* TermFactory::MakeInt(int64_t v) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MaybeLockGuard lock(&mu_, concurrent_);
   auto it = int_cons_.find(v);
   if (it != int_cons_.end()) return it->second;
   const IntArg* node = arena_.New<IntArg>(
@@ -49,7 +49,7 @@ const IntArg* TermFactory::MakeInt(int64_t v) {
 }
 
 const DoubleArg* TermFactory::MakeDouble(double v) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MaybeLockGuard lock(&mu_, concurrent_);
   uint64_t bits;
   std::memcpy(&bits, &v, sizeof(bits));
   auto it = double_cons_.find(bits);
@@ -61,7 +61,7 @@ const DoubleArg* TermFactory::MakeDouble(double v) {
 }
 
 const StringArg* TermFactory::MakeString(std::string_view v) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MaybeLockGuard lock(&mu_, concurrent_);
   auto it = string_cons_.find(v);
   if (it != string_cons_.end()) return it->second;
   string_store_.emplace_back(v);
@@ -73,7 +73,7 @@ const StringArg* TermFactory::MakeString(std::string_view v) {
 }
 
 const BigIntArg* TermFactory::MakeBigInt(const BigInt& v) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MaybeLockGuard lock(&mu_, concurrent_);
   std::string key = v.ToString();
   auto it = bigint_cons_.find(key);
   if (it != bigint_cons_.end()) return it->second;
@@ -86,7 +86,7 @@ const BigIntArg* TermFactory::MakeBigInt(const BigInt& v) {
 }
 
 const FunctorArg* TermFactory::MakeAtom(std::string_view name) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MaybeLockGuard lock(&mu_, concurrent_);
   Symbol sym = symbols_.Intern(name);
   auto it = atom_cons_.find(sym);
   if (it != atom_cons_.end()) return it->second;
@@ -100,13 +100,13 @@ const FunctorArg* TermFactory::MakeAtom(std::string_view name) {
 
 const FunctorArg* TermFactory::MakeFunctor(std::string_view name,
                                            std::span<const Arg* const> args) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MaybeLockGuard lock(&mu_, concurrent_);
   return MakeFunctor(symbols_.Intern(name), args);
 }
 
 const FunctorArg* TermFactory::MakeFunctor(Symbol sym,
                                            std::span<const Arg* const> args) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MaybeLockGuard lock(&mu_, concurrent_);
   if (args.empty()) return MakeAtom(sym->name);
   bool ground = true;
   for (const Arg* a : args) ground = ground && a->IsGround();
@@ -142,7 +142,7 @@ const Arg* TermFactory::MakeList(std::span<const Arg* const> elems,
 }
 
 const SetArg* TermFactory::MakeSet(std::vector<const Arg*> elems) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MaybeLockGuard lock(&mu_, concurrent_);
   std::sort(elems.begin(), elems.end(),
             [](const Arg* a, const Arg* b) { return CompareArgs(a, b) < 0; });
   elems.erase(std::unique(elems.begin(), elems.end(),
@@ -166,14 +166,14 @@ const SetArg* TermFactory::MakeSet(std::vector<const Arg*> elems) {
 
 const Variable* TermFactory::MakeVariable(uint32_t slot,
                                           std::string_view name) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MaybeLockGuard lock(&mu_, concurrent_);
   varname_store_.emplace_back(name);
   return arena_.New<Variable>(slot, &varname_store_.back(), NextUid(),
                               HashMix64(kVarHashSeed));
 }
 
 const Variable* TermFactory::CanonicalVar(uint32_t slot) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MaybeLockGuard lock(&mu_, concurrent_);
   while (canonical_vars_.size() <= slot) {
     uint32_t s = static_cast<uint32_t>(canonical_vars_.size());
     varname_store_.push_back("_" + std::to_string(s));
@@ -184,7 +184,7 @@ const Variable* TermFactory::CanonicalVar(uint32_t slot) {
 }
 
 const Tuple* TermFactory::MakeTuple(std::span<const Arg* const> args) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MaybeLockGuard lock(&mu_, concurrent_);
   bool ground = true;
   for (const Arg* a : args) ground = ground && a->IsGround();
   uint64_t hash = HashChildren(0x7091eull, args);

@@ -37,6 +37,11 @@ namespace coral {
 /// symbol table is only safe through factory methods (MakeAtom /
 /// MakeFunctor-by-name) — direct symbols().Intern() calls remain
 /// single-threaded (parser, setup).
+///
+/// The lock is only taken while `concurrent()` is set (the Database flips
+/// it with set_num_threads): with one thread every construction skips the
+/// mutex entirely. The flag itself must only change at points where no
+/// other thread can be constructing terms.
 class TermFactory {
  public:
   TermFactory();
@@ -44,6 +49,12 @@ class TermFactory {
   TermFactory& operator=(const TermFactory&) = delete;
 
   SymbolTable& symbols() { return symbols_; }
+
+  /// Enables (or disables) the internal construction lock. Call only from
+  /// single-threaded code — typically Database::set_num_threads or the
+  /// parallel fixpoint driver around a worker batch.
+  void set_concurrent(bool on) { concurrent_ = on; }
+  bool concurrent() const { return concurrent_; }
 
   // ---- Primitive constants (interned; pointer equality) ----
   const IntArg* MakeInt(int64_t v);
@@ -85,7 +96,7 @@ class TermFactory {
   /// point that each type defines its own identifiers orthogonally.
   template <typename T, typename... As>
   const T* NewUser(uint32_t type_tag, uint64_t content_hash, As&&... args) {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
+    MaybeLockGuard lock(&mu_, concurrent_);
     auto candidate = std::make_unique<T>(type_tag, NextUid(), content_hash,
                                          std::forward<As>(args)...);
     uint64_t key = HashCombine(content_hash, type_tag);
@@ -111,6 +122,23 @@ class TermFactory {
   size_t bytes_allocated() const { return arena_.bytes_allocated(); }
 
  private:
+  /// lock_guard that only engages when the factory is in concurrent mode.
+  class MaybeLockGuard {
+   public:
+    MaybeLockGuard(std::recursive_mutex* mu, bool engage)
+        : mu_(engage ? mu : nullptr) {
+      if (mu_ != nullptr) mu_->lock();
+    }
+    ~MaybeLockGuard() {
+      if (mu_ != nullptr) mu_->unlock();
+    }
+    MaybeLockGuard(const MaybeLockGuard&) = delete;
+    MaybeLockGuard& operator=(const MaybeLockGuard&) = delete;
+
+   private:
+    std::recursive_mutex* mu_;
+  };
+
   uint64_t NextUid() { return next_uid_++; }
   const Arg** CopyArgs(std::span<const Arg* const> args);
   template <typename T>
@@ -122,8 +150,10 @@ class TermFactory {
 
   // Guards every construction path (arena, hash-cons tables, symbol
   // interning via MakeAtom). Recursive because constructors compose
-  // (MakeList -> MakeCons -> MakeFunctor -> MakeAtom).
+  // (MakeList -> MakeCons -> MakeFunctor -> MakeAtom). Engaged only when
+  // concurrent_ is set.
   mutable std::recursive_mutex mu_;
+  bool concurrent_ = false;
   Arena arena_;
   SymbolTable symbols_;
   uint64_t next_uid_ = 1;

@@ -142,6 +142,7 @@ struct ModuleDecl {
   bool ordered_search = false;     // paper §5.4.1
   bool intelligent_backtracking = true;
   bool explain = false;            // record derivations (Explanation tool)
+  bool profile = false;            // record evaluation statistics (§6, §8)
   bool reorder_joins = false;      // optimizer picks the join order (§4.2)
   bool parallel = false;           // @parallel: multi-threaded fixpoint
   int64_t parallel_threads = -1;   // @parallel(N); -1 = no explicit count

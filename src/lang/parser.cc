@@ -242,6 +242,8 @@ Status Parser::ParseAnnotation(ModuleDecl* mod, Program* top) {
     mod->intelligent_backtracking = false;
   } else if (name == "explain") {
     mod->explain = true;
+  } else if (name == "profile") {
+    mod->profile = true;
   } else if (name == "reorder_joins") {
     mod->reorder_joins = true;
   } else {

@@ -1,0 +1,32 @@
+// Human-readable rendering of recorded evaluation statistics — the
+// profiling report surfaced by Database::ProfileReport, appended to
+// @explain output, and printed by tools/coral_prof and the benches'
+// --profile mode.
+
+#ifndef CORAL_OBS_REPORT_H_
+#define CORAL_OBS_REPORT_H_
+
+#include <string>
+
+#include "src/obs/stats.h"
+
+namespace coral::obs {
+
+/// Per-iteration detail is included up to `max_iterations` rows per
+/// module (0 = totals only).
+struct ReportOptions {
+  size_t max_iterations = 32;
+};
+
+/// Multi-line table for a single module's profile.
+std::string RenderModuleProfile(const ModuleProfile& profile,
+                                const ReportOptions& opts = {});
+
+/// Full report over every profiled module, in first-profiled order.
+/// Empty registry renders an explanatory one-liner.
+std::string RenderReport(const StatsRegistry& registry,
+                         const ReportOptions& opts = {});
+
+}  // namespace coral::obs
+
+#endif  // CORAL_OBS_REPORT_H_

@@ -1,0 +1,84 @@
+#include "src/obs/stats.h"
+
+namespace coral::obs {
+
+void ModuleProfile::RecordIteration(IterationStats it) {
+  total_iterations_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (iterations_.size() < kMaxIterationLog) {
+    iterations_.push_back(std::move(it));
+  }
+}
+
+uint64_t ModuleProfile::total_solutions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t sum = 0;
+  for (const RuleStats& r : rules_) {
+    sum += r.solutions.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+uint64_t ModuleProfile::total_derived() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t sum = 0;
+  for (const RuleStats& r : rules_) {
+    sum += r.derived.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+uint64_t ModuleProfile::total_inserted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t sum = 0;
+  for (const RuleStats& r : rules_) {
+    sum += r.inserted.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+uint64_t ModuleProfile::total_duplicates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t sum = 0;
+  for (const RuleStats& r : rules_) {
+    sum += r.duplicates();
+  }
+  return sum;
+}
+
+ModuleProfile* StatsRegistry::GetOrCreate(const std::string& module_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ModuleProfile* p : order_) {
+    if (p->name() == module_name) return p;
+  }
+  profiles_.emplace_back(module_name);
+  order_.push_back(&profiles_.back());
+  return order_.back();
+}
+
+const ModuleProfile* StatsRegistry::Find(
+    const std::string& module_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const ModuleProfile* p : order_) {
+    if (p->name() == module_name) return p;
+  }
+  return nullptr;
+}
+
+std::vector<const ModuleProfile*> StatsRegistry::profiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<const ModuleProfile*>(order_.begin(), order_.end());
+}
+
+bool StatsRegistry::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return order_.empty();
+}
+
+void StatsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  order_.clear();
+  profiles_.clear();
+}
+
+}  // namespace coral::obs

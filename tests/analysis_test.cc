@@ -389,6 +389,31 @@ TEST_F(AnalysisTest, ParallelOnSequentialOnlyStrategyIsWarned) {
   EXPECT_NE(d->message.find("sequential"), std::string::npos);
 }
 
+TEST_F(AnalysisTest, ProfileOnPipelinedModuleIsWarned) {
+  DiagnosticList dl = Analyze(
+      "module m.\n"
+      "export p(ff).\n"
+      "@pipelining.\n"
+      "@profile.\n"
+      "p(X, Y) :- e(X, Y).\n"
+      "end_module.\n");
+  const Diagnostic* d = Find(dl, diag::kProfilePipelined);
+  ASSERT_NE(d, nullptr) << dl.ToString();
+  EXPECT_EQ(d->severity, DiagSeverity::kWarning);
+  EXPECT_EQ(d->loc.line, 4);  // points at @profile
+  EXPECT_NE(d->message.find("iteration statistics"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, ProfileOnMaterializedModuleIsClean) {
+  DiagnosticList dl = Analyze(
+      "module m.\n"
+      "export p(ff).\n"
+      "@profile.\n"
+      "p(X, Y) :- e(X, Y).\n"
+      "end_module.\n");
+  EXPECT_EQ(Find(dl, diag::kProfilePipelined), nullptr) << dl.ToString();
+}
+
 // --- CRL140: stratification -----------------------------------------------
 
 TEST_F(AnalysisTest, UnstratifiedModuleWarnsAtLoadErrorsAtQuery) {
@@ -404,7 +429,7 @@ TEST_F(AnalysisTest, UnstratifiedModuleWarnsAtLoadErrorsAtQuery) {
   EXPECT_NE(Find(db_.last_diagnostics(), diag::kNotStratified), nullptr)
       << db_.last_diagnostics().ToString();
   // The query-time error carries the same diagnostic code.
-  auto q = db_.Query_("win(1)");
+  auto q = db_.EvalQuery("win(1)");
   ASSERT_FALSE(q.ok());
   EXPECT_NE(q.status().ToString().find(diag::kNotStratified),
             std::string::npos)
@@ -449,7 +474,7 @@ TEST_F(AnalysisTest, RejectedModuleKeepsPreviousVersion) {
       "end_module.\n");
   ASSERT_FALSE(res.ok());
   // The original export is still answerable.
-  auto q = db_.Query_("p(X)");
+  auto q = db_.EvalQuery("p(X)");
   ASSERT_TRUE(q.ok()) << q.status().ToString();
   EXPECT_EQ(q->rows.size(), 1u);
 }

@@ -17,7 +17,7 @@ namespace {
 class BuiltinsTest : public ::testing::Test {
  protected:
   std::vector<std::string> Ask(const std::string& q) {
-    auto res = db.Query_(q);
+    auto res = db.EvalQuery(q);
     EXPECT_TRUE(res.ok()) << res.status().ToString() << " for " << q;
     std::vector<std::string> rows;
     if (res.ok()) {
@@ -138,7 +138,7 @@ TEST_F(BuiltinsTest, LocalPredicatesInvisibleOutsideModule) {
   EXPECT_EQ(Ask("visible(1, Y)"), std::vector<std::string>{"Y = 2"});
   // Querying the local predicate errors instead of silently answering
   // from an empty relation.
-  auto res = db.Query_("hidden(1, Y)");
+  auto res = db.EvalQuery("hidden(1, Y)");
   ASSERT_FALSE(res.ok());
   EXPECT_NE(res.status().message().find("local to module"),
             std::string::npos);
@@ -149,7 +149,7 @@ TEST_F(BuiltinsTest, LocalPredicatesInvisibleOutsideModule) {
     steal(X, Y) :- hidden(X, Y).
     end_module.
   )").ok());
-  EXPECT_FALSE(db.Query_("steal(1, Y)").ok());
+  EXPECT_FALSE(db.EvalQuery("steal(1, Y)").ok());
 }
 
 TEST_F(BuiltinsTest, LocalNameCanBeExportedByAnotherModule) {
@@ -167,7 +167,7 @@ TEST_F(BuiltinsTest, LocalNameCanBeExportedByAnotherModule) {
     seedy(5).
   )").ok());
   // util/2 is local to a but exported by b: outside callers get b's.
-  auto res = db.Query_("util(5, Y)");
+  auto res = db.EvalQuery("util(5, Y)");
   ASSERT_TRUE(res.ok()) << res.status().ToString();
   ASSERT_EQ(res->rows.size(), 1u);
   EXPECT_EQ(res->rows[0].ToString(), "Y = doubled(5)");

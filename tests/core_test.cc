@@ -26,7 +26,7 @@ class CoreTest : public ::testing::Test {
   /// Runs a query and returns each answer row as its ToString form,
   /// sorted for determinism.
   std::vector<std::string> Ask(const std::string& query) {
-    auto result = db.Query_(query);
+    auto result = db.EvalQuery(query);
     EXPECT_TRUE(result.ok()) << result.status().ToString() << " for "
                              << query;
     std::vector<std::string> rows;
@@ -205,7 +205,7 @@ TEST_F(CoreTest, NaiveAndSemiNaiveAgree) {
     )";
     ASSERT_TRUE(fresh.Consult(mod).ok());
     ASSERT_TRUE(fresh.Consult("e(1,2). e(2,3). e(3,4). e(4,2).").ok());
-    auto res = fresh.Query_("tc(1, X)");
+    auto res = fresh.EvalQuery("tc(1, X)");
     ASSERT_TRUE(res.ok()) << strategy;
     EXPECT_EQ(res->rows.size(), 3u) << strategy;
   }
@@ -336,7 +336,7 @@ TEST_F(CoreTest, ContextFactoringRejectsNonRightLinear) {
   )");
   ASSERT_TRUE(st.ok());  // compile is lazy: error surfaces at query time
   Load("e(1, 2).");
-  auto res = db.Query_("tc(1, Y)");
+  auto res = db.EvalQuery("tc(1, Y)");
   ASSERT_FALSE(res.ok());
   EXPECT_EQ(res.status().code(), StatusCode::kUnsupported);
 }
@@ -572,7 +572,7 @@ TEST_F(CoreTest, PipelinedDepthGuardOnCyclicData) {
     end_module.
   )");
   Load("par(a, b). par(b, a).");  // cyclic: top-down diverges
-  auto result = db.Query_("anc(a, X)");
+  auto result = db.EvalQuery("anc(a, X)");
   // The depth guard converts divergence into an error (not a hang).
   EXPECT_FALSE(result.ok());
 }
@@ -793,7 +793,7 @@ TEST_F(CoreTest, QueryOnWrongFormStillAnswers) {
 
 TEST_F(CoreTest, DeleteFactsBySubsumption) {
   Load("q(1, a). q(1, b). q(2, a).");
-  auto removed = db.Query_("q(X, Y)");
+  auto removed = db.EvalQuery("q(X, Y)");
   ASSERT_TRUE(removed.ok());
   EXPECT_EQ(removed->rows.size(), 3u);
   Parser parser("q(1, Z).", db.factory());

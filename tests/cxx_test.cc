@@ -7,7 +7,7 @@
 #include <cmath>
 #include <string>
 
-#include "src/cxx/coral.h"
+#include <coral/coral.h>
 
 namespace coral {
 namespace {

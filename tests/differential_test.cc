@@ -267,7 +267,7 @@ void RunDifferential(uint64_t seed, bool with_negation) {
   ASSERT_TRUE(st.ok()) << st.status().ToString() << "\n" << text;
 
   for (int d = 0; d < kDerived; ++d) {
-    auto res = db.Query_(PredName(kBase + d) + "(X, Y)");
+    auto res = db.EvalQuery(PredName(kBase + d) + "(X, Y)");
     ASSERT_TRUE(res.ok()) << res.status().ToString() << "\nseed " << seed
                           << " strategy " << strategy << "\n" << text;
     std::set<Fact> got;
@@ -335,7 +335,7 @@ void RunParallelDifferential(uint64_t seed, bool with_negation) {
     ASSERT_TRUE(st.ok()) << st.status().ToString() << "\nseed " << seed
                          << " threads " << kThreads[ti] << "\n" << text;
     for (int d = 0; d < kDerived; ++d) {
-      auto res = db.Query_(PredName(kBase + d) + "(X, Y)");
+      auto res = db.EvalQuery(PredName(kBase + d) + "(X, Y)");
       ASSERT_TRUE(res.ok())
           << res.status().ToString() << "\nseed " << seed << " strategy '"
           << strategy << "' threads " << kThreads[ti] << "\n" << text;
@@ -395,7 +395,7 @@ void RunAnnotatedParallelDifferential(uint64_t seed) {
   ASSERT_TRUE(st.ok()) << st.status().ToString() << "\nseed " << seed
                        << "\n" << text;
   for (int d = 0; d < kDerived; ++d) {
-    auto res = db.Query_(PredName(kBase + d) + "(X, Y)");
+    auto res = db.EvalQuery(PredName(kBase + d) + "(X, Y)");
     ASSERT_TRUE(res.ok()) << res.status().ToString() << "\nseed " << seed
                           << "\n" << text;
     std::set<Fact> got;
@@ -469,7 +469,7 @@ void RunAggregateDifferential(uint64_t seed, int threads = 1) {
         default:
           for (int v : vals) want += v;
       }
-      auto res = db.Query_("agg" + std::to_string(d) + "(" +
+      auto res = db.EvalQuery("agg" + std::to_string(d) + "(" +
                            std::to_string(key) + ", V)");
       ASSERT_TRUE(res.ok()) << res.status().ToString() << "\n" << text;
       ASSERT_EQ(res->rows.size(), 1u)
@@ -480,7 +480,7 @@ void RunAggregateDifferential(uint64_t seed, int threads = 1) {
           << "\n" << text;
     }
     // No phantom groups.
-    auto all = db.Query_("agg" + std::to_string(d) + "(X, V)");
+    auto all = db.EvalQuery("agg" + std::to_string(d) + "(X, V)");
     ASSERT_TRUE(all.ok());
     EXPECT_EQ(all->rows.size(), groups.size()) << "seed " << seed;
   }

@@ -22,7 +22,7 @@ TEST(ExplainTest, DerivationTreeForTransitiveClosure) {
     end_module.
     par(a, b). par(b, c). par(c, d).
   )").ok());
-  auto res = db.Query_("anc(a, Y)");
+  auto res = db.EvalQuery("anc(a, Y)");
   ASSERT_TRUE(res.ok());
   EXPECT_EQ(res->rows.size(), 3u);
 
@@ -47,7 +47,7 @@ TEST(ExplainTest, RequiresAnnotation) {
     end_module.
     par(a, b).
   )").ok());
-  ASSERT_TRUE(db.Query_("anc(a, Y)").ok());
+  ASSERT_TRUE(db.EvalQuery("anc(a, Y)").ok());
   auto tree = db.Explain("anc(a, b)");
   EXPECT_FALSE(tree.ok());  // @explain not set
 }
@@ -60,7 +60,7 @@ TEST(ExplainTest, UnknownFactReportsGracefully) {
     end_module.
     q(1, 2).
   )").ok());
-  ASSERT_TRUE(db.Query_("p(1, Y)").ok());
+  ASSERT_TRUE(db.EvalQuery("p(1, Y)").ok());
   auto tree = db.Explain("p(9, 9)");
   ASSERT_TRUE(tree.ok());
   EXPECT_NE(tree->find("no recorded derivation"), std::string::npos);
@@ -80,12 +80,12 @@ TEST(EdgeCaseTest, ZeroArityPredicates) {
     end_module.
     sensor(3). sensor(7).
   )").ok());
-  auto res = db.Query_("quiet()");
+  auto res = db.EvalQuery("quiet()");
   ASSERT_TRUE(res.ok()) << res.status().ToString();
   EXPECT_EQ(res->rows.size(), 1u);
-  EXPECT_TRUE(db.Query_("alarm()")->rows.empty());
+  EXPECT_TRUE(db.EvalQuery("alarm()")->rows.empty());
   ASSERT_TRUE(db.Consult("sensor(12).").ok());
-  EXPECT_EQ(db.Query_("alarm()")->rows.size(), 1u);
+  EXPECT_EQ(db.EvalQuery("alarm()")->rows.size(), 1u);
 }
 
 TEST(EdgeCaseTest, EmptyModuleBodyFactRules) {
@@ -97,8 +97,8 @@ TEST(EdgeCaseTest, EmptyModuleBodyFactRules) {
     color(red). color(green). color(blue).
     end_module.
   )").ok());
-  EXPECT_EQ(db.Query_("color(X)")->rows.size(), 3u);
-  EXPECT_EQ(db.Query_("color(red)")->rows.size(), 1u);
+  EXPECT_EQ(db.EvalQuery("color(X)")->rows.size(), 3u);
+  EXPECT_EQ(db.EvalQuery("color(red)")->rows.size(), 1u);
 }
 
 TEST(EdgeCaseTest, RecursionThroughLists) {
@@ -111,11 +111,11 @@ TEST(EdgeCaseTest, RecursionThroughLists) {
     llen([_|T], N) :- llen(T, M), N = M + 1.
     end_module.
   )").ok());
-  auto res = db.Query_("llen([a,b,c,d], N)");
+  auto res = db.EvalQuery("llen([a,b,c,d], N)");
   ASSERT_TRUE(res.ok()) << res.status().ToString();
   ASSERT_EQ(res->rows.size(), 1u);
   EXPECT_EQ(res->rows[0].ToString(), "N = 4");
-  EXPECT_EQ(db.Query_("llen([], N)")->rows[0].ToString(), "N = 0");
+  EXPECT_EQ(db.EvalQuery("llen([], N)")->rows[0].ToString(), "N = 0");
 }
 
 TEST(EdgeCaseTest, NonGroundFactsInModules) {
@@ -129,9 +129,9 @@ TEST(EdgeCaseTest, NonGroundFactsInModules) {
     ok(Who, Action) :- allowed(Who, Action).
     end_module.
   )").ok());
-  EXPECT_EQ(db.Query_("ok(admin, delete)")->rows.size(), 1u);
-  EXPECT_EQ(db.Query_("ok(user, delete)")->rows.size(), 0u);
-  EXPECT_EQ(db.Query_("ok(user, read)")->rows.size(), 1u);
+  EXPECT_EQ(db.EvalQuery("ok(admin, delete)")->rows.size(), 1u);
+  EXPECT_EQ(db.EvalQuery("ok(user, delete)")->rows.size(), 0u);
+  EXPECT_EQ(db.EvalQuery("ok(user, read)")->rows.size(), 1u);
 }
 
 TEST(EdgeCaseTest, DeepRecursionMaterializedDoesNotOverflow) {
@@ -155,7 +155,7 @@ TEST(EdgeCaseTest, DeepRecursionMaterializedDoesNotOverflow) {
              ").\n";
   }
   ASSERT_TRUE(db.Consult(facts).ok());
-  auto res = db.Query_("last(s19990, Y)");
+  auto res = db.EvalQuery("last(s19990, Y)");
   ASSERT_TRUE(res.ok()) << res.status().ToString();
   ASSERT_EQ(res->rows.size(), 1u);
   EXPECT_EQ(res->rows[0].ToString(), "Y = s20000");
@@ -165,8 +165,8 @@ TEST(EdgeCaseTest, ComparisonOnNonNumericGroundTerms) {
   Database db;
   ASSERT_TRUE(db.Consult("w(apple). w(banana). w(cherry).").ok());
   // Term order: atoms compare lexicographically.
-  EXPECT_EQ(db.Query_("w(X), X < banana")->rows.size(), 1u);
-  EXPECT_EQ(db.Query_("w(X), X >= banana")->rows.size(), 2u);
+  EXPECT_EQ(db.EvalQuery("w(X), X < banana")->rows.size(), 1u);
+  EXPECT_EQ(db.EvalQuery("w(X), X >= banana")->rows.size(), 2u);
 }
 
 TEST(EdgeCaseTest, AggregationEmptyGroupYieldsNothing) {
@@ -178,8 +178,8 @@ TEST(EdgeCaseTest, AggregationEmptyGroupYieldsNothing) {
     end_module.
     item(a, 1).
   )").ok());
-  EXPECT_EQ(db.Query_("total(a, S)")->rows.size(), 1u);
-  EXPECT_TRUE(db.Query_("total(zzz, S)")->rows.empty());
+  EXPECT_EQ(db.EvalQuery("total(a, S)")->rows.size(), 1u);
+  EXPECT_TRUE(db.EvalQuery("total(zzz, S)")->rows.empty());
 }
 
 TEST(EdgeCaseTest, SetGroupingMembershipRoundTrip) {
@@ -192,12 +192,12 @@ TEST(EdgeCaseTest, SetGroupingMembershipRoundTrip) {
     end_module.
     par(ann, bob). par(ann, cal).
   )").ok());
-  auto res = db.Query_("kids(ann, S)");
+  auto res = db.EvalQuery("kids(ann, S)");
   ASSERT_EQ(res->rows.size(), 1u);
   EXPECT_EQ(res->rows[0].ToString(), "S = {bob,cal}");
   // member/2 works on lists, not sets — verify sets print distinctly and
   // membership via the relation instead.
-  auto res2 = db.Query_("par(ann, bob)");
+  auto res2 = db.EvalQuery("par(ann, bob)");
   EXPECT_EQ(res2->rows.size(), 1u);
 }
 
@@ -225,7 +225,7 @@ TEST(EdgeCaseTest, ModuleCallingModuleCallingModule) {
   }
   ASSERT_TRUE(db.Consult(facts).ok());
   // pb = two hops; pc = transitive closure of two-hop = even distances.
-  auto res = db.Query_("pc(m0, Y)");
+  auto res = db.EvalQuery("pc(m0, Y)");
   ASSERT_TRUE(res.ok()) << res.status().ToString();
   EXPECT_EQ(res->rows.size(), 4u);  // m2, m4, m6, m8
 }
@@ -233,19 +233,19 @@ TEST(EdgeCaseTest, ModuleCallingModuleCallingModule) {
 TEST(EdgeCaseTest, StringsAndAtomsAreDistinct) {
   Database db;
   ASSERT_TRUE(db.Consult("v(\"red\"). v(red).").ok());
-  EXPECT_EQ(db.Query_("v(X)")->rows.size(), 2u);
-  EXPECT_EQ(db.Query_("v(red)")->rows.size(), 1u);
-  EXPECT_EQ(db.Query_("v(\"red\")")->rows.size(), 1u);
+  EXPECT_EQ(db.EvalQuery("v(X)")->rows.size(), 2u);
+  EXPECT_EQ(db.EvalQuery("v(red)")->rows.size(), 1u);
+  EXPECT_EQ(db.EvalQuery("v(\"red\")")->rows.size(), 1u);
 }
 
 TEST(EdgeCaseTest, ArithmeticOnDoublesAndMixed) {
   Database db;
-  EXPECT_EQ(db.Query_("X = 1.5 + 2")->rows[0].ToString(), "X = 3.5");
-  EXPECT_EQ(db.Query_("X = 7 / 2")->rows[0].ToString(), "X = 3");
-  EXPECT_EQ(db.Query_("X = 7.0 / 2")->rows[0].ToString(), "X = 3.5");
-  EXPECT_EQ(db.Query_("X = min(3, 1 + 1)")->rows[0].ToString(), "X = 2");
-  EXPECT_EQ(db.Query_("X = abs(-4)")->rows[0].ToString(), "X = 4");
-  EXPECT_EQ(db.Query_("X = mod(7, 3)")->rows[0].ToString(), "X = 1");
+  EXPECT_EQ(db.EvalQuery("X = 1.5 + 2")->rows[0].ToString(), "X = 3.5");
+  EXPECT_EQ(db.EvalQuery("X = 7 / 2")->rows[0].ToString(), "X = 3");
+  EXPECT_EQ(db.EvalQuery("X = 7.0 / 2")->rows[0].ToString(), "X = 3.5");
+  EXPECT_EQ(db.EvalQuery("X = min(3, 1 + 1)")->rows[0].ToString(), "X = 2");
+  EXPECT_EQ(db.EvalQuery("X = abs(-4)")->rows[0].ToString(), "X = 4");
+  EXPECT_EQ(db.EvalQuery("X = mod(7, 3)")->rows[0].ToString(), "X = 1");
 }
 
 TEST(EdgeCaseTest, QueryFormsSelectBestAdornment) {
@@ -259,9 +259,9 @@ TEST(EdgeCaseTest, QueryFormsSelectBestAdornment) {
     end_module.
     e(1, 2). e(2, 3).
   )").ok());
-  EXPECT_EQ(db.Query_("link(1, Y)")->rows.size(), 2u);
-  EXPECT_EQ(db.Query_("link(X, 3)")->rows.size(), 2u);
-  EXPECT_EQ(db.Query_("link(1, 3)")->rows.size(), 1u);
+  EXPECT_EQ(db.EvalQuery("link(1, Y)")->rows.size(), 2u);
+  EXPECT_EQ(db.EvalQuery("link(X, 3)")->rows.size(), 2u);
+  EXPECT_EQ(db.EvalQuery("link(1, 3)")->rows.size(), 1u);
 }
 
 }  // namespace

@@ -33,7 +33,7 @@ TEST(ReorderJoinsTest, SameAnswersBothOrders) {
       r2(1, x). r2(2, y).
       r3(x, end1). r3(y, end2). r3(z, end3).
     )").ok());
-    auto res = db.Query_("ans(a, D)");
+    auto res = db.EvalQuery("ans(a, D)");
     ASSERT_TRUE(res.ok()) << res.status().ToString();
     EXPECT_EQ(res->rows.size(), 2u) << "reorder=" << reorder;
   }
@@ -53,7 +53,7 @@ TEST(ReorderJoinsTest, SelectiveLiteralScheduledFirst) {
     end_module.
     sel(k, c1). big(b7). big(b8). gate(c1, b7).
   )").ok());
-  auto res = db.Query_("q(k, C)");
+  auto res = db.EvalQuery("q(k, C)");
   ASSERT_TRUE(res.ok());
   EXPECT_EQ(res->rows.size(), 1u);
   auto listing = db.modules()->RewrittenListing("m", "q", "bf");
@@ -76,7 +76,7 @@ TEST(ReorderJoinsTest, NegationStaysSafe) {
     end_module.
     item(a). item(b). cheap(a). cheap(b). blocked(b).
   )").ok());
-  auto res = db.Query_("ok(X)");
+  auto res = db.EvalQuery("ok(X)");
   ASSERT_TRUE(res.ok()) << res.status().ToString();
   ASSERT_EQ(res->rows.size(), 1u);
   EXPECT_EQ(res->rows[0].ToString(), "X = a");
@@ -153,7 +153,7 @@ TEST(ListingFilesTest, RewrittenProgramStoredAsTextFile) {
     end_module.
     par(a, b).
   )").ok());
-  ASSERT_TRUE(db.Query_("anc(a, Y)").ok());
+  ASSERT_TRUE(db.EvalQuery("anc(a, Y)").ok());
   fs::path file = dir / "anc.anc.bf.crl";
   ASSERT_TRUE(fs::exists(file)) << file;
   std::ifstream in(file);
@@ -197,7 +197,7 @@ TEST(UserAdtTest, CustomTypeFlowsThroughRules) {
     rel->Insert(f->MakeTuple(a1));
     rel->Insert(f->MakeTuple(a2));
   }
-  auto res = db.Query_("price(book, P)");
+  auto res = db.EvalQuery("price(book, P)");
   ASSERT_TRUE(res.ok());
   ASSERT_EQ(res->rows.size(), 1u);
   EXPECT_EQ(res->rows[0].ToString(), "P = $19.99");
@@ -207,7 +207,7 @@ TEST(UserAdtTest, CustomTypeFlowsThroughRules) {
     const Arg* a3[] = {f->MakeAtom("tome"), m1b};
     rel->Insert(f->MakeTuple(a3));
   }
-  auto res2 = db.Query_("price(book, P), price(X, P)");
+  auto res2 = db.EvalQuery("price(book, P), price(X, P)");
   ASSERT_TRUE(res2.ok());
   // book matches itself and tome (equal Money), not pen.
   EXPECT_EQ(res2->rows.size(), 2u);

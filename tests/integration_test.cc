@@ -56,7 +56,7 @@ TEST(IntegrationTest, ModuleIndexAnnotationOnBaseRelation) {
     lookup(A, B) :- big(A, B).
     end_module.
   )").ok());
-  ASSERT_TRUE(db.Query_("lookup(1, B)").ok());
+  ASSERT_TRUE(db.EvalQuery("lookup(1, B)").ok());
   // The base relation acquired the declared index.
   PredRef pred{db.factory()->symbols().Intern("big"), 2};
   auto* rel = dynamic_cast<HashRelation*>(db.FindBaseRelation(pred));
@@ -70,7 +70,7 @@ TEST(IntegrationTest, TopLevelAggregateSelectionOnBaseRelation) {
     @aggregate_selection best(K, V) (K) max(V).
     best(a, 1). best(a, 5). best(a, 3). best(b, 2).
   )").ok());
-  auto res = db.Query_("best(a, V)");
+  auto res = db.EvalQuery("best(a, V)");
   ASSERT_TRUE(res.ok());
   ASSERT_EQ(res->rows.size(), 1u);
   EXPECT_EQ(res->rows[0].ToString(), "V = 5");
@@ -111,12 +111,12 @@ TEST(IntegrationTest, MixedStrategyModuleWeb) {
              ").\n";
   }
   ASSERT_TRUE(db.Consult(facts).ok());
-  auto res = db.Query_("v1(w0, Y)");
+  auto res = db.EvalQuery("v1(w0, Y)");
   ASSERT_TRUE(res.ok()) << res.status().ToString();
   EXPECT_EQ(res->rows.size(), 6u);
   // Second call exercises the save-module resume path across the web.
-  EXPECT_EQ(db.Query_("v1(w0, Y)")->rows.size(), 6u);
-  EXPECT_EQ(db.Query_("v1(w3, Y)")->rows.size(), 3u);
+  EXPECT_EQ(db.EvalQuery("v1(w0, Y)")->rows.size(), 6u);
+  EXPECT_EQ(db.EvalQuery("v1(w3, Y)")->rows.size(), 3u);
 }
 
 TEST(IntegrationTest, PersistentDataConsultedThroughTextFacts) {
@@ -142,7 +142,7 @@ TEST(IntegrationTest, PersistentDataConsultedThroughTextFacts) {
     low_stock(P) :- stock(P, N), N < 50.
     end_module.
   )").ok());
-  EXPECT_EQ(db.Query_("low_stock(P)")->rows.size(), 2u);
+  EXPECT_EQ(db.EvalQuery("low_stock(P)")->rows.size(), 2u);
   // Rejecting a non-storable fact surfaces as an error, not a crash.
   auto bad = db.Consult("stock(box(1), 3).");
   EXPECT_FALSE(bad.ok());
@@ -260,7 +260,7 @@ TEST(IntegrationTest, LargeJoinWithOptimizerChosenIndexes) {
              ").\n";
   }
   ASSERT_TRUE(db.Consult(facts).ok());
-  auto res = db.Query_("triangle(X, Y, Z)");
+  auto res = db.EvalQuery("triangle(X, Y, Z)");
   ASSERT_TRUE(res.ok());
   // Each triangle appears under its 3 rotations.
   EXPECT_EQ(res->rows.size(), 150u);

@@ -78,7 +78,7 @@ TEST(ParallelStressTest, WideFanoutTransitiveClosure) {
     db.set_num_threads(threads);
     ASSERT_TRUE(db.Consult(facts).ok());
     ASSERT_TRUE(db.Consult(mod).ok());
-    auto res = db.Query_("tc(X, Y)");
+    auto res = db.EvalQuery("tc(X, Y)");
     ASSERT_TRUE(res.ok()) << "threads " << threads << ": "
                           << res.status().ToString();
     std::set<std::pair<int, int>> got;
@@ -141,7 +141,7 @@ TEST(ParallelStressTest, AggregatedCheapestCostClosure) {
     db.set_num_threads(threads);
     ASSERT_TRUE(db.Consult(facts).ok());
     ASSERT_TRUE(db.Consult(mod).ok());
-    auto res = db.Query_("d(X, Y, C)");
+    auto res = db.EvalQuery("d(X, Y, C)");
     ASSERT_TRUE(res.ok()) << "threads " << threads << ": "
                           << res.status().ToString();
     std::set<std::string> got;
@@ -198,9 +198,9 @@ TEST(ParallelStressTest, ThreadCountChurnIsStable) {
   static const int kSchedule[] = {1, 4, 2, 3, 4, 1, 2, 4};
   for (size_t i = 0; i < std::size(kSchedule); ++i) {
     db.set_num_threads(kSchedule[i]);
-    auto tc = db.Query_("tc(X, Y)");
+    auto tc = db.EvalQuery("tc(X, Y)");
     ASSERT_TRUE(tc.ok()) << tc.status().ToString();
-    auto tcp = db.Query_("tcp(X, Y)");
+    auto tcp = db.EvalQuery("tcp(X, Y)");
     ASSERT_TRUE(tcp.ok()) << tcp.status().ToString();
     if (i == 0) {
       expect_tc = tc->rows.size();

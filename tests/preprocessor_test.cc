@@ -8,7 +8,7 @@
 
 #include <string>
 
-#include "src/cxx/coral.h"
+#include <coral/coral.h>
 #include "src/cxx/preprocessor.h"
 
 namespace coral {
@@ -29,7 +29,7 @@ int setup() {
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   EXPECT_NE(out->find("coral__.Command(R\"__CORAL__("), std::string::npos);
   EXPECT_NE(out->find("edge(1, 2). edge(2, 3)."), std::string::npos);
-  EXPECT_NE(out->find("#include \"src/cxx/coral.h\""), std::string::npos);
+  EXPECT_NE(out->find("#include <coral/coral.h>"), std::string::npos);
   EXPECT_EQ(out->find("\\coral"), std::string::npos);  // all consumed
 }
 

@@ -83,7 +83,7 @@ TEST_P(ClosureStrategyTest, MatchesBfsOnRandomGraphs) {
                       "tc(X, Y) :- e(X, Z), tc(Z, Y).\nend_module.\n";
     ASSERT_TRUE(db.Consult(mod).ok());
     ASSERT_TRUE(db.Consult(facts).ok());
-    auto res = db.Query_("tc(x0, Y)");
+    auto res = db.EvalQuery("tc(x0, Y)");
     ASSERT_TRUE(res.ok()) << sc.name << ": " << res.status().ToString();
     std::set<std::string> got;
     for (const AnswerRow& row : res->rows) got.insert(row.ToString());
@@ -173,7 +173,7 @@ TEST(ShortestPathProperty, MatchesDijkstraOnRandomGraphs) {
     ASSERT_TRUE(db.Consult(kProgram).ok());
     ASSERT_TRUE(db.Consult(facts).ok());
     for (int target = 0; target < v; ++target) {
-      auto res = db.Query_("s_p(g0, g" + std::to_string(target) + ", P, C)");
+      auto res = db.EvalQuery("s_p(g0, g" + std::to_string(target) + ", P, C)");
       ASSERT_TRUE(res.ok()) << res.status().ToString();
       if (dist[target] == kInf) {
         EXPECT_TRUE(res->rows.empty()) << "seed " << seed << " g" << target;
@@ -228,7 +228,7 @@ TEST(OrderedSearchProperty, MatchesRetrogradeAnalysisOnRandomDags) {
     )").ok());
     ASSERT_TRUE(db.Consult(facts).ok());
     for (int i = 0; i < v; ++i) {
-      auto res = db.Query_("win(d" + std::to_string(i) + ")");
+      auto res = db.EvalQuery("win(d" + std::to_string(i) + ")");
       ASSERT_TRUE(res.ok()) << res.status().ToString();
       EXPECT_EQ(!res->rows.empty(), win[i])
           << "seed " << seed << " node d" << i;
@@ -438,7 +438,7 @@ TEST(AggregateProperty, MatchesReferenceFolds) {
     )").ok());
     ASSERT_TRUE(db.Consult(facts).ok());
     for (const auto& [g, vals] : groups) {
-      auto res = db.Query_("stats(grp" + std::to_string(g) +
+      auto res = db.EvalQuery("stats(grp" + std::to_string(g) +
                            ", Mn, Mx, S, C)");
       ASSERT_TRUE(res.ok()) << res.status().ToString();
       ASSERT_EQ(res->rows.size(), 1u);

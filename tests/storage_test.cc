@@ -379,7 +379,7 @@ TEST_F(StorageTest, DeclarativeQueryOverPersistentData) {
     reach(X, Y) :- pedge(X, Z), reach(Z, Y).
     end_module.
   )").ok());
-  auto res = db.Query_("reach(n0, X)");
+  auto res = db.EvalQuery("reach(n0, X)");
   ASSERT_TRUE(res.ok()) << res.status().ToString();
   EXPECT_EQ(res->rows.size(), 20u);
   // Inserting a fact through the Database lands in the persistent store.

@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "src/analysis/analyzer.h"
-#include "src/core/database.h"
+#include <coral/coral.h>
 #include "src/lang/parser.h"
 
 namespace {
