@@ -12,6 +12,9 @@ const Status& TupleIterator::status() const {
 
 bool Relation::Insert(const Tuple* t) {
   CORAL_CHECK_EQ(t->arity(), arity_) << " relation " << name_;
+  // Storage-backed relations can refuse (unstorable tuple, read-only or
+  // failed storage); refuse the insert rather than abort the process.
+  if (!ValidateInsert(t).ok()) return false;
   // Duplicate / subsumption check (paper §4.2: the default is to do
   // subsumption checks on all relations; multisets skip them).
   if (!multiset_ && Contains(t)) return false;

@@ -72,6 +72,7 @@ class BufferPool {
   void Invalidate(PageId id);
 
   size_t frame_count() const { return frames_.size(); }
+  DiskManager* disk() const { return disk_; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t evictions() const { return evictions_; }

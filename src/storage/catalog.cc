@@ -94,27 +94,26 @@ StatusOr<Catalog> Catalog::Open(BufferPool* pool) {
   if (pool->frame_count() == 0) {
     return Status::InvalidArgument("buffer pool has no frames");
   }
-  bool fresh = false;
-  {
-    // Try to fetch page 0; allocate on a brand new file.
-    auto guard = pool->Fetch(0);
-    if (!guard.ok()) {
-      CORAL_ASSIGN_OR_RETURN(PageGuard meta_guard, pool->New());
-      CORAL_CHECK_EQ(meta_guard.id(), 0u);
-      fresh = true;
-      meta_guard.MarkDirty();
-      CORAL_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Create(pool));
-      auto* meta = reinterpret_cast<MetaPage*>(meta_guard.data());
-      meta->magic = kMagic;
-      meta->catalog_heap = heap.first_page();
-      cat.catalog_heap_ = heap.first_page();
-    } else {
-      const auto* meta = reinterpret_cast<const MetaPage*>(guard->data());
-      if (meta->magic != kMagic) {
-        return Status::Corruption("not a CORAL database file");
-      }
-      cat.catalog_heap_ = meta->catalog_heap;
+  // A brand-new file has no pages at all; anything else must present a
+  // valid meta page. (Deciding by "Fetch(0) failed" would misread an I/O
+  // error on an existing database as a fresh one and clobber it.)
+  bool fresh = pool->disk()->num_pages() == 0;
+  if (fresh) {
+    CORAL_ASSIGN_OR_RETURN(PageGuard meta_guard, pool->New());
+    CORAL_CHECK_EQ(meta_guard.id(), 0u);
+    meta_guard.MarkDirty();
+    CORAL_ASSIGN_OR_RETURN(HeapFile heap, HeapFile::Create(pool));
+    auto* meta = reinterpret_cast<MetaPage*>(meta_guard.data());
+    meta->magic = kMagic;
+    meta->catalog_heap = heap.first_page();
+    cat.catalog_heap_ = heap.first_page();
+  } else {
+    CORAL_ASSIGN_OR_RETURN(PageGuard guard, pool->Fetch(0));
+    const auto* meta = reinterpret_cast<const MetaPage*>(guard.data());
+    if (meta->magic != kMagic) {
+      return Status::Corruption("not a CORAL database file");
     }
+    cat.catalog_heap_ = meta->catalog_heap;
   }
   if (!fresh) {
     CORAL_ASSIGN_OR_RETURN(HeapFile heap,

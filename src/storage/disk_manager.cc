@@ -6,8 +6,11 @@
 
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
 #include <vector>
 
+#include "src/obs/storage_metrics.h"
+#include "src/storage/fault.h"
 #include "src/util/logging.h"
 
 namespace coral {
@@ -18,9 +21,19 @@ DiskManager::~DiskManager() {
 
 Status DiskManager::Open(const std::string& path) {
   CORAL_CHECK(fd_ < 0) << "disk manager already open";
-  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
-  if (fd_ < 0) {
-    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  std::error_code ec;
+  bool existed = std::filesystem::exists(path, ec);
+  CORAL_RETURN_IF_ERROR(
+      FaultOpen(fp::kDiskOpen, path, O_RDWR | O_CREAT, 0644, &fd_));
+  if (!existed) {
+    // Make the directory entry durable: a crash right after creation must
+    // not leave a database whose file silently vanished.
+    Status st = FaultSyncParentDir(fp::kDiskDirSync, path);
+    if (!st.ok()) {
+      ::close(fd_);
+      fd_ = -1;
+      return st;
+    }
   }
   path_ = path;
   struct stat st;
@@ -28,8 +41,22 @@ Status DiskManager::Open(const std::string& path) {
     return Status::IOError("fstat " + path + ": " + std::strerror(errno));
   }
   if (st.st_size % kPageSize != 0) {
-    return Status::Corruption("database file size not page-aligned: " +
-                              path);
+    // A crash in the middle of AllocatePage's pwrite leaves a torn page
+    // at the tail. The allocation never completed, so nothing references
+    // the partial page: chop it off rather than refuse the database.
+    off_t aligned =
+        static_cast<off_t>(st.st_size / kPageSize) * kPageSize;
+    Status trunc = FaultFtruncate(fp::kDiskOpen, fd_, aligned);
+    if (!trunc.ok()) {
+      ::close(fd_);
+      fd_ = -1;
+      return trunc;
+    }
+    auto& metrics = obs::StorageMetrics::Instance();
+    metrics.torn_tails_truncated.fetch_add(1, std::memory_order_relaxed);
+    metrics.RecordEvent("disk.torn_alloc_truncated", path,
+                        static_cast<uint64_t>(st.st_size - aligned));
+    st.st_size = aligned;
   }
   num_pages_ = static_cast<uint32_t>(st.st_size / kPageSize);
   return Status::OK();
@@ -50,12 +77,9 @@ StatusOr<PageId> DiskManager::AllocatePage() {
   CORAL_CHECK(fd_ >= 0);
   PageId id = num_pages_;
   std::vector<char> zero(kPageSize, 0);
-  ssize_t n = ::pwrite(fd_, zero.data(), kPageSize,
-                       static_cast<off_t>(id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError("allocate page: " +
-                           std::string(std::strerror(errno)));
-  }
+  CORAL_RETURN_IF_ERROR(FaultPWriteFull(
+      fp::kDiskAllocWrite, fd_, zero.data(), kPageSize,
+      static_cast<off_t>(id) * kPageSize));
   ++num_pages_;
   ++writes_;
   return id;
@@ -67,38 +91,36 @@ Status DiskManager::ReadPage(PageId id, char* buf) {
     return Status::OutOfRange("read of unallocated page " +
                               std::to_string(id));
   }
-  ssize_t n =
-      ::pread(fd_, buf, kPageSize, static_cast<off_t>(id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError("read page " + std::to_string(id) + ": " +
-                           std::string(std::strerror(errno)));
-  }
+  CORAL_RETURN_IF_ERROR(FaultPReadFull(fp::kDiskRead, fd_, buf, kPageSize,
+                                       static_cast<off_t>(id) * kPageSize));
   ++reads_;
   return Status::OK();
 }
 
-Status DiskManager::WritePage(PageId id, const char* buf) {
+Status DiskManager::WritePageImpl(const char* point, PageId id,
+                                  const char* buf) {
   CORAL_CHECK(fd_ >= 0);
   if (id >= num_pages_) {
     return Status::OutOfRange("write of unallocated page " +
                               std::to_string(id));
   }
-  ssize_t n =
-      ::pwrite(fd_, buf, kPageSize, static_cast<off_t>(id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError("write page " + std::to_string(id) + ": " +
-                           std::string(std::strerror(errno)));
-  }
+  CORAL_RETURN_IF_ERROR(FaultPWriteFull(
+      point, fd_, buf, kPageSize, static_cast<off_t>(id) * kPageSize));
   ++writes_;
   return Status::OK();
 }
 
+Status DiskManager::WritePage(PageId id, const char* buf) {
+  return WritePageImpl(fp::kDiskWrite, id, buf);
+}
+
+Status DiskManager::RestorePage(PageId id, const char* buf) {
+  return WritePageImpl(fp::kWalRecoverWrite, id, buf);
+}
+
 Status DiskManager::Sync() {
   CORAL_CHECK(fd_ >= 0);
-  if (::fsync(fd_) != 0) {
-    return Status::IOError("fsync: " + std::string(std::strerror(errno)));
-  }
-  return Status::OK();
+  return FaultFsync(fp::kDiskSync, fd_);
 }
 
 }  // namespace coral

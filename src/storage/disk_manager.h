@@ -32,6 +32,10 @@ class DiskManager {
 
   Status ReadPage(PageId id, char* buf);
   Status WritePage(PageId id, const char* buf);
+  /// WritePage under the `wal.recover.pwrite` failpoint: crash recovery's
+  /// before-image restores are separately fault-injectable from ordinary
+  /// page writes (tests/crash_recovery_test.cc crashes recovery itself).
+  Status RestorePage(PageId id, const char* buf);
   Status Sync();
 
   uint32_t num_pages() const { return num_pages_; }
@@ -41,6 +45,8 @@ class DiskManager {
   uint64_t writes() const { return writes_; }
 
  private:
+  Status WritePageImpl(const char* point, PageId id, const char* buf);
+
   int fd_ = -1;
   std::string path_;
   uint32_t num_pages_ = 0;

@@ -1,0 +1,340 @@
+#include "src/storage/fault.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "src/obs/storage_metrics.h"
+
+namespace coral {
+
+namespace {
+
+constexpr const char* kAllPoints[] = {
+    fp::kDiskOpen,         fp::kDiskDirSync,
+    fp::kDiskAllocWrite,   fp::kDiskWrite,
+    fp::kDiskRead,         fp::kDiskSync,
+    fp::kWalOpen,          fp::kWalDirSync,
+    fp::kWalAppendWrite,   fp::kWalAppendTruncate,
+    fp::kWalImageSync,     fp::kWalCommitSync,
+    fp::kWalRecoverOpen,   fp::kWalRecoverRead,
+    fp::kWalRecoverWrite,  fp::kWalRecoverTruncate,
+};
+
+// Marker kept in simulated-crash Status messages; IsSimulatedCrash greps
+// for it so harnesses can tell injected freezes from genuine errors.
+constexpr const char kCrashMarker[] = "simulated crash";
+
+Status CrashStatus(const char* point) {
+  return Status::IOError(std::string(point) + ": " + kCrashMarker +
+                         " (persistence frozen by fault injection)");
+}
+
+Status ErrnoStatus(const char* point, const char* op, int err) {
+  return Status::IOError(std::string(point) + ": " + op + ": " +
+                         std::strerror(err));
+}
+
+// Bounded retry of EAGAIN-class transient failures. Exponential backoff,
+// but the first retries are free so injected transients don't slow tests.
+constexpr int kMaxTransientRetries = 8;
+
+void TransientBackoff(int attempt) {
+  obs::StorageMetrics::Instance().transient_retries.fetch_add(
+      1, std::memory_order_relaxed);
+  if (attempt < 2) return;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(100 << std::min(attempt, 6)));
+}
+
+bool IsTransient(int err) { return err == EAGAIN || err == EWOULDBLOCK; }
+
+}  // namespace
+
+std::span<const char* const> AllFaultPoints() { return kAllPoints; }
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& st = points_[point];
+  st.armed = true;
+  st.fired = 0;
+  st.spec = spec;
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it != points_.end()) it->second.armed = false;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  crashed_.store(false, std::memory_order_release);
+}
+
+void FaultInjector::TriggerCrash() {
+  bool was = crashed_.exchange(true, std::memory_order_acq_rel);
+  if (!was) {
+    obs::StorageMetrics::Instance().crashes_simulated.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+}
+
+uint64_t FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::vector<std::pair<std::string, uint64_t>> FaultInjector::HitCounts()
+    const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(points_.size());
+    for (const auto& [name, st] : points_) out.emplace_back(name, st.hits);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+FaultInjector::Decision FaultInjector::Hit(const char* point) {
+  Decision d;
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& st = points_[point];
+  ++st.hits;
+  if (crashed_.load(std::memory_order_acquire)) {
+    d.fail = true;
+    d.is_crash = true;
+    return d;
+  }
+  if (!st.armed || st.hits < st.spec.trigger_hit ||
+      st.fired >= st.spec.times) {
+    return d;
+  }
+  ++st.fired;
+  obs::StorageMetrics::Instance().faults_injected.fetch_add(
+      1, std::memory_order_relaxed);
+  switch (st.spec.kind) {
+    case FaultKind::kError:
+      d.fail = true;
+      d.err = st.spec.err;
+      break;
+    case FaultKind::kShortWrite:
+      d.partial = true;
+      d.partial_bytes = st.spec.partial_bytes;
+      break;
+    case FaultKind::kTornWrite:
+      d.partial = true;
+      d.partial_bytes = st.spec.partial_bytes;
+      d.crash_after = true;
+      break;
+    case FaultKind::kCrash:
+      d.fail = true;
+      d.is_crash = true;
+      // The freeze takes effect immediately: this site already fails.
+      crashed_.store(true, std::memory_order_release);
+      obs::StorageMetrics::Instance().crashes_simulated.fetch_add(
+          1, std::memory_order_relaxed);
+      break;
+  }
+  return d;
+}
+
+bool IsSimulatedCrash(const Status& status) {
+  return status.code() == StatusCode::kIOError &&
+         status.message().find(kCrashMarker) != std::string::npos;
+}
+
+namespace {
+
+/// Shared skeleton of the full-transfer loops. `xfer` performs one
+/// syscall attempt of up to `len` bytes at buffer offset `done` and
+/// returns the transfer count (-1: errno set, 0: EOF for reads).
+template <typename XferFn>
+Status FullTransfer(const char* point, const char* op, size_t n,
+                    bool eof_ok, size_t* transferred, XferFn xfer) {
+  auto& metrics = obs::StorageMetrics::Instance();
+  auto& injector = FaultInjector::Instance();
+  size_t done = 0;
+  int transient_attempts = 0;
+  while (done < n) {
+    size_t want = n - done;
+    FaultInjector::Decision d = injector.Hit(point);
+    if (d.fail) {
+      if (d.is_crash) return CrashStatus(point);
+      if (IsTransient(d.err) && transient_attempts < kMaxTransientRetries) {
+        TransientBackoff(transient_attempts++);
+        continue;
+      }
+      if (d.err == EINTR) {
+        metrics.eintr_retries.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      return ErrnoStatus(point, op, d.err);
+    }
+    if (d.partial) want = std::min(want, std::max<size_t>(d.partial_bytes, 0));
+    ssize_t got = want == 0 ? 0 : xfer(done, want);
+    if (got < 0) {
+      int err = errno;
+      if (err == EINTR) {
+        metrics.eintr_retries.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (IsTransient(err) && transient_attempts < kMaxTransientRetries) {
+        TransientBackoff(transient_attempts++);
+        continue;
+      }
+      return ErrnoStatus(point, op, err);
+    }
+    done += static_cast<size_t>(got);
+    if (d.crash_after) {
+      injector.TriggerCrash();
+      return CrashStatus(point);
+    }
+    if (got == 0 && !d.partial) {
+      // EOF (reads) or a zero-byte write: never retried blindly.
+      break;
+    }
+    if (done < n) {
+      metrics.short_transfers.fetch_add(1, std::memory_order_relaxed);
+    }
+    transient_attempts = 0;
+  }
+  if (transferred != nullptr) *transferred = done;
+  if (done < n && !eof_ok) {
+    return Status::IOError(std::string(point) + ": " + op +
+                           ": unexpected end of file (" +
+                           std::to_string(done) + "/" + std::to_string(n) +
+                           " bytes)");
+  }
+  return Status::OK();
+}
+
+/// Injection + EINTR/transient retry for syscalls without a byte count
+/// (open, fsync, ftruncate, close). `call` returns 0 on success or -1
+/// with errno set.
+template <typename CallFn>
+Status SimpleGuarded(const char* point, const char* op, CallFn call) {
+  auto& metrics = obs::StorageMetrics::Instance();
+  auto& injector = FaultInjector::Instance();
+  int transient_attempts = 0;
+  while (true) {
+    FaultInjector::Decision d = injector.Hit(point);
+    if (d.crash_after || (d.fail && d.is_crash)) {
+      injector.TriggerCrash();
+      return CrashStatus(point);
+    }
+    if (d.fail || d.partial) {
+      // Partial transfers are meaningless here; treat them as the error.
+      int err = d.fail ? d.err : EIO;
+      if (err == EINTR) {
+        metrics.eintr_retries.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (IsTransient(err) && transient_attempts < kMaxTransientRetries) {
+        TransientBackoff(transient_attempts++);
+        continue;
+      }
+      return ErrnoStatus(point, op, err);
+    }
+    if (call() == 0) return Status::OK();
+    int err = errno;
+    if (err == EINTR) {
+      metrics.eintr_retries.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (IsTransient(err) && transient_attempts < kMaxTransientRetries) {
+      TransientBackoff(transient_attempts++);
+      continue;
+    }
+    return ErrnoStatus(point, op, err);
+  }
+}
+
+}  // namespace
+
+Status FaultOpen(const char* point, const std::string& path, int flags,
+                 mode_t mode, int* fd_out) {
+  int fd = -1;
+  Status st = SimpleGuarded(point, ("open " + path).c_str(), [&]() {
+    fd = ::open(path.c_str(), flags, mode);
+    return fd < 0 ? -1 : 0;
+  });
+  if (st.ok()) *fd_out = fd;
+  return st;
+}
+
+Status FaultWriteFull(const char* point, int fd, const char* buf, size_t n) {
+  return FullTransfer(point, "write", n, /*eof_ok=*/false, nullptr,
+                      [&](size_t done, size_t want) {
+                        return ::write(fd, buf + done, want);
+                      });
+}
+
+Status FaultPWriteFull(const char* point, int fd, const char* buf, size_t n,
+                       off_t off) {
+  return FullTransfer(point, "pwrite", n, /*eof_ok=*/false, nullptr,
+                      [&](size_t done, size_t want) {
+                        return ::pwrite(fd, buf + done, want,
+                                        off + static_cast<off_t>(done));
+                      });
+}
+
+Status FaultPReadFull(const char* point, int fd, char* buf, size_t n,
+                      off_t off) {
+  return FullTransfer(point, "pread", n, /*eof_ok=*/false, nullptr,
+                      [&](size_t done, size_t want) {
+                        return ::pread(fd, buf + done, want,
+                                       off + static_cast<off_t>(done));
+                      });
+}
+
+Status FaultPReadUpTo(const char* point, int fd, char* buf, size_t n,
+                      off_t off, size_t* read_out) {
+  return FullTransfer(point, "pread", n, /*eof_ok=*/true, read_out,
+                      [&](size_t done, size_t want) {
+                        return ::pread(fd, buf + done, want,
+                                       off + static_cast<off_t>(done));
+                      });
+}
+
+Status FaultFsync(const char* point, int fd) {
+  return SimpleGuarded(point, "fsync", [&]() { return ::fsync(fd); });
+}
+
+Status FaultFtruncate(const char* point, int fd, off_t length) {
+  return SimpleGuarded(point, "ftruncate",
+                       [&]() { return ::ftruncate(fd, length); });
+}
+
+Status FaultSyncParentDir(const char* point,
+                          const std::string& file_path) {
+  std::filesystem::path parent =
+      std::filesystem::path(file_path).parent_path();
+  if (parent.empty()) parent = ".";
+  std::string dir = parent.string();
+  int dirfd = -1;
+  CORAL_RETURN_IF_ERROR(
+      FaultOpen(point, dir, O_RDONLY | O_DIRECTORY, 0, &dirfd));
+  Status st = FaultFsync(point, dirfd);
+  ::close(dirfd);
+  if (st.ok()) {
+    obs::StorageMetrics::Instance().dir_fsyncs.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  return st;
+}
+
+}  // namespace coral

@@ -1,0 +1,175 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Crash-fault injection for the storage layer, styled as a failpoint
+// table: every syscall site in DiskManager and WriteAheadLog is a named
+// injection point that can deterministically return transient errors,
+// deliver short/torn writes, or simulate a crash (freeze all further
+// persistence) at the N-th hit. The paper delegates recovery to EXODUS
+// (§2, §9); our substitute earns the same trust by being torture-tested:
+// tests/crash_recovery_test.cc crashes at every point below and checks
+// the recovery invariants.
+//
+// The fault-aware I/O helpers at the bottom are the ONLY syscall wrappers
+// the storage layer uses. Independent of injection, they harden real I/O:
+// EINTR is retried, short transfers are continued to completion, and
+// EAGAIN-class transient errors get a bounded retry with backoff.
+
+#ifndef CORAL_STORAGE_FAULT_H_
+#define CORAL_STORAGE_FAULT_H_
+
+#include <fcntl.h>
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace coral {
+
+// Canonical failpoint names, one per syscall site. AllFaultPoints()
+// returns this exact set so harnesses can iterate "every registered
+// failpoint" without hardcoding strings.
+namespace fp {
+inline constexpr char kDiskOpen[] = "disk.open";
+inline constexpr char kDiskDirSync[] = "disk.dirsync";
+inline constexpr char kDiskAllocWrite[] = "disk.alloc.pwrite";
+inline constexpr char kDiskWrite[] = "disk.write.pwrite";
+inline constexpr char kDiskRead[] = "disk.read.pread";
+inline constexpr char kDiskSync[] = "disk.fsync";
+inline constexpr char kWalOpen[] = "wal.open";
+inline constexpr char kWalDirSync[] = "wal.dirsync";
+inline constexpr char kWalAppendWrite[] = "wal.append.write";
+inline constexpr char kWalAppendTruncate[] = "wal.append.truncate";
+inline constexpr char kWalImageSync[] = "wal.image.fsync";
+inline constexpr char kWalCommitSync[] = "wal.commit.fsync";
+inline constexpr char kWalRecoverOpen[] = "wal.recover.open";
+inline constexpr char kWalRecoverRead[] = "wal.recover.read";
+inline constexpr char kWalRecoverWrite[] = "wal.recover.pwrite";
+inline constexpr char kWalRecoverTruncate[] = "wal.recover.truncate";
+}  // namespace fp
+
+/// Every failpoint name above, in a stable order.
+std::span<const char* const> AllFaultPoints();
+
+enum class FaultKind {
+  kError,       // the syscall fails with `err`, nothing transferred
+  kShortWrite,  // only `partial_bytes` transferred; NOT fatal — the
+                // hardened full-I/O loop must continue and succeed
+  kTornWrite,   // `partial_bytes` really transferred, then crash: the
+                // classic torn write a power cut leaves behind
+  kCrash,       // crash before the syscall: nothing transferred, all
+                // further persistence frozen
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kError;
+  uint64_t trigger_hit = 1;  // fire on the N-th hit of the point (1-based)
+  int err = 5 /*EIO*/;       // errno delivered by kError
+  uint64_t times = 1;        // consecutive firings (kError / kShortWrite)
+  size_t partial_bytes = 1;  // bytes transferred by kShortWrite/kTornWrite
+};
+
+/// Process-wide failpoint registry. All methods are thread-safe; the
+/// storage layer is single-user but tests and tools may poke concurrently.
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms (or replaces) the fault for `point`. Hit counts are NOT reset:
+  /// trigger_hit is measured against the point's lifetime hit count,
+  /// so arm before the workload (or Reset() first).
+  void Arm(const std::string& point, FaultSpec spec);
+  void Disarm(const std::string& point);
+
+  /// Disarms everything, clears the crash freeze and zeroes hit counters.
+  void Reset();
+
+  /// True once a kCrash/kTornWrite fault fired (or TriggerCrash was
+  /// called): every guarded I/O site now fails without reaching the
+  /// kernel, simulating a dead process whose writes can no longer happen.
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+  void TriggerCrash();
+  void ClearCrash() { crashed_.store(false, std::memory_order_release); }
+
+  /// Lifetime hit count of one point (0 if never hit).
+  uint64_t hits(const std::string& point) const;
+  /// All points hit so far with their counts, sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> HitCounts() const;
+
+  /// What a guarded I/O site must do for this attempt.
+  struct Decision {
+    bool fail = false;         // fail with `err` before the syscall
+    int err = 5 /*EIO*/;
+    bool is_crash = false;     // failure is the simulated-crash freeze
+    bool partial = false;      // transfer only partial_bytes for real...
+    size_t partial_bytes = 0;
+    bool crash_after = false;  // ...then freeze persistence (torn write)
+  };
+  /// Called once per syscall attempt. Counts the hit, applies the crash
+  /// freeze, and consumes an armed fault when its trigger matches.
+  Decision Hit(const char* point);
+
+ private:
+  FaultInjector() = default;
+
+  struct PointState {
+    uint64_t hits = 0;
+    uint64_t fired = 0;
+    bool armed = false;
+    FaultSpec spec;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, PointState> points_;
+  std::atomic<bool> crashed_{false};
+};
+
+/// True when the returned Status carries the simulated-crash marker (used
+/// by harnesses to tell injected freezes from real I/O errors).
+bool IsSimulatedCrash(const Status& status);
+
+// ---- fault-aware syscall wrappers ----------------------------------------
+// Each names its injection point, retries EINTR and short transfers to
+// completion, and gives EAGAIN-class errors a bounded retry with backoff.
+
+/// open(2). On success *fd_out is the descriptor.
+Status FaultOpen(const char* point, const std::string& path, int flags,
+                 mode_t mode, int* fd_out);
+
+/// Appending write(2) of the whole buffer.
+Status FaultWriteFull(const char* point, int fd, const char* buf, size_t n);
+
+/// pwrite(2) of the whole buffer at `off`.
+Status FaultPWriteFull(const char* point, int fd, const char* buf, size_t n,
+                       off_t off);
+
+/// pread(2) of exactly `n` bytes at `off`; hitting EOF early is an error.
+Status FaultPReadFull(const char* point, int fd, char* buf, size_t n,
+                      off_t off);
+
+/// pread(2) of up to `n` bytes at `off`; *read_out gets the byte count
+/// (short only at EOF).
+Status FaultPReadUpTo(const char* point, int fd, char* buf, size_t n,
+                      off_t off, size_t* read_out);
+
+Status FaultFsync(const char* point, int fd);
+
+Status FaultFtruncate(const char* point, int fd, off_t length);
+
+/// fsync(2) of the directory containing `file_path`, making a just-created
+/// file's directory entry durable (a crash right after open(O_CREAT) must
+/// not lose the file).
+Status FaultSyncParentDir(const char* point, const std::string& file_path);
+
+}  // namespace coral
+
+#endif  // CORAL_STORAGE_FAULT_H_

@@ -145,6 +145,24 @@ bool PersistentRelation::CanStore(const Tuple* t) {
   return true;
 }
 
+Status PersistentRelation::ValidateInsert(const Tuple* t) const {
+  if (sm_->read_only()) {
+    return Status::FailedPrecondition(
+        "storage is read-only (write-ahead log unavailable)");
+  }
+  if (!sm_->io_error().ok()) {
+    return Status::IOError("mutation refused after storage I/O failure: " +
+                           sm_->io_error().ToString());
+  }
+  if (!CanStore(t)) {
+    return Status::InvalidArgument(
+        "persistent relation " + name() +
+        " stores only ground tuples of primitive-typed fields "
+        "(paper §3.2)");
+  }
+  return Status::OK();
+}
+
 std::string PersistentRelation::KeyFor(const StoredIndex& idx,
                                        const Tuple* t) const {
   std::string key;
@@ -188,7 +206,12 @@ StatusOr<Rid> PersistentRelation::FindRid(const Tuple* t) const {
 bool PersistentRelation::Contains(const Tuple* t) const {
   if (!t->IsGround()) return false;
   auto rid = FindRid(t);
-  CORAL_CHECK(rid.ok()) << rid.status().ToString();
+  if (!rid.ok()) {
+    // An unreadable page must not abort the process; latch the error and
+    // report "absent" — Commit will refuse while the latch stands.
+    sm_->RecordIoError(rid.status());
+    return false;
+  }
   return rid->valid();
 }
 
@@ -199,10 +222,16 @@ void PersistentRelation::DoInsert(const Tuple* t) {
   auto rec = SerializeTuple(t);
   CORAL_CHECK(rec.ok()) << rec.status().ToString();
   auto rid = heap_->Append(std::span<const char>(rec->data(), rec->size()));
-  CORAL_CHECK(rid.ok()) << rid.status().ToString();
+  if (!rid.ok()) {
+    sm_->RecordIoError(rid.status());
+    return;
+  }
   for (StoredIndex& idx : indexes_) {
     Status st = idx.tree->Insert(KeyFor(idx, t), *rid);
-    CORAL_CHECK(st.ok()) << st.ToString();
+    if (!st.ok()) {
+      sm_->RecordIoError(st);
+      return;
+    }
   }
   ++count_;
   PersistRoots();
@@ -211,13 +240,22 @@ void PersistentRelation::DoInsert(const Tuple* t) {
 bool PersistentRelation::DoDelete(const Tuple* t) {
   if (!t->IsGround()) return false;
   auto rid = FindRid(t);
-  CORAL_CHECK(rid.ok()) << rid.status().ToString();
+  if (!rid.ok()) {
+    sm_->RecordIoError(rid.status());
+    return false;
+  }
   if (!rid->valid()) return false;
   auto removed = heap_->Delete(*rid);
-  CORAL_CHECK(removed.ok()) << removed.status().ToString();
+  if (!removed.ok()) {
+    sm_->RecordIoError(removed.status());
+    return false;
+  }
   for (StoredIndex& idx : indexes_) {
     Status st = idx.tree->Delete(KeyFor(idx, t), *rid).status();
-    CORAL_CHECK(st.ok()) << st.ToString();
+    if (!st.ok()) {
+      sm_->RecordIoError(st);
+      return false;
+    }
   }
   --count_;
   PersistRoots();
@@ -295,15 +333,24 @@ std::unique_ptr<TupleIterator> PersistentRelation::Select(
   if (best == nullptr) return ScanRange(0, kMaxMark);
   std::vector<Rid> rids;
   Status st = best->tree->Lookup(best_key, &rids);
-  CORAL_CHECK(st.ok()) << st.ToString();
+  if (!st.ok()) {
+    sm_->RecordIoError(st);
+    return std::make_unique<EmptyIterator>();
+  }
   std::vector<const Tuple*> tuples;
   tuples.reserve(rids.size());
   for (Rid rid : rids) {
     auto rec = heap_->Read(rid);
-    CORAL_CHECK(rec.ok()) << rec.status().ToString();
+    if (!rec.ok()) {
+      sm_->RecordIoError(rec.status());
+      return std::make_unique<EmptyIterator>();
+    }
     if (rec->empty()) continue;  // tombstoned
     auto t = DeserializeTuple(*rec, sm_->factory());
-    CORAL_CHECK(t.ok()) << t.status().ToString();
+    if (!t.ok()) {
+      sm_->RecordIoError(t.status());
+      return std::make_unique<EmptyIterator>();
+    }
     tuples.push_back(*t);
   }
   return std::make_unique<VectorIterator>(std::move(tuples));

@@ -45,15 +45,10 @@ class PersistentRelation : public Relation {
   bool Contains(const Tuple* t) const override;
   size_t size() const override { return count_; }
 
-  Status ValidateInsert(const Tuple* t) const override {
-    if (!CanStore(t)) {
-      return Status::InvalidArgument(
-          "persistent relation " + name() +
-          " stores only ground tuples of primitive-typed fields "
-          "(paper §3.2)");
-    }
-    return Status::OK();
-  }
+  /// Refuses non-storable tuples (paper §3.2) and any insert while the
+  /// storage manager is read-only or has a latched I/O error. Defined in
+  /// the .cc (needs the full StorageManager type).
+  Status ValidateInsert(const Tuple* t) const override;
 
   std::unique_ptr<TupleIterator> ScanRange(Mark from, Mark to) const override;
   std::unique_ptr<TupleIterator> Select(std::span<const TermRef> pattern,

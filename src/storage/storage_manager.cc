@@ -1,6 +1,7 @@
 #include "src/storage/storage_manager.h"
 
 #include "src/core/database.h"
+#include "src/obs/storage_metrics.h"
 #include "src/util/logging.h"
 
 namespace coral {
@@ -12,41 +13,74 @@ StatusOr<std::unique_ptr<StorageManager>> StorageManager::Open(
   std::string wal_path = path_prefix + ".wal";
 
   CORAL_RETURN_IF_ERROR(sm->disk_.Open(db_path));
-  // Crash recovery before any page is cached.
-  CORAL_RETURN_IF_ERROR(WriteAheadLog::Recover(wal_path, &sm->disk_));
-  CORAL_RETURN_IF_ERROR(sm->wal_.Open(wal_path));
+  // Crash recovery before any page is cached. If recovery cannot run or
+  // the log cannot be (re)opened, the database is still readable but no
+  // write can be made atomic: degrade to read-only rather than fail —
+  // and never treat "cannot open the log" as "nothing to recover".
+  Status wal_ready = WriteAheadLog::Recover(wal_path, &sm->disk_);
+  if (wal_ready.ok()) wal_ready = sm->wal_.Open(wal_path);
+  if (!wal_ready.ok()) {
+    sm->read_only_ = true;
+    auto& metrics = obs::StorageMetrics::Instance();
+    metrics.read_only_degradations.fetch_add(1, std::memory_order_relaxed);
+    metrics.RecordEvent("storage.read_only", wal_ready.ToString());
+  }
 
   sm->pool_ = std::make_unique<BufferPool>(&sm->disk_, options.pool_frames);
   // WAL protocol: log the before-image on the first modification of each
-  // page inside a transaction.
+  // page inside a transaction. A logging failure must not abort the
+  // process: it is latched, and Commit refuses while it stands.
   StorageManager* raw = sm.get();
-  sm->pool_->SetModifyHook([raw](PageId page, const char* before) {
-    Status st = raw->wal_.LogBeforeImage(page, before);
-    CORAL_CHECK(st.ok()) << st.ToString();
-  });
+  if (!sm->read_only_) {
+    sm->pool_->SetModifyHook([raw](PageId page, const char* before) {
+      Status st = raw->wal_.LogBeforeImage(page, before);
+      if (!st.ok()) raw->RecordIoError(st);
+    });
+  }
 
   CORAL_ASSIGN_OR_RETURN(sm->catalog_, Catalog::Open(sm->pool_.get()));
   CORAL_RETURN_IF_ERROR(sm->OpenAll().status());
+  sm->fully_open_ = true;
   return sm;
 }
 
 StorageManager::~StorageManager() {
-  if (disk_.is_open()) {
-    Status st = Close();
-    if (!st.ok()) {
-      std::fprintf(stderr, "coral: storage close failed: %s\n",
-                   st.ToString().c_str());
-    }
+  if (!disk_.is_open()) return;
+  // An Open() that failed partway (e.g. under fault injection) leaves no
+  // catalog worth saving; just drop the file handle.
+  Status st = fully_open_ ? Close() : disk_.Close();
+  if (!st.ok()) {
+    std::fprintf(stderr, "coral: storage close failed: %s\n",
+                 st.ToString().c_str());
   }
 }
 
 Status StorageManager::Close() {
+  if (read_only_) return disk_.Close();  // nothing of ours to persist
+  if (!io_error_.ok()) {
+    // Some before-image never reached the log: flushing the dirty pages
+    // now would persist state recovery cannot undo. Drop them instead —
+    // whatever already hit disk is undone on the next Open.
+    Status closed = disk_.Close();
+    return closed.ok() ? Status::IOError(
+                             "storage closed without flushing after I/O "
+                             "failure: " + io_error_.ToString())
+                       : closed;
+  }
   CORAL_RETURN_IF_ERROR(SaveCatalog());
   CORAL_RETURN_IF_ERROR(pool_->FlushAll());
   return disk_.Close();
 }
 
+void StorageManager::RecordIoError(const Status& st) {
+  if (io_error_.ok() && !st.ok()) io_error_ = st;
+}
+
 Status StorageManager::SaveCatalog() {
+  if (read_only_) {
+    return Status::FailedPrecondition(
+        "storage is read-only (write-ahead log unavailable)");
+  }
   CORAL_RETURN_IF_ERROR(catalog_.Save(pool_.get()));
   return pool_->FlushAll();
 }
@@ -87,6 +121,10 @@ StatusOr<std::vector<PersistentRelation*>> StorageManager::OpenAll() {
 
 StatusOr<PersistentRelation*> StorageManager::CreateRelation(
     const std::string& name, uint32_t arity) {
+  if (read_only_) {
+    return Status::FailedPrecondition(
+        "storage is read-only (write-ahead log unavailable)");
+  }
   if (FindRelation(name, arity) != nullptr) {
     return Status::AlreadyExists("persistent relation " + name + "/" +
                                  std::to_string(arity) + " exists");
@@ -135,18 +173,42 @@ Status StorageManager::AttachTo(Database* db) {
   return Status::OK();
 }
 
-Status StorageManager::Begin() { return wal_.Begin().status(); }
+Status StorageManager::Begin() {
+  if (read_only_) {
+    return Status::FailedPrecondition(
+        "storage is read-only (write-ahead log unavailable)");
+  }
+  return wal_.Begin().status();
+}
 
 Status StorageManager::Commit() {
+  // A latched I/O error means some before-image (or page write) failed:
+  // committing could make a state durable that can no longer be undone.
+  if (!io_error_.ok()) {
+    return Status::IOError("commit refused after storage I/O failure: " +
+                           io_error_.ToString());
+  }
   CORAL_RETURN_IF_ERROR(SaveCatalog());
+  // The catalog save itself may have tripped the WAL hook; re-check.
+  if (!io_error_.ok()) {
+    return Status::IOError("commit refused after storage I/O failure: " +
+                           io_error_.ToString());
+  }
   return wal_.Commit([this]() { return pool_->FlushAll(); });
 }
 
 Status StorageManager::Abort() {
+  if (read_only_) {
+    return Status::FailedPrecondition(
+        "storage is read-only (write-ahead log unavailable)");
+  }
   Status st = wal_.Abort(&disk_, [this](PageId page) {
     pool_->Invalidate(page);
   });
   if (!st.ok()) return st;
+  // Every page image the transaction touched is back on disk; the latched
+  // error (if any) no longer threatens durability.
+  io_error_ = Status::OK();
   // In-memory relation state may be ahead of the restored pages; reload
   // relation metadata from the (restored) catalog.
   CORAL_ASSIGN_OR_RETURN(Catalog cat, Catalog::Open(pool_.get()));

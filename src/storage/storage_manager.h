@@ -32,6 +32,10 @@ class StorageManager {
   /// Opens (creating if necessary) the database at `path_prefix` (.db and
   /// .wal files). Runs crash recovery first. `factory` provides the term
   /// space that fetched tuples are deserialized into.
+  ///
+  /// If the write-ahead log cannot be opened (or recovery cannot run),
+  /// the database still opens but degrades to READ-ONLY: queries work,
+  /// every mutation and transaction call fails with FailedPrecondition.
   static StatusOr<std::unique_ptr<StorageManager>> Open(
       const std::string& path_prefix, TermFactory* factory,
       Options options = Options());
@@ -66,6 +70,17 @@ class StorageManager {
 
   Status SaveCatalog();
 
+  /// True when the WAL was unavailable at Open: mutations are refused.
+  bool read_only() const { return read_only_; }
+
+  /// First storage I/O failure recorded since the last successful Abort
+  /// (OK when healthy). While set, Commit refuses: a before-image that
+  /// never reached the log means undo could not be guaranteed.
+  const Status& io_error() const { return io_error_; }
+  /// Latches `st` (first error wins). Called by the WAL hook and the
+  /// persistent-relation mutation paths instead of aborting the process.
+  void RecordIoError(const Status& st);
+
   TermFactory* factory() { return factory_; }
   BufferPool* pool() { return pool_.get(); }
   DiskManager* disk() { return &disk_; }
@@ -82,6 +97,9 @@ class StorageManager {
   WriteAheadLog wal_;
   Catalog catalog_;
   std::vector<std::unique_ptr<PersistentRelation>> relations_;
+  bool fully_open_ = false;  // Open() completed; safe to auto-Close
+  bool read_only_ = false;
+  Status io_error_;
 };
 
 }  // namespace coral

@@ -1,12 +1,18 @@
 #include "src/storage/wal.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
 #include <functional>
+#include <string_view>
 
+#include "src/obs/storage_metrics.h"
+#include "src/storage/fault.h"
+#include "src/util/crc32.h"
 #include "src/util/logging.h"
 
 namespace coral {
@@ -16,12 +22,163 @@ namespace {
 constexpr uint32_t kBegin = 1;
 constexpr uint32_t kPageImage = 2;
 constexpr uint32_t kCommit = 3;
+constexpr uint32_t kAbort = 4;
 
-struct RecordHeader {
+// v1 record framing: 32-byte header, explicitly serialized.
+constexpr char kMagic[4] = {'C', 'W', 'A', 'L'};
+constexpr size_t kHeaderSize = 32;
+constexpr size_t kHeaderCrcOffset = 28;  // header_crc covers bytes [0, 28)
+
+// The pre-v1 format dumped this struct (with its padding) straight to
+// disk; Recover still reads such logs. The layout is frozen here so a
+// compiler change cannot silently break compatibility.
+struct LegacyRecordHeader {
   uint32_t type;
   TxnId txn;
-  PageId page;  // kPageImage only
+  PageId page;
 };
+static_assert(sizeof(LegacyRecordHeader) == 24,
+              "legacy WAL header layout must stay 24 bytes");
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 4);
+}
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 8);
+}
+uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+uint64_t LoadU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+bool KnownType(uint32_t type) {
+  return type == kBegin || type == kPageImage || type == kCommit ||
+         type == kAbort;
+}
+
+/// Builds one serialized record (header + optional page image).
+std::string EncodeRecord(uint32_t type, TxnId txn, PageId page,
+                         const char* image) {
+  uint32_t payload_len = type == kPageImage ? kPageSize : 0;
+  std::string rec;
+  rec.reserve(kHeaderSize + payload_len);
+  rec.append(kMagic, 4);
+  AppendU32(&rec, type);
+  AppendU64(&rec, txn);
+  AppendU32(&rec, page);
+  AppendU32(&rec, payload_len);
+  AppendU32(&rec, payload_len != 0 ? Crc32(image, payload_len) : 0);
+  AppendU32(&rec, Crc32(rec.data(), kHeaderCrcOffset));
+  if (payload_len != 0) rec.append(image, payload_len);
+  return rec;
+}
+
+/// Parses the well-formed prefix of a log image. Never throws away good
+/// records: parsing stops at the first torn or corrupt byte and reports
+/// why in `tail_error`.
+WalInspection ParseBuffer(std::string_view buf) {
+  WalInspection out;
+  out.file_bytes = buf.size();
+  if (buf.empty()) return out;
+
+  if (buf.size() < 4 || std::memcmp(buf.data(), kMagic, 4) != 0) {
+    // No v1 magic: a legacy (struct-dump) log, or garbage.
+    out.old_format = true;
+    uint64_t off = 0;
+    while (off + sizeof(LegacyRecordHeader) <= buf.size()) {
+      LegacyRecordHeader h;
+      std::memcpy(&h, buf.data() + off, sizeof(h));
+      if (!KnownType(h.type)) {
+        out.tail_error = "legacy record with unknown type";
+        break;
+      }
+      uint64_t size = sizeof(LegacyRecordHeader) +
+                      (h.type == kPageImage ? kPageSize : 0);
+      if (off + size > buf.size()) {
+        out.tail_error = "torn legacy record";
+        break;
+      }
+      out.records.push_back(WalRecordInfo{h.type, h.txn, h.page, off, size});
+      off += size;
+    }
+    if (out.tail_error.empty() && off < buf.size()) {
+      out.tail_error = "torn legacy header";
+    }
+    out.valid_bytes = off;
+    return out;
+  }
+
+  uint64_t off = 0;
+  while (off < buf.size()) {
+    if (off + kHeaderSize > buf.size()) {
+      out.tail_error = "torn header";
+      break;
+    }
+    const char* h = buf.data() + off;
+    if (std::memcmp(h, kMagic, 4) != 0) {
+      out.tail_error = "bad record magic";
+      break;
+    }
+    if (LoadU32(h + kHeaderCrcOffset) != Crc32(h, kHeaderCrcOffset)) {
+      out.tail_error = "header crc mismatch";
+      break;
+    }
+    uint32_t type = LoadU32(h + 4);
+    TxnId txn = LoadU64(h + 8);
+    PageId page = LoadU32(h + 16);
+    uint32_t payload_len = LoadU32(h + 20);
+    uint32_t payload_crc = LoadU32(h + 24);
+    // The header CRC already vouches for these; check anyway so a CRC
+    // collision cannot make us read out of bounds or replay nonsense.
+    if (!KnownType(type) ||
+        payload_len != (type == kPageImage ? kPageSize : 0)) {
+      out.tail_error = "implausible record header";
+      break;
+    }
+    if (off + kHeaderSize + payload_len > buf.size()) {
+      out.tail_error = "torn payload";
+      break;
+    }
+    if (payload_len != 0 &&
+        Crc32(h + kHeaderSize, payload_len) != payload_crc) {
+      out.tail_error = "payload crc mismatch";
+      break;
+    }
+    out.records.push_back(
+        WalRecordInfo{type, txn, page, off, kHeaderSize + payload_len});
+    off += kHeaderSize + payload_len;
+  }
+  out.valid_bytes = off;
+  return out;
+}
+
+struct FdCloser {
+  int fd;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// Reads a whole log file. Only `point`-guarded for the recovery path.
+Status ReadWholeFile(const char* point, int fd, std::string* out) {
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    return Status::IOError("fstat wal: " + std::string(std::strerror(errno)));
+  }
+  out->resize(static_cast<size_t>(st.st_size));
+  if (out->empty()) return Status::OK();
+  size_t got = 0;
+  CORAL_RETURN_IF_ERROR(
+      FaultPReadUpTo(point, fd, out->data(), out->size(), 0, &got));
+  out->resize(got);  // racing truncation only ever shrinks the file
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -30,29 +187,68 @@ WriteAheadLog::~WriteAheadLog() {
 }
 
 Status WriteAheadLog::Open(const std::string& path) {
-  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
-  if (fd_ < 0) {
-    return Status::IOError("open wal " + path + ": " +
-                           std::strerror(errno));
+  std::error_code ec;
+  bool existed = std::filesystem::exists(path, ec);
+  CORAL_RETURN_IF_ERROR(
+      FaultOpen(fp::kWalOpen, path, O_RDWR | O_CREAT | O_APPEND, 0644, &fd_));
+  if (!existed) {
+    // A crash right after creation must not lose the log's directory
+    // entry: "no log, nothing to recover" would then hide a real one.
+    Status st = FaultSyncParentDir(fp::kWalDirSync, path);
+    if (!st.ok()) {
+      ::close(fd_);
+      fd_ = -1;
+      return st;
+    }
   }
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    Status err =
+        Status::IOError("fstat wal: " + std::string(std::strerror(errno)));
+    ::close(fd_);
+    fd_ = -1;
+    return err;
+  }
+  append_offset_ = static_cast<uint64_t>(st.st_size);
   path_ = path;
   return Status::OK();
 }
 
 Status WriteAheadLog::AppendRecord(uint32_t type, TxnId txn, PageId page,
                                    const char* image) {
-  RecordHeader h{type, txn, page};
-  if (::write(fd_, &h, sizeof(h)) != static_cast<ssize_t>(sizeof(h))) {
-    return Status::IOError("wal write: " + std::string(std::strerror(errno)));
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("wal not open");
   }
-  if (type == kPageImage) {
-    if (::write(fd_, image, kPageSize) !=
-        static_cast<ssize_t>(kPageSize)) {
-      return Status::IOError("wal write image: " +
-                             std::string(std::strerror(errno)));
-    }
+  if (poisoned_) {
+    return Status::IOError(
+        "wal tail may be torn after an unrecoverable append failure; "
+        "refusing further appends (reopen to recover)");
   }
-  return Status::OK();
+  std::string rec = EncodeRecord(type, txn, page, image);
+  uint64_t start = append_offset_;
+  Status st = FaultWriteFull(fp::kWalAppendWrite, fd_, rec.data(),
+                             rec.size());
+  auto& metrics = obs::StorageMetrics::Instance();
+  if (st.ok()) {
+    append_offset_ += rec.size();
+    metrics.wal_records_appended.fetch_add(1, std::memory_order_relaxed);
+    metrics.wal_bytes_appended.fetch_add(rec.size(),
+                                         std::memory_order_relaxed);
+    return st;
+  }
+  // The write may have landed partially: truncate back to the last record
+  // boundary so the log is never left misaligned.
+  Status trunc = FaultFtruncate(fp::kWalAppendTruncate, fd_,
+                                static_cast<off_t>(start));
+  if (trunc.ok()) {
+    metrics.wal_append_truncations.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Cannot roll back (e.g. crashed mid-append): the tail may be torn.
+    // Recovery handles torn tails; this handle refuses further appends.
+    poisoned_ = true;
+    metrics.RecordEvent("wal.poisoned", trunc.ToString());
+  }
+  return st;
 }
 
 StatusOr<TxnId> WriteAheadLog::Begin() {
@@ -60,24 +256,24 @@ StatusOr<TxnId> WriteAheadLog::Begin() {
     return Status::FailedPrecondition(
         "a transaction is already active (single-user client)");
   }
-  active_txn_ = next_txn_++;
+  TxnId txn = next_txn_++;
   logged_pages_.clear();
   undo_.clear();
-  CORAL_RETURN_IF_ERROR(AppendRecord(kBegin, active_txn_, 0, nullptr));
-  return active_txn_;
+  Status st = AppendRecord(kBegin, txn, 0, nullptr);
+  if (!st.ok()) return st;  // no transaction started
+  active_txn_ = txn;
+  return txn;
 }
 
 Status WriteAheadLog::LogBeforeImage(PageId page, const char* before) {
   if (active_txn_ == 0) return Status::OK();
   if (!logged_pages_.insert(page).second) return Status::OK();
+  // The in-memory undo entry is kept even if logging fails below: Abort
+  // must be able to restore the page whether or not the record is durable.
+  undo_.emplace_back(page, std::vector<char>(before, before + kPageSize));
   CORAL_RETURN_IF_ERROR(AppendRecord(kPageImage, active_txn_, page, before));
   // Flush the image before the dirty page can ever reach disk (WAL rule).
-  if (::fsync(fd_) != 0) {
-    return Status::IOError("wal fsync: " +
-                           std::string(std::strerror(errno)));
-  }
-  undo_.emplace_back(page, std::vector<char>(before, before + kPageSize));
-  return Status::OK();
+  return FaultFsync(fp::kWalImageSync, fd_);
 }
 
 Status WriteAheadLog::Commit(const std::function<Status()>& flush_pages) {
@@ -88,10 +284,7 @@ Status WriteAheadLog::Commit(const std::function<Status()>& flush_pages) {
   // redo log is needed.
   CORAL_RETURN_IF_ERROR(flush_pages());
   CORAL_RETURN_IF_ERROR(AppendRecord(kCommit, active_txn_, 0, nullptr));
-  if (::fsync(fd_) != 0) {
-    return Status::IOError("wal fsync: " +
-                           std::string(std::strerror(errno)));
-  }
+  CORAL_RETURN_IF_ERROR(FaultFsync(fp::kWalCommitSync, fd_));
   active_txn_ = 0;
   logged_pages_.clear();
   undo_.clear();
@@ -108,53 +301,127 @@ Status WriteAheadLog::Abort(DiskManager* disk,
     invalidate(it->first);
   }
   CORAL_RETURN_IF_ERROR(disk->Sync());
+  // Mark the transaction resolved in the log. Without this, a later
+  // Recover would re-apply these before-images — clobbering any pages a
+  // subsequently COMMITTED transaction also touched. On failure the
+  // transaction stays active (the undo set is intact, so Abort can be
+  // retried; restoring the same images twice is harmless).
+  CORAL_RETURN_IF_ERROR(AppendRecord(kAbort, active_txn_, 0, nullptr));
+  CORAL_RETURN_IF_ERROR(FaultFsync(fp::kWalCommitSync, fd_));
   active_txn_ = 0;
   logged_pages_.clear();
   undo_.clear();
   return Status::OK();
 }
 
+StatusOr<WalInspection> WriteAheadLog::Inspect(
+    const std::string& log_path) {
+  // Diagnostics stay un-injected: the inspector must work while a fault
+  // harness has persistence frozen.
+  int fd = ::open(log_path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("open wal " + log_path + ": " +
+                           std::strerror(errno));
+  }
+  FdCloser closer{fd};
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    return Status::IOError("fstat wal: " + std::string(std::strerror(errno)));
+  }
+  std::string buf(static_cast<size_t>(st.st_size), '\0');
+  size_t off = 0;
+  while (off < buf.size()) {
+    ssize_t n = ::pread(fd, buf.data() + off, buf.size() - off, off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("read wal: " +
+                             std::string(std::strerror(errno)));
+    }
+    if (n == 0) break;
+    off += static_cast<size_t>(n);
+  }
+  buf.resize(off);
+  return ParseBuffer(buf);
+}
+
 Status WriteAheadLog::Recover(const std::string& log_path,
                               DiskManager* disk) {
-  int fd = ::open(log_path.c_str(), O_RDONLY);
-  if (fd < 0) return Status::OK();  // no log: nothing to recover
+  std::error_code ec;
+  if (!std::filesystem::exists(log_path, ec)) {
+    return Status::OK();  // genuinely no log: nothing to recover
+  }
+  auto& metrics = obs::StorageMetrics::Instance();
+  int fd = -1;
+  // An existing log we cannot open is an ERROR, not "nothing to recover":
+  // the caller degrades to read-only rather than trusting dirty pages.
+  CORAL_RETURN_IF_ERROR(
+      FaultOpen(fp::kWalRecoverOpen, log_path, O_RDWR, 0, &fd));
+  FdCloser closer{fd};
+  metrics.recoveries_run.fetch_add(1, std::memory_order_relaxed);
+  metrics.RecordEvent("recover.start", log_path);
 
-  std::unordered_set<TxnId> committed;
-  // (txn, page) -> earliest before-image.
+  std::string buf;
+  CORAL_RETURN_IF_ERROR(ReadWholeFile(fp::kWalRecoverRead, fd, &buf));
+  WalInspection ins = ParseBuffer(buf);
+  if (ins.old_format) {
+    metrics.old_format_logs_read.fetch_add(1, std::memory_order_relaxed);
+    metrics.RecordEvent("recover.old_format", log_path);
+  }
+  if (!ins.tail_error.empty() || ins.valid_bytes < ins.file_bytes) {
+    uint64_t dropped = ins.file_bytes - ins.valid_bytes;
+    if (ins.tail_error.find("crc") != std::string::npos) {
+      metrics.corrupt_records_dropped.fetch_add(1,
+                                                std::memory_order_relaxed);
+    } else {
+      metrics.torn_tails_truncated.fetch_add(1, std::memory_order_relaxed);
+    }
+    metrics.RecordEvent("recover.torn_tail", ins.tail_error, dropped);
+  }
+
+  // A transaction is resolved by a commit record OR an abort record: an
+  // in-process Abort already restored its pages, so re-undoing it here
+  // would clobber pages that later committed transactions also touched.
+  std::unordered_set<TxnId> resolved;
+  // (txn, page) -> earliest before-image (emplace keeps the first).
   std::unordered_map<TxnId,
-                     std::unordered_map<PageId, std::vector<char>>>
+                     std::unordered_map<PageId, const char*>>
       images;
-  while (true) {
-    RecordHeader h;
-    ssize_t n = ::read(fd, &h, sizeof(h));
-    if (n == 0) break;
-    if (n != static_cast<ssize_t>(sizeof(h))) break;  // torn tail: stop
-    if (h.type == kPageImage) {
-      std::vector<char> img(kPageSize);
-      if (::read(fd, img.data(), kPageSize) !=
-          static_cast<ssize_t>(kPageSize)) {
-        break;  // torn image: the page write never happened either
-      }
-      auto& per_txn = images[h.txn];
-      per_txn.emplace(h.page, std::move(img));  // keep the earliest
-    } else if (h.type == kCommit) {
-      committed.insert(h.txn);
+  for (const WalRecordInfo& rec : ins.records) {
+    if (rec.type == kPageImage) {
+      const char* payload =
+          buf.data() + rec.offset + (rec.size - kPageSize);
+      images[rec.txn].emplace(rec.page, payload);
+    } else if (rec.type == kCommit || rec.type == kAbort) {
+      resolved.insert(rec.txn);
     }
   }
-  ::close(fd);
 
+  uint64_t restored = 0;
+  uint64_t undone = 0;
   for (const auto& [txn, pages] : images) {
-    if (committed.count(txn)) continue;
+    if (resolved.count(txn) != 0) continue;
+    ++undone;
     for (const auto& [page, img] : pages) {
       if (page < disk->num_pages()) {
-        CORAL_RETURN_IF_ERROR(disk->WritePage(page, img.data()));
+        CORAL_RETURN_IF_ERROR(disk->RestorePage(page, img));
+        ++restored;
       }
     }
   }
-  CORAL_RETURN_IF_ERROR(disk->Sync());
-  // Truncate the log: everything is resolved.
-  fd = ::open(log_path.c_str(), O_WRONLY | O_TRUNC);
-  if (fd >= 0) ::close(fd);
+  if (restored != 0) {
+    CORAL_RETURN_IF_ERROR(disk->Sync());
+  }
+  metrics.recovered_pages_restored.fetch_add(restored,
+                                             std::memory_order_relaxed);
+  metrics.recovered_txns_undone.fetch_add(undone,
+                                          std::memory_order_relaxed);
+
+  // Everything is resolved: empty the log so old records can never be
+  // replayed twice, and make the truncation durable.
+  CORAL_RETURN_IF_ERROR(FaultFtruncate(fp::kWalRecoverTruncate, fd, 0));
+  CORAL_RETURN_IF_ERROR(FaultFsync(fp::kWalRecoverTruncate, fd));
+  metrics.RecordEvent("recover.done",
+                      std::to_string(undone) + " txn(s) undone", restored);
   return Status::OK();
 }
 

@@ -7,6 +7,14 @@
 // within a transaction logs its before-image (flushed before the page can
 // reach disk); abort restores images; recovery undoes all transactions
 // without a commit record.
+//
+// On-disk record format (v1, explicitly serialized — no struct padding is
+// ever written): a 32-byte header { magic "CWAL", type, txn, page,
+// payload_len, payload_crc, header_crc } followed by the payload. The
+// CRCs let Recover distinguish a torn or corrupted tail from well-formed
+// records and truncate it instead of misparsing. Logs written by the
+// pre-CRC format (raw padded structs) are still read on a best-effort
+// basis; see docs/STORAGE.md for the recovery contract.
 
 #ifndef CORAL_STORAGE_WAL_H_
 #define CORAL_STORAGE_WAL_H_
@@ -23,6 +31,25 @@ namespace coral {
 
 using TxnId = uint64_t;
 
+/// One well-formed log record, as reported by WriteAheadLog::Inspect
+/// (tools/coral_walinspect and the crash tests).
+struct WalRecordInfo {
+  uint32_t type = 0;  // 1 begin, 2 page image, 3 commit, 4 abort
+  TxnId txn = 0;
+  PageId page = 0;     // page-image records only
+  uint64_t offset = 0; // byte offset of the record in the log
+  uint64_t size = 0;   // total bytes, header + payload
+};
+
+/// Result of parsing a log file without replaying it.
+struct WalInspection {
+  std::vector<WalRecordInfo> records;  // the well-formed prefix
+  uint64_t valid_bytes = 0;            // where the well-formed prefix ends
+  uint64_t file_bytes = 0;
+  bool old_format = false;             // pre-CRC struct-dump format
+  std::string tail_error;              // why parsing stopped ("" = clean)
+};
+
 class WriteAheadLog {
  public:
   WriteAheadLog() = default;
@@ -30,8 +57,15 @@ class WriteAheadLog {
 
   /// Replays `log_path` against `disk`: restores the earliest before-image
   /// of every page touched by a transaction that never committed, then
-  /// truncates the log. Call before reading any pages.
+  /// truncates the log. A torn or corrupted tail is truncated, never
+  /// misparsed. Call before reading any pages. A missing log is OK
+  /// (nothing to recover); an unopenable one is an error — callers must
+  /// not treat "cannot open" as "nothing to recover".
   static Status Recover(const std::string& log_path, DiskManager* disk);
+
+  /// Parses the log without touching the database: record table, where
+  /// the well-formed prefix ends, and why parsing stopped.
+  static StatusOr<WalInspection> Inspect(const std::string& log_path);
 
   Status Open(const std::string& path);
 
@@ -46,7 +80,9 @@ class WriteAheadLog {
   /// Forces data pages via `flush_pages`, then logs the commit record.
   Status Commit(const std::function<Status()>& flush_pages);
 
-  /// Restores all before-images of the active transaction.
+  /// Restores all before-images of the active transaction, then logs an
+  /// abort record so Recover treats the transaction as resolved (and never
+  /// re-applies its images over later commits).
   Status Abort(DiskManager* disk,
                const std::function<void(PageId)>& invalidate_page);
 
@@ -56,6 +92,9 @@ class WriteAheadLog {
 
   int fd_ = -1;
   std::string path_;
+  uint64_t append_offset_ = 0;  // log size; next record lands here
+  bool poisoned_ = false;  // a failed append could not be rolled back:
+                           // the tail may be torn, refuse further appends
   TxnId next_txn_ = 1;
   TxnId active_txn_ = 0;  // 0 = none (single-user: one at a time)
   std::unordered_set<PageId> logged_pages_;

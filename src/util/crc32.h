@@ -1,0 +1,50 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+// Used to frame write-ahead-log records so crash recovery can tell a
+// torn or corrupted tail from a well-formed record.
+
+#ifndef CORAL_UTIL_CRC32_H_
+#define CORAL_UTIL_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace coral {
+
+namespace internal {
+
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+}  // namespace internal
+
+/// Extends a running CRC-32 with `n` more bytes. Start (and finish) with
+/// `crc = 0`; chain calls to checksum discontiguous buffers.
+inline uint32_t Crc32Extend(uint32_t crc, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc ^= 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = internal::kCrc32Table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+inline uint32_t Crc32(const void* data, size_t n) {
+  return Crc32Extend(0, data, n);
+}
+
+}  // namespace coral
+
+#endif  // CORAL_UTIL_CRC32_H_

@@ -1,0 +1,823 @@
+// Crash-recovery torture tests for the EXODUS-substitute storage layer.
+//
+// The core harness arms a fault (usually a simulated crash: all further
+// persistence frozen) at EVERY registered failpoint in turn, runs a
+// randomized transactional workload against a prepared database, then
+// reopens it fault-free and checks the recovery invariants:
+//   - every transaction whose Commit() returned OK is fully durable,
+//   - every transaction that never attempted Commit is fully undone,
+//   - a transaction whose Commit() errored is all-or-nothing,
+//   - the relation count, heap scan, and primary index agree,
+//   - the catalog round-trips (the relation reopens with correct data).
+//
+// Alongside the torture loop there are targeted regressions for the WAL
+// durability fixes: short/EINTR append retries, append rollback to a
+// record boundary, torn-tail and corrupt-record truncation in Recover,
+// legacy (pre-CRC struct-dump) log compatibility, parent-directory fsync
+// after file creation, and read-only degradation when the log is
+// unopenable. Seeds come from CORAL_FAULT_SEED for deterministic reruns.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/data/term_factory.h"
+#include "src/obs/storage_metrics.h"
+#include "src/storage/fault.h"
+#include "src/storage/storage_manager.h"
+#include "src/storage/wal.h"
+#include "src/util/crc32.h"
+
+namespace coral {
+namespace {
+
+// ---- deterministic tuple model -------------------------------------------
+
+// Tuple i is {Int(i), String(Payload(i))}; the payload is a few hundred
+// bytes so workloads fill heap pages and split B-tree nodes quickly.
+std::string Payload(int v) {
+  std::string s(200 + (v % 7) * 37, static_cast<char>('a' + (v % 23)));
+  s += "#" + std::to_string(v);
+  return s;
+}
+
+const Tuple* MakeT(TermFactory* f, int v) {
+  const Arg* args[] = {f->MakeInt(v), f->MakeString(Payload(v))};
+  return f->MakeTuple(args);
+}
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Instance().Reset();
+    obs::StorageMetrics::Instance().Reset();
+    dir_ = std::filesystem::temp_directory_path() /
+           ("coral_crash_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    const char* env = std::getenv("CORAL_FAULT_SEED");
+    seed_ = env != nullptr
+                ? static_cast<uint32_t>(std::strtoul(env, nullptr, 0))
+                : 0xC0121AB5u;
+    RecordProperty("fault_seed", std::to_string(seed_));
+    rng_.seed(seed_);
+  }
+  void TearDown() override {
+    FaultInjector::Instance().Reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  /// Fresh path prefix for one torture run.
+  std::string FreshPrefix() {
+    return (dir_ / ("run" + std::to_string(run_counter_++))).string();
+  }
+
+  // ---- workload + invariant machinery ------------------------------------
+
+  /// Creates the database with 3 committed transactions of 10 tuples each
+  /// (values 0..29). Run fault-free.
+  void BuildBaseline(const std::string& prefix, std::set<int>* committed) {
+    TermFactory f;
+    auto sm = StorageManager::Open(prefix, &f);
+    ASSERT_TRUE(sm.ok()) << sm.status().ToString();
+    auto rel = (*sm)->CreateRelation("t", 2);
+    ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+    for (int txn = 0; txn < 3; ++txn) {
+      ASSERT_TRUE((*sm)->Begin().ok());
+      for (int j = 0; j < 10; ++j) {
+        int v = txn * 10 + j;
+        ASSERT_TRUE((*rel)->Insert(MakeT(&f, v))) << v;
+      }
+      ASSERT_TRUE((*sm)->Commit().ok());
+      for (int j = 0; j < 10; ++j) committed->insert(txn * 10 + j);
+    }
+    ASSERT_TRUE((*sm)->Close().ok());
+  }
+
+  struct WorkloadOutcome {
+    std::set<int> committed;            // Commit() returned OK
+    std::vector<std::set<int>> maybe;   // Commit() errored: all-or-nothing
+    std::set<int> banned;               // never reached Commit: must vanish
+    bool open_failed = false;
+  };
+
+  /// Runs transactions until the armed fault bites (or 8 txns complete),
+  /// mimicking an application that stops at the first storage error. The
+  /// StorageManager destructor then plays the dead process.
+  WorkloadOutcome RunWorkload(const std::string& prefix) {
+    WorkloadOutcome out;
+    TermFactory f;
+    auto sm_or = StorageManager::Open(prefix, &f);
+    if (!sm_or.ok()) {
+      out.open_failed = true;
+      return out;
+    }
+    std::unique_ptr<StorageManager>& sm = *sm_or;
+    if (sm->read_only()) return out;
+    PersistentRelation* rel = sm->FindRelation("t", 2);
+    if (rel == nullptr) return out;
+    auto& injector = FaultInjector::Instance();
+    int next = 1000;
+    for (int txn = 0; txn < 8; ++txn) {
+      if (injector.crashed() || !sm->io_error().ok()) break;
+      if (!sm->Begin().ok()) break;
+      std::set<int> tset;
+      bool broke = false;
+      int count = 5 + static_cast<int>(rng_() % 8);
+      for (int j = 0; j < count; ++j) {
+        int v = next++;
+        rel->Insert(MakeT(&f, v));
+        tset.insert(v);
+        if (!sm->io_error().ok() || injector.crashed()) {
+          broke = true;
+          break;
+        }
+      }
+      if (broke) {
+        out.banned.insert(tset.begin(), tset.end());
+        break;
+      }
+      Status cst = sm->Commit();
+      if (cst.ok()) {
+        out.committed.insert(tset.begin(), tset.end());
+      } else {
+        out.maybe.push_back(tset);
+        break;
+      }
+    }
+    return out;
+  }
+
+  /// Fault-free reopen + full invariant check.
+  void VerifyState(const std::string& prefix, const std::set<int>& committed,
+                   const std::vector<std::set<int>>& maybe,
+                   const std::set<int>& banned) {
+    FaultInjector::Instance().Reset();
+    TermFactory f;
+    auto sm_or = StorageManager::Open(prefix, &f);
+    ASSERT_TRUE(sm_or.ok()) << sm_or.status().ToString();
+    std::unique_ptr<StorageManager>& sm = *sm_or;
+    ASSERT_FALSE(sm->read_only());
+    PersistentRelation* rel = sm->FindRelation("t", 2);
+    ASSERT_NE(rel, nullptr);
+
+    std::set<int> seen;
+    auto it = rel->Scan();
+    const Tuple* t;
+    while ((t = it->Next()) != nullptr) {
+      ASSERT_EQ(t->arity(), 2u);
+      int v = static_cast<int>(ArgCast<IntArg>(t->arg(0))->value());
+      EXPECT_EQ(t->arg(1), static_cast<const Arg*>(f.MakeString(Payload(v))))
+          << "payload corrupted for " << v;
+      EXPECT_TRUE(seen.insert(v).second) << "duplicate tuple " << v;
+    }
+    EXPECT_TRUE(it->status().ok()) << it->status().ToString();
+
+    // Catalog count vs heap contents.
+    EXPECT_EQ(rel->size(), seen.size());
+    // Committed durable; never-committed gone.
+    for (int v : committed) EXPECT_TRUE(seen.count(v) != 0) << "lost " << v;
+    for (int v : banned)
+      EXPECT_TRUE(seen.count(v) == 0) << "undead uncommitted " << v;
+    // Commit-errored transactions are all-or-nothing, and nothing else
+    // may exist.
+    std::set<int> allowed = committed;
+    for (const std::set<int>& m : maybe) {
+      size_t present = 0;
+      for (int v : m) present += seen.count(v);
+      EXPECT_TRUE(present == 0 || present == m.size())
+          << "torn transaction: " << present << "/" << m.size();
+      allowed.insert(m.begin(), m.end());
+    }
+    for (int v : seen) EXPECT_TRUE(allowed.count(v) != 0) << "phantom " << v;
+    // Primary-index consistency: every stored tuple findable through it.
+    for (int v : seen) EXPECT_TRUE(rel->Contains(MakeT(&f, v))) << v;
+    EXPECT_FALSE(rel->Contains(MakeT(&f, 999999)));
+    ASSERT_TRUE(sm->Close().ok());
+  }
+
+  // ---- torture scenarios --------------------------------------------------
+
+  /// Crash (or torn-write) at `point` somewhere inside a live workload.
+  void TortureWorkload(const std::string& point, FaultKind kind,
+                       uint64_t trigger, size_t partial = 7) {
+    SCOPED_TRACE("workload point=" + point + " trigger=" +
+                 std::to_string(trigger) + " kind=" +
+                 std::to_string(static_cast<int>(kind)));
+    std::string prefix = FreshPrefix();
+    std::set<int> committed;
+    ASSERT_NO_FATAL_FAILURE(BuildBaseline(prefix, &committed));
+    auto& injector = FaultInjector::Instance();
+    injector.Reset();
+    FaultSpec spec;
+    spec.kind = kind;
+    spec.trigger_hit = trigger;
+    spec.partial_bytes = partial;
+    injector.Arm(point, spec);
+    WorkloadOutcome out = RunWorkload(prefix);
+    EXPECT_GT(injector.hits(point), 0u) << point << " never reached";
+    committed.insert(out.committed.begin(), out.committed.end());
+    ASSERT_NO_FATAL_FAILURE(
+        VerifyState(prefix, committed, out.maybe, out.banned));
+  }
+
+  /// Crash at `point` while the database is being CREATED (the only time
+  /// the parent-directory fsync points are reachable).
+  void TortureCreation(const std::string& point) {
+    SCOPED_TRACE("creation point=" + point);
+    std::string prefix = FreshPrefix();
+    auto& injector = FaultInjector::Instance();
+    injector.Reset();
+    injector.Arm(point, FaultSpec{FaultKind::kCrash, 1});
+    {
+      TermFactory f;
+      auto sm_or = StorageManager::Open(prefix, &f);
+      // Either the open fails outright or it degrades; both acceptable.
+      EXPECT_GT(injector.hits(point), 0u) << point << " never reached";
+    }
+    injector.Reset();
+    // The half-created database must open cleanly and be usable.
+    std::set<int> committed;
+    {
+      TermFactory f;
+      auto sm_or = StorageManager::Open(prefix, &f);
+      ASSERT_TRUE(sm_or.ok()) << sm_or.status().ToString();
+      auto rel = (*sm_or)->CreateRelation("t", 2);
+      ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+      ASSERT_TRUE((*sm_or)->Begin().ok());
+      for (int v = 0; v < 5; ++v) {
+        ASSERT_TRUE((*rel)->Insert(MakeT(&f, v)));
+        committed.insert(v);
+      }
+      ASSERT_TRUE((*sm_or)->Commit().ok());
+      ASSERT_TRUE((*sm_or)->Close().ok());
+    }
+    ASSERT_NO_FATAL_FAILURE(VerifyState(prefix, committed, {}, {}));
+  }
+
+  /// Crash at `point` while RECOVERY ITSELF runs (the log holds an
+  /// uncommitted transaction's images). Recovery must be idempotent: the
+  /// next fault-free open finishes the job.
+  void TortureRecovery(const std::string& point, uint64_t trigger) {
+    SCOPED_TRACE("recovery point=" + point + " trigger=" +
+                 std::to_string(trigger));
+    std::string prefix = FreshPrefix();
+    std::set<int> committed;
+    ASSERT_NO_FATAL_FAILURE(BuildBaseline(prefix, &committed));
+    auto& injector = FaultInjector::Instance();
+    // Leave a crashed, uncommitted transaction behind: freeze at the
+    // first data-page write (inside Commit's flush).
+    injector.Reset();
+    injector.Arm(fp::kDiskWrite, FaultSpec{FaultKind::kCrash, 1});
+    WorkloadOutcome out = RunWorkload(prefix);
+    ASSERT_GT(injector.hits(fp::kDiskWrite), 0u);
+    // Now crash recovery itself.
+    injector.Reset();
+    injector.Arm(point, FaultSpec{FaultKind::kCrash, trigger});
+    {
+      TermFactory f;
+      auto sm_or = StorageManager::Open(prefix, &f);
+      // Open fails or degrades to read-only; never trusts dirty pages.
+      if (sm_or.ok()) {
+        EXPECT_TRUE((*sm_or)->read_only());
+      }
+      EXPECT_GT(injector.hits(point), 0u) << point << " never reached";
+    }
+    committed.insert(out.committed.begin(), out.committed.end());
+    ASSERT_NO_FATAL_FAILURE(
+        VerifyState(prefix, committed, out.maybe, out.banned));
+  }
+
+  /// Crash at the append-rollback ftruncate: the WAL handle must poison
+  /// itself (possible torn tail) and the database must survive reopen.
+  void TortureAppendRollback() {
+    SCOPED_TRACE("append-rollback");
+    std::string prefix = FreshPrefix();
+    std::set<int> committed;
+    ASSERT_NO_FATAL_FAILURE(BuildBaseline(prefix, &committed));
+    auto& injector = FaultInjector::Instance();
+    injector.Reset();
+    FaultSpec fail_append;
+    fail_append.kind = FaultKind::kError;
+    fail_append.err = EIO;
+    injector.Arm(fp::kWalAppendWrite, fail_append);
+    injector.Arm(fp::kWalAppendTruncate, FaultSpec{FaultKind::kCrash, 1});
+    WorkloadOutcome out = RunWorkload(prefix);
+    EXPECT_GT(injector.hits(fp::kWalAppendTruncate), 0u);
+    EXPECT_TRUE(obs::StorageMetrics::Instance().SawEvent("wal.poisoned"));
+    committed.insert(out.committed.begin(), out.committed.end());
+    ASSERT_NO_FATAL_FAILURE(
+        VerifyState(prefix, committed, out.maybe, out.banned));
+  }
+
+  std::filesystem::path dir_;
+  uint32_t seed_ = 0;
+  std::mt19937 rng_;
+  int run_counter_ = 0;
+};
+
+// ---- the torture loop: a crash at EVERY registered failpoint -------------
+
+TEST_F(CrashRecoveryTest, CrashAtEveryFailpoint) {
+  enum class Scenario { kCreation, kWorkload, kRecovery, kAppendRollback };
+  const std::map<std::string, Scenario> plan = {
+      {fp::kDiskOpen, Scenario::kWorkload},
+      {fp::kDiskDirSync, Scenario::kCreation},
+      {fp::kDiskAllocWrite, Scenario::kWorkload},
+      {fp::kDiskWrite, Scenario::kWorkload},
+      {fp::kDiskRead, Scenario::kWorkload},
+      {fp::kDiskSync, Scenario::kWorkload},
+      {fp::kWalOpen, Scenario::kWorkload},
+      {fp::kWalDirSync, Scenario::kCreation},
+      {fp::kWalAppendWrite, Scenario::kWorkload},
+      {fp::kWalAppendTruncate, Scenario::kAppendRollback},
+      {fp::kWalImageSync, Scenario::kWorkload},
+      {fp::kWalCommitSync, Scenario::kWorkload},
+      {fp::kWalRecoverOpen, Scenario::kRecovery},
+      {fp::kWalRecoverRead, Scenario::kRecovery},
+      {fp::kWalRecoverWrite, Scenario::kRecovery},
+      {fp::kWalRecoverTruncate, Scenario::kRecovery},
+  };
+  // A failpoint added without a torture scenario is a test bug.
+  for (const char* point : AllFaultPoints()) {
+    ASSERT_TRUE(plan.count(point) != 0)
+        << "failpoint " << point << " has no torture scenario";
+  }
+  for (const auto& [point, scenario] : plan) {
+    switch (scenario) {
+      case Scenario::kCreation:
+        TortureCreation(point);
+        break;
+      case Scenario::kWorkload:
+        for (uint64_t trigger : {1u, 2u, 5u}) {
+          TortureWorkload(point, FaultKind::kCrash, trigger);
+        }
+        break;
+      case Scenario::kRecovery:
+        TortureRecovery(point, 1);
+        break;
+      case Scenario::kAppendRollback:
+        TortureAppendRollback();
+        break;
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  // Partial-restore crash: the second recovery pwrite, then re-recover.
+  TortureRecovery(fp::kWalRecoverWrite, 2);
+}
+
+TEST_F(CrashRecoveryTest, TornWriteTorture) {
+  // A real partial transfer lands, THEN persistence freezes: the classic
+  // power-cut torn write. Recovery must truncate torn WAL tails and undo
+  // torn data pages via their logged before-images.
+  for (const char* point :
+       {fp::kWalAppendWrite, fp::kDiskWrite, fp::kDiskAllocWrite}) {
+    for (uint64_t trigger : {1u, 3u}) {
+      TortureWorkload(point, FaultKind::kTornWrite, trigger, /*partial=*/7);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// ---- WAL append hardening regressions ------------------------------------
+
+TEST_F(CrashRecoveryTest, AppendSurvivesShortWritesAndEintr) {
+  // Pre-fix AppendRecord issued one ::write and treated a short count or
+  // EINTR as a hard error; the hardened loop must finish the record.
+  std::string prefix = FreshPrefix();
+  std::set<int> committed;
+  ASSERT_NO_FATAL_FAILURE(BuildBaseline(prefix, &committed));
+  auto& injector = FaultInjector::Instance();
+  auto& metrics = obs::StorageMetrics::Instance();
+  injector.Reset();
+  metrics.Reset();
+
+  FaultSpec short_write;
+  short_write.kind = FaultKind::kShortWrite;
+  short_write.times = 3;
+  short_write.partial_bytes = 5;
+  injector.Arm(fp::kWalAppendWrite, short_write);
+  {
+    TermFactory f;
+    auto sm = StorageManager::Open(prefix, &f);
+    ASSERT_TRUE(sm.ok()) << sm.status().ToString();
+    PersistentRelation* rel = (*sm)->FindRelation("t", 2);
+    ASSERT_NE(rel, nullptr);
+    ASSERT_TRUE((*sm)->Begin().ok());
+    ASSERT_TRUE(rel->Insert(MakeT(&f, 100)));
+    ASSERT_TRUE((*sm)->io_error().ok()) << (*sm)->io_error().ToString();
+    ASSERT_TRUE((*sm)->Commit().ok());
+    committed.insert(100);
+
+    // EINTR storms are retried transparently, not surfaced.
+    injector.Reset();
+    FaultSpec eintr;
+    eintr.kind = FaultKind::kError;
+    eintr.err = EINTR;
+    eintr.times = 4;
+    injector.Arm(fp::kWalAppendWrite, eintr);
+    ASSERT_TRUE((*sm)->Begin().ok());
+    ASSERT_TRUE(rel->Insert(MakeT(&f, 101)));
+    ASSERT_TRUE((*sm)->Commit().ok());
+    committed.insert(101);
+    ASSERT_TRUE((*sm)->Close().ok());
+  }
+  EXPECT_GT(metrics.short_transfers.load(), 0u);
+  EXPECT_GE(metrics.eintr_retries.load(), 4u);
+  // The log is well-formed: every record parses, no torn tail.
+  auto ins = WriteAheadLog::Inspect(prefix + ".wal");
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  EXPECT_FALSE(ins->old_format);
+  EXPECT_TRUE(ins->tail_error.empty()) << ins->tail_error;
+  EXPECT_EQ(ins->valid_bytes, ins->file_bytes);
+  injector.Reset();
+  ASSERT_NO_FATAL_FAILURE(VerifyState(prefix, committed, {}, {}));
+}
+
+TEST_F(CrashRecoveryTest, FailedAppendRollsBackToRecordBoundary) {
+  // A genuinely failed append must leave the log at the previous record
+  // boundary, not misaligned — the next append starts clean.
+  std::string prefix = FreshPrefix();
+  std::set<int> committed;
+  ASSERT_NO_FATAL_FAILURE(BuildBaseline(prefix, &committed));
+  auto& injector = FaultInjector::Instance();
+  auto& metrics = obs::StorageMetrics::Instance();
+  injector.Reset();
+  metrics.Reset();
+  {
+    TermFactory f;
+    auto sm = StorageManager::Open(prefix, &f);
+    ASSERT_TRUE(sm.ok()) << sm.status().ToString();
+    PersistentRelation* rel = (*sm)->FindRelation("t", 2);
+    ASSERT_NE(rel, nullptr);
+    FaultSpec fail;
+    fail.kind = FaultKind::kError;
+    fail.err = EIO;
+    injector.Arm(fp::kWalAppendWrite, fail);
+    EXPECT_FALSE((*sm)->Begin().ok());  // Begin's record never landed
+    injector.Reset();
+    // The log is still aligned: the next transaction works end to end.
+    ASSERT_TRUE((*sm)->Begin().ok());
+    ASSERT_TRUE(rel->Insert(MakeT(&f, 200)));
+    ASSERT_TRUE((*sm)->Commit().ok());
+    committed.insert(200);
+    ASSERT_TRUE((*sm)->Close().ok());
+  }
+  EXPECT_GT(metrics.wal_append_truncations.load(), 0u);
+  auto ins = WriteAheadLog::Inspect(prefix + ".wal");
+  ASSERT_TRUE(ins.ok());
+  EXPECT_TRUE(ins->tail_error.empty()) << ins->tail_error;
+  ASSERT_NO_FATAL_FAILURE(VerifyState(prefix, committed, {}, {}));
+}
+
+TEST_F(CrashRecoveryTest, CommitRefusedAfterLoggingFailure) {
+  // Pre-fix, a failed before-image append aborted the whole process
+  // (CHECK). Now it latches an error; Commit refuses (undo could not be
+  // guaranteed) and a successful Abort clears the latch.
+  std::string prefix = FreshPrefix();
+  std::set<int> committed;
+  ASSERT_NO_FATAL_FAILURE(BuildBaseline(prefix, &committed));
+  auto& injector = FaultInjector::Instance();
+  injector.Reset();
+  TermFactory f;
+  auto sm = StorageManager::Open(prefix, &f);
+  ASSERT_TRUE(sm.ok()) << sm.status().ToString();
+  PersistentRelation* rel = (*sm)->FindRelation("t", 2);
+  ASSERT_NE(rel, nullptr);
+
+  ASSERT_TRUE((*sm)->Begin().ok());
+  FaultSpec fail;
+  fail.kind = FaultKind::kError;
+  fail.err = EIO;
+  fail.trigger_hit = injector.hits(fp::kWalAppendWrite) + 1;
+  injector.Arm(fp::kWalAppendWrite, fail);
+  rel->Insert(MakeT(&f, 300));  // first page modification logs the image
+  EXPECT_FALSE((*sm)->io_error().ok());
+  EXPECT_FALSE((*sm)->Commit().ok());
+  ASSERT_TRUE((*sm)->Abort().ok());
+  EXPECT_TRUE((*sm)->io_error().ok());  // latch cleared by the undo
+
+  injector.Reset();
+  ASSERT_TRUE((*sm)->Begin().ok());
+  ASSERT_TRUE(rel->Insert(MakeT(&f, 301)));
+  ASSERT_TRUE((*sm)->Commit().ok());
+  committed.insert(301);
+  ASSERT_TRUE((*sm)->Close().ok());
+  sm->reset();
+  ASSERT_NO_FATAL_FAILURE(VerifyState(prefix, committed, {}, {}));
+}
+
+// ---- on-disk format: torn tails, corruption, legacy logs ----------------
+
+// Builds a v1 record exactly as the WAL writes it.
+std::string V1Record(uint32_t type, uint64_t txn, uint32_t page,
+                     const char* image) {
+  uint32_t payload_len = type == 2 ? kPageSize : 0;
+  std::string rec;
+  rec.append("CWAL", 4);
+  auto put32 = [&rec](uint32_t v) {
+    rec.append(reinterpret_cast<const char*>(&v), 4);
+  };
+  put32(type);
+  rec.append(reinterpret_cast<const char*>(&txn), 8);
+  put32(page);
+  put32(payload_len);
+  put32(payload_len != 0 ? Crc32(image, payload_len) : 0);
+  put32(Crc32(rec.data(), 28));
+  if (payload_len != 0) rec.append(image, payload_len);
+  return rec;
+}
+
+// Builds a record in the legacy struct-dump format (24-byte padded
+// header: type at 0, txn at 8, page at 16).
+std::string LegacyRecord(uint32_t type, uint64_t txn, uint32_t page,
+                         const char* image) {
+  char h[24] = {0};
+  std::memcpy(h + 0, &type, 4);
+  std::memcpy(h + 8, &txn, 8);
+  std::memcpy(h + 16, &page, 4);
+  std::string rec(h, sizeof(h));
+  if (type == 2) rec.append(image, kPageSize);
+  return rec;
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+class WalFormatTest : public CrashRecoveryTest {
+ protected:
+  /// A 2-page database: page0 = 'A'*, page1 = 'B'*.
+  void BuildRawDb(const std::string& db_path) {
+    DiskManager disk;
+    ASSERT_TRUE(disk.Open(db_path).ok());
+    ASSERT_TRUE(disk.AllocatePage().ok());
+    ASSERT_TRUE(disk.AllocatePage().ok());
+    std::vector<char> a(kPageSize, 'A'), b(kPageSize, 'B');
+    ASSERT_TRUE(disk.WritePage(0, a.data()).ok());
+    ASSERT_TRUE(disk.WritePage(1, b.data()).ok());
+    ASSERT_TRUE(disk.Sync().ok());
+    ASSERT_TRUE(disk.Close().ok());
+  }
+
+  void ExpectPage(DiskManager* disk, PageId id, char fill) {
+    std::vector<char> buf(kPageSize);
+    ASSERT_TRUE(disk->ReadPage(id, buf.data()).ok());
+    EXPECT_EQ(buf[0], fill) << "page " << id;
+    EXPECT_EQ(buf[kPageSize - 1], fill) << "page " << id;
+  }
+
+  /// Common log prefix: txn1 (image of page0='X') COMMITTED, txn2 (image
+  /// of page1='Y') uncommitted. Recovery must leave page0 alone and
+  /// restore page1 to 'Y'.
+  std::string CommittedPlusUncommitted() {
+    std::vector<char> x(kPageSize, 'X'), y(kPageSize, 'Y');
+    std::string log;
+    log += V1Record(1, 1, 0, nullptr);
+    log += V1Record(2, 1, 0, x.data());
+    log += V1Record(3, 1, 0, nullptr);
+    log += V1Record(1, 2, 0, nullptr);
+    log += V1Record(2, 2, 1, y.data());
+    return log;
+  }
+
+  void RunRecoverAndCheck(const std::string& tail,
+                          const char* expected_metric_event) {
+    std::string prefix = FreshPrefix();
+    std::string db = prefix + ".db", wal = prefix + ".wal";
+    ASSERT_NO_FATAL_FAILURE(BuildRawDb(db));
+    WriteFile(wal, CommittedPlusUncommitted() + tail);
+    obs::StorageMetrics::Instance().Reset();
+    DiskManager disk;
+    ASSERT_TRUE(disk.Open(db).ok());
+    Status st = WriteAheadLog::Recover(wal, &disk);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    ExpectPage(&disk, 0, 'A');  // committed txn not undone
+    ExpectPage(&disk, 1, 'Y');  // uncommitted txn undone
+    ASSERT_TRUE(disk.Close().ok());
+    EXPECT_EQ(std::filesystem::file_size(wal), 0u);  // log emptied
+    if (expected_metric_event != nullptr) {
+      EXPECT_TRUE(
+          obs::StorageMetrics::Instance().SawEvent(expected_metric_event))
+          << expected_metric_event;
+    }
+  }
+};
+
+TEST_F(WalFormatTest, CleanLogRecovers) {
+  RunRecoverAndCheck("", nullptr);
+  EXPECT_TRUE(obs::StorageMetrics::Instance().SawEvent("recover.done"));
+}
+
+TEST_F(WalFormatTest, TornTailMidHeaderTruncated) {
+  std::string torn = V1Record(1, 3, 0, nullptr).substr(0, 10);
+  RunRecoverAndCheck(torn, "recover.torn_tail");
+  EXPECT_GT(obs::StorageMetrics::Instance().torn_tails_truncated.load(), 0u);
+}
+
+TEST_F(WalFormatTest, TornTailMidImageTruncated) {
+  std::vector<char> z(kPageSize, 'Z');
+  std::string torn = V1Record(2, 2, 0, z.data()).substr(0, 32 + 100);
+  RunRecoverAndCheck(torn, "recover.torn_tail");
+  EXPECT_GT(obs::StorageMetrics::Instance().torn_tails_truncated.load(), 0u);
+}
+
+TEST_F(WalFormatTest, TrailingGarbageTruncated) {
+  RunRecoverAndCheck("NOTAWALRECORD_________", "recover.torn_tail");
+}
+
+TEST_F(WalFormatTest, CorruptPayloadCrcDropped) {
+  std::vector<char> z(kPageSize, 'Z');
+  std::string bad = V1Record(2, 2, 0, z.data());
+  bad[32 + 1234] ^= 0x40;  // flip one payload byte after the 32B header
+  RunRecoverAndCheck(bad, "recover.torn_tail");
+  EXPECT_GT(obs::StorageMetrics::Instance().corrupt_records_dropped.load(),
+            0u);
+}
+
+TEST_F(WalFormatTest, CorruptHeaderCrcDropped) {
+  std::string bad = V1Record(1, 9, 0, nullptr);
+  bad[9] ^= 0x01;  // damage the txn field; header CRC catches it
+  RunRecoverAndCheck(bad, "recover.torn_tail");
+}
+
+TEST_F(WalFormatTest, LegacyFormatLogStillRecovers) {
+  // Logs written before the CRC-framed format: raw padded structs.
+  std::string prefix = FreshPrefix();
+  std::string db = prefix + ".db", wal = prefix + ".wal";
+  ASSERT_NO_FATAL_FAILURE(BuildRawDb(db));
+  std::vector<char> y(kPageSize, 'Y');
+  std::string log;
+  log += LegacyRecord(1, 1, 0, nullptr);
+  log += LegacyRecord(2, 1, 1, y.data());  // uncommitted
+  WriteFile(wal, log);
+  obs::StorageMetrics::Instance().Reset();
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(db).ok());
+  ASSERT_TRUE(WriteAheadLog::Recover(wal, &disk).ok());
+  ExpectPage(&disk, 0, 'A');
+  ExpectPage(&disk, 1, 'Y');
+  ASSERT_TRUE(disk.Close().ok());
+  EXPECT_GT(obs::StorageMetrics::Instance().old_format_logs_read.load(), 0u);
+  EXPECT_TRUE(obs::StorageMetrics::Instance().SawEvent("recover.old_format"));
+}
+
+TEST_F(WalFormatTest, InspectReportsRecordTable) {
+  std::string prefix = FreshPrefix();
+  std::string wal = prefix + ".wal";
+  std::string log = CommittedPlusUncommitted();
+  std::string torn = V1Record(1, 7, 0, nullptr).substr(0, 16);
+  WriteFile(wal, log + torn);
+  auto ins = WriteAheadLog::Inspect(wal);
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  ASSERT_EQ(ins->records.size(), 5u);
+  EXPECT_EQ(ins->records[0].type, 1u);
+  EXPECT_EQ(ins->records[1].type, 2u);
+  EXPECT_EQ(ins->records[1].page, 0u);
+  EXPECT_EQ(ins->records[1].size, 32u + kPageSize);
+  EXPECT_EQ(ins->records[2].type, 3u);
+  EXPECT_EQ(ins->records[4].txn, 2u);
+  EXPECT_FALSE(ins->old_format);
+  EXPECT_EQ(ins->valid_bytes, log.size());
+  EXPECT_EQ(ins->file_bytes, log.size() + torn.size());
+  EXPECT_FALSE(ins->tail_error.empty());
+}
+
+// ---- directory durability and degraded mode ------------------------------
+
+TEST_F(CrashRecoveryTest, ParentDirectoryFsyncedOnCreation) {
+  // Creating .db/.wal must fsync their directory (a crash right after
+  // open(O_CREAT) must not lose the directory entries). Observable via
+  // the failpoint hit counters: pre-fix these points did not exist.
+  auto& injector = FaultInjector::Instance();
+  auto& metrics = obs::StorageMetrics::Instance();
+  injector.Reset();
+  metrics.Reset();
+  std::string prefix = FreshPrefix();
+  {
+    TermFactory f;
+    auto sm = StorageManager::Open(prefix, &f);
+    ASSERT_TRUE(sm.ok());
+    ASSERT_TRUE((*sm)->Close().ok());
+  }
+  EXPECT_GT(injector.hits(fp::kDiskDirSync), 0u);
+  EXPECT_GT(injector.hits(fp::kWalDirSync), 0u);
+  EXPECT_GE(metrics.dir_fsyncs.load(), 2u);
+  // Reopening an existing database must NOT re-sync the directory.
+  uint64_t disk_before = injector.hits(fp::kDiskDirSync);
+  uint64_t wal_before = injector.hits(fp::kWalDirSync);
+  {
+    TermFactory f;
+    auto sm = StorageManager::Open(prefix, &f);
+    ASSERT_TRUE(sm.ok());
+    ASSERT_TRUE((*sm)->Close().ok());
+  }
+  EXPECT_EQ(injector.hits(fp::kDiskDirSync), disk_before);
+  EXPECT_EQ(injector.hits(fp::kWalDirSync), wal_before);
+}
+
+TEST_F(CrashRecoveryTest, ReadOnlyDegradationWhenLogUnopenable) {
+  // Pre-fix, Recover treated ANY open failure as "nothing to recover" and
+  // the database came up writable with no undo log. Now: reads work,
+  // every mutation path refuses.
+  std::string prefix = FreshPrefix();
+  std::set<int> committed;
+  ASSERT_NO_FATAL_FAILURE(BuildBaseline(prefix, &committed));
+  // Make the log unopenable (EISDIR) without deleting it.
+  std::filesystem::remove(prefix + ".wal");
+  std::filesystem::create_directory(prefix + ".wal");
+  obs::StorageMetrics::Instance().Reset();
+  {
+    TermFactory f;
+    auto sm = StorageManager::Open(prefix, &f);
+    ASSERT_TRUE(sm.ok()) << sm.status().ToString();
+    EXPECT_TRUE((*sm)->read_only());
+    PersistentRelation* rel = (*sm)->FindRelation("t", 2);
+    ASSERT_NE(rel, nullptr);
+    // Reads still serve.
+    size_t n = 0;
+    auto it = rel->Scan();
+    while (it->Next() != nullptr) ++n;
+    EXPECT_EQ(n, committed.size());
+    EXPECT_TRUE(rel->Contains(MakeT(&f, 0)));
+    // Mutations refuse instead of running without a log.
+    EXPECT_FALSE((*sm)->Begin().ok());
+    EXPECT_FALSE(rel->Insert(MakeT(&f, 400)));
+    EXPECT_EQ(rel->size(), committed.size());
+    EXPECT_FALSE((*sm)->CreateRelation("u", 1).ok());
+    EXPECT_FALSE((*sm)->SaveCatalog().ok());
+    ASSERT_TRUE((*sm)->Close().ok());
+  }
+  EXPECT_GT(
+      obs::StorageMetrics::Instance().read_only_degradations.load(), 0u);
+  EXPECT_TRUE(obs::StorageMetrics::Instance().SawEvent("storage.read_only"));
+  // Restore the log path: fully writable again.
+  std::filesystem::remove(prefix + ".wal");
+  ASSERT_NO_FATAL_FAILURE(VerifyState(prefix, committed, {}, {}));
+}
+
+// ---- hardened I/O loops on the data file ---------------------------------
+
+TEST_F(CrashRecoveryTest, PageIoSurvivesEintrAndShortTransfers) {
+  auto& injector = FaultInjector::Instance();
+  auto& metrics = obs::StorageMetrics::Instance();
+  injector.Reset();
+  metrics.Reset();
+  std::string prefix = FreshPrefix();
+  DiskManager disk;
+  ASSERT_TRUE(disk.Open(prefix + ".db").ok());
+  ASSERT_TRUE(disk.AllocatePage().ok());
+
+  std::vector<char> page(kPageSize, 'Q');
+  FaultSpec eintr;
+  eintr.kind = FaultKind::kError;
+  eintr.err = EINTR;
+  eintr.times = 2;
+  injector.Arm(fp::kDiskWrite, eintr);
+  ASSERT_TRUE(disk.WritePage(0, page.data()).ok());
+  EXPECT_GE(metrics.eintr_retries.load(), 2u);
+
+  injector.Reset();
+  FaultSpec short_read;
+  short_read.kind = FaultKind::kShortWrite;
+  short_read.partial_bytes = 100;
+  injector.Arm(fp::kDiskRead, short_read);
+  std::vector<char> back(kPageSize);
+  ASSERT_TRUE(disk.ReadPage(0, back.data()).ok());
+  EXPECT_EQ(back[0], 'Q');
+  EXPECT_EQ(back[kPageSize - 1], 'Q');
+  EXPECT_GT(metrics.short_transfers.load(), 0u);
+
+  // Bounded transient retry: a brief EAGAIN storm is absorbed...
+  injector.Reset();
+  FaultSpec eagain;
+  eagain.kind = FaultKind::kError;
+  eagain.err = EAGAIN;
+  eagain.times = 3;
+  injector.Arm(fp::kDiskSync, eagain);
+  ASSERT_TRUE(disk.Sync().ok());
+  EXPECT_GE(metrics.transient_retries.load(), 3u);
+  // ...but a persistent one is surfaced, not retried forever.
+  injector.Reset();
+  eagain.times = 1000;
+  injector.Arm(fp::kDiskSync, eagain);
+  EXPECT_FALSE(disk.Sync().ok());
+  injector.Reset();
+  ASSERT_TRUE(disk.Close().ok());
+}
+
+}  // namespace
+}  // namespace coral
