@@ -31,6 +31,7 @@ constexpr char kModule[] = R"(
 void BM_EndToEnd_MemoryBase(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   Database db;
+  bench::MaybeProfile(&db);
   if (!db.Consult(kModule).ok()) return;
   if (!db.Consult(bench::ChainFacts("link", n)).ok()) return;
   for (auto _ : state) {
@@ -53,6 +54,8 @@ void BM_EndToEnd_PersistentBase(benchmark::State& state) {
   std::filesystem::remove(prefix + ".wal");
 
   Database db;
+
+  bench::MaybeProfile(&db);
   auto sm = StorageManager::Open(prefix, db.factory());
   if (!sm.ok()) return;
   auto rel = (*sm)->CreateRelation("link", 2);
@@ -85,6 +88,7 @@ void BM_ConsultProgram(benchmark::State& state) {
   std::string text = std::string(kModule) + bench::ChainFacts("link", n);
   for (auto _ : state) {
     Database db;
+    bench::MaybeProfile(&db);
     auto st = db.Consult(text);
     if (!st.ok()) {
       state.SkipWithError(st.status().ToString().c_str());
@@ -100,6 +104,7 @@ BENCHMARK(BM_ConsultProgram)->Arg(1000)->Arg(10000);
 void BM_CompileQueryForm(benchmark::State& state) {
   for (auto _ : state) {
     Database db;
+    bench::MaybeProfile(&db);
     if (!db.Consult(kModule).ok()) return;
     auto listing = db.modules()->RewrittenListing("routes", "reachable",
                                                   "bf");

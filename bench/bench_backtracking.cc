@@ -28,6 +28,7 @@ std::string JoinModule(bool intelligent) {
 void RunJoin(benchmark::State& state, bool intelligent) {
   int n = static_cast<int>(state.range(0));
   Database db;
+  bench::MaybeProfile(&db);
   if (!db.Consult(JoinModule(intelligent)).ok()) return;
   std::string facts;
   for (int i = 0; i < n; ++i) {

@@ -28,6 +28,7 @@ std::string Module(bool multiset) {
 void Run(benchmark::State& state, bool multiset) {
   int v = static_cast<int>(state.range(0));
   Database db;
+  bench::MaybeProfile(&db);
   if (!db.Consult(Module(multiset)).ok()) return;
   // Dense: every node has v/4 outgoing edges -> v/4 duplicates per X.
   if (!db.Consult(bench::RandomGraphFacts("e", v, v * v / 4, false)).ok()) {

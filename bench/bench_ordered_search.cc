@@ -14,6 +14,7 @@ namespace {
 void BM_OrderedSearch_WinMove(benchmark::State& state) {
   int depth = static_cast<int>(state.range(0));
   Database db;
+  bench::MaybeProfile(&db);
   if (!db.Consult(R"(
     module game.
     export win(b).
@@ -42,6 +43,7 @@ BENCHMARK(BM_OrderedSearch_WinMove)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
 void BM_StratifiedNegation_Reference(benchmark::State& state) {
   int depth = static_cast<int>(state.range(0));
   Database db;
+  bench::MaybeProfile(&db);
   if (!db.Consult(R"(
     module ref.
     export haschild(b).
@@ -72,6 +74,7 @@ BENCHMARK(BM_StratifiedNegation_Reference)->Arg(8)->Arg(10);
 void BM_OrderedSearch_NimChain(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   Database db;
+  bench::MaybeProfile(&db);
   if (!db.Consult(R"(
     module game.
     export win(b).

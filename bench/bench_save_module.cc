@@ -29,6 +29,7 @@ void RunRepeatedQueries(benchmark::State& state, bool save) {
   for (auto _ : state) {
     state.PauseTiming();
     Database db;
+    bench::MaybeProfile(&db);
     if (!db.Consult(AncModule(save)).ok()) return;
     if (!db.Consult(bench::ChainFacts("par", n)).ok()) return;
     state.ResumeTiming();
@@ -62,6 +63,7 @@ BENCHMARK(BM_RepeatedQueries_SaveModule)->Arg(64)->Arg(128);
 void RunSameQuery(benchmark::State& state, bool save) {
   int n = static_cast<int>(state.range(0));
   Database db;
+  bench::MaybeProfile(&db);
   if (!db.Consult(AncModule(save)).ok()) return;
   if (!db.Consult(bench::ChainFacts("par", n)).ok()) return;
   // Warm-up call (compilation + first evaluation).

@@ -23,9 +23,15 @@ inline int g_threads_override = 0;
 /// engine (EXPERIMENTS.md records the disabled-mode overhead instead).
 inline bool g_profile = false;
 
-/// Strips the harness's own flags (--threads=N, --profile) from argv
-/// (benchmark::Initialize rejects flags it does not know) and records
-/// them. Call first in main().
+/// --no-auto-index: turn Database::set_auto_optimize off on every
+/// benchmark database — no automatic argument indexes, no join
+/// reordering. EXPERIMENTS.md records this unoptimized baseline against
+/// the default run.
+inline bool g_no_auto_optimize = false;
+
+/// Strips the harness's own flags (--threads=N, --profile,
+/// --no-auto-index) from argv (benchmark::Initialize rejects flags it
+/// does not know) and records them. Call first in main().
 inline void ParseThreadsFlag(int* argc, char** argv) {
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
@@ -33,6 +39,8 @@ inline void ParseThreadsFlag(int* argc, char** argv) {
       g_threads_override = std::atoi(argv[i] + 10);
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       g_profile = true;
+    } else if (std::strcmp(argv[i], "--no-auto-index") == 0) {
+      g_no_auto_optimize = true;
     } else {
       argv[out++] = argv[i];
     }
@@ -40,11 +48,13 @@ inline void ParseThreadsFlag(int* argc, char** argv) {
   *argc = out;
 }
 
-/// Turns profiling on for `db` when --profile was given. Call right
+/// Applies the harness flags to `db`: profiling when --profile was
+/// given, auto-optimization off when --no-auto-index was. Call right
 /// after constructing the benchmark's Database.
 template <typename DB>
 inline void MaybeProfile(DB* db) {
   if (g_profile) db->set_profiling(true);
+  if (g_no_auto_optimize) db->set_auto_optimize(false);
 }
 
 /// Prints the collected profile under the given label when --profile was

@@ -1,0 +1,807 @@
+#include "src/analysis/absint.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/rewrite/existential.h"
+
+namespace coral::absint {
+namespace {
+
+/// A stored or derived relation (not an operator / builtin). Base
+/// relations consulted outside the module count: they multiply join
+/// cardinality and their probes want indexes.
+bool IsRelationLiteral(const Literal& lit, const AbsIntOptions& opts,
+                       const DepGraph& graph) {
+  if (graph.IsDerived(lit.pred_ref())) return true;
+  if (IsOperatorSymbol(lit.pred)) return false;
+  return opts.is_builtin == nullptr ||
+         !opts.is_builtin(lit.pred->name,
+                          static_cast<uint32_t>(lit.args.size()));
+}
+
+/// Whether the engine's unifier could equate values of these type sets.
+/// Numeric kinds are widened into one class so the analysis never claims
+/// a rule dead on an int-vs-double disagreement.
+TypeSet WidenNumeric(TypeSet t) {
+  return (t & kTNumeric) != 0 ? (t | kTNumeric) : t;
+}
+
+TypeSet TypeOfTerm(const Arg* t, const std::vector<ArgFacts>* vars) {
+  switch (t->kind()) {
+    case ArgKind::kInt: return kTInt;
+    case ArgKind::kDouble: return kTDouble;
+    case ArgKind::kString: return kTString;
+    case ArgKind::kBigInt: return kTBigInt;
+    case ArgKind::kSet: return kTSet;
+    case ArgKind::kUser: return kTUser;
+    case ArgKind::kVariable: {
+      if (vars == nullptr) return kTypeTop;
+      uint32_t slot = ArgCast<Variable>(t)->slot();
+      return slot < vars->size() ? (*vars)[slot].types : kTypeTop;
+    }
+    case ArgKind::kAtomOrFunctor: {
+      const auto* f = ArgCast<FunctorArg>(t);
+      if (f->name() == kGroupMarker) return kTSet;
+      if (f->arity() == 0) return f->name() == "[]" ? kTList : kTAtom;
+      if (f->arity() == 2 && f->name() == ".") return kTList;
+      return kTFunctor;
+    }
+  }
+  return kTypeTop;
+}
+
+Ground TermGroundness(const Arg* t, const std::vector<ArgFacts>& vars) {
+  if (t->IsGround()) return Ground::kGround;
+  if (t->kind() == ArgKind::kVariable) {
+    uint32_t slot = ArgCast<Variable>(t)->slot();
+    return slot < vars.size() ? vars[slot].ground : Ground::kTop;
+  }
+  // Non-ground composite: ground iff every contained variable is proven
+  // ground; definitely nonground if some variable definitely stays free.
+  std::set<uint32_t> slots;
+  CollectVars(t, &slots);
+  bool saw_top = false;
+  for (uint32_t s : slots) {
+    Ground g = s < vars.size() ? vars[s].ground : Ground::kTop;
+    if (g == Ground::kNonGround) return Ground::kNonGround;
+    if (g != Ground::kGround) saw_top = true;
+  }
+  return saw_top ? Ground::kTop : Ground::kGround;
+}
+
+/// Mutable per-rule variable facts during the transfer function.
+struct VarState {
+  std::vector<ArgFacts> v;
+  const Rule* rule = nullptr;
+  bool changed = false;
+  bool dead = false;
+  std::string dead_reason;
+};
+
+std::string VarName(const Rule& r, uint32_t slot) {
+  if (slot < r.var_names.size() && !r.var_names[slot].empty()) {
+    return r.var_names[slot];
+  }
+  return "_" + std::to_string(slot);
+}
+
+void MeetVar(uint32_t slot, ArgFacts f, VarState* s) {
+  if (slot >= s->v.size()) return;
+  f.types = WidenNumeric(f.types);
+  const ArgFacts old = s->v[slot];
+  ArgFacts nw{MeetGround(old.ground, f.ground), old.types & f.types};
+  if (nw.types == kTypeBottom && old.types != kTypeBottom &&
+      f.types != kTypeBottom && !s->dead) {
+    s->dead = true;
+    s->dead_reason = "variable '" + VarName(*s->rule, slot) +
+                     "' admits no type (" + TypeSetToString(old.types) +
+                     " vs " + TypeSetToString(f.types) + ")";
+  }
+  if (!(nw == old)) {
+    s->v[slot] = nw;
+    s->changed = true;
+  }
+}
+
+/// All variables inside `t` are bound to ground values.
+void GroundVarsIn(const Arg* t, VarState* s) {
+  std::set<uint32_t> slots;
+  CollectVars(t, &slots);
+  for (uint32_t slot : slots) {
+    MeetVar(slot, ArgFacts{Ground::kGround, kTypeTop}, s);
+  }
+}
+
+/// Constrains the variables of body term `t` by the facts `f` describing
+/// the values arriving at its position. Stored values that are nonground
+/// unify with anything on instantiation, so only a kGround source
+/// constrains groundness; types always constrain the top-level
+/// constructor (a stored bare variable contributes kTypeTop).
+void ConstrainTerm(const Arg* t, const ArgFacts& f, VarState* s) {
+  if (f.ground == Ground::kBottom) return;  // unreached source: no info
+  Ground eff = f.ground == Ground::kGround ? Ground::kGround : Ground::kTop;
+  if (t->kind() == ArgKind::kVariable) {
+    MeetVar(ArgCast<Variable>(t)->slot(), ArgFacts{eff, f.types}, s);
+    return;
+  }
+  TypeSet tt = WidenNumeric(TypeOfTerm(t, &s->v));
+  TypeSet ft = WidenNumeric(f.types);
+  if ((tt & ft) == 0 && ft != kTypeBottom && tt != kTypeBottom && !s->dead) {
+    s->dead = true;
+    s->dead_reason = "term '" + t->ToString() +
+                     "' can never match stored values of type " +
+                     TypeSetToString(f.types);
+  }
+  if (t->IsGround()) return;
+  if (eff == Ground::kGround) GroundVarsIn(t, s);
+}
+
+/// True when `sub` occurs strictly inside composite term `t`.
+bool StrictSubterm(const Arg* sub, const Arg* t) {
+  if (t->kind() != ArgKind::kAtomOrFunctor) return false;
+  const auto* f = ArgCast<FunctorArg>(t);
+  for (const Arg* a : f->args()) {
+    if (a->Equals(*sub)) return true;
+    if (StrictSubterm(sub, a)) return true;
+  }
+  return false;
+}
+
+struct Ctx {
+  const std::vector<Rule>& rules;
+  const DepGraph& graph;
+  const AbsIntOptions& opts;
+  AnalysisResult* res;
+};
+
+/// One application of rule `ridx`'s transfer function against the current
+/// predicate facts. Returns true when the head predicate's facts grew;
+/// `*rule_card` receives the rule's cardinality contribution.
+bool TransferRule(const Ctx& c, uint32_t ridx, Card* rule_card) {
+  const Rule& r = c.rules[ridx];
+  const PredRef h = r.head.pred_ref();
+
+  VarState s;
+  s.rule = &r;
+  s.v.assign(r.var_count, ArgFacts{Ground::kTop, kTypeTop});
+
+  // Call-side bound head positions receive ground query constants.
+  auto bit = c.res->bound.find(h);
+  if (bit != c.res->bound.end()) {
+    for (uint32_t i = 0; i < r.head.args.size() && i < bit->second.size();
+         ++i) {
+      if (bit->second[i]) GroundVarsIn(r.head.args[i], &s);
+    }
+  }
+
+  // Variables never touched by a positive body literal stay unbound at
+  // runtime and are stored as variables — definitely nonground.
+  std::vector<uint8_t> binder(r.var_count, 0);
+  for (const Literal& lit : r.body) {
+    if (lit.negated) continue;
+    for (uint32_t v : VarsOfLiteral(lit)) {
+      if (v < binder.size()) binder[v] = 1;
+    }
+  }
+
+  bool changed = true;
+  for (int guard = 0; changed && guard < 64; ++guard) {
+    s.changed = false;
+    for (const Literal& lit : r.body) {
+      if (lit.negated) continue;
+      const PredRef q = lit.pred_ref();
+      if (c.graph.IsDerived(q)) {
+        const PredFacts& f = c.res->preds[q];
+        for (uint32_t j = 0; j < lit.args.size() && j < f.args.size(); ++j) {
+          ConstrainTerm(lit.args[j], f.args[j], &s);
+        }
+      } else if (IsOperatorSymbol(lit.pred) && lit.pred->name == "=" &&
+                 lit.args.size() == 2) {
+        // Unification: each side constrains the other.
+        const Arg* a = lit.args[0];
+        const Arg* b = lit.args[1];
+        ArgFacts fa{TermGroundness(a, s.v), TypeOfTerm(a, &s.v)};
+        ArgFacts fb{TermGroundness(b, s.v), TypeOfTerm(b, &s.v)};
+        ConstrainTerm(a, fb, &s);
+        ConstrainTerm(b, fa, &s);
+      }
+      // Other builtins and base relations: no static constraint.
+    }
+    changed = s.changed;
+  }
+
+  RuleFacts& rf = c.res->rules[ridx];
+  if (s.dead) {
+    if (!rf.dead) {
+      rf.dead = true;
+      rf.dead_reason = s.dead_reason;
+    }
+    *rule_card = Card::kEmpty;
+    return false;
+  }
+
+  Card card = Card::kOne;  // facts contribute a singleton
+  for (const Literal& lit : r.body) {
+    if (lit.negated) continue;
+    if (!IsRelationLiteral(lit, c.opts, c.graph)) continue;
+    card = MulCard(card, c.res->CardOf(lit.pred_ref()));
+  }
+  *rule_card = card;
+  if (card == Card::kEmpty) return false;  // body unreachable this round
+
+  for (uint32_t slot = 0; slot < s.v.size(); ++slot) {
+    if (binder[slot] == 0 && s.v[slot].ground == Ground::kTop) {
+      s.v[slot].ground = Ground::kNonGround;
+    }
+  }
+
+  PredFacts& pf = c.res->preds[h];
+  bool grew = false;
+  for (uint32_t i = 0; i < r.head.args.size() && i < pf.args.size(); ++i) {
+    ArgFacts af{TermGroundness(r.head.args[i], s.v),
+                TypeOfTerm(r.head.args[i], &s.v)};
+    ArgFacts nw = JoinArg(pf.args[i], af);
+    if (!(nw == pf.args[i])) {
+      pf.args[i] = nw;
+      grew = true;
+    }
+  }
+  return grew;
+}
+
+/// Must-bound call-side positions: starts optimistic (all bound) for
+/// every predicate that has a call site or an export seed, then
+/// intersects over call sites under the left-to-right SIP until stable.
+void BoundFixpoint(const Ctx& c) {
+  std::unordered_set<PredRef, PredRefHash> restricted;
+  for (const auto& [p, b] : c.opts.seeds) restricted.insert(p);
+  for (const Rule& r : c.rules) {
+    for (const Literal& lit : r.body) {
+      if (c.graph.IsDerived(lit.pred_ref())) {
+        restricted.insert(lit.pred_ref());
+      }
+    }
+  }
+  for (const PredRef& p : c.graph.derived()) {
+    c.res->bound[p].assign(p.arity, restricted.count(p) > 0);
+  }
+  for (const auto& [p, seed] : c.opts.seeds) {
+    auto it = c.res->bound.find(p);
+    if (it == c.res->bound.end()) continue;
+    for (uint32_t i = 0; i < it->second.size() && i < seed.size(); ++i) {
+      it->second[i] = it->second[i] && seed[i];
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& r : c.rules) {
+      const PredRef h = r.head.pred_ref();
+      std::set<uint32_t> B;
+      const std::vector<bool>& hb = c.res->bound[h];
+      for (uint32_t i = 0; i < r.head.args.size() && i < hb.size(); ++i) {
+        if (hb[i]) CollectVars(r.head.args[i], &B);
+      }
+      for (const Literal& lit : r.body) {
+        const PredRef q = lit.pred_ref();
+        if (c.graph.IsDerived(q)) {
+          std::vector<bool>& bq = c.res->bound[q];
+          for (uint32_t j = 0; j < lit.args.size() && j < bq.size(); ++j) {
+            if (bq[j] && !TermBound(lit.args[j], B)) {
+              bq[j] = false;
+              changed = true;
+            }
+          }
+        }
+        if (!lit.negated) {
+          for (uint32_t v : VarsOfLiteral(lit)) B.insert(v);
+        }
+      }
+    }
+  }
+}
+
+/// CRL203 candidates: a recursive rule whose head wraps a value produced
+/// by a same-SCC body literal in a bigger term grows the domain without
+/// bound, unless a bound argument descends structurally (the classic
+/// list-consuming shape app([H|T],L,[H|R]) :- app(T,L,R) under app(bbf)).
+void DetectFunctorGrowth(const Ctx& c) {
+  for (uint32_t ridx = 0; ridx < c.rules.size(); ++ridx) {
+    const Rule& r = c.rules[ridx];
+    const PredRef h = r.head.pred_ref();
+    auto pit = c.res->preds.find(h);
+    if (pit == c.res->preds.end() || !pit->second.recursive) continue;
+
+    std::vector<const Literal*> rec_lits;
+    std::set<uint32_t> rec_vars;
+    for (const Literal& lit : r.body) {
+      if (lit.negated) continue;
+      const PredRef q = lit.pred_ref();
+      if (!c.graph.IsDerived(q) || !c.graph.SameScc(h, q)) continue;
+      rec_lits.push_back(&lit);
+      for (uint32_t v : VarsOfLiteral(lit)) rec_vars.insert(v);
+    }
+    if (rec_lits.empty()) continue;
+
+    int candidate = -1;
+    for (uint32_t i = 0; i < r.head.args.size(); ++i) {
+      const Arg* t = r.head.args[i];
+      if (t->IsGround() || t->kind() != ArgKind::kAtomOrFunctor) continue;
+      if (ArgCast<FunctorArg>(t)->name() == kGroupMarker) continue;
+      std::set<uint32_t> vars;
+      CollectVars(t, &vars);
+      bool wraps = false;
+      for (uint32_t v : vars) {
+        if (rec_vars.count(v) > 0) {
+          wraps = true;
+          break;
+        }
+      }
+      if (wraps) {
+        candidate = static_cast<int>(i);
+        break;
+      }
+    }
+    if (candidate < 0) continue;
+
+    bool descent = false;
+    for (const Literal* lit : rec_lits) {
+      if (lit->pred_ref() != h) continue;  // direct recursion only
+      for (uint32_t j = 0; j < lit->args.size() && j < r.head.args.size();
+           ++j) {
+        if (!c.res->IsBoundPos(h, j)) continue;
+        if (StrictSubterm(lit->args[j], r.head.args[j])) {
+          descent = true;
+          break;
+        }
+      }
+      if (descent) break;
+    }
+    if (descent) continue;
+
+    RuleFacts& rf = c.res->rules[ridx];
+    rf.functor_growth = true;
+    rf.growth_pos = candidate;
+    pit->second.functor_growth = true;
+  }
+  for (auto& [p, pf] : c.res->preds) {
+    if (pf.functor_growth && pf.card != Card::kEmpty) {
+      pf.card = Card::kUnbounded;
+    }
+  }
+}
+
+/// CRL202: greedy bound-args-first simulation per rule; if even the best
+/// schedulable relation literal has zero bound arguments (after the first
+/// scan literal), the join is a cross product no index can support.
+void DetectCrossProducts(const Ctx& c) {
+  for (uint32_t ridx = 0; ridx < c.rules.size(); ++ridx) {
+    const Rule& r = c.rules[ridx];
+    size_t rel_count = 0;
+    for (const Literal& lit : r.body) {
+      if (!lit.negated && !lit.args.empty() &&
+          IsRelationLiteral(lit, c.opts, c.graph)) {
+        ++rel_count;
+      }
+    }
+    if (rel_count < 2) continue;
+
+    std::set<uint32_t> B;
+    const PredRef h = r.head.pred_ref();
+    auto hb = c.res->bound.find(h);
+    if (hb != c.res->bound.end()) {
+      for (uint32_t i = 0; i < r.head.args.size() && i < hb->second.size();
+           ++i) {
+        if (hb->second[i]) CollectVars(r.head.args[i], &B);
+      }
+    }
+
+    std::vector<uint32_t> remaining;
+    for (uint32_t i = 0; i < r.body.size(); ++i) remaining.push_back(i);
+    size_t scheduled_rels = 0;
+    auto is_rel = [&](const Literal& lit) {
+      return !lit.negated && IsRelationLiteral(lit, c.opts, c.graph);
+    };
+    while (!remaining.empty()) {
+      // Fully bound tests (builtins, comparisons, negation) run eagerly.
+      bool again = true;
+      while (again) {
+        again = false;
+        for (auto it = remaining.begin(); it != remaining.end(); ++it) {
+          const Literal& lit = r.body[*it];
+          if (is_rel(lit)) continue;
+          bool all_bound = true;
+          for (const Arg* a : lit.args) {
+            if (!TermBound(a, B)) {
+              all_bound = false;
+              break;
+            }
+          }
+          if (!all_bound) continue;
+          if (!lit.negated) {
+            for (uint32_t v : VarsOfLiteral(lit)) B.insert(v);
+          }
+          remaining.erase(it);
+          again = true;
+          break;
+        }
+      }
+      int best = -1;
+      int best_bound = -1;
+      for (uint32_t idx : remaining) {
+        const Literal& lit = r.body[idx];
+        if (!is_rel(lit)) continue;
+        int bound_args = 0;
+        for (const Arg* a : lit.args) {
+          if (TermBound(a, B)) ++bound_args;
+        }
+        if (bound_args > best_bound) {
+          best_bound = bound_args;
+          best = static_cast<int>(idx);
+        }
+      }
+      if (best < 0) break;  // only unbound tests left (safety's concern)
+      const Literal& chosen = r.body[best];
+      if (scheduled_rels > 0 && best_bound == 0 && !chosen.args.empty()) {
+        RuleFacts& rf = c.res->rules[ridx];
+        rf.cross_product = true;
+        rf.cross_literal = best;
+        break;
+      }
+      for (uint32_t v : VarsOfLiteral(chosen)) B.insert(v);
+      remaining.erase(
+          std::find(remaining.begin(), remaining.end(),
+                    static_cast<uint32_t>(best)));
+      ++scheduled_rels;
+    }
+  }
+}
+
+}  // namespace
+
+const PredFacts* AnalysisResult::Find(const PredRef& p) const {
+  auto it = preds.find(p);
+  return it == preds.end() ? nullptr : &it->second;
+}
+
+Card AnalysisResult::CardOf(const PredRef& p) const {
+  auto it = preds.find(p);
+  if (it != preds.end()) return it->second.card;
+  if (base_card != nullptr) return base_card(p);
+  return Card::kMany;
+}
+
+bool AnalysisResult::IsBoundPos(const PredRef& p, uint32_t pos) const {
+  auto it = bound.find(p);
+  return it != bound.end() && pos < it->second.size() && it->second[pos];
+}
+
+std::string AnalysisResult::Summary() const {
+  std::map<std::string, const PredFacts*> ordered;
+  for (const auto& [p, f] : preds) ordered[p.ToString()] = &f;
+  std::string out;
+  for (const auto& [name, f] : ordered) {
+    out += name + ": mode=" + f->ModeString() + ", types=(";
+    for (size_t i = 0; i < f->args.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += TypeSetToString(f->args[i].types);
+    }
+    out += "), card=" + std::string(CardName(f->card));
+    if (f->recursive) out += ", recursive";
+    if (f->functor_growth) out += ", functor-growth";
+    out += '\n';
+  }
+  return out;
+}
+
+AnalysisResult AnalyzeRules(const std::vector<Rule>& rules,
+                            const DepGraph& graph,
+                            const AbsIntOptions& opts) {
+  AnalysisResult res;
+  res.base_card = opts.base_card;
+  res.rules.assign(rules.size(), RuleFacts{});
+  for (const PredRef& p : graph.derived()) {
+    res.preds[p].args.assign(p.arity, ArgFacts{});
+  }
+
+  Ctx c{rules, graph, opts, &res};
+  BoundFixpoint(c);
+
+  // Engine-fed predicates start non-empty with ground arguments.
+  for (const PredRef& p : opts.assumed_facts) {
+    auto it = res.preds.find(p);
+    if (it == res.preds.end()) continue;
+    for (ArgFacts& a : it->second.args) {
+      a = JoinArg(a, ArgFacts{Ground::kGround, kTypeTop});
+    }
+  }
+
+  // Recursion: every member of a multi-predicate SCC, plus self-loops.
+  for (const Rule& r : rules) {
+    const PredRef h = r.head.pred_ref();
+    for (const Literal& lit : r.body) {
+      const PredRef q = lit.pred_ref();
+      if (graph.IsDerived(q) && graph.SameScc(h, q)) {
+        res.preds[h].recursive = true;
+      }
+    }
+  }
+  for (const auto& scc : graph.sccs()) {
+    if (scc.size() < 2) continue;
+    for (const PredRef& p : scc) res.preds[p].recursive = true;
+  }
+
+  // Rules grouped under their head's SCC; fixpoint per SCC in topo order.
+  std::vector<std::vector<uint32_t>> scc_rules(graph.sccs().size());
+  for (uint32_t i = 0; i < rules.size(); ++i) {
+    scc_rules[graph.SccOf(rules[i].head.pred_ref())].push_back(i);
+  }
+  std::vector<Card> rule_card(rules.size(), Card::kEmpty);
+
+  for (uint32_t si = 0; si < graph.sccs().size(); ++si) {
+    bool changed = true;
+    for (int guard = 0; changed && guard < 1000; ++guard) {
+      changed = false;
+      for (uint32_t ridx : scc_rules[si]) {
+        Card rc = Card::kEmpty;
+        if (TransferRule(c, ridx, &rc)) changed = true;
+        if (rc != rule_card[ridx]) {
+          rule_card[ridx] = rc;
+          changed = true;
+        }
+      }
+      for (const PredRef& p : graph.sccs()[si]) {
+        Card card = opts.assumed_facts.count(p) > 0 ? Card::kOne
+                                                    : Card::kEmpty;
+        for (uint32_t ridx : scc_rules[si]) {
+          if (rules[ridx].head.pred_ref() == p) {
+            card = AddCard(card, rule_card[ridx]);
+          }
+        }
+        PredFacts& pf = res.preds[p];
+        if (pf.recursive && card != Card::kEmpty) {
+          card = JoinCard(card, Card::kMany);
+        }
+        if (card != pf.card) {
+          pf.card = card;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  DetectFunctorGrowth(c);
+  DetectCrossProducts(c);
+  return res;
+}
+
+void CheckAbstractDomains(const ModuleDecl& mod, const AnalyzerOptions& opts,
+                          const DepGraph& graph, DiagnosticList* out) {
+  AbsIntOptions ai;
+  ai.is_builtin = opts.is_builtin;
+  // Export adornments restrict stored facts only when a magic rewriting
+  // propagates the query's bindings; under @no_rewriting the full
+  // relations are computed regardless of the calling convention.
+  if (mod.rewrite != RewriteKind::kNone) {
+    for (const QueryFormDecl& form : mod.exports) {
+      PredRef p{form.pred, static_cast<uint32_t>(form.adornment.size())};
+      std::vector<bool> b(form.adornment.size(), false);
+      for (size_t i = 0; i < form.adornment.size(); ++i) {
+        b[i] = form.adornment[i] == 'b' || form.adornment[i] == 'B';
+      }
+      auto it = ai.seeds.find(p);
+      if (it == ai.seeds.end()) {
+        ai.seeds.emplace(p, std::move(b));
+      } else {
+        for (size_t i = 0; i < it->second.size() && i < b.size(); ++i) {
+          it->second[i] = it->second[i] && b[i];
+        }
+      }
+    }
+  }
+
+  AnalysisResult res = AnalyzeRules(mod.rules, graph, ai);
+  for (uint32_t ridx = 0; ridx < mod.rules.size(); ++ridx) {
+    const Rule& r = mod.rules[ridx];
+    const RuleFacts& rf = res.rules[ridx];
+    const std::string head = r.head.pred_ref().ToString();
+    if (rf.dead) {
+      Diagnostic d;
+      d.severity = DiagSeverity::kWarning;
+      d.code = diag::kTypeConflictEmpty;
+      d.module_name = mod.name;
+      d.pred = head;
+      d.rule_index = static_cast<int>(ridx);
+      d.loc = r.loc;
+      d.message = "type analysis proves this rule can never derive a "
+                  "fact: " + rf.dead_reason;
+      out->Add(std::move(d));
+    }
+    if (rf.cross_product && rf.cross_literal >= 0 &&
+        rf.cross_literal < static_cast<int>(r.body.size())) {
+      const Literal& lit = r.body[rf.cross_literal];
+      Diagnostic d;
+      d.severity = DiagSeverity::kWarning;
+      d.code = diag::kUnindexableProbe;
+      d.module_name = mod.name;
+      d.pred = lit.pred_ref().ToString();
+      d.rule_index = static_cast<int>(ridx);
+      d.loc = lit.loc.valid() ? lit.loc : r.loc;
+      d.message = "join probe on '" + lit.pred_ref().ToString() +
+                  "' has no bound argument under any literal order "
+                  "(cross product); no index can support it";
+      out->Add(std::move(d));
+    }
+    if (rf.functor_growth && rf.growth_pos >= 0) {
+      const auto* f = ArgCast<FunctorArg>(r.head.args[rf.growth_pos]);
+      Diagnostic d;
+      d.severity = DiagSeverity::kWarning;
+      d.code = diag::kInfiniteDomain;
+      d.module_name = mod.name;
+      d.pred = head;
+      d.rule_index = static_cast<int>(ridx);
+      d.loc = r.loc;
+      d.message = "recursion grows argument " +
+                  std::to_string(rf.growth_pos + 1) + " of '" + head +
+                  "' through functor '" + f->name() +
+                  "' with no bound argument descending structurally; the "
+                  "inferred domain is infinite and evaluation may not "
+                  "terminate";
+      out->Add(std::move(d));
+    }
+  }
+}
+
+void CheckIndexDecls(const ModuleDecl& mod, const AnalyzerOptions& opts,
+                     const DepGraph& graph, DiagnosticList* out) {
+  (void)opts;
+  (void)graph;
+  // Arities each predicate name is actually used with.
+  std::map<std::string, std::set<uint32_t>> arities;
+  auto record = [&](const Literal& lit) {
+    arities[lit.pred->name].insert(static_cast<uint32_t>(lit.args.size()));
+  };
+  for (const Rule& r : mod.rules) {
+    record(r.head);
+    for (const Literal& lit : r.body) record(lit);
+  }
+
+  // Export-bound head variables seed the probe simulation for CRL137.
+  std::unordered_map<PredRef, std::vector<bool>, PredRefHash> seeds;
+  if (mod.rewrite != RewriteKind::kNone) {
+    for (const QueryFormDecl& form : mod.exports) {
+      PredRef p{form.pred, static_cast<uint32_t>(form.adornment.size())};
+      std::vector<bool> b(form.adornment.size(), false);
+      for (size_t i = 0; i < form.adornment.size(); ++i) {
+        b[i] = form.adornment[i] == 'b' || form.adornment[i] == 'B';
+      }
+      auto it = seeds.find(p);
+      if (it == seeds.end()) {
+        seeds.emplace(p, std::move(b));
+      } else {
+        for (size_t i = 0; i < it->second.size() && i < b.size(); ++i) {
+          it->second[i] = it->second[i] && b[i];
+        }
+      }
+    }
+  }
+
+  std::map<std::string, SourceLoc> seen;
+  for (const IndexDecl& decl : mod.indexes) {
+    if (decl.pred == nullptr) continue;
+    const std::string& name = decl.pred->name;
+    auto ait = arities.find(name);
+    if (ait == arities.end()) continue;  // CRL132 reports unknown targets
+    const uint32_t arity = static_cast<uint32_t>(decl.pattern.size());
+
+    if (ait->second.count(arity) == 0) {
+      std::string used;
+      for (uint32_t a : ait->second) {
+        if (!used.empty()) used += ", ";
+        used += name + "/" + std::to_string(a);
+      }
+      Diagnostic d;
+      d.severity = DiagSeverity::kWarning;
+      d.code = diag::kIndexArity;
+      d.module_name = mod.name;
+      d.pred = name + "/" + std::to_string(arity);
+      d.loc = decl.loc.valid() ? decl.loc : mod.loc;
+      d.message = "@make_index pattern for '" + name + "' has arity " +
+                  std::to_string(arity) + ", but the module uses " + used +
+                  "; the index can never match";
+      out->Add(std::move(d));
+      continue;
+    }
+
+    std::string fp = name + "/" + std::to_string(arity);
+    if (decl.argument_form) {
+      std::vector<uint32_t> cols = decl.cols;
+      std::sort(cols.begin(), cols.end());
+      fp += ":cols";
+      for (uint32_t col : cols) fp += ":" + std::to_string(col);
+    } else {
+      fp += ":pat:";
+      for (const Arg* a : decl.pattern) fp += a->ToString() + ",";
+      fp += "keys";
+      for (uint32_t k : decl.key_slots) fp += ":" + std::to_string(k);
+    }
+    auto [sit, inserted] = seen.emplace(fp, decl.loc);
+    if (!inserted) {
+      Diagnostic d;
+      d.severity = DiagSeverity::kWarning;
+      d.code = diag::kDuplicateIndex;
+      d.module_name = mod.name;
+      d.pred = name + "/" + std::to_string(arity);
+      d.loc = decl.loc.valid() ? decl.loc : mod.loc;
+      d.message = "duplicate @make_index on '" + name + "/" +
+                  std::to_string(arity) +
+                  "': identical key columns were already declared" +
+                  (sit->second.valid()
+                       ? " at " + sit->second.ToString()
+                       : "") +
+                  "; the duplicate has no effect";
+      out->Add(std::move(d));
+      continue;
+    }
+
+    // CRL137: the optimizer's automatic index selection plans an index
+    // per join probe pattern; if some rule probes this predicate with
+    // exactly these columns bound, the declaration is redundant.
+    if (!decl.argument_form || decl.cols.empty()) continue;
+    std::set<uint32_t> want(decl.cols.begin(), decl.cols.end());
+    bool covered = false;
+    for (const Rule& r : mod.rules) {
+      std::set<uint32_t> B;
+      auto hseed = seeds.find(r.head.pred_ref());
+      if (hseed != seeds.end()) {
+        for (uint32_t i = 0;
+             i < r.head.args.size() && i < hseed->second.size(); ++i) {
+          if (hseed->second[i]) CollectVars(r.head.args[i], &B);
+        }
+      }
+      for (const Literal& lit : r.body) {
+        if (!lit.negated && lit.pred->name == name &&
+            lit.args.size() == arity) {
+          std::set<uint32_t> bound_cols;
+          for (uint32_t j = 0; j < lit.args.size(); ++j) {
+            if (TermBound(lit.args[j], B)) bound_cols.insert(j);
+          }
+          if (bound_cols == want) {
+            covered = true;
+            break;
+          }
+        }
+        if (!lit.negated) {
+          for (uint32_t v : VarsOfLiteral(lit)) B.insert(v);
+        }
+      }
+      if (covered) break;
+    }
+    if (covered) {
+      std::string cols;
+      for (uint32_t col : want) {
+        if (!cols.empty()) cols += ", ";
+        cols += std::to_string(col + 1);
+      }
+      Diagnostic d;
+      d.severity = DiagSeverity::kNote;
+      d.code = diag::kIndexAutoCovered;
+      d.module_name = mod.name;
+      d.pred = name + "/" + std::to_string(arity);
+      d.loc = decl.loc.valid() ? decl.loc : mod.loc;
+      d.message = "automatic index selection already creates an index on "
+                  "argument(s) " + cols + " of '" + name + "/" +
+                  std::to_string(arity) +
+                  "'; this @make_index is redundant unless "
+                  "auto-optimization is disabled";
+      out->Add(std::move(d));
+    }
+  }
+}
+
+}  // namespace coral::absint

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/absint.h"
+
 namespace coral {
 
 namespace analysis {
@@ -155,6 +157,17 @@ void CheckAnnotations(const ModuleDecl& mod, DiagnosticList* out) {
     d.message =
         "@ordered_search requires a magic rewriting (paper §5.4.1); "
         "remove @no_rewriting";
+    out->Add(std::move(d));
+  }
+  if (mod.reorder_joins && mod.no_reorder_joins) {
+    Diagnostic d;
+    d.severity = DiagSeverity::kWarning;
+    d.code = diag::kAnnotationConflict;
+    d.module_name = mod.name;
+    d.loc = AnnotationLoc(mod, "no_reorder_joins");
+    d.message =
+        "@reorder_joins conflicts with @no_reorder_joins; join "
+        "reordering stays off for this module";
     out->Add(std::move(d));
   }
   if (mod.parallel && mod.eval_mode == EvalMode::kPipelined) {
@@ -324,7 +337,9 @@ DiagnosticList AnalyzeModule(const ModuleDecl& mod,
   analysis::CheckStratification(mod, graph, &out);
   analysis::CheckSafety(mod, opts, graph, &out);
   analysis::CheckDeadCode(mod, opts, graph, &out);
-  out.SortBySource();
+  absint::CheckAbstractDomains(mod, opts, graph, &out);
+  absint::CheckIndexDecls(mod, opts, graph, &out);
+  out.Normalize();
   return out;
 }
 

@@ -1,8 +1,10 @@
 #include "src/analysis/diagnostics.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
+#include <string_view>
 
 namespace coral {
 
@@ -22,6 +24,46 @@ std::string Diagnostic::ToString() const {
   if (!module_name.empty()) oss << "module '" << module_name << "': ";
   oss << message;
   if (code != nullptr && code[0] != '\0') oss << " [" << code << "]";
+  return oss.str();
+}
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Diagnostic::ToJson(const std::string& file) const {
+  std::ostringstream oss;
+  oss << "{\"code\":\"" << (code != nullptr ? code : "")
+      << "\",\"severity\":\"" << DiagSeverityName(severity)
+      << "\",\"file\":\"" << JsonEscape(file) << "\",\"line\":" << loc.line
+      << ",\"col\":" << loc.col << ",\"module\":\""
+      << JsonEscape(module_name) << "\",\"pred\":\"" << JsonEscape(pred)
+      << "\",\"message\":\"" << JsonEscape(message) << "\"}";
   return oss.str();
 }
 
@@ -89,6 +131,42 @@ void DiagnosticList::SortBySource() {
                      }
                      return a.loc.col < b.loc.col;
                    });
+}
+
+void DiagnosticList::Normalize() {
+  auto code_of = [](const Diagnostic& d) {
+    return d.code != nullptr ? std::string_view(d.code)
+                             : std::string_view();
+  };
+  std::stable_sort(items_.begin(), items_.end(),
+                   [&](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.loc.line != b.loc.line) {
+                       return a.loc.line < b.loc.line;
+                     }
+                     if (a.loc.col != b.loc.col) return a.loc.col < b.loc.col;
+                     if (code_of(a) != code_of(b)) {
+                       return code_of(a) < code_of(b);
+                     }
+                     if (a.pred != b.pred) return a.pred < b.pred;
+                     return a.message < b.message;
+                   });
+  items_.erase(
+      std::unique(items_.begin(), items_.end(),
+                  [&](const Diagnostic& a, const Diagnostic& b) {
+                    return a.loc.line == b.loc.line &&
+                           a.loc.col == b.loc.col &&
+                           code_of(a) == code_of(b) && a.pred == b.pred;
+                  }),
+      items_.end());
+}
+
+std::string DiagnosticList::ToJsonLines(const std::string& file) const {
+  std::string out;
+  for (const Diagnostic& d : items_) {
+    out += d.ToJson(file);
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace coral

@@ -40,7 +40,14 @@ inline constexpr const char* kAnnotationIgnored = "CRL131";
 inline constexpr const char* kAnnotationTarget = "CRL132";
 inline constexpr const char* kBadParallelThreads = "CRL133";
 inline constexpr const char* kProfilePipelined = "CRL134";
+inline constexpr const char* kIndexArity = "CRL135";
+inline constexpr const char* kDuplicateIndex = "CRL136";
+inline constexpr const char* kIndexAutoCovered = "CRL137";
 inline constexpr const char* kNotStratified = "CRL140";
+// CRL2xx: abstract-interpretation findings (src/analysis/absint.*).
+inline constexpr const char* kTypeConflictEmpty = "CRL201";
+inline constexpr const char* kUnindexableProbe = "CRL202";
+inline constexpr const char* kInfiniteDomain = "CRL203";
 }  // namespace diag
 
 /// One finding: severity, stable code, human message, and where it is —
@@ -58,6 +65,11 @@ struct Diagnostic {
   /// "line 12:3: error: head variable 'Y' ... [CRL101]" — one line,
   /// grep- and editor-friendly.
   std::string ToString() const;
+
+  /// One JSON object on one line: {"code":...,"severity":...,"file":...,
+  /// "line":...,"col":...,"module":...,"pred":...,"message":...}. The
+  /// file name comes from the caller (the AST records only line/col).
+  std::string ToJson(const std::string& file) const;
 };
 
 /// An ordered collection of diagnostics from one analysis run.
@@ -89,6 +101,15 @@ class DiagnosticList {
 
   /// Orders by (line, col), keeping relative order of unlocated items.
   void SortBySource();
+
+  /// Deterministic rendering order regardless of analysis traversal:
+  /// sorts by (line, col, code, pred, message) and drops duplicates with
+  /// equal (code, line, col, pred) — checks that run once per adornment
+  /// or rewrite variant otherwise repeat findings in traversal order.
+  void Normalize();
+
+  /// One JSON object per line, in current order (see Diagnostic::ToJson).
+  std::string ToJsonLines(const std::string& file) const;
 
  private:
   std::vector<Diagnostic> items_;

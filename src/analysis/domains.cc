@@ -1,0 +1,101 @@
+#include "src/analysis/domains.h"
+
+namespace coral::absint {
+
+Ground JoinGround(Ground a, Ground b) {
+  if (a == b) return a;
+  if (a == Ground::kBottom) return b;
+  if (b == Ground::kBottom) return a;
+  return Ground::kTop;  // ground ∨ nonground, or anything with top
+}
+
+Ground MeetGround(Ground a, Ground b) {
+  if (a == b) return a;
+  if (a == Ground::kTop) return b;
+  if (b == Ground::kTop) return a;
+  return Ground::kBottom;  // ground ∧ nonground
+}
+
+char GroundChar(Ground g) {
+  switch (g) {
+    case Ground::kBottom: return '.';
+    case Ground::kGround: return 'g';
+    case Ground::kNonGround: return 'n';
+    case Ground::kTop: return '?';
+  }
+  return '?';
+}
+
+const char* GroundName(Ground g) {
+  switch (g) {
+    case Ground::kBottom: return "unreached";
+    case Ground::kGround: return "ground";
+    case Ground::kNonGround: return "nonground";
+    case Ground::kTop: return "any";
+  }
+  return "any";
+}
+
+std::string TypeSetToString(TypeSet t) {
+  if (t == kTypeBottom) return "none";
+  if (t == kTypeTop) return "top";
+  static constexpr struct {
+    TypeSet bit;
+    const char* name;
+  } kNames[] = {
+      {kTInt, "int"},       {kTDouble, "double"}, {kTString, "string"},
+      {kTBigInt, "bigint"}, {kTAtom, "atom"},     {kTFunctor, "functor"},
+      {kTList, "list"},     {kTSet, "set"},       {kTUser, "user"},
+  };
+  std::string out;
+  for (const auto& n : kNames) {
+    if ((t & n.bit) == 0) continue;
+    if (!out.empty()) out += '|';
+    out += n.name;
+  }
+  return out;
+}
+
+Card JoinCard(Card a, Card b) { return a < b ? b : a; }
+
+Card MulCard(Card a, Card b) {
+  if (a == Card::kEmpty || b == Card::kEmpty) return Card::kEmpty;
+  if (a == Card::kUnbounded || b == Card::kUnbounded) return Card::kUnbounded;
+  if (a == Card::kOne) return b;
+  if (b == Card::kOne) return a;
+  if (a == Card::kMany || b == Card::kMany) return Card::kMany;
+  return Card::kFew;  // few * few stays a small product class
+}
+
+Card AddCard(Card a, Card b) {
+  if (a == Card::kOne && b == Card::kOne) return Card::kFew;
+  return JoinCard(a, b);
+}
+
+const char* CardName(Card c) {
+  switch (c) {
+    case Card::kEmpty: return "empty";
+    case Card::kOne: return "one";
+    case Card::kFew: return "few";
+    case Card::kMany: return "many";
+    case Card::kUnbounded: return "unbounded";
+  }
+  return "many";
+}
+
+ArgFacts JoinArg(const ArgFacts& a, const ArgFacts& b) {
+  return ArgFacts{JoinGround(a.ground, b.ground), a.types | b.types};
+}
+
+ArgFacts MeetArg(const ArgFacts& a, const ArgFacts& b) {
+  return ArgFacts{MeetGround(a.ground, b.ground), a.types & b.types};
+}
+
+std::string PredFacts::ModeString() const {
+  std::string out;
+  out.reserve(args.size());
+  for (const ArgFacts& a : args) out += GroundChar(a.ground);
+  return out;
+}
+
+}  // namespace coral::absint

@@ -1,0 +1,115 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Abstract domains for the program analysis framework (src/analysis/
+// absint.*). Three small lattices capture what the optimizer wants to
+// know before evaluation starts: groundness of each predicate argument
+// (drives join ordering and index selection — LDL++ showed mode inference
+// can replace most hand annotations), the constructor shapes that can
+// reach an argument (catches joins that are provably empty and functor
+// growth through recursion), and a coarse cardinality class per predicate
+// (the join reorderer's cost signal).
+
+#ifndef CORAL_ANALYSIS_DOMAINS_H_
+#define CORAL_ANALYSIS_DOMAINS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coral::absint {
+
+// --------------------------------------------------------------------
+// Groundness lattice:   kBottom  <  kGround, kNonGround  <  kTop
+// kBottom  = position never receives a value (predicate unreached),
+// kGround  = every value reaching the position is variable-free,
+// kNonGround = every value contains at least one variable,
+// kTop     = both kinds of values can arrive.
+// --------------------------------------------------------------------
+
+enum class Ground : uint8_t { kBottom = 0, kGround, kNonGround, kTop };
+
+/// Least upper bound (accumulating possible behaviors across rules).
+Ground JoinGround(Ground a, Ground b);
+
+/// Greatest lower bound (intersecting constraints on one variable: a
+/// value bound by two sources satisfies both, so ground wins over top).
+Ground MeetGround(Ground a, Ground b);
+
+/// One-letter rendering used in inferred mode strings: 'g' ground,
+/// 'n' nonground, '?' top, '.' bottom (unreached).
+char GroundChar(Ground g);
+const char* GroundName(Ground g);
+
+// --------------------------------------------------------------------
+// Type / functor-shape domain: a bitset of constructor classes. Join is
+// union, meet is intersection; an empty meet on a reachable position
+// proves the join can never succeed (diagnostic CRL201).
+// --------------------------------------------------------------------
+
+using TypeSet = uint32_t;
+
+inline constexpr TypeSet kTInt = 1u << 0;
+inline constexpr TypeSet kTDouble = 1u << 1;
+inline constexpr TypeSet kTString = 1u << 2;
+inline constexpr TypeSet kTBigInt = 1u << 3;
+inline constexpr TypeSet kTAtom = 1u << 4;
+inline constexpr TypeSet kTFunctor = 1u << 5;  // f/n, n > 0 (non-list)
+inline constexpr TypeSet kTList = 1u << 6;     // '.'/2 cells and []
+inline constexpr TypeSet kTSet = 1u << 7;      // set-grouping results
+inline constexpr TypeSet kTUser = 1u << 8;     // user-defined ADTs
+
+inline constexpr TypeSet kTypeBottom = 0;
+inline constexpr TypeSet kTypeTop = (1u << 9) - 1;
+inline constexpr TypeSet kTNumeric = kTInt | kTDouble | kTBigInt;
+
+/// "int|atom", "top", "none".
+std::string TypeSetToString(TypeSet t);
+
+// --------------------------------------------------------------------
+// Cardinality classes: a coarse per-predicate size estimate. Facts give
+// kOne/kFew; joins multiply; recursion promotes to kMany; recursion that
+// builds bigger terms each round (functor growth) promotes to
+// kUnbounded — a non-termination risk under free seeds (CRL203).
+// --------------------------------------------------------------------
+
+enum class Card : uint8_t { kEmpty = 0, kOne, kFew, kMany, kUnbounded };
+
+/// Least upper bound (max).
+Card JoinCard(Card a, Card b);
+/// Size class of a join/cross product of two sources.
+Card MulCard(Card a, Card b);
+/// Size class of a union of two disjoint sources (rule contributions):
+/// like join, but two non-empty singletons make kFew.
+Card AddCard(Card a, Card b);
+const char* CardName(Card c);
+
+// --------------------------------------------------------------------
+// Per-argument and per-predicate facts.
+// --------------------------------------------------------------------
+
+struct ArgFacts {
+  Ground ground = Ground::kBottom;
+  TypeSet types = kTypeBottom;
+
+  bool operator==(const ArgFacts& o) const {
+    return ground == o.ground && types == o.types;
+  }
+};
+
+/// Join (across rules / derivations reaching the same position).
+ArgFacts JoinArg(const ArgFacts& a, const ArgFacts& b);
+/// Meet (constraints on one variable from several binding sources).
+ArgFacts MeetArg(const ArgFacts& a, const ArgFacts& b);
+
+struct PredFacts {
+  std::vector<ArgFacts> args;
+  Card card = Card::kEmpty;
+  bool recursive = false;      // member of a cyclic SCC
+  bool functor_growth = false; // recursion constructs strictly larger terms
+
+  /// Inferred mode string, e.g. "gn?" — one GroundChar per argument.
+  std::string ModeString() const;
+};
+
+}  // namespace coral::absint
+
+#endif  // CORAL_ANALYSIS_DOMAINS_H_

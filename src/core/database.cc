@@ -341,6 +341,14 @@ std::string Database::ProfileReport() const {
   return obs::RenderReport(stats_);
 }
 
+StatusOr<std::string> Database::PlanListing(const std::string& module_name,
+                                            const std::string& pred,
+                                            const std::string& adornment) {
+  return modules_->PlanListing(module_name, pred, adornment);
+}
+
+std::string Database::PlanReport() const { return modules_->PlanReport(); }
+
 StatusOr<std::string> Database::Run(std::string_view text) {
   CORAL_ASSIGN_OR_RETURN(std::vector<Query> queries, Consult(text));
   std::string out;

@@ -120,6 +120,28 @@ class Database {
   void set_listing_dir(std::string dir) { listing_dir_ = std::move(dir); }
   const std::string& listing_dir() const { return listing_dir_; }
 
+  // ---- automatic optimization (paper §4.2, §5.3) ----
+  /// When on (the default), compiling a query form runs the abstract-
+  /// interpretation analysis and applies its decisions: argument indexes
+  /// are created up front for every join probe pattern, and rule bodies
+  /// are reordered bound-args-first (cardinality breaking ties). Per
+  /// module, @no_reorder_joins forces reordering off and @reorder_joins
+  /// forces it on regardless of this switch. Off disables both passes:
+  /// bodies evaluate as written and only @make_index indexes exist —
+  /// the paper's unoptimized baseline (see bench --no-auto-index).
+  /// Takes effect for forms compiled after the call (forms are cached).
+  void set_auto_optimize(bool on) { auto_optimize_ = on; }
+  bool auto_optimize() const { return auto_optimize_; }
+
+  /// The optimizer plan (inferred modes, join order, index plan) of a
+  /// compiled query form; compiles on demand. See also
+  /// ModuleManager::PlanListing and coral_prof --plan.
+  StatusOr<std::string> PlanListing(const std::string& module_name,
+                                    const std::string& pred,
+                                    const std::string& adornment);
+  /// Concatenated plans of every form compiled so far, with headers.
+  std::string PlanReport() const;
+
   // ---- observability (paper §6, §8: profiling & tracing) ----
   /// Global profiling switch: when on, every materialized or pipelined
   /// module activation records per-rule and per-iteration statistics in
@@ -167,6 +189,7 @@ class Database {
   std::string listing_dir_;
   DiagnosticList last_diagnostics_;
   bool strict_ = false;
+  bool auto_optimize_ = true;
   int num_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;
   bool profiling_ = false;

@@ -107,29 +107,6 @@ const AggHeadSpec* MaterializedInstance::AggSpecFor(uint32_t rule_index) {
   return &it->second;
 }
 
-namespace {
-
-/// Simulates left-to-right binding propagation over a rule and reports,
-/// for each positive body literal, the column positions bound when
-/// evaluation reaches it — the optimizer's index selection (paper §4.2).
-std::vector<std::vector<uint32_t>> BoundColumnsPerLiteral(const Rule& rule) {
-  std::vector<std::vector<uint32_t>> out(rule.body.size());
-  std::set<uint32_t> bound;
-  for (size_t i = 0; i < rule.body.size(); ++i) {
-    const Literal& lit = rule.body[i];
-    for (uint32_t c = 0; c < lit.args.size(); ++c) {
-      if (TermBound(lit.args[c], bound)) out[i].push_back(c);
-    }
-    if (!lit.negated) {
-      std::set<uint32_t> vars = VarsOfLiteral(lit);
-      bound.insert(vars.begin(), vars.end());
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
 Status MaterializedInstance::Init() {
   // Internal relations: every rule head, plus done relations for Ordered
   // Search, plus staging relations for magic predicates under OS.
@@ -237,30 +214,26 @@ Status MaterializedInstance::Init() {
     }
   }
 
-  // Optimizer-selected indices: one argument index per (relation, bound
-  // column set) occurring in some rule body (paper §4.2 index selection;
-  // §5.3 "generates annotations to create any indexes that may be useful").
-  for (const Rule& r : prog_->rules) {
-    std::vector<std::vector<uint32_t>> bound = BoundColumnsPerLiteral(r);
-    for (size_t i = 0; i < r.body.size(); ++i) {
-      const Literal& lit = r.body[i];
-      if (bound[i].empty()) continue;
-      // Full-width indexes are kept too: they serve fully-bound lookups
-      // (negation as set-difference probes the whole tuple).
-      PredRef pred = lit.pred_ref();
-      HashRelation* target = nullptr;
-      auto it = internal_.find(pred);
-      if (it != internal_.end()) {
-        target = it->second.get();
-      } else if (db_->builtins()->Find(pred.sym->name, pred.arity) ==
-                 nullptr &&
-                 !db_->modules()->Exports(pred) &&
-                 db_->modules()->LocalOwner(pred).empty()) {
-        target = dynamic_cast<HashRelation*>(
-            db_->GetOrCreateBaseRelation(pred));
-      }
-      if (target != nullptr) target->AddArgumentIndex(bound[i]);
+  // Optimizer-selected indices (paper §4.2 index selection; §5.3
+  // "generates annotations to create any indexes that may be useful"):
+  // the rewriter planned one argument index per (relation, bound column
+  // set) probe; apply each to the internal relation, or to the base
+  // relation when the predicate resolves outside the module. Full-width
+  // indexes are kept too: they serve fully-bound lookups (negation as
+  // set-difference probes the whole tuple).
+  for (const PlannedIndex& pi : prog_->index_plan) {
+    HashRelation* target = nullptr;
+    auto it = internal_.find(pi.pred);
+    if (it != internal_.end()) {
+      target = it->second.get();
+    } else if (db_->builtins()->Find(pi.pred.sym->name, pi.pred.arity) ==
+               nullptr &&
+               !db_->modules()->Exports(pi.pred) &&
+               db_->modules()->LocalOwner(pi.pred).empty()) {
+      target = dynamic_cast<HashRelation*>(
+          db_->GetOrCreateBaseRelation(pi.pred));
     }
+    if (target != nullptr) target->AddArgumentIndex(pi.cols);
   }
   // Index the answer relation on the query form's bound positions so
   // callers' filtered scans are cheap.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <sstream>
 
 #include "src/analysis/analyzer.h"
 #include "src/core/database.h"
@@ -178,8 +179,26 @@ StatusOr<ModuleManager::CompiledForm*> ModuleManager::CompileForm(
                     form.adornment;
   auto it = entry->forms.find(key);
   if (it != entry->forms.end()) return &it->second;
-  CORAL_ASSIGN_OR_RETURN(RewrittenProgram prog,
-                         RewriteModule(entry->decl, form, db_->factory()));
+  RewriteOptions ropts;
+  ropts.auto_reorder = db_->auto_optimize();
+  ropts.auto_index = db_->auto_optimize();
+  const BuiltinRegistry* builtins = db_->builtins();
+  ropts.is_builtin = [builtins](const std::string& name, uint32_t arity) {
+    return builtins->Find(name, arity) != nullptr;
+  };
+  // Real base-relation sizes at compile time feed the cardinality domain.
+  Database* db = db_;
+  ropts.base_card = [db](const PredRef& pred) {
+    Relation* rel = db->FindBaseRelation(pred);
+    if (rel == nullptr) return absint::Card::kMany;  // unknown / late facts
+    size_t n = rel->size();
+    if (n == 0) return absint::Card::kFew;  // may still be loaded later
+    if (n == 1) return absint::Card::kOne;
+    return n <= 16 ? absint::Card::kFew : absint::Card::kMany;
+  };
+  CORAL_ASSIGN_OR_RETURN(
+      RewrittenProgram prog,
+      RewriteModule(entry->decl, form, db_->factory(), ropts));
   // Paper §2: "The rewritten program is stored as a text file — which is
   // useful as a debugging aid for the user."
   if (!db_->listing_dir().empty()) {
@@ -190,6 +209,11 @@ StatusOr<ModuleManager::CompiledForm*> ModuleManager::CompileForm(
       out << "% rewritten program for module " << entry->decl.name
           << ", query form " << form.pred->name << "(" << form.adornment
           << ")\n" << prog.listing;
+      // The optimizer plan rides along as comment lines.
+      std::istringstream plan(prog.plan);
+      for (std::string line; std::getline(plan, line);) {
+        out << "% " << line << "\n";
+      }
     }
   }
   CompiledForm cf;
@@ -281,6 +305,33 @@ StatusOr<std::string> ModuleManager::RewrittenListing(
     return cf->prog->listing;
   }
   return Status::NotFound("no module named " + module_name);
+}
+
+StatusOr<std::string> ModuleManager::PlanListing(
+    const std::string& module_name, const std::string& pred,
+    const std::string& adornment) {
+  for (auto& entry : modules_) {
+    if (entry->decl.name != module_name) continue;
+    Symbol sym = db_->factory()->symbols().Intern(pred);
+    QueryFormDecl form{sym, adornment, SourceLoc{}};
+    CORAL_ASSIGN_OR_RETURN(CompiledForm * cf,
+                           CompileForm(entry.get(), form));
+    return cf->prog->plan;
+  }
+  return Status::NotFound("no module named " + module_name);
+}
+
+std::string ModuleManager::PlanReport() const {
+  std::string out;
+  for (const auto& entry : modules_) {
+    for (const auto& [key, cf] : entry->forms) {
+      out += "plan for module " + entry->decl.name + ", query form " + key +
+             "\n";
+      out += cf.prog->plan;
+      out += "\n";
+    }
+  }
+  return out;
 }
 
 const EvalStats& ModuleManager::last_stats() const {

@@ -54,6 +54,18 @@ class ModuleManager {
                                          const std::string& pred,
                                          const std::string& adornment);
 
+  /// The optimizer plan for (module, form): inferred modes (groundness,
+  /// types, cardinality), the join-order decision, and the planned
+  /// argument indexes. Compiles on demand, like RewrittenListing.
+  StatusOr<std::string> PlanListing(const std::string& module_name,
+                                    const std::string& pred,
+                                    const std::string& adornment);
+
+  /// Plans of every form compiled so far, each under a
+  /// "plan for module <m>, query form <p>(<adornment>)" header; empty
+  /// string when nothing has been compiled.
+  std::string PlanReport() const;
+
   /// Evaluation statistics of the most recent materialized activation
   /// (save-module instances aggregate across calls).
   const EvalStats& last_stats() const;

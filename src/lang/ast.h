@@ -144,6 +144,8 @@ struct ModuleDecl {
   bool explain = false;            // record derivations (Explanation tool)
   bool profile = false;            // record evaluation statistics (§6, §8)
   bool reorder_joins = false;      // optimizer picks the join order (§4.2)
+  bool no_reorder_joins = false;   // keep bodies as written even when the
+                                   // database-level auto-optimizer is on
   bool parallel = false;           // @parallel: multi-threaded fixpoint
   int64_t parallel_threads = -1;   // @parallel(N); -1 = no explicit count
                                    // (use Database::num_threads())

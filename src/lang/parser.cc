@@ -246,6 +246,8 @@ Status Parser::ParseAnnotation(ModuleDecl* mod, Program* top) {
     mod->profile = true;
   } else if (name == "reorder_joins") {
     mod->reorder_joins = true;
+  } else if (name == "no_reorder_joins") {
+    mod->no_reorder_joins = true;
   } else {
     return Status::InvalidArgument("unknown annotation @" + name);
   }

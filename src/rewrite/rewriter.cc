@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "src/analysis/absint.h"
 #include "src/analysis/diagnostics.h"
 #include "src/rewrite/adorn.h"
 #include "src/rewrite/existential.h"
@@ -46,20 +47,24 @@ std::unordered_set<PredRef, PredRefHash> ProtectedClosure(
 }
 
 /// Join-order selection (paper §4.2): greedily schedule the most-bound
-/// ready literal next. Negated literals and builtins are "ready" only
-/// when all their variables are bound (safety); positive relation
-/// literals are scored by bound argument count. Ties keep source order,
-/// and a stuck state falls back to the first unscheduled positive
-/// literal, so the pass never loses literals.
-void ReorderRuleBody(Rule* rule, const DepGraph& graph) {
-  if (rule->body.size() < 3) return;  // nothing to gain
+/// ready literal next, breaking ties toward the smaller relation using
+/// the abstract cardinality classes from src/analysis/absint.h. Negated
+/// literals, operators and builtins are "ready" only when all their
+/// variables are bound (they run as filters; deferring a binding builtin
+/// is mode-safe because later scheduling only adds bindings). Remaining
+/// ties keep source order, and a stuck state falls back to the first
+/// unscheduled literal, so the pass never loses literals and a stuck
+/// suffix keeps its source order. Returns true when the order changed.
+bool ReorderRuleBody(Rule* rule, const absint::AnalysisResult& facts,
+                     const std::function<bool(const std::string&, uint32_t)>&
+                         is_builtin) {
+  if (rule->body.size() < 3) return false;  // nothing to gain
   std::set<uint32_t> bound;
   // Head arguments contribute no bindings in bottom-up evaluation; the
   // magic/supplementary guard (first body literal of rewritten rules)
   // does. Anchor it: never move the first literal.
   std::vector<Literal> out;
   std::vector<Literal> rest(rule->body.begin(), rule->body.end());
-  (void)graph;
 
   auto vars_bound = [&](const Literal& lit) {
     return VarsOfLiteral(lit).size() ==
@@ -79,19 +84,30 @@ void ReorderRuleBody(Rule* rule, const DepGraph& graph) {
     std::set<uint32_t> vars = VarsOfLiteral(lit);
     bound.insert(vars.begin(), vars.end());
   };
+  auto is_filter = [&](const Literal& lit) {
+    return lit.negated || IsOperatorSymbol(lit.pred) ||
+           (is_builtin != nullptr &&
+            is_builtin(lit.pred->name,
+                       static_cast<uint32_t>(lit.args.size())));
+  };
+  // Smaller cardinality class scores higher; bound-arg count dominates.
+  auto selectivity = [&](const Literal& lit) {
+    return static_cast<int>(absint::Card::kUnbounded) -
+           static_cast<int>(facts.CardOf(lit.pred_ref()));
+  };
 
   // Anchor the guard.
   out.push_back(rest.front());
   bind_vars(rest.front());
   rest.erase(rest.begin());
 
+  bool changed = false;
   while (!rest.empty()) {
     int best = -1;
     int best_score = -1;
     for (size_t i = 0; i < rest.size(); ++i) {
       const Literal& lit = rest[i];
-      bool is_op = IsOperatorSymbol(lit.pred);
-      if (lit.negated || is_op) {
+      if (is_filter(lit)) {
         // Safety: schedule only when fully bound; then run immediately
         // (filters are free).
         if (vars_bound(lit)) {
@@ -101,7 +117,7 @@ void ReorderRuleBody(Rule* rule, const DepGraph& graph) {
         }
         continue;
       }
-      int score = bound_args(lit);
+      int score = bound_args(lit) * 8 + selectivity(lit);
       if (score > best_score) {
         best_score = score;
         best = static_cast<int>(i);
@@ -112,11 +128,13 @@ void ReorderRuleBody(Rule* rule, const DepGraph& graph) {
       // first to preserve semantics as written.
       best = 0;
     }
+    changed = changed || best != 0;
     out.push_back(rest[static_cast<size_t>(best)]);
     bind_vars(rest[static_cast<size_t>(best)]);
     rest.erase(rest.begin() + best);
   }
   rule->body = std::move(out);
+  return changed;
 }
 
 /// Stratification failures share the diagnostics format of the load-time
@@ -137,6 +155,103 @@ std::string ListingOf(const std::vector<Rule>& rules) {
   std::ostringstream oss;
   for (const Rule& r : rules) oss << r.ToString() << "\n";
   return oss.str();
+}
+
+/// The optimizer proper (paper §4.2, §5.3): runs the abstract
+/// interpretation over the rewritten rules (the magic seed and Ordered
+/// Search done-markers are engine-fed ground facts) and applies its two
+/// decisions — join reordering and argument-index planning — then renders
+/// the plan text stored alongside the listing.
+void OptimizeProgram(const ModuleDecl& module, const RewriteOptions& opts,
+                     RewrittenProgram* prog) {
+  absint::AbsIntOptions ai;
+  ai.is_builtin = opts.is_builtin;
+  ai.base_card = opts.base_card;
+  if (prog->uses_magic) {
+    ai.assumed_facts.insert(prog->seed_pred);
+    for (const auto& [magic, done] : prog->done_of) {
+      ai.assumed_facts.insert(done);
+    }
+  }
+  absint::AnalysisResult facts =
+      absint::AnalyzeRules(prog->rules, prog->graph, ai);
+
+  // Join-order selection never runs under Ordered Search: done guards
+  // must stay immediately before the literals they protect.
+  bool reorder_on = (module.reorder_joins || opts.auto_reorder) &&
+                    !module.no_reorder_joins && !module.ordered_search;
+  std::vector<size_t> reordered;
+  if (reorder_on) {
+    for (size_t i = 0; i < prog->rules.size(); ++i) {
+      if (ReorderRuleBody(&prog->rules[i], facts, opts.is_builtin)) {
+        reordered.push_back(i);
+      }
+    }
+  }
+
+  // Index plan: one argument index per (predicate, bound-column set)
+  // probe under left-to-right evaluation of the final bodies. Negated
+  // literals plan too (negation probes as set difference); operators and
+  // builtins never resolve to stored relations.
+  if (opts.auto_index) {
+    std::set<std::pair<std::string, std::vector<uint32_t>>> seen;
+    for (const Rule& r : prog->rules) {
+      std::set<uint32_t> bound;
+      for (const Literal& lit : r.body) {
+        std::vector<uint32_t> cols;
+        for (uint32_t c = 0; c < lit.args.size(); ++c) {
+          if (TermBound(lit.args[c], bound)) cols.push_back(c);
+        }
+        if (!lit.negated) {
+          std::set<uint32_t> vars = VarsOfLiteral(lit);
+          bound.insert(vars.begin(), vars.end());
+        }
+        if (cols.empty() || IsOperatorSymbol(lit.pred)) continue;
+        if (opts.is_builtin != nullptr &&
+            opts.is_builtin(lit.pred->name,
+                            static_cast<uint32_t>(lit.args.size()))) {
+          continue;
+        }
+        if (!seen.insert({lit.pred_ref().ToString(), cols}).second) continue;
+        prog->index_plan.push_back({lit.pred_ref(), cols});
+      }
+    }
+  }
+
+  std::ostringstream plan;
+  plan << "inferred modes:\n";
+  std::istringstream summary(facts.Summary());
+  bool any_mode = false;
+  for (std::string line; std::getline(summary, line);) {
+    plan << "  " << line << "\n";
+    any_mode = true;
+  }
+  if (!any_mode) plan << "  (none)\n";
+  plan << "join order: ";
+  if (module.ordered_search) {
+    plan << "as written (ordered search)\n";
+  } else if (module.no_reorder_joins) {
+    plan << "as written (@no_reorder_joins)\n";
+  } else if (!reorder_on) {
+    plan << "as written (auto-optimization off)\n";
+  } else {
+    plan << "bound-args-first (" << reordered.size()
+         << " rule(s) reordered)\n";
+    for (size_t i : reordered) {
+      plan << "  " << prog->rules[i].ToString() << "\n";
+    }
+  }
+  plan << "indexes:\n";
+  if (prog->index_plan.empty()) plan << "  (none)\n";
+  for (const PlannedIndex& pi : prog->index_plan) {
+    plan << "  " << pi.pred.ToString() << ": args (";
+    for (size_t i = 0; i < pi.cols.size(); ++i) {
+      if (i > 0) plan << ",";
+      plan << pi.cols[i] + 1;
+    }
+    plan << ")\n";
+  }
+  prog->plan = plan.str();
 }
 
 /// Inserts Ordered Search done-guards (paper §5.4.1): a done literal
@@ -182,7 +297,8 @@ void InsertDoneGuards(RewrittenProgram* prog, TermFactory* factory) {
 
 StatusOr<RewrittenProgram> RewriteModule(const ModuleDecl& module,
                                          const QueryFormDecl& form,
-                                         TermFactory* factory) {
+                                         TermFactory* factory,
+                                         const RewriteOptions& opts) {
   PredRef query_pred{form.pred,
                      static_cast<uint32_t>(form.adornment.size())};
 
@@ -228,9 +344,7 @@ StatusOr<RewrittenProgram> RewriteModule(const ModuleDecl& module,
     out.answer_adornment = "";
     out.uses_magic = false;
     out.graph = std::move(original_graph);
-    if (module.reorder_joins) {
-      for (Rule& r : out.rules) ReorderRuleBody(&r, out.graph);
-    }
+    OptimizeProgram(module, opts, &out);
     out.seminaive =
         BuildSemiNaive(out.rules, out.graph, module.save_module, nullptr);
     out.listing = ListingOf(out.rules);
@@ -304,11 +418,7 @@ StatusOr<RewrittenProgram> RewriteModule(const ModuleDecl& module,
           "); use @ordered_search");
     }
 
-    // Join-order selection never runs under Ordered Search: done guards
-    // must stay immediately before the literals they protect.
-    if (module.reorder_joins && !module.ordered_search) {
-      for (Rule& r : prog.rules) ReorderRuleBody(&r, prog.graph);
-    }
+    OptimizeProgram(module, opts, &prog);
     std::unordered_set<PredRef, PredRefHash> engine_fed;
     for (const auto& [magic_pred, done] : prog.done_of) {
       engine_fed.insert(done);

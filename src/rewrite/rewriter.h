@@ -10,9 +10,11 @@
 #ifndef CORAL_REWRITE_REWRITER_H_
 #define CORAL_REWRITE_REWRITER_H_
 
+#include <functional>
 #include <string>
 #include <unordered_map>
 
+#include "src/analysis/domains.h"
 #include "src/data/term_factory.h"
 #include "src/lang/ast.h"
 #include "src/rewrite/depgraph.h"
@@ -20,6 +22,32 @@
 #include "src/util/status.h"
 
 namespace coral {
+
+/// Optimizer switches for RewriteModule (paper §4.2, §5.3). The defaults
+/// reproduce annotation-driven behavior: indexes are planned (evaluation
+/// always indexed join probes), reordering stays opt-in via
+/// @reorder_joins. The module manager turns auto_reorder on (and supplies
+/// real base-relation cardinalities) when Database::auto_optimize() is on.
+struct RewriteOptions {
+  /// Reorder every rule body bound-args-first even without @reorder_joins
+  /// (@no_reorder_joins still wins).
+  bool auto_reorder = false;
+  /// Plan argument indexes for join probe patterns (consumed by
+  /// MaterializedInstance::Init). Off: index_plan stays empty and
+  /// evaluation creates no optimizer indexes.
+  bool auto_index = true;
+  /// Registered-builtin test (same contract as AnalyzerOptions).
+  std::function<bool(const std::string& name, uint32_t arity)> is_builtin;
+  /// Cardinality class of a base relation at compile time; null = kMany.
+  std::function<absint::Card(const PredRef&)> base_card;
+};
+
+/// One optimizer-selected argument index: the rewritten-program predicate
+/// probed and the columns bound when evaluation reaches the probe.
+struct PlannedIndex {
+  PredRef pred;
+  std::vector<uint32_t> cols;
+};
 
 /// A compiled (rewritten + semi-naive) materialized module for one query
 /// form.
@@ -50,13 +78,22 @@ struct RewrittenProgram {
   /// Rewritten program listing (paper §2: stored as text as a debugging
   /// aid for the user).
   std::string listing;
+
+  /// Argument indexes selected by the optimizer (deduplicated); applied
+  /// to internal or base relations by MaterializedInstance::Init.
+  std::vector<PlannedIndex> index_plan;
+  /// Human-readable plan: inferred modes (groundness/types/cardinality),
+  /// join-order decision, and the index plan. Appended to listing files
+  /// and exposed through ModuleManager::PlanListing / coral_prof --plan.
+  std::string plan;
 };
 
 /// Rewrites `module` for `form`. Materialized modules only (pipelined
 /// modules are interpreted from their original rules).
 StatusOr<RewrittenProgram> RewriteModule(const ModuleDecl& module,
                                          const QueryFormDecl& form,
-                                         TermFactory* factory);
+                                         TermFactory* factory,
+                                         const RewriteOptions& opts = {});
 
 }  // namespace coral
 

@@ -412,6 +412,80 @@ void RunAnnotatedParallelDifferential(uint64_t seed) {
   }
 }
 
+// Auto-optimization differential: join reordering and automatic index
+// selection (Database::set_auto_optimize, on by default) must never
+// change answers. The same generated program — under a randomly drawn
+// rewriting strategy — is evaluated with the optimizer on and off; both
+// runs must match the independent reference fixpoint and each other.
+void RunAutoOptimizeDifferential(uint64_t seed, bool with_negation) {
+  Lcg rng(seed);
+  std::vector<GRule> rules = GenProgram(&rng, with_negation);
+  if (rules.empty()) return;
+  Db base = GenBaseFacts(&rng);
+  for (int d = 0; d < kDerived; ++d) {
+    bool defined = false;
+    for (const GRule& r : rules) defined |= r.head == d;
+    if (!defined) {
+      GRule r;
+      r.head = d;
+      r.head_args[0] = 0;
+      r.head_args[1] = 1;
+      r.body = {GLit{0, false, {0, 1}}};
+      rules.push_back(r);
+    }
+  }
+  Db expected = base;
+  ReferenceFixpoint(rules, &expected);
+
+  static const char* kPositive[] = {"",      "@psn.",           "@naive.",
+                                    "@no_rewriting.", "@magic.",
+                                    "@reorder_joins.", "@save_module.",
+                                    "@eager."};
+  static const char* kWithNeg[] = {"",        "@psn.",
+                                   "@naive.", "@no_rewriting.",
+                                   "@magic.", "@ordered_search."};
+  const char* strategy = with_negation
+                             ? kWithNeg[rng.Next(6)]
+                             : kPositive[rng.Next(8)];
+  std::string text = ProgramText(rules, base, strategy);
+
+  std::set<Fact> optimized[kDerived];
+  for (int pass = 0; pass < 2; ++pass) {
+    Database db;
+    db.set_auto_optimize(pass == 0);
+    auto st = db.Consult(text);
+    ASSERT_TRUE(st.ok()) << st.status().ToString() << "\nseed " << seed
+                         << " strategy '" << strategy << "'\n" << text;
+    for (int d = 0; d < kDerived; ++d) {
+      auto res = db.EvalQuery(PredName(kBase + d) + "(X, Y)");
+      ASSERT_TRUE(res.ok())
+          << res.status().ToString() << "\nseed " << seed << " strategy '"
+          << strategy << "' auto_optimize=" << (pass == 0) << "\n" << text;
+      std::set<Fact> got;
+      for (const AnswerRow& row : res->rows) {
+        ASSERT_EQ(row.bindings.size(), 2u);
+        ASSERT_EQ(row.bindings[0].second->kind(), ArgKind::kInt);
+        got.insert({static_cast<int>(
+                        ArgCast<IntArg>(row.bindings[0].second)->value()),
+                    static_cast<int>(
+                        ArgCast<IntArg>(row.bindings[1].second)->value())});
+      }
+      EXPECT_EQ(got, expected[kBase + d])
+          << "pred " << PredName(kBase + d) << " vs reference, seed "
+          << seed << " strategy '" << strategy << "' auto_optimize="
+          << (pass == 0) << "\n" << text;
+      if (pass == 0) {
+        optimized[d] = std::move(got);
+      } else {
+        EXPECT_EQ(got, optimized[d])
+            << "pred " << PredName(kBase + d)
+            << " diverges between auto_optimize on/off, seed " << seed
+            << " strategy '" << strategy << "'\n" << text;
+      }
+    }
+  }
+}
+
 void RunAggregateDifferential(uint64_t seed, int threads = 1) {
   Lcg rng(seed);
   std::vector<GRule> rules = GenProgram(&rng, /*with_negation=*/false);
@@ -489,6 +563,20 @@ void RunAggregateDifferential(uint64_t seed, int threads = 1) {
 TEST(DifferentialTest, AggregatesMatchReferenceFolds) {
   for (uint64_t seed = 5000; seed <= 5040; ++seed) {
     RunAggregateDifferential(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DifferentialTest, AutoOptimizeOnOffMatchesReference) {
+  for (uint64_t seed = 6000; seed <= 6139; ++seed) {
+    RunAutoOptimizeDifferential(seed, /*with_negation=*/false);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DifferentialTest, AutoOptimizeOnOffWithNegationMatchesReference) {
+  for (uint64_t seed = 7000; seed <= 7069; ++seed) {
+    RunAutoOptimizeDifferential(seed, /*with_negation=*/true);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }

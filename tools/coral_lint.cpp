@@ -1,14 +1,20 @@
 // coral_lint: standalone checker for CORAL programs.
 //
-//   coral_lint [--strict] file.crl ...
+//   coral_lint [--strict] [--json] file.crl ...
 //
 // Parses each file and runs the static semantic analyzer (rule safety,
 // builtin binding modes, arity consistency, export validity, dead code,
-// annotation sanity, stratification) without loading anything into a
-// database. Diagnostics print one per line as
+// annotation sanity, stratification, abstract-interpretation findings)
+// without loading anything into a database. Diagnostics print one per
+// line as
 //   <file>:<line>:<col>: <severity>: <message> [CRLxxx]
-// Exits nonzero when any file fails to parse or has errors; with
-// --strict, warnings fail the run too.
+// or, with --json, as one JSON object per line (see
+// coral::Diagnostic::ToJson). Output order is deterministic: sorted by
+// (line, col, code, pred), duplicates collapsed.
+//
+// Exit code contract: 0 clean, 1 warnings only, 2 errors (including
+// parse failures, unreadable files and bad usage). With --strict,
+// warnings are errors and exit 2.
 
 #include <fstream>
 #include <iostream>
@@ -39,20 +45,23 @@ std::string Render(const std::string& file, const coral::Diagnostic& d) {
 
 int main(int argc, char** argv) {
   bool strict = false;
+  bool json = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--strict" || arg == "-Werror") {
       strict = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: coral_lint [--strict] file.crl ...\n";
+      std::cout << "usage: coral_lint [--strict] [--json] file.crl ...\n";
       return 0;
     } else {
       files.push_back(std::move(arg));
     }
   }
   if (files.empty()) {
-    std::cerr << "usage: coral_lint [--strict] file.crl ...\n";
+    std::cerr << "usage: coral_lint [--strict] [--json] file.crl ...\n";
     return 2;
   }
 
@@ -66,40 +75,50 @@ int main(int argc, char** argv) {
     return builtins->Find(name, arity) != nullptr;
   };
 
-  int failed = 0;
   size_t errors = 0;
   size_t warnings = 0;
   for (const std::string& file : files) {
+    coral::DiagnosticList diags;
     std::ifstream in(file);
+    std::string text;
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      text = buf.str();  // Parser keeps a view of it
+    }
     if (!in) {
-      std::cerr << file << ": error: cannot open file\n";
-      failed = 1;
-      continue;
+      coral::Diagnostic d;
+      d.severity = coral::DiagSeverity::kError;
+      d.message = "cannot open file";
+      diags.Add(std::move(d));
+    } else {
+      coral::Parser parser(text, db.factory());
+      auto prog = parser.ParseProgram();
+      if (!prog.ok()) {
+        coral::Diagnostic d;
+        d.severity = coral::DiagSeverity::kError;
+        d.message = std::string(prog.status().message());
+        diags.Add(std::move(d));
+      } else {
+        diags = AnalyzeProgram(*prog, opts);
+      }
     }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    const std::string text = buf.str();  // Parser keeps a view of it
-
-    coral::Parser parser(text, db.factory());
-    auto prog = parser.ParseProgram();
-    if (!prog.ok()) {
-      std::cerr << file << ": error: " << prog.status().message() << "\n";
-      failed = 1;
-      ++errors;
-      continue;
-    }
-    coral::DiagnosticList diags = AnalyzeProgram(*prog, opts);
-    for (const coral::Diagnostic& d : diags.items()) {
-      std::cout << Render(file, d) << "\n";
+    diags.Normalize();
+    if (json) {
+      std::cout << diags.ToJsonLines(file);
+    } else {
+      for (const coral::Diagnostic& d : diags.items()) {
+        std::cout << Render(file, d) << "\n";
+      }
     }
     errors += diags.error_count();
     warnings += diags.warning_count();
-    if (diags.ShouldReject(strict)) failed = 1;
   }
-  if (errors + warnings > 0) {
+  if (!json && errors + warnings > 0) {
     std::cout << files.size() << " file(s): " << errors << " error(s), "
               << warnings << " warning(s)" << (strict ? " [--strict]" : "")
               << "\n";
   }
-  return failed;
+  if (errors > 0 || (strict && warnings > 0)) return 2;
+  return warnings > 0 ? 1 : 0;
 }

@@ -1,7 +1,7 @@
 // coral_prof: evaluation profiler for CORAL programs.
 //
 //   coral_prof [--query='tc(X, Y)'] [--trace=FILE.jsonl]
-//              [--threads=N] file.crl ...
+//              [--threads=N] [--plan] [--no-auto-optimize] file.crl ...
 //
 // Consults each file with profiling enabled, executes the queries found
 // in the files (plus any --query flags, which run after all files are
@@ -12,6 +12,12 @@
 // iteration begin/end, rule firings, tuple inserts) is additionally
 // written to FILE.jsonl, one JSON object per line, in a format
 // round-trippable through coral::obs::TraceEvent::FromJson.
+//
+// With --plan, the report ends with the optimizer plan of every compiled
+// query form: inferred modes (groundness/types/cardinality), the chosen
+// literal order, and the argument indexes created (paper §4.2, §5.3).
+// --no-auto-optimize turns automatic join reordering and index selection
+// off, for comparing plans and profiles against the unoptimized baseline.
 //
 // Exits nonzero when a file cannot be loaded or a query fails.
 
@@ -27,6 +33,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> queries;
   std::string trace_path;
   int threads = 0;
+  bool plan = false;
+  bool auto_optimize = true;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--query=", 0) == 0) {
@@ -35,9 +43,14 @@ int main(int argc, char** argv) {
       trace_path = arg.substr(8);
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = std::atoi(arg.c_str() + 10);
+    } else if (arg == "--plan") {
+      plan = true;
+    } else if (arg == "--no-auto-optimize") {
+      auto_optimize = false;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: coral_prof [--query='p(X)'] [--trace=FILE.jsonl]"
-                   " [--threads=N] file.crl ...\n";
+                   " [--threads=N] [--plan] [--no-auto-optimize]"
+                   " file.crl ...\n";
       return 0;
     } else {
       files.push_back(std::move(arg));
@@ -45,12 +58,14 @@ int main(int argc, char** argv) {
   }
   if (files.empty()) {
     std::cerr << "usage: coral_prof [--query='p(X)'] [--trace=FILE.jsonl]"
-                 " [--threads=N] file.crl ...\n";
+                 " [--threads=N] [--plan] [--no-auto-optimize]"
+                 " file.crl ...\n";
     return 2;
   }
 
   coral::Database db;
   db.set_profiling(true);
+  db.set_auto_optimize(auto_optimize);
   if (threads > 0) db.set_num_threads(threads);
 
   std::ofstream trace_out;
@@ -98,6 +113,9 @@ int main(int argc, char** argv) {
 
   db.set_trace_sink(nullptr);
   std::cout << "\n" << db.ProfileReport();
+  if (plan) {
+    std::cout << "\n=== optimizer plans ===\n" << db.PlanReport();
+  }
   if (sink != nullptr) {
     std::cout << "trace written to " << trace_path << "\n";
   }
