@@ -445,6 +445,11 @@ Status MaterializedInstance::RunIterationParallel(size_t scc_idx,
 
   // Term construction must lock while workers run, even when the
   // Database default is single-threaded (e.g. @parallel(N) modules).
+  // This flip (and its restore below) are the quiescent points the
+  // MaybeMutexLock fiction in TermFactory relies on: no worker exists
+  // before the flip, and Run() barriers before the restore, so the flag
+  // itself is never read concurrently with a write. See
+  // docs/CONCURRENCY.md, "The one fiction".
   TermFactory* factory = db_->factory();
   const bool was_concurrent = factory->concurrent();
   factory->set_concurrent(true);

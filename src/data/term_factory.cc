@@ -38,8 +38,20 @@ const Arg** TermFactory::CopyArgs(std::span<const Arg* const> args) {
   return arena_.CopyArray(args.data(), args.size());
 }
 
+size_t TermFactory::hashcons_size() const {
+  // Previously read the table with no lock at all — racy while workers
+  // construct terms; now synchronized like every other accessor.
+  MaybeMutexLock lock(&mu_, concurrent_);
+  return functor_cons_.size();
+}
+
+size_t TermFactory::bytes_allocated() const {
+  MaybeMutexLock lock(&mu_, concurrent_);
+  return arena_.bytes_allocated();
+}
+
 const IntArg* TermFactory::MakeInt(int64_t v) {
-  MaybeLockGuard lock(&mu_, concurrent_);
+  MaybeMutexLock lock(&mu_, concurrent_);
   auto it = int_cons_.find(v);
   if (it != int_cons_.end()) return it->second;
   const IntArg* node = arena_.New<IntArg>(
@@ -49,7 +61,7 @@ const IntArg* TermFactory::MakeInt(int64_t v) {
 }
 
 const DoubleArg* TermFactory::MakeDouble(double v) {
-  MaybeLockGuard lock(&mu_, concurrent_);
+  MaybeMutexLock lock(&mu_, concurrent_);
   uint64_t bits;
   std::memcpy(&bits, &v, sizeof(bits));
   auto it = double_cons_.find(bits);
@@ -61,7 +73,7 @@ const DoubleArg* TermFactory::MakeDouble(double v) {
 }
 
 const StringArg* TermFactory::MakeString(std::string_view v) {
-  MaybeLockGuard lock(&mu_, concurrent_);
+  MaybeMutexLock lock(&mu_, concurrent_);
   auto it = string_cons_.find(v);
   if (it != string_cons_.end()) return it->second;
   string_store_.emplace_back(v);
@@ -73,7 +85,7 @@ const StringArg* TermFactory::MakeString(std::string_view v) {
 }
 
 const BigIntArg* TermFactory::MakeBigInt(const BigInt& v) {
-  MaybeLockGuard lock(&mu_, concurrent_);
+  MaybeMutexLock lock(&mu_, concurrent_);
   std::string key = v.ToString();
   auto it = bigint_cons_.find(key);
   if (it != bigint_cons_.end()) return it->second;
@@ -86,7 +98,11 @@ const BigIntArg* TermFactory::MakeBigInt(const BigInt& v) {
 }
 
 const FunctorArg* TermFactory::MakeAtom(std::string_view name) {
-  MaybeLockGuard lock(&mu_, concurrent_);
+  MaybeMutexLock lock(&mu_, concurrent_);
+  return MakeAtomLocked(name);
+}
+
+const FunctorArg* TermFactory::MakeAtomLocked(std::string_view name) {
   Symbol sym = symbols_.Intern(name);
   auto it = atom_cons_.find(sym);
   if (it != atom_cons_.end()) return it->second;
@@ -100,14 +116,19 @@ const FunctorArg* TermFactory::MakeAtom(std::string_view name) {
 
 const FunctorArg* TermFactory::MakeFunctor(std::string_view name,
                                            std::span<const Arg* const> args) {
-  MaybeLockGuard lock(&mu_, concurrent_);
-  return MakeFunctor(symbols_.Intern(name), args);
+  MaybeMutexLock lock(&mu_, concurrent_);
+  return MakeFunctorLocked(symbols_.Intern(name), args);
 }
 
 const FunctorArg* TermFactory::MakeFunctor(Symbol sym,
                                            std::span<const Arg* const> args) {
-  MaybeLockGuard lock(&mu_, concurrent_);
-  if (args.empty()) return MakeAtom(sym->name);
+  MaybeMutexLock lock(&mu_, concurrent_);
+  return MakeFunctorLocked(sym, args);
+}
+
+const FunctorArg* TermFactory::MakeFunctorLocked(
+    Symbol sym, std::span<const Arg* const> args) {
+  if (args.empty()) return MakeAtomLocked(sym->name);
   bool ground = true;
   for (const Arg* a : args) ground = ground && a->IsGround();
   uint64_t hash = HashChildren(FunctorHashSeed(sym), args);
@@ -128,21 +149,28 @@ const FunctorArg* TermFactory::MakeFunctor(Symbol sym,
 const FunctorArg* TermFactory::Nil() { return nil_; }
 
 const FunctorArg* TermFactory::MakeCons(const Arg* head, const Arg* tail) {
+  MaybeMutexLock lock(&mu_, concurrent_);
+  return MakeConsLocked(head, tail);
+}
+
+const FunctorArg* TermFactory::MakeConsLocked(const Arg* head,
+                                              const Arg* tail) {
   const Arg* args[2] = {head, tail};
-  return MakeFunctor(cons_sym_, args);
+  return MakeFunctorLocked(cons_sym_, args);
 }
 
 const Arg* TermFactory::MakeList(std::span<const Arg* const> elems,
                                  const Arg* tail) {
+  MaybeMutexLock lock(&mu_, concurrent_);
   const Arg* list = tail == nullptr ? nil_ : tail;
   for (size_t i = elems.size(); i-- > 0;) {
-    list = MakeCons(elems[i], list);
+    list = MakeConsLocked(elems[i], list);
   }
   return list;
 }
 
 const SetArg* TermFactory::MakeSet(std::vector<const Arg*> elems) {
-  MaybeLockGuard lock(&mu_, concurrent_);
+  MaybeMutexLock lock(&mu_, concurrent_);
   std::sort(elems.begin(), elems.end(),
             [](const Arg* a, const Arg* b) { return CompareArgs(a, b) < 0; });
   elems.erase(std::unique(elems.begin(), elems.end(),
@@ -166,14 +194,14 @@ const SetArg* TermFactory::MakeSet(std::vector<const Arg*> elems) {
 
 const Variable* TermFactory::MakeVariable(uint32_t slot,
                                           std::string_view name) {
-  MaybeLockGuard lock(&mu_, concurrent_);
+  MaybeMutexLock lock(&mu_, concurrent_);
   varname_store_.emplace_back(name);
   return arena_.New<Variable>(slot, &varname_store_.back(), NextUid(),
                               HashMix64(kVarHashSeed));
 }
 
 const Variable* TermFactory::CanonicalVar(uint32_t slot) {
-  MaybeLockGuard lock(&mu_, concurrent_);
+  MaybeMutexLock lock(&mu_, concurrent_);
   while (canonical_vars_.size() <= slot) {
     uint32_t s = static_cast<uint32_t>(canonical_vars_.size());
     varname_store_.push_back("_" + std::to_string(s));
@@ -184,7 +212,7 @@ const Variable* TermFactory::CanonicalVar(uint32_t slot) {
 }
 
 const Tuple* TermFactory::MakeTuple(std::span<const Arg* const> args) {
-  MaybeLockGuard lock(&mu_, concurrent_);
+  MaybeMutexLock lock(&mu_, concurrent_);
   bool ground = true;
   for (const Arg* a : args) ground = ground && a->IsGround();
   uint64_t hash = HashChildren(0x7091eull, args);

@@ -12,7 +12,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -24,6 +23,7 @@
 #include "src/data/tuple.h"
 #include "src/util/arena.h"
 #include "src/util/hash.h"
+#include "src/util/sync.h"
 
 namespace coral {
 
@@ -31,24 +31,34 @@ namespace coral {
 /// are valid until the factory is destroyed; Args from different factories
 /// must never be mixed.
 ///
-/// Construction methods are thread-safe (guarded by one internal lock) so
-/// the parallel fixpoint workers can resolve head tuples concurrently;
-/// returned nodes are immutable and may be read from any thread. The
-/// symbol table is only safe through factory methods (MakeAtom /
-/// MakeFunctor-by-name) — direct symbols().Intern() calls remain
-/// single-threaded (parser, setup).
+/// Construction methods are thread-safe (guarded by mu_, rank
+/// kRankTermFactory) so the parallel fixpoint workers can resolve head
+/// tuples concurrently; returned nodes are immutable and may be read from
+/// any thread. The symbol table is only safe through factory methods
+/// (MakeAtom / MakeFunctor-by-name) — direct symbols().Intern() calls
+/// remain single-threaded (parser, setup).
 ///
 /// The lock is only taken while `concurrent()` is set (the Database flips
 /// it with set_num_threads): with one thread every construction skips the
-/// mutex entirely. The flag itself must only change at points where no
-/// other thread can be constructing terms.
+/// mutex entirely (MaybeMutexLock). The flag itself must only change at
+/// points where no other thread can be constructing terms. Public
+/// constructors take the guard once and delegate to private *Locked
+/// methods, so composed constructions (MakeList -> cons -> functor ->
+/// atom) lock once instead of recursively.
 class TermFactory {
  public:
   TermFactory();
   TermFactory(const TermFactory&) = delete;
   TermFactory& operator=(const TermFactory&) = delete;
 
-  SymbolTable& symbols() { return symbols_; }
+  /// The symbol table, for serial parse/setup phases only: the reference
+  /// bypasses the construction lock, so it must never be used while
+  /// workers are constructing terms (docs/CONCURRENCY.md).
+  SymbolTable& symbols()
+      CORAL_TS_UNSAFE("serial parse/setup phases only; interning during "
+                      "evaluation goes through MakeAtom/MakeFunctor") {
+    return symbols_;
+  }
 
   /// Enables (or disables) the internal construction lock. Call only from
   /// single-threaded code — typically Database::set_num_threads or the
@@ -96,7 +106,7 @@ class TermFactory {
   /// point that each type defines its own identifiers orthogonally.
   template <typename T, typename... As>
   const T* NewUser(uint32_t type_tag, uint64_t content_hash, As&&... args) {
-    MaybeLockGuard lock(&mu_, concurrent_);
+    MaybeMutexLock lock(&mu_, concurrent_);
     auto candidate = std::make_unique<T>(type_tag, NextUid(), content_hash,
                                          std::forward<As>(args)...);
     uint64_t key = HashCombine(content_hash, type_tag);
@@ -118,62 +128,64 @@ class TermFactory {
   const Tuple* MakeTuple(std::span<const Arg* const> args);
 
   /// Number of distinct hash-consed ground functor terms (for stats).
-  size_t hashcons_size() const { return functor_cons_.size(); }
-  size_t bytes_allocated() const { return arena_.bytes_allocated(); }
+  size_t hashcons_size() const;
+  size_t bytes_allocated() const;
 
  private:
-  /// lock_guard that only engages when the factory is in concurrent mode.
-  class MaybeLockGuard {
-   public:
-    MaybeLockGuard(std::recursive_mutex* mu, bool engage)
-        : mu_(engage ? mu : nullptr) {
-      if (mu_ != nullptr) mu_->lock();
-    }
-    ~MaybeLockGuard() {
-      if (mu_ != nullptr) mu_->unlock();
-    }
-    MaybeLockGuard(const MaybeLockGuard&) = delete;
-    MaybeLockGuard& operator=(const MaybeLockGuard&) = delete;
+  // Unlocked construction cores. Callers hold mu_ (or own the
+  // single-thread proof via MaybeMutexLock's disengaged mode).
+  const FunctorArg* MakeAtomLocked(std::string_view name)
+      CORAL_REQUIRES(mu_);
+  const FunctorArg* MakeFunctorLocked(Symbol sym,
+                                      std::span<const Arg* const> args)
+      CORAL_REQUIRES(mu_);
+  const FunctorArg* MakeConsLocked(const Arg* head, const Arg* tail)
+      CORAL_REQUIRES(mu_);
 
-   private:
-    std::recursive_mutex* mu_;
-  };
-
-  uint64_t NextUid() { return next_uid_++; }
-  const Arg** CopyArgs(std::span<const Arg* const> args);
+  uint64_t NextUid() CORAL_REQUIRES(mu_) { return next_uid_++; }
+  const Arg** CopyArgs(std::span<const Arg* const> args) CORAL_REQUIRES(mu_);
   template <typename T>
-  const T* KeepOwned(std::unique_ptr<T> p) {
+  const T* KeepOwned(std::unique_ptr<T> p) CORAL_REQUIRES(mu_) {
     const T* raw = p.get();
     owned_.push_back(std::move(p));
     return raw;
   }
 
-  // Guards every construction path (arena, hash-cons tables, symbol
-  // interning via MakeAtom). Recursive because constructors compose
-  // (MakeList -> MakeCons -> MakeFunctor -> MakeAtom). Engaged only when
-  // concurrent_ is set.
-  mutable std::recursive_mutex mu_;
+  /// Guards every construction path (arena, hash-cons tables, symbol
+  /// interning via MakeAtom). Engaged only when concurrent_ is set.
+  mutable Mutex mu_{kRankTermFactory};
+  /// Read before locking to decide whether to lock at all; flipped only
+  /// at quiescent points (no workers constructing), which is what makes
+  /// the unguarded read sound.
   bool concurrent_ = false;
-  Arena arena_;
-  SymbolTable symbols_;
-  uint64_t next_uid_ = 1;
+  Arena arena_ CORAL_GUARDED_BY(mu_);
+  SymbolTable symbols_ CORAL_GUARDED_BY(mu_);
+  uint64_t next_uid_ CORAL_GUARDED_BY(mu_) = 1;
 
-  std::unordered_map<int64_t, const IntArg*> int_cons_;
-  std::unordered_map<uint64_t, const DoubleArg*> double_cons_;  // bit pattern
-  std::unordered_map<std::string_view, const StringArg*> string_cons_;
-  std::unordered_map<std::string, const BigIntArg*> bigint_cons_;
-  std::unordered_map<Symbol, const FunctorArg*> atom_cons_;
-  FunctorHashcons functor_cons_;
-  SetHashcons set_cons_;
-  TupleHashcons tuple_cons_;
-  std::vector<const Variable*> canonical_vars_;
+  std::unordered_map<int64_t, const IntArg*> int_cons_
+      CORAL_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, const DoubleArg*> double_cons_
+      CORAL_GUARDED_BY(mu_);  // bit pattern
+  std::unordered_map<std::string_view, const StringArg*> string_cons_
+      CORAL_GUARDED_BY(mu_);
+  std::unordered_map<std::string, const BigIntArg*> bigint_cons_
+      CORAL_GUARDED_BY(mu_);
+  std::unordered_map<Symbol, const FunctorArg*> atom_cons_
+      CORAL_GUARDED_BY(mu_);
+  FunctorHashcons functor_cons_ CORAL_GUARDED_BY(mu_);
+  SetHashcons set_cons_ CORAL_GUARDED_BY(mu_);
+  TupleHashcons tuple_cons_ CORAL_GUARDED_BY(mu_);
+  std::vector<const Variable*> canonical_vars_ CORAL_GUARDED_BY(mu_);
 
-  std::deque<std::string> string_store_;
-  std::deque<BigInt> bigint_store_;
-  std::deque<std::string> varname_store_;
-  std::vector<std::unique_ptr<Arg>> owned_;  // user args (need dtors)
-  std::unordered_map<uint64_t, std::vector<const Arg*>> user_cons_;
+  std::deque<std::string> string_store_ CORAL_GUARDED_BY(mu_);
+  std::deque<BigInt> bigint_store_ CORAL_GUARDED_BY(mu_);
+  std::deque<std::string> varname_store_ CORAL_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Arg>> owned_
+      CORAL_GUARDED_BY(mu_);  // user args (need dtors)
+  std::unordered_map<uint64_t, std::vector<const Arg*>> user_cons_
+      CORAL_GUARDED_BY(mu_);
 
+  // Written once in the constructor, immutable afterwards.
   const FunctorArg* nil_ = nullptr;
   Symbol cons_sym_ = nullptr;
 };

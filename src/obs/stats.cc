@@ -4,14 +4,14 @@ namespace coral::obs {
 
 void ModuleProfile::RecordIteration(IterationStats it) {
   total_iterations_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (iterations_.size() < kMaxIterationLog) {
     iterations_.push_back(std::move(it));
   }
 }
 
 uint64_t ModuleProfile::total_solutions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t sum = 0;
   for (const RuleStats& r : rules_) {
     sum += r.solutions.load(std::memory_order_relaxed);
@@ -20,7 +20,7 @@ uint64_t ModuleProfile::total_solutions() const {
 }
 
 uint64_t ModuleProfile::total_derived() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t sum = 0;
   for (const RuleStats& r : rules_) {
     sum += r.derived.load(std::memory_order_relaxed);
@@ -29,7 +29,7 @@ uint64_t ModuleProfile::total_derived() const {
 }
 
 uint64_t ModuleProfile::total_inserted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t sum = 0;
   for (const RuleStats& r : rules_) {
     sum += r.inserted.load(std::memory_order_relaxed);
@@ -38,7 +38,7 @@ uint64_t ModuleProfile::total_inserted() const {
 }
 
 uint64_t ModuleProfile::total_duplicates() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t sum = 0;
   for (const RuleStats& r : rules_) {
     sum += r.duplicates();
@@ -47,7 +47,7 @@ uint64_t ModuleProfile::total_duplicates() const {
 }
 
 ModuleProfile* StatsRegistry::GetOrCreate(const std::string& module_name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (ModuleProfile* p : order_) {
     if (p->name() == module_name) return p;
   }
@@ -58,7 +58,7 @@ ModuleProfile* StatsRegistry::GetOrCreate(const std::string& module_name) {
 
 const ModuleProfile* StatsRegistry::Find(
     const std::string& module_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const ModuleProfile* p : order_) {
     if (p->name() == module_name) return p;
   }
@@ -66,17 +66,17 @@ const ModuleProfile* StatsRegistry::Find(
 }
 
 std::vector<const ModuleProfile*> StatsRegistry::profiles() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return std::vector<const ModuleProfile*>(order_.begin(), order_.end());
 }
 
 bool StatsRegistry::empty() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return order_.empty();
 }
 
 void StatsRegistry::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   order_.clear();
   profiles_.clear();
 }

@@ -18,9 +18,10 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace coral::obs {
 
@@ -77,7 +78,7 @@ class ModuleProfile {
   /// rule for the report (stored once). Single-threaded (module Init).
   template <typename TextFn>
   void EnsureRules(size_t n, TextFn text_of) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     while (rules_.size() < n) {
       rule_texts_.push_back(text_of(rules_.size()));
       rules_.emplace_back();
@@ -85,15 +86,25 @@ class ModuleProfile {
   }
 
   size_t rule_count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return rules_.size();
   }
   /// Valid for any index < rule_count(); the deque never shrinks, so the
-  /// reference stays stable for the registry's lifetime.
-  RuleStats& rule(size_t i) { return rules_[i]; }
-  const RuleStats& rule(size_t i) const { return rules_[i]; }
+  /// reference stays stable for the registry's lifetime. Lock-free on
+  /// purpose: workers bump these counters once per rule application, and
+  /// slot growth (EnsureRules) happens only in the single-threaded Init
+  /// that happens-before any worker batch of the activation.
+  RuleStats& rule(size_t i)
+      CORAL_TS_UNSAFE("deque references are stable and slots are created "
+                      "before workers start; see docs/CONCURRENCY.md") {
+    return rules_[i];
+  }
+  const RuleStats& rule(size_t i) const
+      CORAL_TS_UNSAFE("same invariant as the non-const overload") {
+    return rules_[i];
+  }
   std::string rule_text(size_t i) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return i < rule_texts_.size() ? rule_texts_[i] : std::string();
   }
 
@@ -102,7 +113,7 @@ class ModuleProfile {
   void RecordIteration(IterationStats it);
   /// Copy of the per-iteration log (up to the cap).
   std::vector<IterationStats> iterations() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return iterations_;
   }
   uint64_t total_iterations() const {
@@ -133,10 +144,11 @@ class ModuleProfile {
 
  private:
   std::string name_;
-  mutable std::mutex mu_;  // guards growth + iteration log, not counters
-  std::deque<RuleStats> rules_;
-  std::vector<std::string> rule_texts_;
-  std::vector<IterationStats> iterations_;
+  /// Guards growth + iteration log, not the atomic counters.
+  mutable Mutex mu_{kRankModuleProfile};
+  std::deque<RuleStats> rules_ CORAL_GUARDED_BY(mu_);
+  std::vector<std::string> rule_texts_ CORAL_GUARDED_BY(mu_);
+  std::vector<IterationStats> iterations_ CORAL_GUARDED_BY(mu_);
   std::atomic<uint64_t> total_iterations_{0};
   std::atomic<uint64_t> activations_{0};
 };
@@ -162,9 +174,9 @@ class StatsRegistry {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
-  std::deque<ModuleProfile> profiles_;
-  std::vector<ModuleProfile*> order_;
+  mutable Mutex mu_{kRankStatsRegistry};
+  std::deque<ModuleProfile> profiles_ CORAL_GUARDED_BY(mu_);
+  std::vector<ModuleProfile*> order_ CORAL_GUARDED_BY(mu_);
 };
 
 }  // namespace coral::obs

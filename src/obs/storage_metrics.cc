@@ -51,19 +51,19 @@ StorageMetrics& StorageMetrics::Instance() {
 
 void StorageMetrics::RecordEvent(std::string what, std::string detail,
                                  uint64_t count) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (events_.size() >= kMaxEvents) return;
   events_.push_back(
       RecoveryEvent{std::move(what), std::move(detail), count});
 }
 
 std::vector<RecoveryEvent> StorageMetrics::events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return events_;
 }
 
 bool StorageMetrics::SawEvent(const std::string& what) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const RecoveryEvent& e : events_) {
     if (e.what == what) return true;
   }
@@ -87,7 +87,7 @@ void StorageMetrics::Reset() {
   corrupt_records_dropped = 0;
   old_format_logs_read = 0;
   read_only_degradations = 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   events_.clear();
 }
 

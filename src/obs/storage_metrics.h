@@ -13,10 +13,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace coral::obs {
 
@@ -84,8 +85,8 @@ class StorageMetrics {
  private:
   StorageMetrics() = default;
 
-  mutable std::mutex mu_;  // guards events_ only
-  std::vector<RecoveryEvent> events_;
+  mutable Mutex mu_{kRankStorageMetrics};  // guards events_ only
+  std::vector<RecoveryEvent> events_ CORAL_GUARDED_BY(mu_);
 };
 
 }  // namespace coral::obs

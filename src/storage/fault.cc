@@ -64,7 +64,7 @@ FaultInjector& FaultInjector::Instance() {
 }
 
 void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   PointState& st = points_[point];
   st.armed = true;
   st.fired = 0;
@@ -72,13 +72,13 @@ void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
 }
 
 void FaultInjector::Disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = points_.find(point);
   if (it != points_.end()) it->second.armed = false;
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   points_.clear();
   crashed_.store(false, std::memory_order_release);
 }
@@ -92,7 +92,7 @@ void FaultInjector::TriggerCrash() {
 }
 
 uint64_t FaultInjector::hits(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.hits;
 }
@@ -101,7 +101,7 @@ std::vector<std::pair<std::string, uint64_t>> FaultInjector::HitCounts()
     const {
   std::vector<std::pair<std::string, uint64_t>> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     out.reserve(points_.size());
     for (const auto& [name, st] : points_) out.emplace_back(name, st.hits);
   }
@@ -111,7 +111,7 @@ std::vector<std::pair<std::string, uint64_t>> FaultInjector::HitCounts()
 
 FaultInjector::Decision FaultInjector::Hit(const char* point) {
   Decision d;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   PointState& st = points_[point];
   ++st.hits;
   if (crashed_.load(std::memory_order_acquire)) {

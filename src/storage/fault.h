@@ -21,7 +21,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -29,6 +28,7 @@
 #include <vector>
 
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace coral {
 
@@ -128,8 +128,8 @@ class FaultInjector {
     FaultSpec spec;
   };
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, PointState> points_;
+  mutable Mutex mu_{kRankFaultInjector};
+  std::unordered_map<std::string, PointState> points_ CORAL_GUARDED_BY(mu_);
   std::atomic<bool> crashed_{false};
 };
 

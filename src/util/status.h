@@ -32,7 +32,10 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A cheap, copyable success-or-error value. OK Status carries no message.
-class Status {
+/// [[nodiscard]] at class level: every Status-returning API is an error
+/// channel, and silently dropping one hides I/O and analysis failures —
+/// callers that truly do not care must say so with a (void) cast.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string msg)
@@ -89,7 +92,7 @@ class Status {
 
 /// Either a value of type T or a non-OK Status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status s) : status_(std::move(s)) {  // NOLINT implicit
     CORAL_CHECK(!status_.ok()) << "StatusOr constructed from OK status";

@@ -1,0 +1,88 @@
+#include "src/util/sync.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace coral::lock_order {
+
+namespace {
+
+struct HeldLock {
+  const void* mu;
+  uint32_t rank;
+};
+
+// Per-thread stack of held locks, pushed on acquire and erased on release
+// (erase, not pop: guards may release out of LIFO order). The vector is
+// tiny — the engine never holds more than a couple of locks at once.
+thread_local std::vector<HeldLock> tl_held;
+
+std::atomic<uint64_t> g_violations{0};
+// Most recent inversion, packed (held_rank << 32) | acquiring_rank so a
+// reader never sees a torn pair.
+std::atomic<uint64_t> g_last_violation{0};
+
+// Aborting on inversion is opt-in (CORAL_LOCK_ORDER_ABORT=1): the default
+// report-and-continue keeps a detected inversion from masking whatever a
+// test was actually checking, while CI greps stderr.
+bool AbortOnViolation() {
+  static const bool abort_on_violation = [] {
+    const char* v = std::getenv("CORAL_LOCK_ORDER_ABORT");
+    return v != nullptr && v[0] == '1';
+  }();
+  return abort_on_violation;
+}
+
+}  // namespace
+
+void OnAcquire(const void* mu, uint32_t rank) {
+  if (rank != kRankUnranked) {
+    for (const HeldLock& held : tl_held) {
+      if (held.rank == kRankUnranked || held.mu == mu) continue;
+      if (held.rank >= rank) {
+        g_violations.fetch_add(1, std::memory_order_relaxed);
+        g_last_violation.store(
+            (static_cast<uint64_t>(held.rank) << 32) | rank,
+            std::memory_order_relaxed);
+        std::fprintf(stderr,
+                     "coral: LOCK-ORDER INVERSION: acquiring mutex of rank "
+                     "%u while holding rank %u (acquire strictly "
+                     "rank-increasing; see docs/CONCURRENCY.md)\n",
+                     rank, held.rank);
+        if (AbortOnViolation()) std::abort();
+        break;
+      }
+    }
+  }
+  tl_held.push_back(HeldLock{mu, rank});
+}
+
+void OnRelease(const void* mu) {
+  for (size_t i = tl_held.size(); i-- > 0;) {
+    if (tl_held[i].mu == mu) {
+      tl_held.erase(tl_held.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+uint64_t Violations() {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+void ResetViolations() {
+  g_violations.store(0, std::memory_order_relaxed);
+  g_last_violation.store(0, std::memory_order_relaxed);
+}
+
+std::pair<uint32_t, uint32_t> LastViolation() {
+  uint64_t packed = g_last_violation.load(std::memory_order_relaxed);
+  return {static_cast<uint32_t>(packed >> 32),
+          static_cast<uint32_t>(packed & 0xffffffffu)};
+}
+
+size_t HeldCountForTest() { return tl_held.size(); }
+
+}  // namespace coral::lock_order

@@ -12,31 +12,34 @@ ThreadPool::ThreadPool(size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
 void ThreadPool::Drain() {
-  // mu_ held on entry and exit; released around each task.
   while (next_task_ < batch_size_) {
     size_t task = next_task_++;
-    mu_.unlock();
-    (*fn_)(task);
-    mu_.lock();
-    if (--unfinished_ == 0) done_cv_.notify_all();
+    // Read fn_ while still holding mu_: Run() clears it once unfinished_
+    // hits zero, and the old code's unlocked (*fn_) read was safe only by
+    // a subtle happens-before chain through the claim counter.
+    const std::function<void(size_t)>* fn = fn_;
+    mu_.Unlock();
+    (*fn)(task);
+    mu_.Lock();
+    if (--unfinished_ == 0) done_cv_.NotifyAll();
   }
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t seen = 0;
   while (true) {
-    work_cv_.wait(lock, [&] {
-      return shutdown_ || (fn_ != nullptr && generation_ != seen);
-    });
+    while (!shutdown_ && (fn_ == nullptr || generation_ == seen)) {
+      work_cv_.Wait(mu_);
+    }
     if (shutdown_) return;
     seen = generation_;
     Drain();
@@ -45,15 +48,15 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   fn_ = &fn;
   batch_size_ = n;
   next_task_ = 0;
   unfinished_ = n;
   ++generation_;
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   Drain();  // the caller works too
-  done_cv_.wait(lock, [&] { return unfinished_ == 0; });
+  while (unfinished_ != 0) done_cv_.Wait(mu_);
   fn_ = nullptr;
   batch_size_ = 0;
 }

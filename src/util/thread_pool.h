@@ -6,16 +6,20 @@
 // That matches the engine's needs exactly: one batch per fixpoint
 // iteration, with a merge/dedup phase between batches that must observe
 // all worker output.
+//
+// All batch state is guarded by mu_ (rank kRankThreadPool); the
+// annotations below are checked by -Wthread-safety in CI.
 
 #ifndef CORAL_UTIL_THREAD_POOL_H_
 #define CORAL_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace coral {
 
@@ -34,23 +38,26 @@ class ThreadPool {
   /// return. The calling thread participates, so a pool of K threads plus
   /// the caller services the batch; n may exceed the pool size. Tasks must
   /// not call Run() on the same pool (no nesting).
-  void Run(size_t n, const std::function<void(size_t)>& fn);
+  void Run(size_t n, const std::function<void(size_t)>& fn)
+      CORAL_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() CORAL_EXCLUDES(mu_);
   /// Claims and runs tasks of the current batch until none remain.
-  void Drain();
+  /// mu_ held on entry and exit; released around each task.
+  void Drain() CORAL_REQUIRES(mu_);
 
-  std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait for a batch
-  std::condition_variable done_cv_;   // Run() waits for completion
-  const std::function<void(size_t)>* fn_ = nullptr;  // current batch
-  size_t batch_size_ = 0;   // tasks in the current batch
-  size_t next_task_ = 0;    // next unclaimed task index
-  size_t unfinished_ = 0;   // tasks claimed or unclaimed, not yet done
-  uint64_t generation_ = 0; // bumped per batch so workers wake exactly once
-  bool shutdown_ = false;
+  std::vector<std::thread> workers_;  // written by ctor only, then const
+  Mutex mu_{kRankThreadPool};
+  CondVar work_cv_;   // workers wait for a batch
+  CondVar done_cv_;   // Run() waits for completion
+  /// Current batch; non-null exactly while a batch is mapped in.
+  const std::function<void(size_t)>* fn_ CORAL_GUARDED_BY(mu_) = nullptr;
+  size_t batch_size_ CORAL_GUARDED_BY(mu_) = 0;  // tasks in current batch
+  size_t next_task_ CORAL_GUARDED_BY(mu_) = 0;   // next unclaimed index
+  size_t unfinished_ CORAL_GUARDED_BY(mu_) = 0;  // claimed or unclaimed
+  uint64_t generation_ CORAL_GUARDED_BY(mu_) = 0;  // bumped per batch
+  bool shutdown_ CORAL_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace coral

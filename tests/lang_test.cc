@@ -274,14 +274,18 @@ TEST_F(LangTest, ParseMakeIndexAnnotations) {
 }
 
 TEST_F(LangTest, ParseErrors) {
-  ParseError("p(X) :- q(X).");            // rule outside module
-  ParseError("module m. p(X).");           // missing end_module
-  ParseError("module m. export p(bx). end_module.");  // bad adornment
-  ParseError("module m. @frobnicate. end_module.");   // unknown annotation
-  ParseError("p(1, .");                    // malformed term
-  ParseError("not p(1).");                 // negated fact head
-  ParseError("@make_index e(X,Y)(f(X)).");  // non-variable index key
-  ParseError("@pipelining.");              // module-only annotation at top
+  EXPECT_FALSE(ParseError("p(X) :- q(X).").ok());  // rule outside module
+  EXPECT_FALSE(ParseError("module m. p(X).").ok());  // missing end_module
+  EXPECT_FALSE(  // bad adornment
+      ParseError("module m. export p(bx). end_module.").ok());
+  EXPECT_FALSE(  // unknown annotation
+      ParseError("module m. @frobnicate. end_module.").ok());
+  EXPECT_FALSE(ParseError("p(1, .").ok());     // malformed term
+  EXPECT_FALSE(ParseError("not p(1).").ok());  // negated fact head
+  EXPECT_FALSE(  // non-variable index key
+      ParseError("@make_index e(X,Y)(f(X)).").ok());
+  EXPECT_FALSE(  // module-only annotation at top level
+      ParseError("@pipelining.").ok());
 }
 
 TEST_F(LangTest, ParseTermHelper) {

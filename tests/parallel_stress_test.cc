@@ -9,10 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <queue>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/database.h"
@@ -249,6 +251,85 @@ TEST(ParallelStressTest, ExampleProgramsSetIdenticalAcrossThreadCounts) {
     }
   }
   EXPECT_GT(checked, 0u) << "no example programs found under " << dir;
+}
+
+// ---------------------------------------------------------------------
+// Concurrent StatsRegistry readers while parallel fixpoint workers write:
+// reader threads hammer the registry's read surface (profiles(), Find,
+// per-rule totals, iteration logs, the rendered report) while the main
+// thread repeatedly evaluates a profiled module at 4 workers. Under TSan
+// (the tsan CI job runs this binary) this is the race harness for the
+// kRankStatsRegistry / kRankModuleProfile locks and the relaxed-atomic
+// rule counters — the exact readers-vs-writers shape the multi-client
+// query server will serve.
+// ---------------------------------------------------------------------
+
+TEST(ParallelStressTest, StatsRegistryReadersVsFixpointWriters) {
+  constexpr int kNodes = 60;
+  Lcg rng(4242);
+  std::string facts;
+  for (int i = 0; i < 4 * kNodes; ++i) {
+    facts += "e(" + std::to_string(rng.Next(kNodes)) + ", " +
+             std::to_string(rng.Next(kNodes)) + ").\n";
+  }
+  const std::string mod =
+      "module tcm.\nexport tc(ff).\n@no_rewriting.\n@parallel(4).\n"
+      "tc(X, Y) :- e(X, Y).\n"
+      "tc(X, Y) :- e(X, Z), tc(Z, Y).\nend_module.\n";
+
+  Database db;
+  db.set_profiling(true);
+  ASSERT_TRUE(db.Consult(facts).ok());
+  ASSERT_TRUE(db.Consult(mod).ok());
+  // Prime one activation so readers immediately see a profile.
+  ASSERT_TRUE(db.EvalQuery("tc(X, Y)").ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        for (const obs::ModuleProfile* p : db.stats()->profiles()) {
+          // Every read path a monitoring client would hit.
+          (void)p->total_inserted();
+          (void)p->total_solutions();
+          (void)p->total_duplicates();
+          (void)p->activations();
+          (void)p->iterations();
+          size_t n = p->rule_count();
+          for (size_t i = 0; i < n; ++i) {
+            (void)p->rule(i).inserted.load(std::memory_order_relaxed);
+            (void)p->rule_text(i);
+          }
+        }
+        const obs::ModuleProfile* tcm = db.stats()->Find("tcm");
+        if (tcm != nullptr) (void)tcm->total_iterations();
+        (void)db.ProfileReport();
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  constexpr int kActivations = 8;
+  uint64_t expected_per_run = 0;
+  for (int i = 0; i < kActivations; ++i) {
+    auto res = db.EvalQuery("tc(X, Y)");
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    if (expected_per_run == 0) expected_per_run = res->rows.size();
+    EXPECT_EQ(res->rows.size(), expected_per_run) << "activation " << i;
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(reads.load(std::memory_order_relaxed), 0u);
+
+  // Counters must end exact despite the concurrent readers: inserted
+  // totals are thread-count invariant, so kActivations + 1 identical
+  // activations accumulate an exact multiple.
+  const obs::ModuleProfile* tcm = db.stats()->Find("tcm");
+  ASSERT_NE(tcm, nullptr);
+  EXPECT_EQ(tcm->activations(), static_cast<uint64_t>(kActivations) + 1);
+  EXPECT_EQ(tcm->total_inserted() % (kActivations + 1), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,69 @@
+#!/usr/bin/env sh
+# Lock-discipline source lint.
+#
+# Enforces the concurrency conventions documented in docs/CONCURRENCY.md:
+#
+#   1. Raw standard-library synchronization primitives are banned outside
+#      src/util/sync.{h,cc}. Everything else must go through the annotated
+#      wrappers (Mutex, SharedMutex, CondVar, MutexLock, ...) so Clang
+#      Thread Safety Analysis sees every lock site.
+#
+#   2. Every CORAL_TS_UNSAFE escape hatch must carry a non-empty reason
+#      string, and every file using one must be enumerated in
+#      docs/CONCURRENCY.md so the full list of analysis escapes stays
+#      reviewable in one place.
+#
+# Run from the repository root:  sh tools/lock_lint.sh
+# Exits non-zero (with file:line diagnostics) on any violation.
+
+set -u
+
+cd "$(dirname "$0")/.." || exit 2
+
+fail=0
+
+# ---- 1. raw std primitives --------------------------------------------------
+
+# Word-boundary match on the std:: spellings; sync.h/sync.cc are the only
+# files allowed to name them (they wrap them).
+raw_pattern='std::(mutex|recursive_mutex|shared_mutex|timed_mutex|recursive_timed_mutex|shared_timed_mutex|lock_guard|unique_lock|shared_lock|scoped_lock|condition_variable|condition_variable_any)\b'
+
+raw_hits=$(grep -rnE "$raw_pattern" src tools include \
+             --include='*.h' --include='*.cc' --include='*.cpp' \
+             | grep -v -e '^src/util/sync\.h:' -e '^src/util/sync\.cc:')
+if [ -n "$raw_hits" ]; then
+  echo "lock_lint: raw std synchronization primitives outside src/util/sync.h:" >&2
+  echo "$raw_hits" >&2
+  echo "lock_lint: use the annotated wrappers from src/util/sync.h instead." >&2
+  fail=1
+fi
+
+# ---- 2. CORAL_TS_UNSAFE escapes --------------------------------------------
+
+# Every use (excluding the #define in sync.h) must pass a non-empty
+# string literal reason: CORAL_TS_UNSAFE("why this is safe").
+unsafe_uses=$(grep -rn 'CORAL_TS_UNSAFE' src tools include \
+                --include='*.h' --include='*.cc' --include='*.cpp' \
+                | grep -v '# *define *CORAL_TS_UNSAFE')
+
+if [ -n "$unsafe_uses" ]; then
+  bad_reason=$(echo "$unsafe_uses" | grep -vE 'CORAL_TS_UNSAFE\("[^"]+"')
+  if [ -n "$bad_reason" ]; then
+    echo "lock_lint: CORAL_TS_UNSAFE without a non-empty reason string:" >&2
+    echo "$bad_reason" >&2
+    fail=1
+  fi
+
+  # Each escaping file must be named in docs/CONCURRENCY.md.
+  for f in $(echo "$unsafe_uses" | cut -d: -f1 | sort -u); do
+    if ! grep -q "$f" docs/CONCURRENCY.md; then
+      echo "lock_lint: $f uses CORAL_TS_UNSAFE but is not enumerated in docs/CONCURRENCY.md" >&2
+      fail=1
+    fi
+  done
+fi
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "lock_lint: OK"
