@@ -29,9 +29,14 @@ inline bool g_profile = false;
 /// the default run.
 inline bool g_no_auto_optimize = false;
 
+/// --no-vm: turn the join bytecode VM off on every benchmark database,
+/// evaluating rule bodies on the interpreting ResolveTuple path.
+/// EXPERIMENTS.md records this baseline against the default (VM) run.
+inline bool g_no_vm = false;
+
 /// Strips the harness's own flags (--threads=N, --profile,
-/// --no-auto-index) from argv (benchmark::Initialize rejects flags it
-/// does not know) and records them. Call first in main().
+/// --no-auto-index, --no-vm) from argv (benchmark::Initialize rejects
+/// flags it does not know) and records them. Call first in main().
 inline void ParseThreadsFlag(int* argc, char** argv) {
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
@@ -41,6 +46,8 @@ inline void ParseThreadsFlag(int* argc, char** argv) {
       g_profile = true;
     } else if (std::strcmp(argv[i], "--no-auto-index") == 0) {
       g_no_auto_optimize = true;
+    } else if (std::strcmp(argv[i], "--no-vm") == 0) {
+      g_no_vm = true;
     } else {
       argv[out++] = argv[i];
     }
@@ -49,12 +56,14 @@ inline void ParseThreadsFlag(int* argc, char** argv) {
 }
 
 /// Applies the harness flags to `db`: profiling when --profile was
-/// given, auto-optimization off when --no-auto-index was. Call right
-/// after constructing the benchmark's Database.
+/// given, auto-optimization off when --no-auto-index was, the bytecode
+/// VM off when --no-vm was. Call right after constructing the
+/// benchmark's Database.
 template <typename DB>
 inline void MaybeProfile(DB* db) {
   if (g_profile) db->set_profiling(true);
   if (g_no_auto_optimize) db->set_auto_optimize(false);
+  if (g_no_vm) db->set_use_vm(false);
 }
 
 /// Prints the collected profile under the given label when --profile was

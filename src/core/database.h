@@ -20,6 +20,7 @@
 #include "src/lang/ast.h"
 #include "src/obs/stats.h"
 #include "src/obs/trace.h"
+#include "src/obs/vm_stats.h"
 #include "src/rel/relation.h"
 #include "src/util/status.h"
 #include "src/util/thread_pool.h"
@@ -133,6 +134,20 @@ class Database {
   void set_auto_optimize(bool on) { auto_optimize_ = on; }
   bool auto_optimize() const { return auto_optimize_; }
 
+  // ---- join bytecode VM (docs/VM.md) ----
+  /// When on (the default), eligible rewritten rule versions run on the
+  /// join bytecode VM; ineligible shapes (aggregates, negation, ordered
+  /// search, cross-module literals, ...) and modules annotated @no_vm
+  /// stay on the interpreting ResolveTuple path, which remains the
+  /// semantic oracle. Takes effect at the next module activation — the
+  /// compiled bytecode is cached with the query form either way.
+  void set_use_vm(bool on) { use_vm_ = on; }
+  bool use_vm() const { return use_vm_; }
+
+  /// Database-wide per-opcode VM counters (see coral_prof --bytecode).
+  obs::VmCounters* vm_counters() { return &vm_counters_; }
+  const obs::VmCounters& vm_counters() const { return vm_counters_; }
+
   /// The optimizer plan (inferred modes, join order, index plan) of a
   /// compiled query form; compiles on demand. See also
   /// ModuleManager::PlanListing and coral_prof --plan.
@@ -190,6 +205,8 @@ class Database {
   DiagnosticList last_diagnostics_;
   bool strict_ = false;
   bool auto_optimize_ = true;
+  bool use_vm_ = true;
+  obs::VmCounters vm_counters_;
   int num_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;
   bool profiling_ = false;

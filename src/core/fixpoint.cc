@@ -22,6 +22,24 @@ uint64_t NowNs() {
           .count());
 }
 
+// Folds one rule application's plain opcode counts into the Database-wide
+// atomic counters — one flush per application keeps atomics off the
+// per-tuple path. Relaxed order: these are statistics, read at quiescent
+// points (coral_prof --bytecode).
+void FlushVmOps(obs::VmCounters* c, const vm::OpCounts& o) {
+  auto add = [](std::atomic<uint64_t>& a, uint64_t n) {
+    if (n != 0) a.fetch_add(n, std::memory_order_relaxed);
+  };
+  add(c->scan_full, o.scan_full);
+  add(c->scan_delta, o.scan_delta);
+  add(c->probe_index, o.probe_index);
+  add(c->probe_scan_fallbacks, o.probe_scan_fallbacks);
+  add(c->unify_arg, o.unify_arg);
+  add(c->test_builtin, o.test_builtin);
+  add(c->project, o.project);
+  add(c->insert, o.insert);
+}
+
 }  // namespace
 
 std::pair<Mark, Mark> MaterializedInstance::WindowFor(
@@ -123,129 +141,166 @@ StatusOr<bool> MaterializedInstance::ApplyVersion(
   // PSN: the delta window closes at a snapshot taken now, so facts
   // derived by earlier rules in this very pass are already visible
   // (immediate availability — the property PSN exploits, paper §4.2).
+  const size_t version_idx = VersionIndex(scc_idx, v);
   Mark psn_from = 0, psn_to = 0;
-  size_t version_idx = 0;
-  if (psn) {
-    // Locate this version's PSN mark slot.
-    const auto& versions = prog_->seminaive.sccs[scc_idx].versions;
-    for (; version_idx < versions.size(); ++version_idx) {
-      if (&versions[version_idx] == &v) break;
-    }
-    CORAL_CHECK(version_idx < versions.size());
-    if (v.delta_pos >= 0) {
-      Relation* drel = internal(rule.body[v.delta_pos].pred_ref());
-      CORAL_CHECK(drel != nullptr);
-      psn_from = psn_marks_[scc_idx][version_idx];
-      psn_to = drel->Snapshot();
-      if (psn_from >= psn_to) return false;  // empty delta: skip
-    }
+  if (psn && v.delta_pos >= 0) {
+    Relation* drel = internal(rule.body[v.delta_pos].pred_ref());
+    CORAL_CHECK(drel != nullptr);
+    psn_from = psn_marks_[scc_idx][version_idx];
+    psn_to = drel->Snapshot();
+    if (psn_from >= psn_to) return false;  // empty delta: skip
   }
 
-  // Find (or create) the environment slot for this version.
-  BindEnv* env;
-  if (v.evaluate_once) {
-    const auto& once = prog_->seminaive.sccs[scc_idx].once;
-    size_t idx = 0;
-    for (; idx < once.size(); ++idx) {
-      if (&once[idx] == &v) break;
-    }
-    env = EnvFor(scc_idx, true, idx, rule.var_count);
-  } else {
-    const auto& versions = prog_->seminaive.sccs[scc_idx].versions;
-    size_t idx = 0;
-    for (; idx < versions.size(); ++idx) {
-      if (&versions[idx] == &v) break;
-    }
-    env = EnvFor(scc_idx, false, idx, rule.var_count);
-  }
-
-  std::vector<std::unique_ptr<GoalSource>> sources;
-  sources.reserve(rule.body.size());
+  // Per-literal mark windows, computed once and shared by the VM and the
+  // interpreter — BSN, PSN and Naive differ only here, which is what lets
+  // one compiled program serve every driver.
+  std::vector<std::pair<Mark, Mark>> windows(rule.body.size(),
+                                             {Mark{0}, kMaxMark});
   for (size_t i = 0; i < rule.body.size(); ++i) {
     const Literal& lit = rule.body[i];
-    Mark from = 0, to = kMaxMark;
-    if (!lit.negated && internal(lit.pred_ref()) != nullptr) {
-      if (psn) {
-        if (static_cast<int>(i) == v.delta_pos) {
-          from = psn_from;
-          to = psn_to;
-        } else {
-          Relation* rel = internal(lit.pred_ref());
-          from = 0;
-          to = rel->Snapshot();
-        }
+    if (lit.negated || internal(lit.pred_ref()) == nullptr) continue;
+    if (psn) {
+      if (static_cast<int>(i) == v.delta_pos) {
+        windows[i] = {psn_from, psn_to};
       } else {
-        RangeSel sel = naive_override ? RangeSel::kFull : v.ranges[i];
-        std::tie(from, to) = WindowFor(scc_idx, lit.pred_ref(), sel, cur);
+        windows[i] = {0, internal(lit.pred_ref())->Snapshot()};
       }
+    } else {
+      RangeSel sel = naive_override ? RangeSel::kFull : v.ranges[i];
+      windows[i] = WindowFor(scc_idx, lit.pred_ref(), sel, cur);
     }
-    CORAL_ASSIGN_OR_RETURN(std::unique_ptr<GoalSource> src,
-                           MakeSource(&lit, env, from, to));
-    sources.push_back(std::move(src));
   }
 
-  RuleCursor cursor(std::move(sources), v.backtrack,
-                    decl_->intelligent_backtracking, &trail_);
   bool changed = false;
-  Status inner;
+  bool vm_done = false;
+  uint64_t probes = 0;
   uint64_t obs_derived = 0;
 
-  if (v.is_aggregate) {
-    const AggHeadSpec* spec = AggSpecFor(v.rule_index);
-    GroupAccumulator acc(spec, env, db_->factory());
-    while (cursor.Next()) {
-      ++stats_.solutions;
-      inner = acc.Feed();
-      if (!inner.ok()) break;
-    }
-    cursor.UndoAll();
-    CORAL_RETURN_IF_ERROR(inner);
-    CORAL_RETURN_IF_ERROR(cursor.status());
-    CORAL_ASSIGN_OR_RETURN(std::vector<const Tuple*> tuples, acc.Finish());
-    obs_derived = tuples.size();
-    PredRef head = rule.head.pred_ref();
-    for (const Tuple* t : tuples) changed |= HeadInsert(head, t);
-  } else {
-    PredRef head = rule.head.pred_ref();
-    std::vector<TermRef> head_refs(rule.head.args.size());
-    while (cursor.Next()) {
-      ++stats_.solutions;
-      for (size_t i = 0; i < rule.head.args.size(); ++i) {
-        head_refs[i] = {rule.head.args[i], env};
-      }
-      const Tuple* t = ResolveTuple(head_refs, db_->factory());
-      bool inserted = HeadInsert(head, t);
-      changed |= inserted;
-      if (inserted && decl_->explain) {
-        // Explanation tool: record which body facts produced the head.
-        Derivation d;
-        d.head_pred = head;
-        d.head = t;
-        d.rule_index = v.rule_index;
-        for (const Literal& lit : rule.body) {
-          if (lit.negated) continue;
-          if (db_->builtins()->Find(lit.pred->name,
-                                    static_cast<uint32_t>(lit.args.size()))
-              != nullptr &&
-              internal(lit.pred_ref()) == nullptr) {
-            continue;
-          }
-          std::vector<TermRef> refs;
-          refs.reserve(lit.args.size());
-          for (const Arg* a : lit.args) refs.push_back({a, env});
-          d.body.emplace_back(lit.pred_ref(),
-                              ResolveTuple(refs, db_->factory()));
+  // Join bytecode first; on kFallback the interpreter below re-runs the
+  // application (tuples the VM already inserted are deduplicated, so the
+  // re-run is idempotent — bind-time checks exclude multiset heads).
+  if (const VmBoundRule* vb =
+          VmRuleFor(scc_idx, v.evaluate_once, version_idx)) {
+    struct Sink : vm::TupleSink {
+      MaterializedInstance* self;
+      PredRef head;
+      HashRelation* hrel;  // non-null: skip the per-solution PredRef lookup
+      bool Emit(const Tuple* t) override {
+        if (hrel != nullptr) {
+          if (!hrel->Insert(t)) return false;
+          ++self->stats_.inserts;
+          return true;
         }
-        derivations_.push_back(std::move(d));
+        return self->HeadInsert(head, t);
       }
+    } sink;
+    sink.self = this;
+    sink.head = rule.head.pred_ref();
+    // The head relation was resolved once at bind time; re-resolving it by
+    // PredRef hash on every solution showed up in profiles. Tracing still
+    // needs HeadInsert's event emission, and ordered-search modules never
+    // compile, so the staging intercept is unreachable here.
+    sink.hrel = trace_ == nullptr ? vb->head : nullptr;
+    vm::RunInput in;
+    in.prog = vb->prog;
+    in.rels = vb->rels;
+    in.hash_rels = vb->hash_rels;
+    in.windows = windows;
+    in.factory = db_->factory();
+    vm::RunStats rst;
+    vm::RunResult r = vm::Execute(in, &sink, &rst);
+    obs::VmCounters* vc = db_->vm_counters();
+    vc->applications.fetch_add(1, std::memory_order_relaxed);
+    FlushVmOps(vc, rst.ops);
+    if (r == vm::RunResult::kOk) {
+      stats_.solutions += rst.solutions;
+      changed = rst.changed;
+      probes = rst.tuples;
+      obs_derived = rst.solutions;
+      vm_done = true;
+    } else {
+      // Discard the VM's solution count — the interpreter re-counts from
+      // scratch, so stats match an interpreter-only run exactly.
+      vc->runtime_fallbacks.fetch_add(1, std::memory_order_relaxed);
     }
-    cursor.UndoAll();
-    CORAL_RETURN_IF_ERROR(cursor.status());
-    obs_derived = stats_.solutions - obs_sols0;  // one head tuple each
+  }
+
+  if (!vm_done) {
+    BindEnv* env =
+        EnvFor(scc_idx, v.evaluate_once, version_idx, rule.var_count);
+
+    std::vector<std::unique_ptr<GoalSource>> sources;
+    sources.reserve(rule.body.size());
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      const Literal& lit = rule.body[i];
+      auto [from, to] = windows[i];
+      CORAL_ASSIGN_OR_RETURN(std::unique_ptr<GoalSource> src,
+                             MakeSource(&lit, env, from, to));
+      sources.push_back(std::move(src));
+    }
+
+    RuleCursor cursor(std::move(sources), v.backtrack,
+                      decl_->intelligent_backtracking, &trail_);
+    Status inner;
+
+    if (v.is_aggregate) {
+      const AggHeadSpec* spec = AggSpecFor(v.rule_index);
+      GroupAccumulator acc(spec, env, db_->factory());
+      while (cursor.Next()) {
+        ++stats_.solutions;
+        inner = acc.Feed();
+        if (!inner.ok()) break;
+      }
+      cursor.UndoAll();
+      CORAL_RETURN_IF_ERROR(inner);
+      CORAL_RETURN_IF_ERROR(cursor.status());
+      CORAL_ASSIGN_OR_RETURN(std::vector<const Tuple*> tuples, acc.Finish());
+      obs_derived = tuples.size();
+      PredRef head = rule.head.pred_ref();
+      for (const Tuple* t : tuples) changed |= HeadInsert(head, t);
+    } else {
+      PredRef head = rule.head.pred_ref();
+      std::vector<TermRef> head_refs(rule.head.args.size());
+      while (cursor.Next()) {
+        ++stats_.solutions;
+        for (size_t i = 0; i < rule.head.args.size(); ++i) {
+          head_refs[i] = {rule.head.args[i], env};
+        }
+        const Tuple* t = ResolveTuple(head_refs, db_->factory());
+        bool inserted = HeadInsert(head, t);
+        changed |= inserted;
+        if (inserted && decl_->explain) {
+          // Explanation tool: record which body facts produced the head.
+          Derivation d;
+          d.head_pred = head;
+          d.head = t;
+          d.rule_index = v.rule_index;
+          for (const Literal& lit : rule.body) {
+            if (lit.negated) continue;
+            if (db_->builtins()->Find(lit.pred->name,
+                                      static_cast<uint32_t>(lit.args.size()))
+                != nullptr &&
+                internal(lit.pred_ref()) == nullptr) {
+              continue;
+            }
+            std::vector<TermRef> refs;
+            refs.reserve(lit.args.size());
+            for (const Arg* a : lit.args) refs.push_back({a, env});
+            d.body.emplace_back(lit.pred_ref(),
+                                ResolveTuple(refs, db_->factory()));
+          }
+          derivations_.push_back(std::move(d));
+        }
+      }
+      cursor.UndoAll();
+      CORAL_RETURN_IF_ERROR(cursor.status());
+      obs_derived = stats_.solutions - obs_sols0;  // one head tuple each
+    }
+    probes = cursor.probes();
   }
 
   if (rs != nullptr) {
-    rs->probes.fetch_add(cursor.probes(), std::memory_order_relaxed);
+    rs->probes.fetch_add(probes, std::memory_order_relaxed);
     rs->solutions.fetch_add(stats_.solutions - obs_sols0,
                             std::memory_order_relaxed);
     rs->derived.fetch_add(obs_derived, std::memory_order_relaxed);
@@ -342,6 +397,66 @@ Status MaterializedInstance::ApplyVersionPartitioned(
     part = PartitionSpec{col, part_index, part_count};
   }
 
+  // Per-literal mark windows, shared by the VM and the interpreter.
+  std::vector<std::pair<Mark, Mark>> windows(rule.body.size(),
+                                             {Mark{0}, kMaxMark});
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    const Literal& lit = rule.body[i];
+    if (lit.negated || internal(lit.pred_ref()) == nullptr) continue;
+    RangeSel sel = naive_override ? RangeSel::kFull : v.ranges[i];
+    windows[i] = WindowFor(scc_idx, lit.pred_ref(), sel, cur);
+  }
+
+  // Join bytecode first. The worker sink buffers exactly as the
+  // interpreted worker loop does; on kFallback the interpreter below
+  // re-runs the whole partition — buffered repeats are deduplicated in
+  // the buffer and again by Insert at the merge barrier.
+  if (const VmBoundRule* vb = VmRuleFor(scc_idx, v.evaluate_once,
+                                        VersionIndex(scc_idx, v))) {
+    struct Sink : vm::TupleSink {
+      HashRelation* hrel = nullptr;
+      InsertBuffer* buffer = nullptr;
+      bool Emit(const Tuple* t) override {
+        // Contains is a pure read on the frozen relation (bind-time
+        // checks exclude multiset and aggregate-selection heads).
+        if (hrel->Contains(t)) return false;
+        buffer->Add(hrel, t, /*dedup=*/true);
+        return false;
+      }
+    } sink;
+    sink.hrel = vb->head;
+    sink.buffer = buffer;
+    vm::RunInput in;
+    in.prog = vb->prog;
+    in.rels = vb->rels;
+    in.hash_rels = vb->hash_rels;
+    in.windows = windows;
+    in.factory = db_->factory();
+    if (plit >= 0 && part_count > 1) {
+      in.part_lit = plit;
+      in.part_col = part.col;
+      in.part_index = part_index;
+      in.part_count = part_count;
+    }
+    vm::RunStats rst;
+    vm::RunResult r = vm::Execute(in, &sink, &rst);
+    obs::VmCounters* vc = db_->vm_counters();
+    vc->applications.fetch_add(1, std::memory_order_relaxed);
+    FlushVmOps(vc, rst.ops);
+    if (r == vm::RunResult::kOk) {
+      stats->solutions += rst.solutions;
+      if (profile_ != nullptr) {
+        obs::RuleStats& rstats = profile_->rule(v.rule_index);
+        rstats.probes.fetch_add(rst.tuples, std::memory_order_relaxed);
+        rstats.solutions.fetch_add(rst.solutions,
+                                   std::memory_order_relaxed);
+        rstats.derived.fetch_add(rst.solutions, std::memory_order_relaxed);
+      }
+      return Status::OK();
+    }
+    vc->runtime_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  }
+
   // Worker-private environment and trail: the shared EnvFor slots exist to
   // recycle allocations across iterations, which workers must not share.
   BindEnv env(rule.var_count);
@@ -349,11 +464,7 @@ Status MaterializedInstance::ApplyVersionPartitioned(
   sources.reserve(rule.body.size());
   for (size_t i = 0; i < rule.body.size(); ++i) {
     const Literal& lit = rule.body[i];
-    Mark from = 0, to = kMaxMark;
-    if (!lit.negated && internal(lit.pred_ref()) != nullptr) {
-      RangeSel sel = naive_override ? RangeSel::kFull : v.ranges[i];
-      std::tie(from, to) = WindowFor(scc_idx, lit.pred_ref(), sel, cur);
-    }
+    auto [from, to] = windows[i];
     CORAL_ASSIGN_OR_RETURN(
         std::unique_ptr<GoalSource> src,
         MakeSource(&lit, &env, from, to,

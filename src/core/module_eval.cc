@@ -285,6 +285,13 @@ Status MaterializedInstance::Init() {
     once_envs_[s].resize(prog_->seminaive.sccs[s].once.size());
   }
 
+  // Join bytecode: bind compiled rule versions to this activation's
+  // relations. Gated here (not at compile time) so set_use_vm takes
+  // effect at the next activation without recompiling the form.
+  if (db_->use_vm() && vm_module_ != nullptr && !decl_->no_vm) {
+    BindVmPrograms();
+  }
+
   // Profiling: bind this activation to the module's profile. The rule
   // slots are created here, while single-threaded; counters aggregate
   // across activations under the module's name.
@@ -296,6 +303,87 @@ Status MaterializedInstance::Init() {
     profile_->RecordActivation();
   }
   return Status::OK();
+}
+
+void MaterializedInstance::BindVmPrograms() {
+  size_t n_sccs = prog_->seminaive.sccs.size();
+  if (vm_module_->sccs.size() != n_sccs) return;  // stale bytecode
+  vm_versions_.resize(n_sccs);
+  vm_once_.resize(n_sccs);
+
+  // Binds one compiled rule to relations, or leaves it null when the
+  // run-time shape disagrees with what the compiler assumed: a body
+  // predicate that now resolves to a builtin or another module's export
+  // (the registries may have changed since the form compiled), or a head
+  // that is not a plain internal set relation. The interpreter restores
+  // full semantics for such rules; on mid-rule fallback the tuples the VM
+  // already inserted must be harmless to re-derive, hence the multiset
+  // and aggregate-selection head exclusions.
+  auto bind = [&](const vm::RuleProgram* rp) {
+    VmBoundRule b;
+    if (rp == nullptr) return b;
+    auto* head = dynamic_cast<HashRelation*>(internal(rp->head_pred));
+    if (head == nullptr || head->multiset() || !head->selections().empty()) {
+      return b;
+    }
+    std::vector<Relation*> rels;
+    std::vector<HashRelation*> hash_rels;
+    for (const PredRef& pred : rp->preds) {
+      Relation* rel = internal(pred);
+      if (rel == nullptr) {
+        if (db_->builtins()->Find(pred.sym->name, pred.arity) != nullptr ||
+            db_->modules()->Exports(pred) ||
+            !db_->modules()->LocalOwner(pred).empty()) {
+          return b;
+        }
+        rel = db_->GetOrCreateBaseRelation(pred);
+      }
+      rels.push_back(rel);
+      hash_rels.push_back(dynamic_cast<HashRelation*>(rel));
+    }
+    b.prog = rp;
+    b.rels = std::move(rels);
+    b.hash_rels = std::move(hash_rels);
+    b.head = head;
+    return b;
+  };
+
+  for (size_t s = 0; s < n_sccs; ++s) {
+    const vm::SccPrograms& sp = vm_module_->sccs[s];
+    vm_versions_[s].resize(prog_->seminaive.sccs[s].versions.size());
+    vm_once_[s].resize(prog_->seminaive.sccs[s].once.size());
+    for (size_t i = 0; i < vm_versions_[s].size() && i < sp.versions.size();
+         ++i) {
+      vm_versions_[s][i] = bind(sp.versions[i].get());
+      vm_active_ = vm_active_ || vm_versions_[s][i].prog != nullptr;
+    }
+    for (size_t i = 0; i < vm_once_[s].size() && i < sp.once.size(); ++i) {
+      vm_once_[s][i] = bind(sp.once[i].get());
+      vm_active_ = vm_active_ || vm_once_[s][i].prog != nullptr;
+    }
+  }
+}
+
+const MaterializedInstance::VmBoundRule* MaterializedInstance::VmRuleFor(
+    size_t scc_idx, bool once, size_t version_idx) const {
+  const auto& table = once ? vm_once_ : vm_versions_;
+  if (scc_idx >= table.size() || version_idx >= table[scc_idx].size()) {
+    return nullptr;
+  }
+  const VmBoundRule& b = table[scc_idx][version_idx];
+  return b.prog == nullptr ? nullptr : &b;
+}
+
+size_t MaterializedInstance::VersionIndex(size_t scc_idx,
+                                          const RuleVersion& v) const {
+  const SccPlan& plan = prog_->seminaive.sccs[scc_idx];
+  if (&v >= plan.versions.data() &&
+      &v < plan.versions.data() + plan.versions.size()) {
+    return static_cast<size_t>(&v - plan.versions.data());
+  }
+  CORAL_DCHECK(&v >= plan.once.data() &&
+               &v < plan.once.data() + plan.once.size());
+  return static_cast<size_t>(&v - plan.once.data());
 }
 
 std::string MaterializedInstance::DisplayName(const PredRef& pred) const {

@@ -18,6 +18,7 @@
 #include "src/obs/trace.h"
 #include "src/rel/hash_relation.h"
 #include "src/rewrite/rewriter.h"
+#include "src/vm/vm.h"
 
 namespace coral {
 
@@ -99,6 +100,15 @@ class MaterializedInstance {
   /// has @profile or Database::set_profiling is on.
   const obs::ModuleProfile* profile() const { return profile_; }
 
+  /// The compiled join bytecode of this form (owned by the module
+  /// manager's form cache); set before Init. Whether it runs is decided
+  /// per activation: Database::use_vm(), @no_vm, and per-rule bind checks
+  /// (docs/VM.md fallback rules).
+  void set_vm_program(const vm::ModuleProgram* vm) { vm_module_ = vm; }
+  /// True when at least one rule version of this activation is bound to
+  /// the VM (test hook).
+  bool vm_active() const { return vm_active_; }
+
  private:
   friend class OrderedSearchEval;
 
@@ -153,6 +163,24 @@ class MaterializedInstance {
   const AggHeadSpec* AggSpecFor(uint32_t rule_index);
   Relation* staging(const PredRef& magic_pred) const;
 
+  // --- join bytecode VM (fixpoint.cc + Init) ---
+  /// A compiled rule version bound to this activation's relations.
+  struct VmBoundRule {
+    const vm::RuleProgram* prog = nullptr;
+    std::vector<Relation*> rels;           // per level
+    std::vector<HashRelation*> hash_rels;  // per level; null = never probe
+    HashRelation* head = nullptr;
+  };
+  /// Resolves relations for every compiled version; disqualifies rules
+  /// whose bind-time shape the VM cannot run (multiset or non-internal
+  /// head, literals that now resolve to module calls). Called from Init.
+  void BindVmPrograms();
+  /// The bound program for a version, or null (interpret).
+  const VmBoundRule* VmRuleFor(size_t scc_idx, bool once,
+                               size_t version_idx) const;
+  /// The index of `v` within its version table (versions or once).
+  size_t VersionIndex(size_t scc_idx, const RuleVersion& v) const;
+
   const RewrittenProgram* prog_;
   const ModuleDecl* decl_;
   Database* db_;
@@ -187,6 +215,13 @@ class MaterializedInstance {
 
   EvalStats stats_;
   std::vector<Derivation> derivations_;  // @explain only
+
+  // Join bytecode, bound per activation in Init (null = interpret). The
+  // tables mirror SccPlan::versions / SccPlan::once by index.
+  const vm::ModuleProgram* vm_module_ = nullptr;
+  bool vm_active_ = false;
+  std::vector<std::vector<VmBoundRule>> vm_versions_;
+  std::vector<std::vector<VmBoundRule>> vm_once_;
 
   // Observability (src/obs/): both nullptr in the default configuration,
   // making every hook a single pointer test. profile_ is bound once in

@@ -7,6 +7,7 @@
 #include "src/analysis/analyzer.h"
 #include "src/core/database.h"
 #include "src/util/logging.h"
+#include "src/vm/compiler.h"
 
 namespace coral {
 
@@ -218,6 +219,22 @@ StatusOr<ModuleManager::CompiledForm*> ModuleManager::CompileForm(
   }
   CompiledForm cf;
   cf.prog = std::make_unique<RewrittenProgram>(std::move(prog));
+  // Lower the rule versions to join bytecode (docs/VM.md). Compiled
+  // unconditionally so a later set_use_vm(true) finds the cached form
+  // ready; whether it actually runs is decided at activation time.
+  {
+    vm::CompileEnv cenv;
+    cenv.is_builtin = ropts.is_builtin;
+    ModuleManager* self = this;
+    cenv.is_module_pred = [self](const PredRef& p) {
+      return self->Exports(p) || !self->LocalOwner(p).empty();
+    };
+    cf.vm = std::make_unique<vm::ModuleProgram>(
+        vm::CompileModule(*cf.prog, entry->decl, cenv));
+    if (!cf.vm->listing.empty()) {
+      cf.prog->plan += "--- join bytecode ---\n" + cf.vm->listing;
+    }
+  }
   auto [nit, inserted] = entry->forms.emplace(key, std::move(cf));
   CORAL_CHECK(inserted);
   return &nit->second;
@@ -260,6 +277,7 @@ StatusOr<std::unique_ptr<TupleIterator>> ModuleManager::OpenQuery(
     if (cf->saved == nullptr) {
       cf->saved = std::make_shared<MaterializedInstance>(
           cf->prog.get(), &entry->decl, db_);
+      cf->saved->set_vm_program(cf->vm.get());
       CORAL_RETURN_IF_ERROR(cf->saved->Init());
     }
     inst = cf->saved;
@@ -271,6 +289,7 @@ StatusOr<std::unique_ptr<TupleIterator>> ModuleManager::OpenQuery(
   } else {
     inst = std::make_shared<MaterializedInstance>(cf->prog.get(),
                                                   &entry->decl, db_);
+    inst->set_vm_program(cf->vm.get());
     CORAL_RETURN_IF_ERROR(inst->Init());
   }
   CORAL_RETURN_IF_ERROR(inst->Seed(args));

@@ -80,6 +80,9 @@ class ModuleManager {
  private:
   struct CompiledForm {
     std::unique_ptr<RewrittenProgram> prog;
+    /// Join bytecode for the rule versions of `prog` (null entries stay
+    /// interpreted); compiled alongside the form, bound per activation.
+    std::unique_ptr<vm::ModuleProgram> vm;
     std::shared_ptr<MaterializedInstance> saved;  // save-module only
   };
   struct ModuleEntry {

@@ -5,13 +5,21 @@
 // Because every type constructs its identifiers from its children's
 // identifiers, no cross-type integration is needed — the orthogonality the
 // paper highlights for extensibility.
+//
+// The tables are open-addressing (linear probing over power-of-two
+// capacity) rather than node-based maps: the lookup is one contiguous
+// probe run instead of bucket-node-vector pointer chasing. Entries are
+// never removed — canonical nodes live as long as the factory's arena —
+// so no tombstones are needed. Distinct nodes may collide on the same
+// 64-bit key; the probe simply continues past entries whose children
+// differ.
 
 #ifndef CORAL_DATA_HASHCONS_H_
 #define CORAL_DATA_HASHCONS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "src/data/arg.h"
@@ -19,43 +27,118 @@
 
 namespace coral {
 
+namespace hashcons_internal {
+
+inline bool SameChildren(std::span<const Arg* const> a,
+                         std::span<const Arg* const> b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+template <typename T>
+class ConsTable {
+ public:
+  /// Returns the node whose key matches and for which `eq(node)` holds,
+  /// or nullptr. Keys are already well mixed (HashCombine over child
+  /// uids), so the low bits index directly.
+  template <typename Eq>
+  const T* Find(uint64_t key, Eq&& eq) const {
+    if (count_ == 0) return nullptr;
+    size_t i = key & mask_;
+    while (slots_[i].node != nullptr) {
+      if (slots_[i].key == key && eq(slots_[i].node)) return slots_[i].node;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  void Insert(const T* node, uint64_t key) {
+    if ((count_ + 1) * 4 > slots_.size() * 3) Grow();
+    Place(key, node);
+    ++count_;
+  }
+
+  size_t size() const { return count_; }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    const T* node = nullptr;
+  };
+
+  void Place(uint64_t key, const T* node) {
+    size_t i = key & mask_;
+    while (slots_[i].node != nullptr) i = (i + 1) & mask_;
+    slots_[i].key = key;
+    slots_[i].node = node;
+  }
+
+  void Grow() {
+    size_t cap = slots_.empty() ? 1024 : slots_.size() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+    for (const Slot& s : old) {
+      if (s.node != nullptr) Place(s.key, s.node);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t count_ = 0;
+  size_t mask_ = 0;
+};
+
+}  // namespace hashcons_internal
+
 /// Canonicalization table for ground functor terms keyed by
 /// (functor symbol, child node pointers).
 class FunctorHashcons {
  public:
   /// Returns the canonical node for (sym, args) or nullptr.
   const FunctorArg* Find(Symbol sym, std::span<const Arg* const> args,
-                         uint64_t hash) const;
-  void Insert(const FunctorArg* node, uint64_t hash);
+                         uint64_t hash) const {
+    return table_.Find(hash, [&](const FunctorArg* cand) {
+      return cand->functor() == sym &&
+             hashcons_internal::SameChildren(cand->args(), args);
+    });
+  }
+  void Insert(const FunctorArg* node, uint64_t hash) {
+    table_.Insert(node, hash);
+  }
 
-  size_t size() const { return count_; }
+  size_t size() const { return table_.size(); }
 
  private:
-  std::unordered_map<uint64_t, std::vector<const FunctorArg*>> buckets_;
-  size_t count_ = 0;
+  hashcons_internal::ConsTable<FunctorArg> table_;
 };
 
 /// Canonicalization table for ground tuples keyed by element pointers.
 class TupleHashcons {
  public:
-  const Tuple* Find(std::span<const Arg* const> args, uint64_t hash) const;
-  void Insert(const Tuple* node, uint64_t hash);
+  const Tuple* Find(std::span<const Arg* const> args, uint64_t hash) const {
+    return table_.Find(hash, [&](const Tuple* cand) {
+      return hashcons_internal::SameChildren(cand->args(), args);
+    });
+  }
+  void Insert(const Tuple* node, uint64_t hash) { table_.Insert(node, hash); }
 
-  size_t size() const { return count_; }
+  size_t size() const { return table_.size(); }
 
  private:
-  std::unordered_map<uint64_t, std::vector<const Tuple*>> buckets_;
-  size_t count_ = 0;
+  hashcons_internal::ConsTable<Tuple> table_;
 };
 
 /// Canonicalization table for ground sets keyed by sorted elements.
 class SetHashcons {
  public:
-  const SetArg* Find(std::span<const Arg* const> elems, uint64_t hash) const;
-  void Insert(const SetArg* node, uint64_t hash);
+  const SetArg* Find(std::span<const Arg* const> elems, uint64_t hash) const {
+    return table_.Find(hash, [&](const SetArg* cand) {
+      return hashcons_internal::SameChildren(cand->elems(), elems);
+    });
+  }
+  void Insert(const SetArg* node, uint64_t hash) { table_.Insert(node, hash); }
 
  private:
-  std::unordered_map<uint64_t, std::vector<const SetArg*>> buckets_;
+  hashcons_internal::ConsTable<SetArg> table_;
 };
 
 }  // namespace coral

@@ -131,18 +131,19 @@ const FunctorArg* TermFactory::MakeFunctorLocked(
   if (args.empty()) return MakeAtomLocked(sym->name);
   bool ground = true;
   for (const Arg* a : args) ground = ground && a->IsGround();
-  uint64_t hash = HashChildren(FunctorHashSeed(sym), args);
   if (ground) {
     uint64_t key = ConsKey(HashMix64(sym->id), args);
     if (const FunctorArg* hit = functor_cons_.Find(sym, args, key)) {
       return hit;
     }
     const FunctorArg* node = arena_.New<FunctorArg>(
-        sym, args, true, NextUid(), hash, CopyArgs(args));
+        sym, args, true, NextUid(), HashChildren(FunctorHashSeed(sym), args),
+        CopyArgs(args));
     functor_cons_.Insert(node, key);
     return node;
   }
-  return arena_.New<FunctorArg>(sym, args, false, NextUid(), hash,
+  return arena_.New<FunctorArg>(sym, args, false, NextUid(),
+                                HashChildren(FunctorHashSeed(sym), args),
                                 CopyArgs(args));
 }
 
@@ -215,15 +216,19 @@ const Tuple* TermFactory::MakeTuple(std::span<const Arg* const> args) {
   MaybeMutexLock lock(&mu_, concurrent_);
   bool ground = true;
   for (const Arg* a : args) ground = ground && a->IsGround();
-  uint64_t hash = HashChildren(0x7091eull, args);
   if (ground) {
+    // The node hash is only needed when a new node is allocated; fixpoint
+    // evaluation re-derives mostly-existing tuples, so hash on the cons
+    // miss, not before the lookup.
     uint64_t key = ConsKey(0x70b1ull, args);
     if (const Tuple* hit = tuple_cons_.Find(args, key)) return hit;
-    const Tuple* node =
-        arena_.New<Tuple>(args, CopyArgs(args), true, 0, NextUid(), hash);
+    const Tuple* node = arena_.New<Tuple>(args, CopyArgs(args), true, 0,
+                                          NextUid(),
+                                          HashChildren(0x7091eull, args));
     tuple_cons_.Insert(node, key);
     return node;
   }
+  uint64_t hash = HashChildren(0x7091eull, args);
   // Count distinct variables: canonical tuples number slots 0..k-1, so the
   // var count is max slot + 1.
   uint32_t var_count = 0;

@@ -146,6 +146,8 @@ struct ModuleDecl {
   bool reorder_joins = false;      // optimizer picks the join order (§4.2)
   bool no_reorder_joins = false;   // keep bodies as written even when the
                                    // database-level auto-optimizer is on
+  bool no_vm = false;              // always interpret; never run this
+                                   // module's rules on the bytecode VM
   bool parallel = false;           // @parallel: multi-threaded fixpoint
   int64_t parallel_threads = -1;   // @parallel(N); -1 = no explicit count
                                    // (use Database::num_threads())

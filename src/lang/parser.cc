@@ -248,6 +248,8 @@ Status Parser::ParseAnnotation(ModuleDecl* mod, Program* top) {
     mod->reorder_joins = true;
   } else if (name == "no_reorder_joins") {
     mod->no_reorder_joins = true;
+  } else if (name == "no_vm") {
+    mod->no_vm = true;
   } else {
     return Status::InvalidArgument("unknown annotation @" + name);
   }

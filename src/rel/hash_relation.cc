@@ -102,6 +102,51 @@ void HashRelation::AddCustomIndex(std::unique_ptr<Index> index) {
                    });
 }
 
+bool HashRelation::ProbeArgs(std::span<const uint32_t> cols,
+                             std::span<const Arg* const> key, Mark from,
+                             Mark to, std::vector<const Tuple*>* out) const {
+  auto pos_of = [&](uint32_t c) {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i] == c) return i;
+    }
+    return cols.size();
+  };
+  const ArgumentIndex* best = nullptr;
+  for (const ArgumentIndex* idx : argument_indexes_) {
+    if (idx->cols().empty()) continue;
+    bool covered = true;
+    for (uint32_t c : idx->cols()) {
+      if (pos_of(c) == cols.size()) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered &&
+        (best == nullptr || idx->cols().size() > best->cols().size())) {
+      best = idx;
+    }
+  }
+  if (best == nullptr) return false;
+  size_t base = out->size();
+  if (best->cols().size() == cols.size() &&
+      std::equal(best->cols().begin(), best->cols().end(), cols.begin())) {
+    best->LookupGround(key, from, to, out);
+  } else {
+    // Partial-cover probe: reorder the key to the index's column order.
+    std::vector<const Arg*> idx_key;
+    idx_key.reserve(best->cols().size());
+    for (uint32_t c : best->cols()) idx_key.push_back(key[pos_of(c)]);
+    best->LookupGround(idx_key, from, to, out);
+  }
+  if (!deleted_.empty()) {
+    out->erase(std::remove_if(
+                   out->begin() + static_cast<ptrdiff_t>(base), out->end(),
+                   [this](const Tuple* t) { return IsDeleted(t); }),
+               out->end());
+  }
+  return true;
+}
+
 bool HashRelation::HasArgumentIndex(const std::vector<uint32_t>& cols) const {
   for (const ArgumentIndex* idx : argument_indexes_) {
     if (idx->cols() == cols) return true;

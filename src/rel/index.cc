@@ -66,6 +66,18 @@ bool ArgumentIndex::TryLookup(std::span<const TermRef> pattern, uint32_t from,
   return true;
 }
 
+void ArgumentIndex::LookupGround(std::span<const Arg* const> key,
+                                 uint32_t from, uint32_t to,
+                                 std::vector<const Tuple*>* out) const {
+  CORAL_DCHECK(key.size() == cols_.size());
+  uint64_t k = kKeySeed;
+  for (const Arg* a : key) {
+    CORAL_DCHECK(a->IsGround());
+    k = HashCombine(k, a->Hash());
+  }
+  buckets_.AppendRange(k, from, to, out);
+}
+
 void PatternIndex::Add(const Tuple* t, uint32_t sub) {
   BindEnv pat_env(var_count_);
   BindEnv tup_env(t->var_count());

@@ -81,6 +81,13 @@ class ArgumentIndex : public Index {
                  std::vector<const Tuple*>* out) override;
   int key_width() const override { return static_cast<int>(cols_.size()); }
 
+  /// Probe with a pre-resolved ground key, one Arg per indexed column in
+  /// cols() order (the bytecode VM's path: no TermRef/BindEnv plumbing).
+  /// Appends the candidate superset for subsidiaries [from, to),
+  /// var-bucket postings included.
+  void LookupGround(std::span<const Arg* const> key, uint32_t from,
+                    uint32_t to, std::vector<const Tuple*>* out) const;
+
   const std::vector<uint32_t>& cols() const { return cols_; }
 
  private:

@@ -1,0 +1,417 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+
+#include "src/vm/bytecode.h"
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/lang/parser.h"
+
+namespace coral::vm {
+
+namespace {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kScanFull: return "SCAN_FULL";
+    case Op::kScanDelta: return "SCAN_DELTA";
+    case Op::kProbeIndex: return "PROBE_INDEX";
+    case Op::kUnifyArg: return "UNIFY_ARG";
+    case Op::kTestBuiltin: return "TEST_BUILTIN";
+    case Op::kProject: return "PROJECT";
+    case Op::kInsert: return "INSERT";
+  }
+  return "?";
+}
+
+const char* WindowName(RangeSel w) {
+  switch (w) {
+    case RangeSel::kFull: return "full";
+    case RangeSel::kOld: return "old";
+    case RangeSel::kDelta: return "delta";
+  }
+  return "?";
+}
+
+const char* CmpName(CmpOp c) {
+  switch (c) {
+    case CmpOp::kLt: return "lt";
+    case CmpOp::kGt: return "gt";
+    case CmpOp::kLe: return "le";
+    case CmpOp::kGe: return "ge";
+    case CmpOp::kEq: return "eq";
+    case CmpOp::kNe: return "ne";
+  }
+  return "?";
+}
+
+std::string OperandText(const Operand& o) {
+  return (o.is_const ? "c" : "r") + std::to_string(o.index);
+}
+
+bool ParseOperand(std::string_view tok, Operand* out) {
+  if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'c')) return false;
+  out->is_const = tok[0] == 'c';
+  uint32_t v = 0;
+  for (char ch : tok.substr(1)) {
+    if (!std::isdigit(static_cast<unsigned char>(ch))) return false;
+    v = v * 10 + static_cast<uint32_t>(ch - '0');
+  }
+  out->index = v;
+  return true;
+}
+
+/// Value of a "key=value" token, or empty when the key does not match.
+std::string_view KeyedValue(std::string_view tok, std::string_view key) {
+  if (tok.size() <= key.size() + 1 || tok.substr(0, key.size()) != key ||
+      tok[key.size()] != '=') {
+    return {};
+  }
+  return tok.substr(key.size() + 1);
+}
+
+bool ParseU32(std::string_view s, uint32_t* out) {
+  if (s.empty()) return false;
+  uint32_t v = 0;
+  for (char ch : s) {
+    if (!std::isdigit(static_cast<unsigned char>(ch))) return false;
+    v = v * 10 + static_cast<uint32_t>(ch - '0');
+  }
+  *out = v;
+  return true;
+}
+
+/// Splits "name/arity" on the last slash and interns the predicate.
+bool ParsePred(std::string_view tok, TermFactory* factory, PredRef* out) {
+  size_t slash = tok.rfind('/');
+  if (slash == std::string_view::npos || slash == 0) return false;
+  uint32_t arity = 0;
+  if (!ParseU32(tok.substr(slash + 1), &arity)) return false;
+  out->sym = factory->symbols().Intern(tok.substr(0, slash));
+  out->arity = arity;
+  return true;
+}
+
+std::vector<std::string_view> Tokens(std::string_view line) {
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    size_t j = i;
+    while (j < line.size() && line[j] != ' ') ++j;
+    if (j > i) out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace
+
+Status BuildLevels(RuleProgram* prog) {
+  prog->levels.clear();
+  // first_load[r] = level index that loads register r, or -1.
+  std::vector<int> first_load(prog->nregs, -1);
+  auto operand_ok = [&](const Operand& o, bool allow_current_level) {
+    if (o.is_const) return o.index < prog->consts.size();
+    if (o.index >= prog->nregs) return false;
+    if (first_load[o.index] < 0) return false;
+    if (!allow_current_level &&
+        first_load[o.index] + 1 == static_cast<int>(prog->levels.size())) {
+      return false;
+    }
+    return true;
+  };
+  bool closed = false;
+  for (uint32_t i = 0; i < prog->code.size(); ++i) {
+    const Instr& in = prog->code[i];
+    switch (in.op) {
+      case Op::kScanFull:
+      case Op::kScanDelta:
+      case Op::kProbeIndex: {
+        if (closed) return Status::InvalidArgument("vm: scan after PROJECT");
+        Level lv;
+        lv.lit = in.lit;
+        lv.pred = in.pred;
+        lv.scan = in.op;
+        lv.window = in.window;
+        lv.first_check = i + 1;
+        if (in.pred >= prog->preds.size()) {
+          return Status::InvalidArgument("vm: scan pred out of range");
+        }
+        prog->levels.push_back(std::move(lv));
+        break;
+      }
+      case Op::kUnifyArg: {
+        if (prog->levels.empty() || closed) {
+          return Status::InvalidArgument("vm: UNIFY_ARG outside a level");
+        }
+        Level& lv = prog->levels.back();
+        ++lv.num_checks;
+        switch (in.mode) {
+          case UnifyMode::kMatchConst:
+            if (!in.a.is_const || in.a.index >= prog->consts.size()) {
+              return Status::InvalidArgument("vm: bad const operand");
+            }
+            lv.key_cols.push_back(in.col);
+            lv.key_srcs.push_back(in.a);
+            break;
+          case UnifyMode::kLoadReg:
+            if (in.a.is_const || in.a.index >= prog->nregs ||
+                first_load[in.a.index] >= 0) {
+              return Status::InvalidArgument("vm: bad register load");
+            }
+            first_load[in.a.index] =
+                static_cast<int>(prog->levels.size()) - 1;
+            break;
+          case UnifyMode::kCheckReg: {
+            if (in.a.is_const || !operand_ok(in.a, true)) {
+              return Status::InvalidArgument("vm: check of unloaded register");
+            }
+            // Registers captured by an *outer* level are available before
+            // this loop opens, so the column can join the probe key; a
+            // repeated variable within the same literal cannot.
+            if (operand_ok(in.a, false)) {
+              lv.key_cols.push_back(in.col);
+              lv.key_srcs.push_back(in.a);
+            }
+            break;
+          }
+        }
+        break;
+      }
+      case Op::kTestBuiltin:
+        if (prog->levels.empty() || closed) {
+          return Status::InvalidArgument("vm: TEST_BUILTIN outside a level");
+        }
+        if (!operand_ok(in.a, true) || !operand_ok(in.b, true)) {
+          return Status::InvalidArgument("vm: test of unloaded register");
+        }
+        ++prog->levels.back().num_checks;
+        break;
+      case Op::kProject:
+        if (prog->levels.empty() || closed) {
+          return Status::InvalidArgument("vm: PROJECT misplaced");
+        }
+        if (i + 2 != prog->code.size() ||
+            prog->code[i + 1].op != Op::kInsert) {
+          return Status::InvalidArgument("vm: PROJECT must precede INSERT");
+        }
+        for (const Operand& o : prog->head) {
+          if (!operand_ok(o, true)) {
+            return Status::InvalidArgument("vm: unbound head operand");
+          }
+        }
+        if (prog->head.size() != prog->head_pred.arity) {
+          return Status::InvalidArgument("vm: head arity mismatch");
+        }
+        closed = true;
+        break;
+      case Op::kInsert:
+        if (!closed) {
+          return Status::InvalidArgument("vm: INSERT without PROJECT");
+        }
+        break;
+    }
+  }
+  if (!closed || prog->levels.empty()) {
+    return Status::InvalidArgument("vm: program has no PROJECT/INSERT tail");
+  }
+  return Status::OK();
+}
+
+std::string Disassemble(const RuleProgram& prog) {
+  std::ostringstream os;
+  os << "rule " << prog.rule_index << " head " << prog.head_pred.ToString()
+     << " regs " << prog.nregs << "\n";
+  for (size_t i = 0; i < prog.consts.size(); ++i) {
+    os << "  const c" << i << " = " << prog.consts[i]->ToString() << "\n";
+  }
+  for (const Instr& in : prog.code) {
+    os << "  " << OpName(in.op);
+    switch (in.op) {
+      case Op::kScanFull:
+      case Op::kScanDelta:
+      case Op::kProbeIndex:
+        os << " lit=" << in.lit << " rel=" << prog.preds[in.pred].ToString()
+           << " window=" << WindowName(in.window);
+        break;
+      case Op::kUnifyArg:
+        os << " col=" << in.col << " "
+           << (in.mode == UnifyMode::kMatchConst
+                   ? "match"
+                   : in.mode == UnifyMode::kLoadReg ? "load" : "check")
+           << " " << OperandText(in.a);
+        break;
+      case Op::kTestBuiltin:
+        os << " " << CmpName(in.cmp) << " " << OperandText(in.a) << " "
+           << OperandText(in.b);
+        break;
+      case Op::kProject:
+        for (const Operand& o : prog.head) os << " " << OperandText(o);
+        break;
+      case Op::kInsert:
+        os << " " << prog.head_pred.ToString();
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+StatusOr<RuleProgram> Deserialize(std::string_view text,
+                                  TermFactory* factory) {
+  RuleProgram prog;
+  bool saw_header = false;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+    while (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+
+    std::vector<std::string_view> toks = Tokens(line);
+    std::string_view kw = toks[0];
+    if (kw == "rule") {
+      if (saw_header || toks.size() != 6 || toks[2] != "head" ||
+          toks[4] != "regs") {
+        return Status::InvalidArgument("vm: bad rule header: " +
+                                       std::string(line));
+      }
+      if (!ParseU32(toks[1], &prog.rule_index) ||
+          !ParsePred(toks[3], factory, &prog.head_pred) ||
+          !ParseU32(toks[5], &prog.nregs)) {
+        return Status::InvalidArgument("vm: bad rule header: " +
+                                       std::string(line));
+      }
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) {
+      return Status::InvalidArgument("vm: missing rule header");
+    }
+    if (kw == "const") {
+      // const c<i> = <term text>; the term text may contain spaces.
+      size_t eq = line.find(" = ");
+      if (toks.size() < 4 || toks[2] != "=" ||
+          eq == std::string_view::npos) {
+        return Status::InvalidArgument("vm: bad const line: " +
+                                       std::string(line));
+      }
+      Operand slot;
+      if (!ParseOperand(toks[1], &slot) || !slot.is_const ||
+          slot.index != prog.consts.size()) {
+        return Status::InvalidArgument("vm: bad const slot: " +
+                                       std::string(line));
+      }
+      uint32_t var_count = 0;
+      auto term = Parser::ParseTerm(line.substr(eq + 3), factory, &var_count);
+      if (!term.ok()) return term.status();
+      if (var_count != 0 || !(*term)->IsGround()) {
+        return Status::InvalidArgument("vm: non-ground const: " +
+                                       std::string(line));
+      }
+      prog.consts.push_back(*term);
+      continue;
+    }
+
+    Instr in;
+    if (kw == "SCAN_FULL" || kw == "SCAN_DELTA" || kw == "PROBE_INDEX") {
+      in.op = kw == "SCAN_FULL"
+                  ? Op::kScanFull
+                  : kw == "SCAN_DELTA" ? Op::kScanDelta : Op::kProbeIndex;
+      if (toks.size() != 4) {
+        return Status::InvalidArgument("vm: bad scan: " + std::string(line));
+      }
+      PredRef pred;
+      std::string_view w = KeyedValue(toks[3], "window");
+      if (!ParseU32(KeyedValue(toks[1], "lit"), &in.lit) ||
+          !ParsePred(KeyedValue(toks[2], "rel"), factory, &pred) ||
+          w.empty()) {
+        return Status::InvalidArgument("vm: bad scan: " + std::string(line));
+      }
+      if (w == "full") {
+        in.window = RangeSel::kFull;
+      } else if (w == "old") {
+        in.window = RangeSel::kOld;
+      } else if (w == "delta") {
+        in.window = RangeSel::kDelta;
+      } else {
+        return Status::InvalidArgument("vm: bad window: " + std::string(line));
+      }
+      in.pred = static_cast<uint32_t>(prog.preds.size());
+      prog.preds.push_back(pred);
+    } else if (kw == "UNIFY_ARG") {
+      in.op = Op::kUnifyArg;
+      if (toks.size() != 4 || !ParseU32(KeyedValue(toks[1], "col"), &in.col) ||
+          !ParseOperand(toks[3], &in.a)) {
+        return Status::InvalidArgument("vm: bad unify: " + std::string(line));
+      }
+      if (toks[2] == "match") {
+        in.mode = UnifyMode::kMatchConst;
+      } else if (toks[2] == "load") {
+        in.mode = UnifyMode::kLoadReg;
+      } else if (toks[2] == "check") {
+        in.mode = UnifyMode::kCheckReg;
+      } else {
+        return Status::InvalidArgument("vm: bad unify mode: " +
+                                       std::string(line));
+      }
+    } else if (kw == "TEST_BUILTIN") {
+      in.op = Op::kTestBuiltin;
+      if (toks.size() != 4 || !ParseOperand(toks[2], &in.a) ||
+          !ParseOperand(toks[3], &in.b)) {
+        return Status::InvalidArgument("vm: bad test: " + std::string(line));
+      }
+      std::string_view c = toks[1];
+      if (c == "lt") {
+        in.cmp = CmpOp::kLt;
+      } else if (c == "gt") {
+        in.cmp = CmpOp::kGt;
+      } else if (c == "le") {
+        in.cmp = CmpOp::kLe;
+      } else if (c == "ge") {
+        in.cmp = CmpOp::kGe;
+      } else if (c == "eq") {
+        in.cmp = CmpOp::kEq;
+      } else if (c == "ne") {
+        in.cmp = CmpOp::kNe;
+      } else {
+        return Status::InvalidArgument("vm: bad cmp: " + std::string(line));
+      }
+    } else if (kw == "PROJECT") {
+      in.op = Op::kProject;
+      for (size_t i = 1; i < toks.size(); ++i) {
+        Operand o;
+        if (!ParseOperand(toks[i], &o)) {
+          return Status::InvalidArgument("vm: bad PROJECT operand: " +
+                                         std::string(line));
+        }
+        prog.head.push_back(o);
+      }
+    } else if (kw == "INSERT") {
+      in.op = Op::kInsert;
+      PredRef pred;
+      if (toks.size() != 2 || !ParsePred(toks[1], factory, &pred) ||
+          !(pred == prog.head_pred)) {
+        return Status::InvalidArgument("vm: bad INSERT: " + std::string(line));
+      }
+    } else {
+      return Status::InvalidArgument("vm: unknown opcode: " +
+                                     std::string(line));
+    }
+    prog.code.push_back(in);
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("vm: empty program");
+  }
+  Status st = BuildLevels(&prog);
+  if (!st.ok()) return st;
+  return prog;
+}
+
+}  // namespace coral::vm

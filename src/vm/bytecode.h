@@ -1,0 +1,141 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Join bytecode for semi-naive rule bodies (docs/VM.md). After the
+// rewriter has fixed join order and probe patterns, a rule body is a
+// straight-line loop nest; this lowers it to a flat register program:
+//
+//   SCAN_FULL / SCAN_DELTA / PROBE_INDEX   open one body-literal loop
+//   UNIFY_ARG                              match or capture one column
+//   TEST_BUILTIN                           comparison goal
+//   PROJECT / INSERT                       build and insert the head tuple
+//
+// Registers hold canonical ground Args (one per rule variable slot), so
+// every match is a pointer comparison — the hash-consing argument of
+// paper §3.1 taken to its conclusion. The flat instruction list is the
+// single source of truth: disassembly, serialization, and the derived
+// Level execution structure (BuildLevels) are all computed from it, which
+// is what makes serialize -> deserialize -> disassemble a fixed point.
+
+#ifndef CORAL_VM_BYTECODE_H_
+#define CORAL_VM_BYTECODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/data/arg.h"
+#include "src/data/term_factory.h"
+#include "src/lang/ast.h"
+#include "src/rewrite/seminaive.h"
+#include "src/util/status.h"
+
+namespace coral::vm {
+
+enum class Op : uint8_t {
+  kScanFull,
+  kScanDelta,
+  kProbeIndex,
+  kUnifyArg,
+  kTestBuiltin,
+  kProject,
+  kInsert,
+};
+
+/// How UNIFY_ARG treats one tuple column. Rules are range-restricted and
+/// stored tuples are ground, so full unification never happens here: a
+/// column either must equal a constant, must equal an already-captured
+/// register, or captures into a fresh register.
+enum class UnifyMode : uint8_t { kMatchConst, kLoadReg, kCheckReg };
+
+/// Comparison builtins the VM executes natively; everything else falls
+/// back to the interpreter at compile time.
+enum class CmpOp : uint8_t { kLt, kGt, kLe, kGe, kEq, kNe };
+
+/// A register (rN) or constant-pool (cN) reference.
+struct Operand {
+  bool is_const = false;
+  uint32_t index = 0;
+
+  bool operator==(const Operand& o) const {
+    return is_const == o.is_const && index == o.index;
+  }
+};
+
+struct Instr {
+  Op op = Op::kScanFull;
+  UnifyMode mode = UnifyMode::kLoadReg;  // kUnifyArg
+  CmpOp cmp = CmpOp::kEq;                // kTestBuiltin
+  RangeSel window = RangeSel::kFull;     // scans: static window class
+  uint32_t col = 0;                      // kUnifyArg: tuple column
+  uint32_t lit = 0;                      // scans: body literal index
+  uint32_t pred = 0;                     // scans: RuleProgram::preds slot
+  Operand a;  // kUnifyArg: source; kTestBuiltin: left operand
+  Operand b;  // kTestBuiltin: right operand
+};
+
+/// One body-literal loop, derived from the instruction list. `key_cols`
+/// are the columns whose UNIFY_ARG checks only consult values available
+/// before the loop opens (constants and registers loaded by outer
+/// levels); they form the probe key for PROBE_INDEX. The per-column
+/// checks are still executed for every candidate, so a probe may degrade
+/// to a scan of the window without changing results.
+struct Level {
+  uint32_t lit = 0;
+  uint32_t pred = 0;
+  Op scan = Op::kScanFull;
+  RangeSel window = RangeSel::kFull;
+  uint32_t first_check = 0;  // index into RuleProgram::code
+  uint32_t num_checks = 0;
+  std::vector<uint32_t> key_cols;
+  std::vector<Operand> key_srcs;
+};
+
+/// The compiled form of one rewritten rule version.
+struct RuleProgram {
+  uint32_t rule_index = 0;
+  uint32_t nregs = 0;
+  PredRef head_pred;
+  std::vector<PredRef> preds;        // one per scan level, in level order
+  std::vector<const Arg*> consts;    // ground canonical terms
+  std::vector<Operand> head;         // PROJECT sources, one per head col
+  std::vector<Instr> code;
+  std::vector<Level> levels;         // derived; see BuildLevels
+};
+
+/// Rebuilds `levels` from `code` and validates the program: scans open
+/// levels in order, registers are loaded exactly once before use, PROJECT
+/// and INSERT close the program. Shared by the compiler and Deserialize.
+Status BuildLevels(RuleProgram* prog);
+
+/// Textual form of one rule program; also the serialization format.
+std::string Disassemble(const RuleProgram& prog);
+
+/// Parses the Disassemble output back into a program (constants are
+/// re-parsed into `factory`, predicate names re-interned). The result has
+/// levels rebuilt, so Disassemble(Deserialize(Disassemble(p))) ==
+/// Disassemble(p).
+StatusOr<RuleProgram> Deserialize(std::string_view text,
+                                  TermFactory* factory);
+
+/// Compiled programs for one SCC, mirroring SccPlan: entry i corresponds
+/// to versions[i] / once[i] of the semi-naive plan; null means "this
+/// version runs interpreted".
+struct SccPrograms {
+  std::vector<std::unique_ptr<RuleProgram>> versions;
+  std::vector<std::unique_ptr<RuleProgram>> once;
+};
+
+/// All compiled rule versions of one rewritten module form.
+struct ModuleProgram {
+  std::vector<SccPrograms> sccs;
+  uint64_t compiled = 0;
+  uint64_t skipped = 0;
+  /// Disassembly of every compiled version plus one-line skip reasons;
+  /// appended to the module's plan listing.
+  std::string listing;
+};
+
+}  // namespace coral::vm
+
+#endif  // CORAL_VM_BYTECODE_H_

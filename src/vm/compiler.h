@@ -1,0 +1,42 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Lowers rewritten semi-naive rule versions into join bytecode. The
+// compiler is conservative: any rule shape outside the VM's model
+// (negation, cross-module literals, non-comparison builtins, non-ground
+// structured arguments, aggregate heads) compiles to "interpreted" and
+// the classic ResolveTuple path runs it — the interpreter stays the
+// semantic oracle (docs/VM.md).
+
+#ifndef CORAL_VM_COMPILER_H_
+#define CORAL_VM_COMPILER_H_
+
+#include <functional>
+#include <string>
+
+#include "src/lang/ast.h"
+#include "src/rewrite/rewriter.h"
+#include "src/vm/bytecode.h"
+
+namespace coral::vm {
+
+/// Predicate classification callbacks, supplied by the module manager so
+/// the compiler needs no Database handle. Classification is re-checked at
+/// bind time (modules can be added between compile and activation); a
+/// mismatch simply voids the compiled program for that rule.
+struct CompileEnv {
+  std::function<bool(const std::string& name, uint32_t arity)> is_builtin =
+      [](const std::string&, uint32_t) { return false; };
+  /// True when the predicate resolves to another module's export or
+  /// local predicate rather than a base relation.
+  std::function<bool(const PredRef& pred)> is_module_pred =
+      [](const PredRef&) { return false; };
+};
+
+/// Compiles every rule version of `prog`. Whole-module skips (@no_vm,
+/// ordered search, @explain, pipelining) yield an empty sccs vector with
+/// the reason in `listing`.
+ModuleProgram CompileModule(const RewrittenProgram& prog,
+                            const ModuleDecl& decl, const CompileEnv& env);
+
+}  // namespace coral::vm
+
+#endif  // CORAL_VM_COMPILER_H_

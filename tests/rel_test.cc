@@ -227,6 +227,100 @@ TEST_F(RelTest, IndexLookupsStayCorrectAcrossManyMarks) {
   EXPECT_EQ(Drain(r.Select(pattern, marks[13], marks[14]).get()).size(), 1u);
 }
 
+// ProbeArgs is the bytecode VM's direct lookup (PROBE_INDEX). Its
+// contract mirrors Select's: candidate superset, tombstones filtered,
+// false when no attached argument index can serve — in which case the VM
+// degrades the probe to a window scan (docs/VM.md).
+
+TEST_F(RelTest, ProbeArgsUsesMatchingIndex) {
+  HashRelation r("edge", 2);
+  r.AddArgumentIndex({0});
+  for (int i = 0; i < 100; ++i) r.Insert(T({I(i % 10), I(i)}));
+  std::vector<uint32_t> cols = {0};
+  std::vector<const Arg*> key = {I(3)};
+  std::vector<const Tuple*> out;
+  ASSERT_TRUE(r.ProbeArgs(cols, key, 0, kMaxMark, &out));
+  EXPECT_EQ(out.size(), 10u);
+  for (const Tuple* t : out) EXPECT_EQ(t->arg(0), I(3));
+}
+
+TEST_F(RelTest, ProbeArgsReturnsFalseWithoutIndex) {
+  // No argument index attached: the probe cannot be served and the
+  // caller must scan — this is the PROBE_INDEX -> SCAN_FULL degrade.
+  HashRelation r("edge", 2);
+  for (int i = 0; i < 10; ++i) r.Insert(T({I(i), I(i)}));
+  std::vector<uint32_t> cols = {0};
+  std::vector<const Arg*> key = {I(3)};
+  std::vector<const Tuple*> out;
+  EXPECT_FALSE(r.ProbeArgs(cols, key, 0, kMaxMark, &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(RelTest, ProbeArgsServesSubsetIndex) {
+  // Index on {0}, probe bound on {0, 1}: the index columns are a subset
+  // of the probe's, so it serves; candidates are the col-0 superset and
+  // the caller's per-column checks filter col 1.
+  HashRelation r("p", 2);
+  r.AddArgumentIndex({0});
+  r.Insert(T({I(1), I(10)}));
+  r.Insert(T({I(1), I(20)}));
+  r.Insert(T({I(2), I(10)}));
+  std::vector<uint32_t> cols = {0, 1};
+  std::vector<const Arg*> key = {I(1), I(10)};
+  std::vector<const Tuple*> out;
+  ASSERT_TRUE(r.ProbeArgs(cols, key, 0, kMaxMark, &out));
+  EXPECT_EQ(out.size(), 2u);  // both key-1 tuples; (1,20) filtered later
+  for (const Tuple* t : out) EXPECT_EQ(t->arg(0), I(1));
+}
+
+TEST_F(RelTest, ProbeArgsRefusesWiderIndex) {
+  // Only a two-column index exists but the probe binds one column: the
+  // index cannot be keyed, so ProbeArgs refuses and the VM scans.
+  HashRelation r("p", 2);
+  r.AddArgumentIndex({0, 1});
+  r.Insert(T({I(1), I(10)}));
+  std::vector<uint32_t> cols = {0};
+  std::vector<const Arg*> key = {I(1)};
+  std::vector<const Tuple*> out;
+  EXPECT_FALSE(r.ProbeArgs(cols, key, 0, kMaxMark, &out));
+}
+
+TEST_F(RelTest, ProbeArgsRespectsWindowAndTombstones) {
+  HashRelation r("p", 2);
+  r.AddArgumentIndex({0});
+  const Tuple* t1 = T({I(1), I(10)});
+  r.Insert(t1);
+  Mark m = r.Snapshot();
+  r.Insert(T({I(1), I(20)}));
+  std::vector<uint32_t> cols = {0};
+  std::vector<const Arg*> key = {I(1)};
+  std::vector<const Tuple*> out;
+  ASSERT_TRUE(r.ProbeArgs(cols, key, 0, m, &out));
+  EXPECT_EQ(out.size(), 1u);  // old window: only t1
+  out.clear();
+  ASSERT_TRUE(r.ProbeArgs(cols, key, m, kMaxMark, &out));
+  EXPECT_EQ(out.size(), 1u);  // delta window: only the new tuple
+  out.clear();
+  ASSERT_TRUE(r.Delete(t1));
+  ASSERT_TRUE(r.ProbeArgs(cols, key, 0, kMaxMark, &out));
+  EXPECT_EQ(out.size(), 1u);  // tombstoned t1 is filtered
+  EXPECT_NE(out[0], t1);
+}
+
+TEST_F(RelTest, ProbeArgsIncludesVarBucket) {
+  // A stored tuple with a variable in the key column matches any probe
+  // key (subsumption); ProbeArgs must return it in the superset.
+  HashRelation r("p", 2);
+  r.AddArgumentIndex({0});
+  r.Insert(T({I(1), I(10)}));
+  r.Insert(T({f.CanonicalVar(0), I(20)}));
+  std::vector<uint32_t> cols = {0};
+  std::vector<const Arg*> key = {I(1)};
+  std::vector<const Tuple*> out;
+  ASSERT_TRUE(r.ProbeArgs(cols, key, 0, kMaxMark, &out));
+  EXPECT_EQ(out.size(), 2u);
+}
+
 TEST_F(RelTest, PatternIndexDrillsIntoFunctors) {
   // The paper's example: @make_index emp(Name, addr(Street, City))
   //                                  (Name, City).

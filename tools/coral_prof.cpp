@@ -19,6 +19,12 @@
 // --no-auto-optimize turns automatic join reordering and index selection
 // off, for comparing plans and profiles against the unoptimized baseline.
 //
+// With --bytecode, the report ends with the compiled join bytecode of
+// every query form (the disassembly docs/VM.md describes) and the
+// database-wide per-opcode VM execution counters. --no-vm turns the
+// bytecode VM off (rule bodies interpret), for comparing profiles; the
+// bytecode listing still prints, since compilation is unconditional.
+//
 // Exits nonzero when a file cannot be loaded or a query fails.
 
 #include <fstream>
@@ -34,7 +40,9 @@ int main(int argc, char** argv) {
   std::string trace_path;
   int threads = 0;
   bool plan = false;
+  bool bytecode = false;
   bool auto_optimize = true;
+  bool use_vm = true;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--query=", 0) == 0) {
@@ -45,12 +53,16 @@ int main(int argc, char** argv) {
       threads = std::atoi(arg.c_str() + 10);
     } else if (arg == "--plan") {
       plan = true;
+    } else if (arg == "--bytecode") {
+      bytecode = true;
     } else if (arg == "--no-auto-optimize") {
       auto_optimize = false;
+    } else if (arg == "--no-vm") {
+      use_vm = false;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: coral_prof [--query='p(X)'] [--trace=FILE.jsonl]"
-                   " [--threads=N] [--plan] [--no-auto-optimize]"
-                   " file.crl ...\n";
+                   " [--threads=N] [--plan] [--bytecode]"
+                   " [--no-auto-optimize] [--no-vm] file.crl ...\n";
       return 0;
     } else {
       files.push_back(std::move(arg));
@@ -58,14 +70,15 @@ int main(int argc, char** argv) {
   }
   if (files.empty()) {
     std::cerr << "usage: coral_prof [--query='p(X)'] [--trace=FILE.jsonl]"
-                 " [--threads=N] [--plan] [--no-auto-optimize]"
-                 " file.crl ...\n";
+                 " [--threads=N] [--plan] [--bytecode]"
+                 " [--no-auto-optimize] [--no-vm] file.crl ...\n";
     return 2;
   }
 
   coral::Database db;
   db.set_profiling(true);
   db.set_auto_optimize(auto_optimize);
+  db.set_use_vm(use_vm);
   if (threads > 0) db.set_num_threads(threads);
 
   std::ofstream trace_out;
@@ -115,6 +128,15 @@ int main(int argc, char** argv) {
   std::cout << "\n" << db.ProfileReport();
   if (plan) {
     std::cout << "\n=== optimizer plans ===\n" << db.PlanReport();
+  }
+  if (bytecode) {
+    // The bytecode listing rides in the plan report (one section per
+    // compiled form); print it plus the per-opcode execution counters.
+    if (!plan) {
+      std::cout << "\n=== optimizer plans (with bytecode) ===\n"
+                << db.PlanReport();
+    }
+    std::cout << "\n" << coral::obs::RenderVmCounters(*db.vm_counters());
   }
   if (sink != nullptr) {
     std::cout << "trace written to " << trace_path << "\n";
