@@ -34,9 +34,20 @@ inline bool g_no_auto_optimize = false;
 /// EXPERIMENTS.md records this baseline against the default (VM) run.
 inline bool g_no_vm = false;
 
+/// --deadline-ms=N: per-query evaluation budget. Benchmarks that
+/// evaluate through a Session apply it (bench_server applies it to every
+/// client session); queries over budget fail with DeadlineExceeded, so
+/// use this to measure deadline-enforcement overhead, not throughput.
+inline int64_t g_deadline_ms = 0;
+
+/// --max-inflight=N: admission-control bound for bench_server (worker
+/// threads serving concurrent requests). 0 = the benchmark's default.
+inline int g_max_inflight = 0;
+
 /// Strips the harness's own flags (--threads=N, --profile,
-/// --no-auto-index, --no-vm) from argv (benchmark::Initialize rejects
-/// flags it does not know) and records them. Call first in main().
+/// --no-auto-index, --no-vm, --deadline-ms=N, --max-inflight=N) from
+/// argv (benchmark::Initialize rejects flags it does not know) and
+/// records them. Call first in main().
 inline void ParseThreadsFlag(int* argc, char** argv) {
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
@@ -48,6 +59,10 @@ inline void ParseThreadsFlag(int* argc, char** argv) {
       g_no_auto_optimize = true;
     } else if (std::strcmp(argv[i], "--no-vm") == 0) {
       g_no_vm = true;
+    } else if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      g_deadline_ms = std::atoll(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--max-inflight=", 15) == 0) {
+      g_max_inflight = std::atoi(argv[i] + 15);
     } else {
       argv[out++] = argv[i];
     }

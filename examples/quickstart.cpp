@@ -63,5 +63,15 @@ int main() {
   auto listing = c.db()->modules()->RewrittenListing("ancestors", "anc",
                                                      "bf");
   std::cout << "\nRewritten program for anc(bf):\n" << *listing;
+
+  // 7. The session API: the handle a concurrent client (or the query
+  //    server) uses. A Session pins a read snapshot, enforces an optional
+  //    per-query deadline, and substitutes $name bindings — here the same
+  //    ancestor query is parameterized instead of re-stringified.
+  coral::Session session(c.db(), /*deadline_ms=*/1000);
+  session.Bind("who", "kathy");
+  auto rows = session.EvalQuery("?- anc($who, D).");
+  std::cout << "\nDescendants of $who=kathy (via Session):\n"
+            << rows->ToString();
   return 0;
 }

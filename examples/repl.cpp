@@ -9,7 +9,13 @@
 //   :listing <mod> <pred> <adornment>   show the rewritten program
 //   :stats                    statistics of the last module evaluation
 //   :explain <fact>           derivation tree (module needs @explain)
+//   :deadline <ms>            per-query time budget (0 clears it)
+//   :bind <name> <term>       set $name for later queries
 //   :help, :quit
+//
+// Queries evaluate through a coral::Session — the same handle a server
+// client gets: snapshot reads, deadline enforcement, $name bindings.
+// Consulted text commits through the session so later queries see it.
 
 #include <fstream>
 #include <iostream>
@@ -30,14 +36,36 @@ void PrintWarnings(const coral::Database& db) {
   }
 }
 
-void RunText(coral::Database* db, const std::string& text) {
-  auto out = db->Run(text);
-  PrintWarnings(*db);
-  if (!out.ok()) {
-    std::cout << "error: " << out.status().ToString() << "\n";
+void RunText(coral::Session* session, const std::string& text) {
+  // Pure query text goes straight through EvalQuery so $name bindings
+  // substitute before parsing; anything else commits through the session
+  // (read-your-writes) and then evaluates the queries it contained under
+  // the session's snapshot and deadline.
+  size_t start = text.find_first_not_of(" \t\r\n");
+  if (start != std::string::npos && text.compare(start, 2, "?-") == 0) {
+    auto result = session->EvalQuery(text);
+    PrintWarnings(*session->db());
+    if (!result.ok()) {
+      std::cout << "error: " << result.status().ToString() << "\n";
+      return;
+    }
+    std::cout << result->query.ToString() << "\n" << result->ToString();
     return;
   }
-  std::cout << *out;
+  auto queries = session->Consult(text);
+  PrintWarnings(*session->db());
+  if (!queries.ok()) {
+    std::cout << "error: " << queries.status().ToString() << "\n";
+    return;
+  }
+  for (const coral::Query& q : *queries) {
+    auto result = session->EvalQuery(q.ToString());
+    if (!result.ok()) {
+      std::cout << "error: " << result.status().ToString() << "\n";
+      continue;
+    }
+    std::cout << result->query.ToString() << "\n" << result->ToString();
+  }
 }
 
 void ConsultFile(coral::Database* db, const std::string& path) {
@@ -62,6 +90,7 @@ void ConsultFile(coral::Database* db, const std::string& path) {
 
 int main(int argc, char** argv) {
   coral::Database db;
+  coral::Session session(&db);
   for (int i = 1; i < argc; ++i) ConsultFile(&db, argv[i]);
 
   std::cout << "CORAL deductive database (1993 reproduction). :help for "
@@ -79,7 +108,8 @@ int main(int argc, char** argv) {
       if (op == ":quit" || op == ":q") break;
       if (op == ":help") {
         std::cout << "  :consult <file>\n  :listing <module> <pred> "
-                     "<adornment>\n  :explain <fact>\n  :stats\n  :quit\n"
+                     "<adornment>\n  :explain <fact>\n  :stats\n"
+                     "  :deadline <ms>\n  :bind <name> <term>\n  :quit\n"
                      "  ...or type CORAL text (facts, modules, ?- queries)\n";
         continue;
       }
@@ -111,6 +141,26 @@ int main(int argc, char** argv) {
         }
         continue;
       }
+      if (op == ":deadline") {
+        long long ms = 0;
+        cmd >> ms;
+        session.set_deadline_ms(ms);
+        std::cout << (ms > 0 ? "deadline set\n" : "deadline cleared\n");
+        continue;
+      }
+      if (op == ":bind") {
+        std::string name, term;
+        cmd >> name;
+        std::getline(cmd, term);
+        size_t start = term.find_first_not_of(" \t");
+        if (name.empty() || start == std::string::npos) {
+          std::cout << "usage: :bind <name> <term>\n";
+        } else {
+          session.Bind(name, term.substr(start));
+          std::cout << "$" << name << " bound\n";
+        }
+        continue;
+      }
       if (op == ":stats") {
         const coral::EvalStats& s = db.modules()->last_stats();
         std::cout << "last module evaluation: " << s.solutions
@@ -127,7 +177,7 @@ int main(int argc, char** argv) {
     buffer += "\n";
     size_t last = buffer.find_last_not_of(" \t\r\n");
     if (last == std::string::npos || buffer[last] != '.') continue;
-    RunText(&db, buffer);
+    RunText(&session, buffer);
     buffer.clear();
   }
   return 0;

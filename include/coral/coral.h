@@ -12,6 +12,10 @@
 //
 //   coral::Database          — relations, modules, queries (EvalQuery,
 //                              ExecuteQuery, Run, Consult), profiling
+//   coral::Session           — per-client query handle: snapshot
+//                              isolation, deadlines, $name bindings
+//                              (the concurrent-access entry point;
+//                              see docs/API.md thread-safety table)
 //   coral::Coral             — the embedded-C++ facade over a Database
 //   coral::Relation          — stored base relations
 //   coral::ComputedRelation  — predicates defined by C++ functions
@@ -31,6 +35,7 @@
 #define CORAL_INCLUDE_CORAL_CORAL_H_
 
 #include "src/core/database.h"
+#include "src/core/session.h"
 #include "src/cxx/computed_relation.h"
 #include "src/cxx/coral.h"
 #include "src/cxx/scan_desc.h"

@@ -116,15 +116,33 @@ Database::Database()
       });
 }
 
-Database::~Database() = default;
+Database::~Database() {
+  // Teardown ordering: member declaration order would destroy stats_
+  // before the thread pool and the module instances that still hold
+  // ModuleProfile pointers into it. Quiesce the users first — detach the
+  // trace sink, join/destroy pool workers, drop module state — so a
+  // TraceSink or a profile reader can never observe a dead registry.
+  trace_sink_ = nullptr;
+  pool_.reset();
+  modules_.reset();
+}
 
 void Database::set_num_threads(int n) {
   if (n < 1) n = 1;
   if (n > kMaxParallelThreads) n = static_cast<int>(kMaxParallelThreads);
   num_threads_ = n;
   // Term construction only needs the hash-consing lock when fixpoint
-  // workers can run; single-threaded mode takes the uncontended fast path.
-  factory_->set_concurrent(num_threads_ > 1);
+  // workers can run; single-threaded mode takes the uncontended fast
+  // path — unless concurrent sessions were enabled, which is sticky.
+  factory_->set_concurrent(
+      num_threads_ > 1 ||
+      concurrent_sessions_.load(std::memory_order_relaxed));
+}
+
+void Database::EnableConcurrentSessions() {
+  // Enable-only (engages strictly more locking), hence safe at any time.
+  concurrent_sessions_.store(true, std::memory_order_relaxed);
+  factory_->set_concurrent(true);
 }
 
 ThreadPool* Database::thread_pool(size_t threads) {
@@ -139,14 +157,20 @@ ThreadPool* Database::thread_pool(size_t threads) {
 }
 
 Relation* Database::FindBaseRelation(const PredRef& pred) const {
+  MutexLock lock(&base_mu_);
   auto it = base_.find(pred);
   return it == base_.end() ? nullptr : it->second;
 }
 
 Relation* Database::GetOrCreateBaseRelation(const PredRef& pred) {
+  MutexLock lock(&base_mu_);
   auto it = base_.find(pred);
   if (it != base_.end()) return it->second;
   auto rel = std::make_unique<HashRelation>(pred.sym->name, pred.arity);
+  // Enrolled in snapshot publication BEFORE becoming reachable through
+  // the map, so a reader can never see a shared base in its pre-shared
+  // state (the mutex publishes the flag).
+  rel->MarkSharedBase();
   Relation* raw = rel.get();
   owned_relations_.push_back(std::move(rel));
   base_.emplace(pred, raw);
@@ -160,7 +184,16 @@ Status Database::RegisterRelation(const PredRef& pred,
     return Status::InvalidArgument("relation arity mismatch for " +
                                    pred.ToString());
   }
+  WriterLock commit(&commit_mu_);
+  snapshot_stale_.store(true, std::memory_order_release);
+  if (auto* mr = dynamic_cast<MemoryRelation*>(relation.get())) {
+    mr->MarkSharedBase();
+  }
+  // Non-MemoryRelation registrations (persistent / computed relations)
+  // have no snapshot protocol; concurrent sessions read them live, which
+  // is safe only if the implementation is itself thread-safe.
   Relation* raw = relation.get();
+  MutexLock lock(&base_mu_);
   owned_relations_.push_back(std::move(relation));
   base_[pred] = raw;
   return Status::OK();
@@ -173,11 +206,23 @@ Status Database::RegisterExternalRelation(const PredRef& pred,
     return Status::InvalidArgument("relation arity mismatch for " +
                                    pred.ToString());
   }
+  WriterLock commit(&commit_mu_);
+  snapshot_stale_.store(true, std::memory_order_release);
+  if (auto* mr = dynamic_cast<MemoryRelation*>(relation)) {
+    mr->MarkSharedBase();
+  }
+  MutexLock lock(&base_mu_);
   base_[pred] = relation;
   return Status::OK();
 }
 
 StatusOr<bool> Database::InsertFact(const Rule& fact) {
+  WriterLock commit(&commit_mu_);
+  snapshot_stale_.store(true, std::memory_order_release);
+  return InsertFactLocked(fact);
+}
+
+StatusOr<bool> Database::InsertFactLocked(const Rule& fact) {
   if (!fact.is_fact()) {
     return Status::InvalidArgument("not a fact: " + fact.ToString());
   }
@@ -192,6 +237,8 @@ StatusOr<size_t> Database::DeleteFacts(const Rule& fact) {
   if (!fact.is_fact()) {
     return Status::InvalidArgument("not a fact: " + fact.ToString());
   }
+  WriterLock commit(&commit_mu_);
+  snapshot_stale_.store(true, std::memory_order_release);
   PredRef pred = fact.head.pred_ref();
   Relation* rel = FindBaseRelation(pred);
   if (rel == nullptr) return size_t{0};
@@ -231,6 +278,12 @@ Status Database::ApplyAggSelDecl(const AggSelDecl& decl) {
 }
 
 StatusOr<std::vector<Query>> Database::Consult(std::string_view text) {
+  WriterLock commit(&commit_mu_);
+  snapshot_stale_.store(true, std::memory_order_release);
+  return ConsultLocked(text);
+}
+
+StatusOr<std::vector<Query>> Database::ConsultLocked(std::string_view text) {
   last_diagnostics_ = DiagnosticList();
   Parser parser(text, factory_.get());
   CORAL_ASSIGN_OR_RETURN(Program prog, parser.ParseProgram());
@@ -243,13 +296,51 @@ StatusOr<std::vector<Query>> Database::Consult(std::string_view text) {
     CORAL_RETURN_IF_ERROR(ApplyAggSelDecl(decl));
   }
   for (const Rule& fact : prog.top_facts) {
-    CORAL_RETURN_IF_ERROR(InsertFact(fact).status());
+    CORAL_RETURN_IF_ERROR(InsertFactLocked(fact).status());
   }
   for (ModuleDecl& mod : prog.modules) {
     CORAL_RETURN_IF_ERROR(
         modules_->AddModule(std::move(mod), &last_diagnostics_));
   }
   return std::move(prog.queries);
+}
+
+std::shared_ptr<const ReadView> Database::AcquireReadSnapshot() {
+  {
+    // Fast path: nothing committed since the last publication — share
+    // the cached view under the reader lock.
+    ReaderLock lock(&commit_mu_);
+    if (!snapshot_stale_.load(std::memory_order_acquire) &&
+        view_ != nullptr) {
+      return view_;
+    }
+  }
+  // Publication is deferred to acquisition time (not done per commit) so
+  // a bulk load of N facts publishes once, not N times.
+  WriterLock lock(&commit_mu_);
+  if (snapshot_stale_.load(std::memory_order_relaxed) || view_ == nullptr) {
+    PublishLocked();
+  }
+  return view_;
+}
+
+void Database::PublishLocked() {
+  uint64_t epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  auto view = std::make_shared<ReadView>();
+  view->epoch = epoch;
+  {
+    MutexLock lock(&base_mu_);
+    for (const auto& [pred, rel] : base_) {
+      auto* mr = dynamic_cast<MemoryRelation*>(rel);
+      if (mr == nullptr || !mr->is_shared_base()) continue;
+      if (mr->publish_dirty()) mr->PublishCommitted(epoch);
+      if (const RelReadTable* table = mr->published_table()) {
+        view->tables.emplace(rel, table);
+      }
+    }
+  }
+  view_ = std::move(view);
+  snapshot_stale_.store(false, std::memory_order_release);
 }
 
 StatusOr<std::vector<Query>> Database::ConsultFile(const std::string& path) {

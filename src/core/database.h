@@ -9,6 +9,7 @@
 #ifndef CORAL_CORE_DATABASE_H_
 #define CORAL_CORE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,8 +22,10 @@
 #include "src/obs/stats.h"
 #include "src/obs/trace.h"
 #include "src/obs/vm_stats.h"
+#include "src/rel/readview.h"
 #include "src/rel/relation.h"
 #include "src/util/status.h"
+#include "src/util/sync.h"
 #include "src/util/thread_pool.h"
 
 namespace coral {
@@ -41,6 +44,18 @@ struct QueryResult {
   std::string ToString() const;
 };
 
+/// Thread-safety contract (docs/API.md has the per-method table):
+/// - Mutators — Consult / ConsultFile / InsertFact / DeleteFacts /
+///   RegisterRelation / RegisterExternalRelation — are writer commits:
+///   they serialize on the commit lock and may run while reader sessions
+///   evaluate against their snapshots.
+/// - Queries — ExecuteQuery / EvalQuery — are safe from many threads
+///   concurrently with commits PROVIDED each calling thread evaluates
+///   under a Session (which installs a ReadView snapshot and enables
+///   concurrent term construction). Without a Session the old contract
+///   stands: single-threaded use only.
+/// - Configuration (set_num_threads, set_profiling, set_trace_sink, ...)
+///   and teardown remain single-threaded administration.
 class Database {
  public:
   Database();
@@ -192,15 +207,65 @@ class Database {
   /// workers (grown by recreation if a later caller needs more).
   ThreadPool* thread_pool(size_t threads);
 
+  // ---- concurrent sessions (docs/SERVER.md) ----
+  /// The current committed snapshot: publishes any relation state changed
+  /// since the last acquisition (bumping the epoch) and returns the view.
+  /// Cheap when nothing committed in between — a shared-lock read of the
+  /// cached view. The view (and every table it references) stays valid
+  /// for the life of the database.
+  std::shared_ptr<const ReadView> AcquireReadSnapshot();
+
+  /// Epoch of the most recent publication (0 before the first).
+  uint64_t snapshot_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Declares that multiple Session threads will use this database:
+  /// permanently enables concurrent term construction and symbol
+  /// interning. Sticky — set_num_threads can no longer drop the locks.
+  /// Called automatically by Session; safe to call at any time.
+  void EnableConcurrentSessions();
+
+  /// The commit lock. Writer commits and module-activation structural
+  /// setup (MaterializedInstance::Init) hold it exclusively; snapshot
+  /// acquisition holds it briefly shared.
+  SharedMutex* commit_mutex() CORAL_RETURN_CAPABILITY(commit_mu_) {
+    return &commit_mu_;
+  }
+
  private:
-  Status ApplyIndexDecl(const IndexDecl& decl);
-  Status ApplyAggSelDecl(const AggSelDecl& decl);
+  Status ApplyIndexDecl(const IndexDecl& decl) CORAL_REQUIRES(commit_mu_);
+  Status ApplyAggSelDecl(const AggSelDecl& decl) CORAL_REQUIRES(commit_mu_);
+  StatusOr<std::vector<Query>> ConsultLocked(std::string_view text)
+      CORAL_REQUIRES(commit_mu_);
+  StatusOr<bool> InsertFactLocked(const Rule& fact)
+      CORAL_REQUIRES(commit_mu_);
+  /// Publishes dirty shared relations at a new epoch and rebuilds the
+  /// cached view.
+  void PublishLocked() CORAL_REQUIRES(commit_mu_);
 
   std::unique_ptr<TermFactory> factory_;
   BuiltinRegistry builtins_;
   std::unique_ptr<ModuleManager> modules_;
-  std::unordered_map<PredRef, Relation*, PredRefHash> base_;
-  std::vector<std::unique_ptr<Relation>> owned_relations_;
+
+  /// Writer commits hold this exclusively; AcquireReadSnapshot holds it
+  /// shared (or exclusively, when publication is due). Reader sessions do
+  /// NOT hold it while evaluating — isolation comes from the ReadView.
+  mutable SharedMutex commit_mu_{kRankCommitLock};
+  /// Guards the base-relation map itself (lookups happen on reader
+  /// threads while commits create relations).
+  mutable Mutex base_mu_{kRankBaseMap};
+  std::unordered_map<PredRef, Relation*, PredRefHash> base_
+      CORAL_GUARDED_BY(base_mu_);
+  std::vector<std::unique_ptr<Relation>> owned_relations_
+      CORAL_GUARDED_BY(base_mu_);
+  std::atomic<uint64_t> epoch_{0};
+  /// True when live state may differ from the published view; set by
+  /// every commit, cleared by PublishLocked. Written under the exclusive
+  /// commit lock, read under at least the shared lock.
+  std::atomic<bool> snapshot_stale_{true};
+  std::shared_ptr<const ReadView> view_ CORAL_GUARDED_BY(commit_mu_);
+  std::atomic<bool> concurrent_sessions_{false};
   std::string listing_dir_;
   DiagnosticList last_diagnostics_;
   bool strict_ = false;

@@ -1,0 +1,39 @@
+#include "src/core/eval_context.h"
+
+#include <chrono>
+
+namespace coral {
+
+namespace {
+thread_local int64_t g_deadline_ns = 0;
+}  // namespace
+
+int64_t EvalClockNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t ActiveEvalDeadlineNs() { return g_deadline_ns; }
+
+bool EvalDeadlineExpired() {
+  return g_deadline_ns != 0 && EvalClockNowNs() >= g_deadline_ns;
+}
+
+Status CheckEvalDeadline() {
+  if (EvalDeadlineExpired()) {
+    return Status::DeadlineExceeded("query deadline exceeded");
+  }
+  return Status::OK();
+}
+
+ScopedEvalDeadline::ScopedEvalDeadline(int64_t ms)
+    : prev_(g_deadline_ns), installed_(ms > 0) {
+  if (installed_) g_deadline_ns = EvalClockNowNs() + ms * 1'000'000;
+}
+
+ScopedEvalDeadline::~ScopedEvalDeadline() {
+  if (installed_) g_deadline_ns = prev_;
+}
+
+}  // namespace coral

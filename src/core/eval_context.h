@@ -1,0 +1,50 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Per-thread evaluation context: the query deadline. Sessions (and the
+// server's request workers) install a deadline around each query; the
+// evaluation loops poll CheckEvalDeadline at coarse intervals (roughly
+// every ~1k join probes and once per fixpoint iteration) and unwind with
+// kDeadlineExceeded. Thread-local so the single-user embedding pays one
+// TLS load per poll and nothing else.
+
+#ifndef CORAL_CORE_EVAL_CONTEXT_H_
+#define CORAL_CORE_EVAL_CONTEXT_H_
+
+#include <cstdint>
+
+#include "src/util/status.h"
+
+namespace coral {
+
+/// Nanosecond reading of the monotonic clock used for deadlines.
+int64_t EvalClockNowNs();
+
+/// The calling thread's deadline (monotonic ns), or 0 when none is set.
+int64_t ActiveEvalDeadlineNs();
+
+/// True when a deadline is set and has passed.
+bool EvalDeadlineExpired();
+
+/// OK, or kDeadlineExceeded once the installed deadline has passed.
+Status CheckEvalDeadline();
+
+/// Installs a deadline `ms` milliseconds from now for the scope's
+/// lifetime; restores the previous one on exit (nested scopes keep the
+/// tighter effective deadline because checks compare absolute times —
+/// an inner, later deadline cannot extend an outer one that already
+/// expired, since the outer scope re-checks after the inner returns).
+/// ms <= 0 installs nothing (the previous deadline stays in force).
+class ScopedEvalDeadline {
+ public:
+  explicit ScopedEvalDeadline(int64_t ms);
+  ~ScopedEvalDeadline();
+  ScopedEvalDeadline(const ScopedEvalDeadline&) = delete;
+  ScopedEvalDeadline& operator=(const ScopedEvalDeadline&) = delete;
+
+ private:
+  int64_t prev_;
+  bool installed_;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_CORE_EVAL_CONTEXT_H_

@@ -7,7 +7,9 @@
 #include <unordered_set>
 
 #include "src/core/database.h"
+#include "src/core/eval_context.h"
 #include "src/core/module_eval.h"
+#include "src/rel/readview.h"
 #include "src/rewrite/existential.h"
 #include "src/util/logging.h"
 
@@ -325,6 +327,10 @@ StatusOr<bool> MaterializedInstance::ApplyVersion(
 
 size_t MaterializedInstance::EffectiveThreads() const {
   if (!parallel_safe_) return 1;
+  // Snapshot readers evaluate single-threaded: concurrency comes from the
+  // sessions themselves, and the shared worker pool is not coordinated
+  // with the per-thread ReadView installation.
+  if (ActiveReadView() != nullptr) return 1;
   int64_t n = decl_->parallel_threads > 0 ? decl_->parallel_threads
                                           : db_->num_threads();
   if (n < 1) n = 1;
@@ -678,6 +684,9 @@ Status MaterializedInstance::RunIteration(size_t scc_idx, bool* changed) {
 
 Status MaterializedInstance::RunIterationObserved(size_t scc_idx,
                                                   bool* changed) {
+  // Iteration-granularity deadline poll (the probe-granularity poll lives
+  // in RuleCursor::Next); bounds how long a runaway fixpoint can overstay.
+  CORAL_RETURN_IF_ERROR(CheckEvalDeadline());
   if (profile_ == nullptr && trace_ == nullptr) {
     return RunIteration(scc_idx, changed);
   }

@@ -1,5 +1,6 @@
 #include "src/core/join.h"
 
+#include "src/core/eval_context.h"
 #include "src/util/logging.h"
 
 namespace coral {
@@ -166,6 +167,16 @@ bool RuleCursor::Next() {
   while (pos_ >= 0) {
     GoalSource& src = *sources_[pos_];
     ++probes_;
+    // Deadline poll, amortized over ~1k probes so the common case costs
+    // one branch; an expired deadline unwinds as an exhausted cursor with
+    // status() = kDeadlineExceeded.
+    if ((probes_ & 1023u) == 0 && status_.ok()) {
+      Status deadline = CheckEvalDeadline();
+      if (!deadline.ok()) {
+        status_ = std::move(deadline);
+        break;
+      }
+    }
     if (src.Next(trail_)) {
       produced_[pos_] = true;
       if (pos_ == n - 1) return true;

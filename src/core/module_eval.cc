@@ -46,7 +46,7 @@ StatusOr<std::unique_ptr<GoalSource>> ExternalResolver::Make(
         new IteratorGoalSource(lit, env, std::move(opener)));
   }
   // Only exported predicates are visible outside their module (§5).
-  const std::string& owner = db_->modules()->LocalOwner(pred);
+  const std::string owner = db_->modules()->LocalOwner(pred);
   if (!owner.empty()) {
     return Status::FailedPrecondition(
         "predicate " + pred.ToString() + " is local to module " + owner +
@@ -108,6 +108,12 @@ const AggHeadSpec* MaterializedInstance::AggSpecFor(uint32_t rule_index) {
 }
 
 Status MaterializedInstance::Init() {
+  // Structural mutation of shared base relations (attaching indexes and
+  // aggregate selections, creating referenced relations) is a commit:
+  // exclude concurrent readers' lazy snapshot publication for the
+  // duration. Ranks: commit (4) < module mu_ (6) < base map (8), so the
+  // Exports/LocalOwner and GetOrCreateBaseRelation calls below nest fine.
+  WriterLock structural(db_->commit_mutex());
   // Internal relations: every rule head, plus done relations for Ordered
   // Search, plus staging relations for magic predicates under OS.
   for (const Rule& r : prog_->rules) {

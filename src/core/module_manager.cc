@@ -6,6 +6,7 @@
 
 #include "src/analysis/analyzer.h"
 #include "src/core/database.h"
+#include "src/rel/readview.h"
 #include "src/util/logging.h"
 #include "src/vm/compiler.h"
 
@@ -51,6 +52,10 @@ class DepthGuard {
 
 constexpr int kMaxCallDepth = 256;
 
+// Per-thread: each session's query has its own module-call recursion
+// budget (a member counter would be corrupted by concurrent readers).
+thread_local int g_call_depth = 0;
+
 }  // namespace
 
 Status ModuleManager::AddModule(ModuleDecl decl, DiagnosticList* diags) {
@@ -74,7 +79,10 @@ Status ModuleManager::AddModule(ModuleDecl decl, DiagnosticList* diags) {
                                    reject_text);
   }
 
-  // Replace an existing module of the same name.
+  MutexLock lock(&mu_);
+  // Replace an existing module of the same name. The displaced entry is
+  // retired rather than destroyed: queries already running against it
+  // (possible under concurrent sessions) finish on the old version.
   for (auto it = modules_.begin(); it != modules_.end(); ++it) {
     if ((*it)->decl.name == decl.name) {
       for (auto eit = export_index_.begin(); eit != export_index_.end();) {
@@ -91,6 +99,7 @@ Status ModuleManager::AddModule(ModuleDecl decl, DiagnosticList* diags) {
           ++lit;
         }
       }
+      retired_.push_back(std::move(*it));
       modules_.erase(it);
       names_.erase(std::find(names_.begin(), names_.end(), decl.name));
       break;
@@ -121,16 +130,25 @@ Status ModuleManager::AddModule(ModuleDecl decl, DiagnosticList* diags) {
 }
 
 bool ModuleManager::Exports(const PredRef& pred) const {
+  MutexLock lock(&mu_);
   return export_index_.count(pred) > 0;
 }
 
-const std::string& ModuleManager::LocalOwner(const PredRef& pred) const {
-  static const std::string kNone;
+bool ModuleManager::ExportsUnlocked(const PredRef& pred) const {
+  return export_index_.count(pred) > 0;
+}
+
+bool ModuleManager::HasLocalOwnerUnlocked(const PredRef& pred) const {
+  return local_index_.count(pred) > 0 && export_index_.count(pred) == 0;
+}
+
+std::string ModuleManager::LocalOwner(const PredRef& pred) const {
+  MutexLock lock(&mu_);
   auto it = local_index_.find(pred);
   // Exported elsewhere wins: a name can be local in one module and
   // exported by another.
   if (it == local_index_.end() || export_index_.count(pred) > 0) {
-    return kNone;
+    return std::string();
   }
   return it->second;
 }
@@ -173,7 +191,7 @@ const QueryFormDecl* ModuleManager::SelectForm(
   return best;
 }
 
-StatusOr<ModuleManager::CompiledForm*> ModuleManager::CompileForm(
+StatusOr<ModuleManager::CompiledForm*> ModuleManager::CompileFormLocked(
     ModuleEntry* entry, const QueryFormDecl& form) {
   std::string key = form.pred->name + "/" +
                     std::to_string(form.adornment.size()) + "@" +
@@ -226,8 +244,10 @@ StatusOr<ModuleManager::CompiledForm*> ModuleManager::CompileForm(
     vm::CompileEnv cenv;
     cenv.is_builtin = ropts.is_builtin;
     ModuleManager* self = this;
+    // Unlocked variants: these callbacks run during CompileModule, below,
+    // while this thread already holds mu_.
     cenv.is_module_pred = [self](const PredRef& p) {
-      return self->Exports(p) || !self->LocalOwner(p).empty();
+      return self->ExportsUnlocked(p) || self->HasLocalOwnerUnlocked(p);
     };
     cf.vm = std::make_unique<vm::ModuleProgram>(
         vm::CompileModule(*cf.prog, entry->decl, cenv));
@@ -242,16 +262,34 @@ StatusOr<ModuleManager::CompiledForm*> ModuleManager::CompileForm(
 
 StatusOr<std::unique_ptr<TupleIterator>> ModuleManager::OpenQuery(
     const PredRef& pred, std::span<const TermRef> args) {
-  auto eit = export_index_.find(pred);
-  if (eit == export_index_.end()) {
-    return Status::NotFound("no module exports " + pred.ToString());
-  }
-  ModuleEntry* entry = eit->second;
-  if (call_depth_ >= kMaxCallDepth) {
+  if (g_call_depth >= kMaxCallDepth) {
     return Status::FailedPrecondition(
         "inter-module call depth exceeded (cyclic module calls?)");
   }
-  DepthGuard guard(&call_depth_);
+  DepthGuard guard(&g_call_depth);
+
+  // Phase 1, under mu_: resolve the export and compile the form. The
+  // returned pointers outlive the lock — entries are never destroyed
+  // (replacement retires them), forms live in a node-stable map, and
+  // decl/prog/vm are immutable once compiled.
+  ModuleEntry* entry;
+  CompiledForm* cf = nullptr;
+  {
+    MutexLock lock(&mu_);
+    auto eit = export_index_.find(pred);
+    if (eit == export_index_.end()) {
+      return Status::NotFound("no module exports " + pred.ToString());
+    }
+    entry = eit->second;
+    if (entry->decl.eval_mode != EvalMode::kPipelined) {
+      const QueryFormDecl* form = SelectForm(*entry, pred, args);
+      if (form == nullptr) {
+        return Status::NotFound("no query form of " + pred.ToString() +
+                                " matches this call");
+      }
+      CORAL_ASSIGN_OR_RETURN(cf, CompileFormLocked(entry, *form));
+    }
+  }
 
   if (obs::TraceSink* sink = db_->trace_sink()) {
     obs::TraceEvent ev;
@@ -265,20 +303,23 @@ StatusOr<std::unique_ptr<TupleIterator>> ModuleManager::OpenQuery(
     return entry->pipelined->OpenQuery(pred, args);
   }
 
-  const QueryFormDecl* form = SelectForm(*entry, pred, args);
-  if (form == nullptr) {
-    return Status::NotFound("no query form of " + pred.ToString() +
-                            " matches this call");
-  }
-  CORAL_ASSIGN_OR_RETURN(CompiledForm * cf, CompileForm(entry, *form));
-
+  // Phase 2, outside mu_: instance setup and evaluation. Init acquires
+  // the database commit lock (rank below mu_), so it must not run under
+  // the manager lock.
   std::shared_ptr<MaterializedInstance> inst;
-  if (entry->decl.save_module) {
+  // A snapshot reader never touches the shared saved instance: it gets a
+  // fresh, transient activation evaluated against its own view. The
+  // save-module memo (paper §5.4.2) stays a single-threaded-writer
+  // facility.
+  const bool use_saved =
+      entry->decl.save_module && ActiveReadView() == nullptr;
+  if (use_saved) {
     if (cf->saved == nullptr) {
-      cf->saved = std::make_shared<MaterializedInstance>(
+      auto saved = std::make_shared<MaterializedInstance>(
           cf->prog.get(), &entry->decl, db_);
-      cf->saved->set_vm_program(cf->vm.get());
-      CORAL_RETURN_IF_ERROR(cf->saved->Init());
+      saved->set_vm_program(cf->vm.get());
+      CORAL_RETURN_IF_ERROR(saved->Init());
+      cf->saved = std::move(saved);
     }
     inst = cf->saved;
     if (inst->in_step()) {
@@ -293,7 +334,10 @@ StatusOr<std::unique_ptr<TupleIterator>> ModuleManager::OpenQuery(
     CORAL_RETURN_IF_ERROR(inst->Init());
   }
   CORAL_RETURN_IF_ERROR(inst->Seed(args));
-  last_instance_ = inst;
+  {
+    MutexLock lock(&mu_);
+    last_instance_ = inst;
+  }
 
   const Tuple* goal = ResolveTuple(args, db_->factory());
 
@@ -315,12 +359,13 @@ StatusOr<std::unique_ptr<TupleIterator>> ModuleManager::OpenQuery(
 StatusOr<std::string> ModuleManager::RewrittenListing(
     const std::string& module_name, const std::string& pred,
     const std::string& adornment) {
+  MutexLock lock(&mu_);
   for (auto& entry : modules_) {
     if (entry->decl.name != module_name) continue;
     Symbol sym = db_->factory()->symbols().Intern(pred);
     QueryFormDecl form{sym, adornment, SourceLoc{}};
     CORAL_ASSIGN_OR_RETURN(CompiledForm * cf,
-                           CompileForm(entry.get(), form));
+                           CompileFormLocked(entry.get(), form));
     return cf->prog->listing;
   }
   return Status::NotFound("no module named " + module_name);
@@ -329,18 +374,20 @@ StatusOr<std::string> ModuleManager::RewrittenListing(
 StatusOr<std::string> ModuleManager::PlanListing(
     const std::string& module_name, const std::string& pred,
     const std::string& adornment) {
+  MutexLock lock(&mu_);
   for (auto& entry : modules_) {
     if (entry->decl.name != module_name) continue;
     Symbol sym = db_->factory()->symbols().Intern(pred);
     QueryFormDecl form{sym, adornment, SourceLoc{}};
     CORAL_ASSIGN_OR_RETURN(CompiledForm * cf,
-                           CompileForm(entry.get(), form));
+                           CompileFormLocked(entry.get(), form));
     return cf->prog->plan;
   }
   return Status::NotFound("no module named " + module_name);
 }
 
 std::string ModuleManager::PlanReport() const {
+  MutexLock lock(&mu_);
   std::string out;
   for (const auto& entry : modules_) {
     for (const auto& [key, cf] : entry->forms) {
@@ -353,21 +400,26 @@ std::string ModuleManager::PlanReport() const {
   return out;
 }
 
-const EvalStats& ModuleManager::last_stats() const {
-  static const EvalStats kEmpty;
-  return last_instance_ == nullptr ? kEmpty : last_instance_->stats();
+EvalStats ModuleManager::last_stats() const {
+  MutexLock lock(&mu_);
+  return last_instance_ == nullptr ? EvalStats{} : last_instance_->stats();
 }
 
 StatusOr<std::string> ModuleManager::ExplainLast(const Tuple* fact) const {
-  if (last_instance_ == nullptr) {
+  std::shared_ptr<MaterializedInstance> inst;
+  {
+    MutexLock lock(&mu_);
+    inst = last_instance_;
+  }
+  if (inst == nullptr) {
     return Status::FailedPrecondition("no module evaluation has run");
   }
-  if (!last_instance_->decl().explain) {
+  if (!inst->decl().explain) {
     return Status::FailedPrecondition(
-        "module " + last_instance_->decl().name +
+        "module " + inst->decl().name +
         " does not record derivations; add the @explain annotation");
   }
-  return last_instance_->Explain(fact);
+  return inst->Explain(fact);
 }
 
 }  // namespace coral

@@ -17,11 +17,19 @@
 #include "src/analysis/diagnostics.h"
 #include "src/core/module_eval.h"
 #include "src/core/pipeline.h"
+#include "src/util/sync.h"
 
 namespace coral {
 
 class Database;
 
+/// Thread-safety: registration and the form cache are guarded by mu_
+/// (rank kRankModuleManager). OpenQuery is safe from concurrent reader
+/// sessions; instance Init/Seed/Run happen OUTSIDE mu_ (Init acquires the
+/// database commit lock, which ranks below mu_). Module declarations and
+/// compiled forms are immutable once created, and entries replaced by
+/// re-consulting a module are retired (not destroyed), so in-flight
+/// queries finish against the version they started with.
 class ModuleManager {
  public:
   explicit ModuleManager(Database* db) : db_(db) {}
@@ -39,8 +47,9 @@ class ModuleManager {
 
   /// Name of the module defining `pred` locally (without exporting it);
   /// empty string when no module claims it. Only exported predicates are
-  /// visible outside their module (paper §5).
-  const std::string& LocalOwner(const PredRef& pred) const;
+  /// visible outside their module (paper §5). By value: the entry can be
+  /// retired by a concurrent module replacement.
+  std::string LocalOwner(const PredRef& pred) const;
 
   /// Opens an inter-module (or top-level) call: selects the best matching
   /// query form for the binding pattern of `args`, compiles it on first
@@ -67,15 +76,19 @@ class ModuleManager {
   std::string PlanReport() const;
 
   /// Evaluation statistics of the most recent materialized activation
-  /// (save-module instances aggregate across calls).
-  const EvalStats& last_stats() const;
+  /// (save-module instances aggregate across calls). Returned by value:
+  /// a debugging aid, racy by nature under concurrent sessions.
+  EvalStats last_stats() const;
 
   /// Explanation tool: derivation tree of a fact derived by the most
   /// recent materialized activation of a module with @explain. `fact` is
   /// matched against recorded heads (answers and intermediates).
   StatusOr<std::string> ExplainLast(const Tuple* fact) const;
 
-  const std::vector<std::string>& module_names() const { return names_; }
+  std::vector<std::string> module_names() const {
+    MutexLock lock(&mu_);
+    return names_;
+  }
 
  private:
   struct CompiledForm {
@@ -92,19 +105,36 @@ class ModuleManager {
     std::unique_ptr<PipelinedModule> pipelined;
   };
 
-  StatusOr<CompiledForm*> CompileForm(ModuleEntry* entry,
-                                      const QueryFormDecl& form);
+  StatusOr<CompiledForm*> CompileFormLocked(ModuleEntry* entry,
+                                            const QueryFormDecl& form)
+      CORAL_REQUIRES(mu_);
   const QueryFormDecl* SelectForm(const ModuleEntry& entry,
                                   const PredRef& pred,
                                   std::span<const TermRef> args) const;
+  /// Unlocked membership checks for the bytecode compiler's callbacks,
+  /// which run while CompileFormLocked holds mu_ but cross a
+  /// std::function boundary the analysis cannot follow.
+  bool ExportsUnlocked(const PredRef& pred) const
+      CORAL_TS_UNSAFE("only called from compile callbacks invoked under "
+                      "mu_ by CompileFormLocked");
+  bool HasLocalOwnerUnlocked(const PredRef& pred) const
+      CORAL_TS_UNSAFE("only called from compile callbacks invoked under "
+                      "mu_ by CompileFormLocked");
 
   Database* db_;
-  std::vector<std::unique_ptr<ModuleEntry>> modules_;
-  std::vector<std::string> names_;
-  std::unordered_map<PredRef, ModuleEntry*, PredRefHash> export_index_;
-  std::unordered_map<PredRef, std::string, PredRefHash> local_index_;
-  int call_depth_ = 0;
-  std::shared_ptr<MaterializedInstance> last_instance_;
+  mutable Mutex mu_{kRankModuleManager};
+  std::vector<std::unique_ptr<ModuleEntry>> modules_ CORAL_GUARDED_BY(mu_);
+  /// Entries displaced by re-adding a module with the same name. Retired,
+  /// never destroyed: scans opened against the old version (and compiled
+  /// forms pointing into its decl) stay valid for the database's life.
+  std::vector<std::unique_ptr<ModuleEntry>> retired_ CORAL_GUARDED_BY(mu_);
+  std::vector<std::string> names_ CORAL_GUARDED_BY(mu_);
+  std::unordered_map<PredRef, ModuleEntry*, PredRefHash> export_index_
+      CORAL_GUARDED_BY(mu_);
+  std::unordered_map<PredRef, std::string, PredRefHash> local_index_
+      CORAL_GUARDED_BY(mu_);
+  std::shared_ptr<MaterializedInstance> last_instance_
+      CORAL_GUARDED_BY(mu_);
 };
 
 }  // namespace coral

@@ -49,10 +49,9 @@ void PipelinedPredScan::Abandon() {
 }
 
 bool PipelinedPredScan::ActivateRule(const Rule* rule) {
-  if (mod_->profile_ != nullptr) {
+  if (auto* profile = mod_->profile_.load(std::memory_order_acquire)) {
     size_t idx = static_cast<size_t>(rule - mod_->decl_->rules.data());
-    mod_->profile_->rule(idx).applications.fetch_add(
-        1, std::memory_order_relaxed);
+    profile->rule(idx).applications.fetch_add(1, std::memory_order_relaxed);
   }
   rule_mark_ = trail_->mark();
   if (rule_env_ == nullptr) {
@@ -146,21 +145,22 @@ bool PipelinedPredScan::Next(Trail* trail) {
   while (true) {
     if (active_rule_ != nullptr) {
       if (cursor_->Next()) {
-        if (mod_->profile_ != nullptr) {
+        if (auto* profile =
+                mod_->profile_.load(std::memory_order_acquire)) {
           size_t idx = static_cast<size_t>(active_rule_ -
                                            mod_->decl_->rules.data());
-          obs::RuleStats& rs = mod_->profile_->rule(idx);
+          obs::RuleStats& rs = profile->rule(idx);
           rs.solutions.fetch_add(1, std::memory_order_relaxed);
           rs.derived.fetch_add(1, std::memory_order_relaxed);
         }
         return true;
       }
       if (!cursor_->status().ok()) status_ = cursor_->status();
-      if (mod_->profile_ != nullptr) {
+      if (auto* profile = mod_->profile_.load(std::memory_order_acquire)) {
         size_t idx = static_cast<size_t>(active_rule_ -
                                          mod_->decl_->rules.data());
-        mod_->profile_->rule(idx).probes.fetch_add(
-            cursor_->probes(), std::memory_order_relaxed);
+        profile->rule(idx).probes.fetch_add(cursor_->probes(),
+                                            std::memory_order_relaxed);
       }
       cursor_->UndoAll();
       cursor_.reset();
@@ -213,15 +213,18 @@ StatusOr<std::unique_ptr<TupleIterator>> PipelinedModule::OpenQuery(
   };
 
   // Refresh the profile binding: the global switch may have been toggled
-  // since the previous call (this runs on the calling thread only).
-  profile_ = nullptr;
+  // since the previous call. Registry entries are never destroyed while
+  // the database lives, so a stale pointer read by a concurrent scan
+  // still lands on a valid profile.
+  obs::ModuleProfile* profile = nullptr;
   if (decl_->profile || db_->profiling()) {
-    profile_ = db_->stats()->GetOrCreate(decl_->name);
-    profile_->EnsureRules(decl_->rules.size(), [this](size_t i) {
+    profile = db_->stats()->GetOrCreate(decl_->name);
+    profile->EnsureRules(decl_->rules.size(), [this](size_t i) {
       return decl_->rules[i].ToString();
     });
-    profile_->RecordActivation();
+    profile->RecordActivation();
   }
+  profile_.store(profile, std::memory_order_release);
 
   const Tuple* goal = ResolveTuple(args, db_->factory());
   auto it = std::make_unique<PipelinedAnswerIterator>(this, pred, goal);

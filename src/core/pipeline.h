@@ -11,6 +11,7 @@
 #ifndef CORAL_CORE_PIPELINE_H_
 #define CORAL_CORE_PIPELINE_H_
 
+#include <atomic>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -45,9 +46,10 @@ class PipelinedModule {
   std::unordered_map<PredRef, std::vector<const Rule*>, PredRefHash> rules_;
   // Pipelined evaluation stores no relations, so the profile records rule
   // activation and answer counts only (no fixpoint or delta statistics —
-  // diagnostic CRL134). Refreshed at each OpenQuery; pipelined scans run
-  // on the calling thread only.
-  mutable obs::ModuleProfile* profile_ = nullptr;
+  // diagnostic CRL134). Refreshed at each OpenQuery; atomic because
+  // concurrent sessions may open the same (shared) module instance, and
+  // the registry entry itself lives for the database's life.
+  mutable std::atomic<obs::ModuleProfile*> profile_{nullptr};
 };
 
 /// A suspended computation of one predicate goal inside a pipelined

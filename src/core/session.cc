@@ -1,0 +1,88 @@
+#include "src/core/session.h"
+
+#include <cctype>
+
+#include "src/core/eval_context.h"
+#include "src/lang/parser.h"
+#include "src/rel/readview.h"
+
+namespace coral {
+
+Session::Session(Database* db, int64_t deadline_ms)
+    : db_(db), deadline_ms_(deadline_ms) {
+  db_->EnableConcurrentSessions();
+}
+
+Session::~Session() = default;
+
+StatusOr<std::string> Session::Substitute(const std::string& text) const {
+  if (text.find('$') == std::string::npos) return text;
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c != '$') {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[j])) ||
+            text[j] == '_')) {
+      ++j;
+    }
+    if (j == i + 1) {  // bare '$': pass through (not a placeholder)
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    std::string name = text.substr(i + 1, j - i - 1);
+    auto it = bindings_.find(name);
+    if (it == bindings_.end()) {
+      return Status::InvalidArgument("unbound session placeholder $" + name);
+    }
+    out += it->second;
+    i = j;
+  }
+  return out;
+}
+
+StatusOr<QueryResult> Session::EvalQuery(const std::string& text) {
+  CORAL_ASSIGN_OR_RETURN(std::string query, Substitute(text));
+  if (view_ == nullptr) view_ = db_->AcquireReadSnapshot();
+  // The scoped view routes every base-relation scan in this thread to the
+  // snapshot tables; the deadline is polled inside the join loop.
+  ScopedReadView scope(view_.get());
+  ScopedEvalDeadline deadline(deadline_ms_);
+  return db_->EvalQuery(query);
+}
+
+StatusOr<std::vector<Query>> Session::Consult(std::string_view text) {
+  auto result = db_->Consult(text);
+  // Read-your-writes within a session: pick up the post-commit epoch on
+  // the next query.
+  Refresh();
+  return result;
+}
+
+StatusOr<size_t> Session::LoadFacts(std::string_view text) {
+  Parser parser(text, db_->factory());
+  CORAL_ASSIGN_OR_RETURN(Program prog, parser.ParseProgram());
+  if (!prog.queries.empty() || !prog.modules.empty() ||
+      !prog.top_indexes.empty() || !prog.top_agg_selections.empty()) {
+    return Status::InvalidArgument(
+        "LoadFacts text must contain only facts; use Consult for "
+        "programs");
+  }
+  size_t inserted = 0;
+  for (const Rule& fact : prog.top_facts) {
+    CORAL_ASSIGN_OR_RETURN(bool fresh, db_->InsertFact(fact));
+    if (fresh) ++inserted;
+  }
+  Refresh();
+  return inserted;
+}
+
+}  // namespace coral

@@ -1,0 +1,99 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Session-oriented public API (paper §6 embedding, extended to the
+// multi-client server of docs/SERVER.md): a Session is the handle through
+// which one client evaluates queries against a shared Database. Each
+// session carries
+//
+//   - a snapshot context: queries run against an immutable epoch view of
+//     the base relations, so concurrent writer commits never produce torn
+//     reads (readers see every commit boundary state, never a partial
+//     one);
+//   - a deadline: per-query evaluation budget in milliseconds, enforced
+//     cooperatively inside the join and fixpoint loops
+//     (Status kDeadlineExceeded);
+//   - named bindings: `$name` placeholders in query text substituted
+//     before parsing, so clients can parameterize queries without string
+//     concatenation.
+//
+// Thread-safety contract: a Session is confined to one thread at a time
+// (clients are serialized by the server's per-connection queue); distinct
+// Sessions over the same Database may run queries concurrently with each
+// other and with writer commits (Consult / InsertFact / DeleteFacts).
+// Constructing the first Session permanently switches the Database's
+// shared term factory and symbol table into locked mode.
+
+#ifndef CORAL_CORE_SESSION_H_
+#define CORAL_CORE_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/database.h"
+
+namespace coral {
+
+class Session {
+ public:
+  /// Binds the session to `db` (not owned; must outlive the session) and
+  /// engages concurrent-sessions mode on it. `deadline_ms` <= 0 means no
+  /// deadline.
+  explicit Session(Database* db, int64_t deadline_ms = 0);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Evaluates one query against this session's snapshot, applying
+  /// `$name` bindings, the session deadline, and snapshot isolation. The
+  /// snapshot is acquired lazily on first use and kept until Refresh().
+  StatusOr<QueryResult> EvalQuery(const std::string& text);
+
+  /// Writer entry point: commits program text (facts, rules, modules,
+  /// annotations) to the shared database, then refreshes this session's
+  /// snapshot so its own writes are visible to subsequent queries. Other
+  /// sessions keep their older snapshots until they refresh or re-acquire.
+  StatusOr<std::vector<Query>> Consult(std::string_view text);
+
+  /// Writer entry point for bulk fact loading; equivalent to Consult with
+  /// fact-only text but reports the number of new facts inserted.
+  StatusOr<size_t> LoadFacts(std::string_view text);
+
+  /// Drops the cached snapshot; the next query sees all commits made so
+  /// far by any session.
+  void Refresh() { view_.reset(); }
+
+  /// Sets `$name` := `term_text` for subsequent queries; re-binding
+  /// replaces. Binding names are identifiers ([A-Za-z_][A-Za-z0-9_]*).
+  void Bind(const std::string& name, const std::string& term_text) {
+    bindings_[name] = term_text;
+  }
+  void ClearBinding(const std::string& name) { bindings_.erase(name); }
+  void ClearBindings() { bindings_.clear(); }
+
+  void set_deadline_ms(int64_t ms) { deadline_ms_ = ms; }
+  int64_t deadline_ms() const { return deadline_ms_; }
+
+  /// Epoch of the snapshot this session currently reads (0 before the
+  /// first query / after Refresh).
+  uint64_t epoch() const { return view_ == nullptr ? 0 : view_->epoch; }
+
+  Database* db() const { return db_; }
+
+ private:
+  /// Replaces `$name` placeholders with bound term text; errors on an
+  /// unbound placeholder.
+  StatusOr<std::string> Substitute(const std::string& text) const;
+
+  Database* db_;
+  int64_t deadline_ms_;
+  std::shared_ptr<const ReadView> view_;
+  std::map<std::string, std::string> bindings_;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_CORE_SESSION_H_

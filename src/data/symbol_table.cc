@@ -3,6 +3,7 @@
 namespace coral {
 
 Symbol SymbolTable::Intern(std::string_view name) {
+  MaybeMutexLock lock(&mu_, concurrent_.load(std::memory_order_relaxed));
   auto it = index_.find(name);
   if (it != index_.end()) return it->second;
   entries_.push_back(SymbolInfo{std::string(name),
@@ -13,6 +14,7 @@ Symbol SymbolTable::Intern(std::string_view name) {
 }
 
 Symbol SymbolTable::Find(std::string_view name) const {
+  MaybeMutexLock lock(&mu_, concurrent_.load(std::memory_order_relaxed));
   auto it = index_.find(name);
   return it == index_.end() ? nullptr : it->second;
 }

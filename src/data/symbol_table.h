@@ -6,11 +6,14 @@
 #ifndef CORAL_DATA_SYMBOL_TABLE_H_
 #define CORAL_DATA_SYMBOL_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+
+#include "src/util/sync.h"
 
 namespace coral {
 
@@ -22,8 +25,12 @@ struct SymbolInfo {
 
 using Symbol = const SymbolInfo*;
 
-/// Interns strings into stable SymbolInfo entries. Not thread-safe; CORAL
-/// is a single-user client (paper §2).
+/// Interns strings into stable SymbolInfo entries (deque-backed, so a
+/// Symbol stays valid forever). Single-threaded by default — CORAL began
+/// as a single-user client (paper §2) — but concurrent sessions flip
+/// set_concurrent(), after which Intern/Find self-lock (rank
+/// kRankSymbolTable; acquired under the TermFactory lock by MakeAtom, so
+/// it ranks above kRankTermFactory).
 class SymbolTable {
  public:
   SymbolTable() = default;
@@ -36,11 +43,25 @@ class SymbolTable {
   /// Returns the Symbol for `name` or nullptr if never interned.
   Symbol Find(std::string_view name) const;
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    MaybeMutexLock lock(&mu_, concurrent_.load(std::memory_order_relaxed));
+    return entries_.size();
+  }
+
+  /// Engages the interning lock. Safe to call at any time (the flag is
+  /// atomic); disengaging is only safe when no other thread interns.
+  void set_concurrent(bool on) {
+    concurrent_.store(on, std::memory_order_relaxed);
+  }
+  bool concurrent() const {
+    return concurrent_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::deque<SymbolInfo> entries_;  // deque: stable addresses
-  std::unordered_map<std::string_view, Symbol> index_;
+  mutable Mutex mu_{kRankSymbolTable};
+  std::atomic<bool> concurrent_{false};
+  std::deque<SymbolInfo> entries_ CORAL_GUARDED_BY(mu_);  // stable addresses
+  std::unordered_map<std::string_view, Symbol> index_ CORAL_GUARDED_BY(mu_);
 };
 
 }  // namespace coral

@@ -51,20 +51,30 @@ class TermFactory {
   TermFactory(const TermFactory&) = delete;
   TermFactory& operator=(const TermFactory&) = delete;
 
-  /// The symbol table, for serial parse/setup phases only: the reference
-  /// bypasses the construction lock, so it must never be used while
-  /// workers are constructing terms (docs/CONCURRENCY.md).
+  /// The symbol table. The reference bypasses the construction lock; that
+  /// is safe because SymbolTable self-locks (rank kRankSymbolTable) while
+  /// concurrent() is set — set_concurrent flips both flags together. In
+  /// single-threaded mode the old contract stands: serial parse/setup
+  /// phases only (docs/CONCURRENCY.md).
   SymbolTable& symbols()
-      CORAL_TS_UNSAFE("serial parse/setup phases only; interning during "
-                      "evaluation goes through MakeAtom/MakeFunctor") {
+      CORAL_TS_UNSAFE("SymbolTable self-locks when concurrent; otherwise "
+                      "serial parse/setup phases only") {
     return symbols_;
   }
 
-  /// Enables (or disables) the internal construction lock. Call only from
-  /// single-threaded code — typically Database::set_num_threads or the
-  /// parallel fixpoint driver around a worker batch.
-  void set_concurrent(bool on) { concurrent_ = on; }
-  bool concurrent() const { return concurrent_; }
+  /// Enables (or disables) the internal construction lock and the symbol
+  /// table's interning lock. Enabling is safe at any time (flags are
+  /// atomic and engage strictly more locking); disabling is only safe
+  /// from single-threaded code — typically Database::set_num_threads.
+  void set_concurrent(bool on)
+      CORAL_TS_UNSAFE("flag flips are atomic; symbols_ self-locks "
+                      "independently of mu_") {
+    concurrent_.store(on, std::memory_order_relaxed);
+    symbols_.set_concurrent(on);
+  }
+  bool concurrent() const {
+    return concurrent_.load(std::memory_order_relaxed);
+  }
 
   // ---- Primitive constants (interned; pointer equality) ----
   const IntArg* MakeInt(int64_t v);
@@ -157,7 +167,7 @@ class TermFactory {
   /// Read before locking to decide whether to lock at all; flipped only
   /// at quiescent points (no workers constructing), which is what makes
   /// the unguarded read sound.
-  bool concurrent_ = false;
+  std::atomic<bool> concurrent_{false};
   Arena arena_ CORAL_GUARDED_BY(mu_);
   SymbolTable symbols_ CORAL_GUARDED_BY(mu_);
   uint64_t next_uid_ CORAL_GUARDED_BY(mu_) = 1;

@@ -1,0 +1,80 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Request-level metrics for the query server: counters and a log2
+// latency histogram, all lock-free (relaxed atomics — metrics tolerate
+// small cross-counter skew). Exposed over the wire as the `stats` op and
+// rendered into the /stats JSON document (docs/SERVER.md).
+
+#ifndef CORAL_OBS_SERVER_METRICS_H_
+#define CORAL_OBS_SERVER_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace coral::obs {
+
+class ServerMetrics {
+ public:
+  void RecordQuery(int64_t latency_ns) {
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    RecordLatency(latency_ns);
+  }
+  void RecordConsult() { consults_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordError() { errors_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordTimeout() { timeouts_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordShed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+  void SessionOpened() {
+    sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+    open_sessions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void SessionClosed() {
+    open_sessions_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  uint64_t queries() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
+  uint64_t consults() const {
+    return consults_.load(std::memory_order_relaxed);
+  }
+  uint64_t errors() const { return errors_.load(std::memory_order_relaxed); }
+  uint64_t timeouts() const {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+  int64_t open_sessions() const {
+    return open_sessions_.load(std::memory_order_relaxed);
+  }
+  uint64_t sessions_opened() const {
+    return sessions_opened_.load(std::memory_order_relaxed);
+  }
+
+  /// Latency quantile estimate in milliseconds from the log2 histogram
+  /// (upper bucket bound, so estimates are conservative). `q` in [0, 1].
+  double LatencyQuantileMs(double q) const;
+
+  /// The /stats payload: a flat JSON object of all counters plus p50/p99.
+  std::string ToJson() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+
+  void RecordLatency(int64_t ns) {
+    if (ns < 1) ns = 1;
+    int bucket = 63 - __builtin_clzll(static_cast<uint64_t>(ns));
+    latency_[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> consults_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> sessions_opened_{0};
+  std::atomic<int64_t> open_sessions_{0};
+  std::atomic<uint64_t> latency_[kBuckets] = {};
+};
+
+}  // namespace coral::obs
+
+#endif  // CORAL_OBS_SERVER_METRICS_H_

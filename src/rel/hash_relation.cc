@@ -7,6 +7,21 @@
 namespace coral {
 
 bool HashRelation::Contains(const Tuple* t) const {
+  if (const RelReadTable* table = ViewTable()) {
+    // Snapshot semantics of the live check: a ground tuple is present by
+    // pointer identity (hash-consing), and any stored non-ground fact
+    // that subsumes `t` counts. Linear, but snapshot reads on base
+    // relations are scan-shaped anyway (no live indexes).
+    const bool ground = t->IsGround();
+    for (uint32_t s = 0; s < table->sub_count(); ++s) {
+      for (const Tuple* stored : table->sub(s)) {
+        if (table->IsDeleted(stored)) continue;
+        if (ground && stored == t) return true;
+        if (!stored->IsGround() && SubsumesTuple(stored, t)) return true;
+      }
+    }
+    return false;
+  }
   if (t->IsGround() && ground_counts_.count(t) > 0) return true;
   // Only a non-ground stored fact can subsume anything beyond itself.
   for (const Tuple* ng : nonground_live_) {
@@ -50,6 +65,10 @@ bool HashRelation::DoDelete(const Tuple* t) {
 
 std::unique_ptr<TupleIterator> HashRelation::Select(
     std::span<const TermRef> pattern, Mark from, Mark to) const {
+  if (ViewTable() != nullptr) {
+    // Select returns a candidate SUPERSET; the frozen-table scan is one.
+    return ScanRange(from, to);
+  }
   for (const auto& idx : indexes_) {
     std::vector<const Tuple*> candidates;
     if (idx->TryLookup(pattern, from, to, &candidates)) {
@@ -105,6 +124,9 @@ void HashRelation::AddCustomIndex(std::unique_ptr<Index> index) {
 bool HashRelation::ProbeArgs(std::span<const uint32_t> cols,
                              std::span<const Arg* const> key, Mark from,
                              Mark to, std::vector<const Tuple*>* out) const {
+  // Live argument indexes are writer-side structures; snapshot readers
+  // decline the probe and the VM scans the (view-served) window instead.
+  if (ViewTable() != nullptr) return false;
   auto pos_of = [&](uint32_t c) {
     for (size_t i = 0; i < cols.size(); ++i) {
       if (cols[i] == c) return i;

@@ -20,6 +20,12 @@ class HashRelation : public MemoryRelation {
   HashRelation(std::string name, uint32_t arity)
       : MemoryRelation(std::move(name), arity) {}
 
+  /// Snapshot readers (an installed ReadView over a shared base relation)
+  /// are served from the frozen epoch table: Select degrades to a table
+  /// scan, Contains to a linear subsumption check, and ProbeArgs declines
+  /// so the VM takes its documented window-scan fallback — the live
+  /// indexes and count maps are writer-side structures and are never
+  /// touched from reader threads.
   bool Contains(const Tuple* t) const override;
 
   std::unique_ptr<TupleIterator> Select(std::span<const TermRef> pattern,

@@ -1,14 +1,21 @@
 // Copyright (c) 1993-style CORAL reproduction authors.
 // Shared machinery of in-memory relations: subsidiary relations (one per
-// mark interval, paper §3.2), tombstone deletion, and range scans.
+// mark interval, paper §3.2), tombstone deletion, and range scans. For
+// relations marked as shared base relations, commits additionally publish
+// immutable epoch snapshots (src/rel/readview.h) that concurrent reader
+// threads scan instead of the live structures.
 
 #ifndef CORAL_REL_MEMORY_RELATION_H_
 #define CORAL_REL_MEMORY_RELATION_H_
 
+#include <atomic>
+#include <deque>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "src/rel/readview.h"
 #include "src/rel/relation.h"
 
 namespace coral {
@@ -17,12 +24,22 @@ namespace coral {
 /// organization that implements marks; storage of tuples is append-only
 /// with tombstones (Tuple objects are owned by the TermFactory and never
 /// freed, so a tombstoned pointer stays valid for open scans).
+///
+/// Thread-safety contract: mutation (Insert/Delete/Snapshot) and live
+/// reads are single-threaded, exactly as before. A relation marked with
+/// MarkSharedBase participates in the server's snapshot protocol: the
+/// commit lock holder calls PublishCommitted, and reader threads that
+/// installed a ReadView are served frozen tables by the read paths
+/// (ScanRange here; Select/Contains/ProbeArgs in HashRelation), never
+/// touching the live deque, tombstone set, or indexes.
 class MemoryRelation : public Relation {
  public:
   MemoryRelation(std::string name, uint32_t arity)
       : Relation(std::move(name), arity), subs_(1) {}
 
-  size_t size() const override { return live_; }
+  size_t size() const override {
+    return live_.load(std::memory_order_relaxed);
+  }
 
   Mark Snapshot() override {
     if (subs_.back().tuples.empty()) {
@@ -38,6 +55,33 @@ class MemoryRelation : public Relation {
   }
 
   std::unique_ptr<TupleIterator> ScanRange(Mark from, Mark to) const override;
+
+  // ---- shared-base snapshot protocol (query server) ----
+  /// Enrolls this relation in snapshot publication. Must happen-before
+  /// any reader thread can reach the relation (the Database marks base
+  /// relations under its base-map mutex before exposing them).
+  void MarkSharedBase() {
+    shared_base_ = true;
+    pub_dirty_ = true;
+  }
+  bool is_shared_base() const { return shared_base_; }
+
+  /// True when live state changed since the last publication. Only
+  /// meaningful to the commit lock holder.
+  bool publish_dirty() const { return pub_dirty_; }
+
+  /// Freezes the current contents as the published epoch table. Caller
+  /// must hold the database commit lock exclusively (no live mutation,
+  /// no concurrent publication). Previously published tables are retained
+  /// until the relation dies, so views taken at older epochs stay valid.
+  void PublishCommitted(uint64_t epoch);
+
+  /// The most recently published table (nullptr before the first
+  /// publication). The Database reads this under the commit lock when
+  /// assembling a ReadView.
+  const RelReadTable* published_table() const {
+    return pub_.load(std::memory_order_acquire);
+  }
 
  protected:
   struct Subsidiary {
@@ -56,7 +100,8 @@ class MemoryRelation : public Relation {
     // becomes visible again, which can only cause a harmless repeat
     // derivation (inserts de-duplicate).
     deleted_.erase(t);
-    ++live_;
+    live_.fetch_add(1, std::memory_order_relaxed);
+    if (shared_base_) pub_dirty_ = true;
     return sub;
   }
 
@@ -64,12 +109,37 @@ class MemoryRelation : public Relation {
 
   void MarkDeleted(const Tuple* t, size_t occurrences) {
     deleted_.insert(t);
-    live_ -= occurrences;
+    live_.fetch_sub(occurrences, std::memory_order_relaxed);
+    if (shared_base_) pub_dirty_ = true;
   }
 
-  std::vector<Subsidiary> subs_;
+  /// The frozen table reader threads must use instead of live state:
+  /// nullptr when this thread reads live (no view installed, or the
+  /// relation is not a shared base). A shared base absent from the view
+  /// was created after the view's epoch and reads as empty.
+  const RelReadTable* ViewTable() const {
+    if (!shared_base_) return nullptr;
+    const ReadView* view = ActiveReadView();
+    if (view == nullptr) return nullptr;
+    const RelReadTable* table = view->TableFor(this);
+    return table != nullptr ? table : EmptyTable();
+  }
+
+  static const RelReadTable* EmptyTable();
+
+  // deque: closed subsidiaries never move, so published tables can point
+  // straight at their tuple vectors.
+  std::deque<Subsidiary> subs_;
   std::unordered_set<const Tuple*> deleted_;
-  size_t live_ = 0;
+  // relaxed atomic: the optimizer's cardinality heuristic reads size()
+  // from compile threads while the writer loads facts.
+  std::atomic<size_t> live_{0};
+
+ private:
+  bool shared_base_ = false;
+  bool pub_dirty_ = false;
+  std::atomic<const RelReadTable*> pub_{nullptr};
+  std::vector<std::unique_ptr<RelReadTable>> retired_;
 
   friend class MemoryScanIterator;
 };
@@ -105,6 +175,37 @@ class MemoryScanIterator : public TupleIterator {
   size_t pos_ = 0;
 };
 
+/// Walks a published RelReadTable over subsidiary range [from, to),
+/// filtering against the table's frozen tombstone set. Touches no live
+/// relation state, so any number of readers can run against any number
+/// of epochs while a writer commits.
+class TableScanIterator : public TupleIterator {
+ public:
+  TableScanIterator(const RelReadTable* table, Mark from, Mark to)
+      : table_(table), sub_(from), to_(to) {}
+
+  const Tuple* Next() override {
+    uint32_t hi = std::min<uint32_t>(to_, table_->sub_count());
+    while (sub_ < hi) {
+      const std::vector<const Tuple*>& tuples = table_->sub(sub_);
+      if (pos_ >= tuples.size()) {
+        ++sub_;
+        pos_ = 0;
+        continue;
+      }
+      const Tuple* t = tuples[pos_++];
+      if (!table_->IsDeleted(t)) return t;
+    }
+    return nullptr;
+  }
+
+ private:
+  const RelReadTable* table_;
+  uint32_t sub_;
+  uint32_t to_;
+  size_t pos_ = 0;
+};
+
 /// Yields a prematerialized candidate list, skipping tombstones that
 /// appear after materialization (e.g. aggregate-selection deletes during
 /// consumption).
@@ -130,6 +231,9 @@ class CandidateIterator : public TupleIterator {
 
 inline std::unique_ptr<TupleIterator> MemoryRelation::ScanRange(
     Mark from, Mark to) const {
+  if (const RelReadTable* table = ViewTable()) {
+    return std::make_unique<TableScanIterator>(table, from, to);
+  }
   return std::make_unique<MemoryScanIterator>(this, from, to);
 }
 

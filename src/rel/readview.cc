@@ -1,0 +1,17 @@
+#include "src/rel/readview.h"
+
+namespace coral {
+
+namespace {
+thread_local const ReadView* g_active_view = nullptr;
+}  // namespace
+
+const ReadView* ActiveReadView() { return g_active_view; }
+
+ScopedReadView::ScopedReadView(const ReadView* view) : prev_(g_active_view) {
+  g_active_view = view;
+}
+
+ScopedReadView::~ScopedReadView() { g_active_view = prev_; }
+
+}  // namespace coral

@@ -1,0 +1,86 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Epoch snapshots of shared base relations for the multi-client query
+// server: a writer commit (Database::Consult / InsertFact / DeleteFacts)
+// publishes, per dirty relation, an immutable RelReadTable — the frozen
+// subsidiary organization (paper §3.2 marks) plus a copy-on-write
+// tombstone set. Reader threads install a ReadView (the set of published
+// tables at one epoch) for the duration of a query; every relation access
+// the evaluation makes on a shared base relation is served from the view,
+// so concurrent commits are invisible until the session refreshes. Tables
+// are retained by their relation until it is destroyed, so a view
+// outlives any number of later commits.
+
+#ifndef CORAL_REL_READVIEW_H_
+#define CORAL_REL_READVIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace coral {
+
+class Relation;
+class Tuple;
+
+/// One relation's frozen state at a publication epoch. `subs` points at
+/// the tuple vectors of the relation's CLOSED subsidiaries (append-only,
+/// immutable once closed); `tail` is a copy of the open subsidiary taken
+/// at publication. Subsidiary k of the snapshot is subs[k] for
+/// k < subs.size() and `tail` for k == subs.size(), preserving mark
+/// arithmetic. Tombstones are snapshotted wholesale because deletion and
+/// re-insertion mutate the live set in place.
+struct RelReadTable {
+  std::vector<const std::vector<const Tuple*>*> subs;
+  std::vector<const Tuple*> tail;
+  std::shared_ptr<const std::unordered_set<const Tuple*>> tombstones;
+  uint64_t epoch = 0;
+
+  /// Number of subsidiaries the snapshot covers (closed ones + the tail).
+  uint32_t sub_count() const {
+    return static_cast<uint32_t>(subs.size()) + 1;
+  }
+  const std::vector<const Tuple*>& sub(uint32_t k) const {
+    return k < subs.size() ? *subs[k] : tail;
+  }
+  bool IsDeleted(const Tuple* t) const {
+    return tombstones != nullptr && tombstones->count(t) > 0;
+  }
+};
+
+/// The set of published tables one query evaluates against. Relations
+/// absent from the map either are not shared base relations (module-
+/// internal relations always read live state) or did not exist at the
+/// view's epoch (they read as empty via the snapshot paths only when
+/// marked shared).
+struct ReadView {
+  uint64_t epoch = 0;
+  std::unordered_map<const Relation*, const RelReadTable*> tables;
+
+  const RelReadTable* TableFor(const Relation* rel) const {
+    auto it = tables.find(rel);
+    return it == tables.end() ? nullptr : it->second;
+  }
+};
+
+/// The view installed on the calling thread, or nullptr (live reads —
+/// the single-user default). Relations consult this in their read paths.
+const ReadView* ActiveReadView();
+
+/// RAII installer for the calling thread's view; restores the previous
+/// one (views nest, e.g. a session query that triggers a module call).
+class ScopedReadView {
+ public:
+  explicit ScopedReadView(const ReadView* view);
+  ~ScopedReadView();
+  ScopedReadView(const ScopedReadView&) = delete;
+  ScopedReadView& operator=(const ScopedReadView&) = delete;
+
+ private:
+  const ReadView* prev_;
+};
+
+}  // namespace coral
+
+#endif  // CORAL_REL_READVIEW_H_

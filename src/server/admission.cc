@@ -1,0 +1,57 @@
+#include "src/server/admission.h"
+
+namespace coral::server {
+
+AdmissionQueue::AdmissionQueue(size_t max_inflight, size_t max_queue)
+    : max_queue_(max_queue) {
+  if (max_inflight == 0) max_inflight = 1;
+  workers_.reserve(max_inflight);
+  for (size_t i = 0; i < max_inflight; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AdmissionQueue::~AdmissionQueue() { Shutdown(); }
+
+Status AdmissionQueue::Submit(std::function<void()> work) {
+  {
+    MutexLock lock(&mu_);
+    if (shutdown_) {
+      return Status::Unavailable("server shutting down");
+    }
+    if (queue_.size() >= max_queue_) {
+      return Status::Unavailable("server overloaded; request shed");
+    }
+    queue_.push_back(std::move(work));
+  }
+  cv_.NotifyOne();
+  return Status::OK();
+}
+
+void AdmissionQueue::Shutdown() {
+  {
+    MutexLock lock(&mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  cv_.NotifyAll();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void AdmissionQueue::WorkerLoop() {
+  while (true) {
+    std::function<void()> work;
+    {
+      MutexLock lock(&mu_);
+      while (queue_.empty() && !shutdown_) cv_.Wait(mu_);
+      if (queue_.empty()) return;  // shutdown and drained
+      work = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    work();
+  }
+}
+
+}  // namespace coral::server

@@ -1,0 +1,56 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Admission control for the query server: a bounded work queue feeding a
+// fixed worker pool. At most `max_inflight` requests execute at once;
+// up to `max_queue` more wait; beyond that, Submit refuses immediately
+// (shed-on-overload, Status kUnavailable) so an overloaded server stays
+// responsive instead of accumulating unbounded latency.
+
+#ifndef CORAL_SERVER_ADMISSION_H_
+#define CORAL_SERVER_ADMISSION_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/sync.h"
+
+namespace coral::server {
+
+class AdmissionQueue {
+ public:
+  /// Starts `max_inflight` worker threads. `max_queue` bounds the number
+  /// of admitted-but-not-yet-running requests.
+  AdmissionQueue(size_t max_inflight, size_t max_queue);
+  ~AdmissionQueue();
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Admits `work` for execution on a worker thread, or refuses with
+  /// kUnavailable when the queue is full (the caller converts this into
+  /// a `shed` response) or the queue is shutting down.
+  Status Submit(std::function<void()> work);
+
+  /// Stops admitting, drains queued work, joins workers. Idempotent.
+  void Shutdown();
+
+  size_t max_inflight() const { return workers_.size(); }
+  size_t max_queue() const { return max_queue_; }
+
+ private:
+  void WorkerLoop();
+
+  const size_t max_queue_;
+  mutable Mutex mu_{kRankAdmission};
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ CORAL_GUARDED_BY(mu_);
+  bool shutdown_ CORAL_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace coral::server
+
+#endif  // CORAL_SERVER_ADMISSION_H_

@@ -1,0 +1,164 @@
+#include "src/server/protocol.h"
+
+#include "src/core/eval_context.h"
+#include "src/server/json.h"
+
+namespace coral::server {
+
+namespace {
+
+std::string ErrorResponse(const Status& status) {
+  return JsonWriter()
+      .Field("ok", false)
+      .Field("code", StatusCodeName(status.code()))
+      .Field("error", status.message())
+      .Build();
+}
+
+}  // namespace
+
+std::string ShedResponse() {
+  return JsonWriter()
+      .Field("ok", false)
+      .Field("code", "Unavailable")
+      .Field("error", "server overloaded; request shed")
+      .Build();
+}
+
+ClientSession::ClientSession(ServerContext* ctx)
+    : ctx_(ctx), session_(ctx->db, ctx->default_deadline_ms) {
+  ctx_->metrics->SessionOpened();
+}
+
+ClientSession::~ClientSession() { ctx_->metrics->SessionClosed(); }
+
+std::string ClientSession::Handle(const std::string& line) {
+  StatusOr<JsonValue> parsed = ParseJson(line);
+  if (!parsed.ok()) {
+    ctx_->metrics->RecordError();
+    return ErrorResponse(parsed.status());
+  }
+  const JsonValue& req = parsed.value();
+  std::string op = req.GetString("op");
+
+  if (op == "query") {
+    std::string q = req.GetString("q");
+    if (q.empty()) {
+      ctx_->metrics->RecordError();
+      return ErrorResponse(Status::InvalidArgument("query op needs \"q\""));
+    }
+    return HandleQuery(q);
+  }
+  if (op == "consult") {
+    std::string program = req.GetString("program");
+    auto result = session_.Consult(program);
+    if (!result.ok()) {
+      ctx_->metrics->RecordError();
+      return ErrorResponse(result.status());
+    }
+    ctx_->metrics->RecordConsult();
+    return JsonWriter()
+        .Field("ok", true)
+        .Field("epoch", session_.db()->snapshot_epoch())
+        .Field("queries_in_text",
+               static_cast<int64_t>(result.value().size()))
+        .Build();
+  }
+  if (op == "load") {
+    auto result = session_.LoadFacts(req.GetString("facts"));
+    if (!result.ok()) {
+      ctx_->metrics->RecordError();
+      return ErrorResponse(result.status());
+    }
+    ctx_->metrics->RecordConsult();
+    return JsonWriter()
+        .Field("ok", true)
+        .Field("inserted", static_cast<int64_t>(result.value()))
+        .Build();
+  }
+  if (op == "bind") {
+    std::string name = req.GetString("name");
+    const JsonValue* value = req.Find("value");
+    if (name.empty() || value == nullptr) {
+      ctx_->metrics->RecordError();
+      return ErrorResponse(
+          Status::InvalidArgument("bind op needs \"name\" and \"value\""));
+    }
+    std::string text = value->is_string()
+                           ? value->string_value
+                           : std::to_string(static_cast<int64_t>(
+                                 value->number));
+    session_.Bind(name, text);
+    return JsonWriter().Field("ok", true).Build();
+  }
+  if (op == "deadline") {
+    session_.set_deadline_ms(req.GetInt("ms", 0));
+    return JsonWriter()
+        .Field("ok", true)
+        .Field("deadline_ms", session_.deadline_ms())
+        .Build();
+  }
+  if (op == "refresh") {
+    session_.Refresh();
+    return JsonWriter().Field("ok", true).Build();
+  }
+  if (op == "stats") return HandleStats();
+  if (op == "ping") {
+    return JsonWriter()
+        .Field("ok", true)
+        .Field("epoch", session_.db()->snapshot_epoch())
+        .Build();
+  }
+  if (op == "close") {
+    closed_ = true;
+    return JsonWriter().Field("ok", true).Field("closed", true).Build();
+  }
+  ctx_->metrics->RecordError();
+  return ErrorResponse(
+      Status::InvalidArgument("unknown op \"" + op + "\""));
+}
+
+std::string ClientSession::HandleQuery(const std::string& q) {
+  int64_t start = EvalClockNowNs();
+  StatusOr<QueryResult> result = session_.EvalQuery(q);
+  int64_t elapsed = EvalClockNowNs() - start;
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kDeadlineExceeded) {
+      ctx_->metrics->RecordTimeout();
+    } else {
+      ctx_->metrics->RecordError();
+    }
+    return ErrorResponse(result.status());
+  }
+  ctx_->metrics->RecordQuery(elapsed);
+
+  // Rows render as an array of {var: term-text} objects.
+  std::string rows = "[";
+  const QueryResult& qr = result.value();
+  for (size_t i = 0; i < qr.rows.size(); ++i) {
+    if (i > 0) rows += ',';
+    JsonWriter row;
+    for (const auto& [name, term] : qr.rows[i].bindings) {
+      row.Field(name, term->ToString());
+    }
+    rows += row.Build();
+  }
+  rows += ']';
+  return JsonWriter()
+      .Field("ok", true)
+      .Field("epoch", session_.epoch())
+      .Field("count", static_cast<int64_t>(qr.rows.size()))
+      .Field("elapsed_ms", static_cast<double>(elapsed) / 1e6)
+      .RawField("rows", rows)
+      .Build();
+}
+
+std::string ClientSession::HandleStats() const {
+  return JsonWriter()
+      .Field("ok", true)
+      .RawField("server", ctx_->metrics->ToJson())
+      .Field("epoch", session_.db()->snapshot_epoch())
+      .Build();
+}
+
+}  // namespace coral::server

@@ -1,0 +1,70 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Wire protocol for the query server (docs/SERVER.md). Each client
+// connection owns one ClientSession wrapping a coral::Session; requests
+// are single-line JSON objects dispatched by "op":
+//
+//   {"op":"query",   "q":"?- path(1, X)."}       -> rows of bindings
+//   {"op":"consult", "program":"module m. ..."}  -> commit program text
+//   {"op":"load",    "facts":"edge(1,2). ..."}   -> bulk fact load
+//   {"op":"bind",    "name":"src", "value":"1"}  -> set $src for queries
+//   {"op":"deadline","ms":250}                   -> per-query budget
+//   {"op":"refresh"}                             -> drop snapshot
+//   {"op":"stats"}                               -> server metrics JSON
+//   {"op":"ping"}                                -> liveness
+//   {"op":"close"}                               -> end the session
+//
+// Responses are one JSON object per request: {"ok":true, ...} or
+// {"ok":false, "code":"DeadlineExceeded", "error":"..."}.
+
+#ifndef CORAL_SERVER_PROTOCOL_H_
+#define CORAL_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/core/session.h"
+#include "src/obs/server_metrics.h"
+
+namespace coral::server {
+
+/// Shared state handed to every connection.
+struct ServerContext {
+  Database* db = nullptr;
+  obs::ServerMetrics* metrics = nullptr;
+  /// Applied to sessions at creation; sessions can lower/raise their own.
+  int64_t default_deadline_ms = 0;
+};
+
+class ClientSession {
+ public:
+  explicit ClientSession(ServerContext* ctx);
+  ~ClientSession();
+
+  ClientSession(const ClientSession&) = delete;
+  ClientSession& operator=(const ClientSession&) = delete;
+
+  /// Handles one request line (a JSON object); returns the response
+  /// JSON (no trailing newline). Never throws; malformed input yields an
+  /// {"ok":false} response.
+  std::string Handle(const std::string& line);
+
+  /// True after {"op":"close"}; the connection should be dropped.
+  bool closed() const { return closed_; }
+
+ private:
+  std::string HandleQuery(const std::string& q);
+  std::string HandleStats() const;
+
+  ServerContext* ctx_;
+  Session session_;
+  bool closed_ = false;
+};
+
+/// Renders a shed/overload refusal (used by the server when admission
+/// fails before a ClientSession ever sees the request).
+std::string ShedResponse();
+
+}  // namespace coral::server
+
+#endif  // CORAL_SERVER_PROTOCOL_H_

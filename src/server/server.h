@@ -1,0 +1,114 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// The CORAL query server (docs/SERVER.md): a poll-based IO thread
+// accepts TCP connections and frames requests; an AdmissionQueue worker
+// pool executes them against a shared Database through per-connection
+// ClientSessions. Two framings share one port, autodetected from the
+// first bytes:
+//
+//   - JSONL (default): one JSON request per line, one JSON response per
+//     line, connection and session persist across requests;
+//   - HTTP/1.1 (one-shot): "GET /stats" or "POST /query" with a JSON
+//     body; the response closes the connection.
+//
+// Ordering: at most one request per connection executes at a time
+// (pipelined requests queue in arrival order), so a session is always
+// thread-confined. Across connections, requests run concurrently up to
+// --max-inflight, with --max-queue more admitted; beyond that requests
+// are shed with an Unavailable response rather than queued unboundedly.
+
+#ifndef CORAL_SERVER_SERVER_H_
+#define CORAL_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "src/core/database.h"
+#include "src/obs/server_metrics.h"
+#include "src/server/admission.h"
+#include "src/server/protocol.h"
+#include "src/util/sync.h"
+
+namespace coral::server {
+
+struct ServerOptions {
+  /// Listen address; loopback by default (no auth on the wire).
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (see Server::port()).
+  int port = 0;
+  /// Worker threads — concurrently executing requests.
+  size_t max_inflight = 4;
+  /// Admitted-but-waiting requests beyond which submissions shed.
+  size_t max_queue = 64;
+  /// Default per-query deadline for new sessions (0 = none).
+  int64_t default_deadline_ms = 0;
+};
+
+class Server {
+ public:
+  /// `db` is shared and not owned; the caller must keep it alive until
+  /// after Stop() returns.
+  Server(Database* db, ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the IO thread and worker pool.
+  Status Start();
+
+  /// Stops accepting, drains in-flight requests, joins all threads, and
+  /// closes every connection. Idempotent; safe from any thread.
+  void Stop();
+
+  /// Blocks until Stop() is called (from another thread or a signal
+  /// handler writing the wakeup pipe).
+  void Wait();
+
+  /// Actual bound port (after Start; useful with port 0).
+  int port() const { return port_; }
+
+  obs::ServerMetrics* metrics() { return &metrics_; }
+
+ private:
+  struct Conn;
+
+  void IoLoop();
+  void HandleReadable(const std::shared_ptr<Conn>& conn);
+  /// Frames complete requests out of conn->inbuf into conn->pending and
+  /// kicks the dispatch chain when idle. IO thread only.
+  void FrameRequests(const std::shared_ptr<Conn>& conn);
+  /// Submits the next pending request (caller must NOT hold conn->mu).
+  void PumpConn(std::shared_ptr<Conn> conn);
+  /// Worker-side: execute one request, write the response, pump again.
+  void Execute(std::shared_ptr<Conn> conn, std::string request, bool http);
+
+  Database* db_;
+  ServerOptions opts_;
+  obs::ServerMetrics metrics_;
+  /// Stable context handed to every ClientSession (outlives them all).
+  ServerContext ctx_;
+  std::unique_ptr<AdmissionQueue> admission_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  int port_ = 0;
+  std::thread io_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  mutable Mutex state_mu_{kRankServerState};
+  CondVar stopped_cv_;
+  bool stopped_ CORAL_GUARDED_BY(state_mu_) = false;
+
+  /// Live connections; IO thread only (workers reach conns through the
+  /// shared_ptr captured at submit time, never through this map).
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
+};
+
+}  // namespace coral::server
+
+#endif  // CORAL_SERVER_SERVER_H_

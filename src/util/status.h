@@ -26,6 +26,8 @@ enum class StatusCode {
   kCorruption,        // on-disk structure damaged
   kUnsupported,       // feature combination not implemented
   kInternal,          // engine bug surfaced as recoverable error
+  kDeadlineExceeded,  // per-query deadline fired during evaluation
+  kUnavailable,       // admission control shed the request; retryable
 };
 
 /// Returns a human-readable name for `code` ("InvalidArgument", ...).
@@ -68,6 +70,12 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -111,10 +111,22 @@ namespace coral {
 /// docs/CONCURRENCY.md documents what each ranked mutex guards.
 enum LockRank : uint32_t {
   kRankUnranked = 0,
+  // Server layers sit BELOW every engine lock: a server lock may be held
+  // while calling into the engine, never the other way around.
+  kRankServerSession = 1,    // server Conn::mu_ (per-connection queue)
+  kRankServerState = 2,      // Server::mu_ (connection map, lifecycle)
+  kRankAdmission = 3,        // AdmissionController::mu_ (work queue)
+  kRankCommitLock = 4,       // Database::commit_mu_ (writer commits /
+                             // snapshot publication; readers share it
+                             // briefly at snapshot acquisition)
+  kRankModuleManager = 6,    // ModuleManager::mu_ (form cache, exports)
+  kRankBaseMap = 8,          // Database::base_mu_ (base-relation map)
   kRankThreadPool = 10,      // ThreadPool::mu_ (batch dispatch state)
   kRankStatsRegistry = 20,   // obs::StatsRegistry::mu_ (profile map)
   kRankModuleProfile = 30,   // obs::ModuleProfile::mu_ (rule/iter logs)
   kRankTermFactory = 40,     // TermFactory::mu_ (arena + hash-cons)
+  kRankSymbolTable = 45,     // SymbolTable::mu_ (interning; acquired
+                             // under the TermFactory lock by MakeAtom)
   kRankFaultInjector = 50,   // FaultInjector::mu_ (failpoint registry)
   kRankStorageMetrics = 60,  // obs::StorageMetrics::mu_ (event ring)
 };

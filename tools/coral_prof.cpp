@@ -1,7 +1,8 @@
 // coral_prof: evaluation profiler for CORAL programs.
 //
 //   coral_prof [--query='tc(X, Y)'] [--trace=FILE.jsonl]
-//              [--threads=N] [--plan] [--no-auto-optimize] file.crl ...
+//              [--threads=N] [--deadline-ms=N] [--max-inflight=N]
+//              [--plan] [--no-auto-optimize] file.crl ...
 //
 // Consults each file with profiling enabled, executes the queries found
 // in the files (plus any --query flags, which run after all files are
@@ -25,11 +26,19 @@
 // bytecode VM off (rule bodies interpret), for comparing profiles; the
 // bytecode listing still prints, since compilation is unconditional.
 //
+// --deadline-ms bounds each --query evaluation (a query over budget
+// fails with DeadlineExceeded — profile the ones that finish).
+// --max-inflight=N runs the --query list through N concurrent sessions
+// (the server's execution model) instead of sequentially; profiles
+// aggregate across sessions.
+//
 // Exits nonzero when a file cannot be loaded or a query fails.
 
+#include <atomic>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <coral/coral.h>
@@ -39,6 +48,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> queries;
   std::string trace_path;
   int threads = 0;
+  long long deadline_ms = 0;
+  int max_inflight = 1;
   bool plan = false;
   bool bytecode = false;
   bool auto_optimize = true;
@@ -51,6 +62,10 @@ int main(int argc, char** argv) {
       trace_path = arg.substr(8);
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      deadline_ms = std::atoll(arg.c_str() + 14);
+    } else if (arg.rfind("--max-inflight=", 0) == 0) {
+      max_inflight = std::atoi(arg.c_str() + 15);
     } else if (arg == "--plan") {
       plan = true;
     } else if (arg == "--bytecode") {
@@ -61,7 +76,8 @@ int main(int argc, char** argv) {
       use_vm = false;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: coral_prof [--query='p(X)'] [--trace=FILE.jsonl]"
-                   " [--threads=N] [--plan] [--bytecode]"
+                   " [--threads=N] [--deadline-ms=N] [--max-inflight=N]"
+                   " [--plan] [--bytecode]"
                    " [--no-auto-optimize] [--no-vm] file.crl ...\n";
       return 0;
     } else {
@@ -70,7 +86,8 @@ int main(int argc, char** argv) {
   }
   if (files.empty()) {
     std::cerr << "usage: coral_prof [--query='p(X)'] [--trace=FILE.jsonl]"
-                 " [--threads=N] [--plan] [--bytecode]"
+                 " [--threads=N] [--deadline-ms=N] [--max-inflight=N]"
+                 " [--plan] [--bytecode]"
                  " [--no-auto-optimize] [--no-vm] file.crl ...\n";
     return 2;
   }
@@ -113,15 +130,46 @@ int main(int argc, char** argv) {
     }
     std::cout << *out;
   }
-  for (const std::string& q : queries) {
-    auto res = db.EvalQuery(q);
-    if (!res.ok()) {
-      std::cerr << "query '" << q << "': " << res.status().ToString()
-                << "\n";
-      failed = 1;
-      continue;
+  if (max_inflight > 1 && queries.size() > 1) {
+    // Server-style execution: N sessions over the shared database, each
+    // with the deadline, draining the query list concurrently.
+    std::vector<std::thread> sessions;
+    coral::Mutex out_mu;
+    std::atomic<size_t> next{0};
+    std::atomic<int> query_failed{0};
+    sessions.reserve(static_cast<size_t>(max_inflight));
+    for (int w = 0; w < max_inflight; ++w) {
+      sessions.emplace_back([&] {
+        coral::Session session(&db, deadline_ms);
+        while (true) {
+          size_t i = next.fetch_add(1);
+          if (i >= queries.size()) return;
+          auto res = session.EvalQuery(queries[i]);
+          coral::MutexLock lock(&out_mu);
+          if (!res.ok()) {
+            std::cerr << "query '" << queries[i]
+                      << "': " << res.status().ToString() << "\n";
+            query_failed.store(1);
+          } else {
+            std::cout << res->ToString();
+          }
+        }
+      });
     }
-    std::cout << res->ToString();
+    for (std::thread& t : sessions) t.join();
+    if (query_failed.load() != 0) failed = 1;
+  } else if (!queries.empty()) {
+    coral::Session session(&db, deadline_ms);
+    for (const std::string& q : queries) {
+      auto res = session.EvalQuery(q);
+      if (!res.ok()) {
+        std::cerr << "query '" << q << "': " << res.status().ToString()
+                  << "\n";
+        failed = 1;
+        continue;
+      }
+      std::cout << res->ToString();
+    }
   }
 
   db.set_trace_sink(nullptr);

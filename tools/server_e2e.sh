@@ -1,0 +1,141 @@
+#!/usr/bin/env sh
+# End-to-end exercise of coral_serve + coral_client (docs/SERVER.md);
+# the CI server-e2e job runs this against a fresh build.
+#
+#   sh tools/server_e2e.sh BUILD_DIR
+#
+# Phases:
+#   1. boot coral_serve on an ephemeral port with a consulted program;
+#   2. 1000 mixed queries at concurrency 8 — all must succeed with the
+#      same (snapshot-consistent) answer count;
+#   3. a deliberately slow cross-product query under a small session
+#      deadline — must time out, not hang;
+#   4. a burst against --max-inflight=1 --max-queue=1 — must shed;
+#   5. clean shutdown (SIGTERM) with nonzero timeout and shed counters.
+#
+# Exits nonzero on the first failed expectation.
+
+set -u
+
+BUILD_DIR=${1:-build}
+SERVE="$BUILD_DIR/tools/coral_serve"
+CLIENT="$BUILD_DIR/tools/coral_client"
+WORK=$(mktemp -d)
+trap 'kill $SERVER_PID 2>/dev/null; rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "server_e2e: FAIL: $1" >&2
+  exit 1
+}
+
+[ -x "$SERVE" ] || fail "$SERVE not built"
+[ -x "$CLIENT" ] || fail "$CLIENT not built"
+
+# A program with recursion (path closure over a chain) plus a fact base
+# wide enough that a 4-way cross product is expensive.
+cat > "$WORK/prog.crl" <<'EOF'
+module paths.
+export path(bf, ff).
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+end_module.
+EOF
+i=1
+while [ $i -le 60 ]; do
+  echo "edge($i, $((i + 1)))." >> "$WORK/prog.crl"
+  echo "wide($i)." >> "$WORK/prog.crl"
+  i=$((i + 1))
+done
+
+# ---- phase 1: boot ---------------------------------------------------------
+
+"$SERVE" --port=0 --max-inflight=8 --max-queue=64 \
+  --consult="$WORK/prog.crl" > "$WORK/serve.out" 2>"$WORK/serve.err" &
+SERVER_PID=$!
+
+PORT=""
+tries=0
+while [ $tries -lt 50 ]; do
+  PORT=$(sed -n 's/^listening on \([0-9]*\)$/\1/p' "$WORK/serve.out")
+  [ -n "$PORT" ] && break
+  kill -0 $SERVER_PID 2>/dev/null || fail "server died at boot: $(cat "$WORK/serve.err")"
+  sleep 0.1
+  tries=$((tries + 1))
+done
+[ -n "$PORT" ] || fail "server never reported its port"
+echo "server_e2e: serving on port $PORT"
+
+# ---- phase 2: concurrent mixed load ---------------------------------------
+
+# path(1, X) over a 60-edge chain has exactly 60 answers; 1000 queries
+# across 8 connections must all see exactly that (snapshot-consistent,
+# no torn reads while other sessions run).
+OUT=$("$CLIENT" --port="$PORT" --query='?- path(1, X).' \
+        --count=1000 --concurrency=8 --expect-rows=60) \
+  || fail "concurrent load failed: $OUT"
+echo "server_e2e: load: $OUT"
+case "$OUT" in
+  *"ok=1000"*) ;;
+  *) fail "expected ok=1000, got: $OUT" ;;
+esac
+
+# ---- phase 3: deadline -----------------------------------------------------
+
+# A cyclic inequality chain over wide/1: unsatisfiable, not statically
+# provable, and every filter needs two bound variables so the join
+# reorderer cannot short-circuit — ~C(60,4) = 487k ascending 4-tuples
+# must be enumerated, which blows a 30 ms budget.
+OUT=$("$CLIENT" --port="$PORT" --deadline-ms=30 \
+        --query='?- wide(A), wide(B), wide(C), wide(D), A < B, B < C, C < D, D < A.') \
+  || fail "deadline run errored: $OUT"
+echo "server_e2e: deadline: $OUT"
+case "$OUT" in
+  *"timeout=1"*) ;;
+  *) fail "expected timeout=1, got: $OUT" ;;
+esac
+
+# ---- phase 4: shed ---------------------------------------------------------
+
+# A second server with one worker and a one-slot queue: a concurrent
+# burst of slow-ish queries must shed at least one request.
+"$SERVE" --port=0 --max-inflight=1 --max-queue=1 \
+  --consult="$WORK/prog.crl" > "$WORK/serve2.out" 2>/dev/null &
+SERVER2_PID=$!
+PORT2=""
+tries=0
+while [ $tries -lt 50 ]; do
+  PORT2=$(sed -n 's/^listening on \([0-9]*\)$/\1/p' "$WORK/serve2.out")
+  [ -n "$PORT2" ] && break
+  sleep 0.1
+  tries=$((tries + 1))
+done
+[ -n "$PORT2" ] || { kill $SERVER2_PID 2>/dev/null; fail "shed server never booted"; }
+
+OUT=$("$CLIENT" --port="$PORT2" \
+        --query='?- wide(A), wide(B), wide(C), A < B, B < C, C < A.' \
+        --count=16 --concurrency=8 --stats) || true
+echo "server_e2e: shed: $OUT"
+case "$OUT" in
+  *'"shed":0'*) kill $SERVER2_PID 2>/dev/null; fail "expected nonzero shed, got: $OUT" ;;
+  *shed*) ;;
+esac
+kill -TERM $SERVER2_PID 2>/dev/null
+wait $SERVER2_PID 2>/dev/null
+
+# ---- phase 5: clean shutdown ----------------------------------------------
+
+# Timeout counter on the main server must be nonzero (phase 3) and the
+# shutdown line must appear after SIGTERM.
+OUT=$("$CLIENT" --port="$PORT" --stats)
+echo "server_e2e: stats: $OUT"
+case "$OUT" in
+  *'"timeouts":0'*) fail "expected nonzero timeouts in: $OUT" ;;
+esac
+
+kill -TERM $SERVER_PID
+wait $SERVER_PID 2>/dev/null
+STATUS=$?
+grep -q "shutdown:" "$WORK/serve.out" || fail "no shutdown line; server did not exit cleanly"
+[ "$STATUS" -eq 0 ] || fail "server exited with status $STATUS"
+
+echo "server_e2e: OK"
