@@ -1,5 +1,6 @@
 #include "src/core/database.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <unordered_set>
@@ -86,7 +87,9 @@ Database::Database()
               if (!fact.ok()) return false;
               Relation* rel = db->GetOrCreateBaseRelation(fact->first);
               if (!rel->ValidateInsert(fact->second).ok()) return false;
-              rel->Insert(fact->second);
+              if (rel->Insert(fact->second)) {
+                db->modules()->InvalidateDependents(fact->first);
+              }
               return true;  // succeeds even if a duplicate (like Prolog)
             }));
       });
@@ -111,6 +114,9 @@ Database::Database()
               }
               size_t removed = 0;
               for (const Tuple* d : doomed) removed += rel->Delete(d);
+              if (removed > 0) {
+                db->modules()->InvalidateDependents(fact->first);
+              }
               return removed > 0;
             }));
       });
@@ -193,9 +199,14 @@ Status Database::RegisterRelation(const PredRef& pred,
   // have no snapshot protocol; concurrent sessions read them live, which
   // is safe only if the implementation is itself thread-safe.
   Relation* raw = relation.get();
-  MutexLock lock(&base_mu_);
-  owned_relations_.push_back(std::move(relation));
-  base_[pred] = raw;
+  {
+    MutexLock lock(&base_mu_);
+    owned_relations_.push_back(std::move(relation));
+    base_[pred] = raw;
+  }
+  // The predicate's contents changed wholesale; any saved instance that
+  // read it (or its previous registration) is stale.
+  modules_->InvalidateDependents(pred);
   return Status::OK();
 }
 
@@ -211,8 +222,11 @@ Status Database::RegisterExternalRelation(const PredRef& pred,
   if (auto* mr = dynamic_cast<MemoryRelation*>(relation)) {
     mr->MarkSharedBase();
   }
-  MutexLock lock(&base_mu_);
-  base_[pred] = relation;
+  {
+    MutexLock lock(&base_mu_);
+    base_[pred] = relation;
+  }
+  modules_->InvalidateDependents(pred);
   return Status::OK();
 }
 
@@ -230,7 +244,12 @@ StatusOr<bool> Database::InsertFactLocked(const Rule& fact) {
   Relation* rel = GetOrCreateBaseRelation(pred);
   const Tuple* t = factory_->MakeTuple(fact.head.args);
   CORAL_RETURN_IF_ERROR(rel->ValidateInsert(t));
-  return rel->Insert(t);
+  bool changed = rel->Insert(t);
+  // A saved module instance that read this predicate must never serve the
+  // pre-insert answers; the point update path (ApplyUpdate) maintains
+  // instead of dropping.
+  if (changed) modules_->InvalidateDependents(pred);
+  return changed;
 }
 
 StatusOr<size_t> Database::DeleteFacts(const Rule& fact) {
@@ -250,7 +269,100 @@ StatusOr<size_t> Database::DeleteFacts(const Rule& fact) {
   }
   size_t removed = 0;
   for (const Tuple* t : doomed) removed += rel->Delete(t);
+  if (removed > 0) modules_->InvalidateDependents(pred);
   return removed;
+}
+
+StatusOr<UpdateResult> Database::ApplyUpdate(const UpdateBatch& batch) {
+  WriterLock commit(&commit_mu_);
+  snapshot_stale_.store(true, std::memory_order_release);
+  maintenance_counters_.updates.fetch_add(1, std::memory_order_relaxed);
+
+  UpdateDelta delta;
+  UpdateResult result;
+
+  // Deletions first: patterns, subsumption-expanded like DeleteFacts,
+  // recording the stored tuples actually removed.
+  for (const Rule& fact : batch.deletes) {
+    if (!fact.is_fact()) {
+      return Status::InvalidArgument("not a fact: " + fact.ToString());
+    }
+    PredRef pred = fact.head.pred_ref();
+    Relation* rel = FindBaseRelation(pred);
+    if (rel == nullptr) continue;
+    const Tuple* pattern = factory_->MakeTuple(fact.head.args);
+    std::vector<const Tuple*> doomed;
+    std::unique_ptr<TupleIterator> it = rel->Scan();
+    while (const Tuple* t = it->Next()) {
+      if (SubsumesTuple(pattern, t)) doomed.push_back(t);
+    }
+    for (const Tuple* t : doomed) {
+      if (rel->Delete(t)) {
+        delta.minus[pred].push_back(t);
+        if (!t->IsGround()) delta.ground_only = false;
+        ++result.base_deleted;
+      }
+    }
+  }
+
+  // Then insertions.
+  for (const Rule& fact : batch.inserts) {
+    if (!fact.is_fact()) {
+      return Status::InvalidArgument("not a fact: " + fact.ToString());
+    }
+    PredRef pred = fact.head.pred_ref();
+    Relation* rel = GetOrCreateBaseRelation(pred);
+    const Tuple* t = factory_->MakeTuple(fact.head.args);
+    CORAL_RETURN_IF_ERROR(rel->ValidateInsert(t));
+    if (rel->Insert(t)) {
+      delta.plus[pred].push_back(t);
+      if (!t->IsGround()) delta.ground_only = false;
+      ++result.base_inserted;
+    }
+  }
+
+  // Net out tuples deleted and re-inserted by the same batch: the
+  // relation is unchanged for them, so maintenance must see neither side.
+  for (auto pit = delta.plus.begin(); pit != delta.plus.end();) {
+    auto mit = delta.minus.find(pit->first);
+    if (mit != delta.minus.end()) {
+      std::unordered_set<const Tuple*> minus_set(mit->second.begin(),
+                                                 mit->second.end());
+      std::unordered_set<const Tuple*> both;
+      for (const Tuple* t : pit->second) {
+        if (minus_set.count(t) > 0) both.insert(t);
+      }
+      if (!both.empty()) {
+        auto strip = [&both](std::vector<const Tuple*>* v) {
+          v->erase(std::remove_if(v->begin(), v->end(),
+                                  [&both](const Tuple* t) {
+                                    return both.count(t) > 0;
+                                  }),
+                   v->end());
+        };
+        strip(&pit->second);
+        strip(&mit->second);
+      }
+      if (mit->second.empty()) delta.minus.erase(mit);
+    }
+    pit = pit->second.empty() ? delta.plus.erase(pit) : std::next(pit);
+  }
+
+  if (!delta.empty()) {
+    modules_->PropagateUpdate(delta, &result);
+  }
+
+  maintenance_counters_.maintained.fetch_add(result.maintained,
+                                             std::memory_order_relaxed);
+  maintenance_counters_.invalidated.fetch_add(result.invalidated,
+                                              std::memory_order_relaxed);
+  maintenance_counters_.derived_inserted.fetch_add(
+      result.derived_inserted, std::memory_order_relaxed);
+  maintenance_counters_.derived_deleted.fetch_add(
+      result.derived_deleted, std::memory_order_relaxed);
+  maintenance_counters_.rederived.fetch_add(result.rederived,
+                                            std::memory_order_relaxed);
+  return result;
 }
 
 Status Database::ApplyIndexDecl(const IndexDecl& decl) {
@@ -429,7 +541,31 @@ StatusOr<std::string> Database::Explain(const std::string& fact_text) {
 }
 
 std::string Database::ProfileReport() const {
-  return obs::RenderReport(stats_);
+  std::string out = obs::RenderReport(stats_);
+  const obs::MaintenanceCounters& mc = maintenance_counters_;
+  uint64_t updates = mc.updates.load(std::memory_order_relaxed);
+  if (updates > 0) {
+    out += "--- incremental updates ---\n";
+    out += "update batches:    " + std::to_string(updates) + "\n";
+    out += "maintained:        " +
+           std::to_string(mc.maintained.load(std::memory_order_relaxed)) +
+           "\n";
+    out += "invalidated:       " +
+           std::to_string(mc.invalidated.load(std::memory_order_relaxed)) +
+           "\n";
+    out += "derived inserted:  " +
+           std::to_string(
+               mc.derived_inserted.load(std::memory_order_relaxed)) +
+           "\n";
+    out += "derived deleted:   " +
+           std::to_string(
+               mc.derived_deleted.load(std::memory_order_relaxed)) +
+           "\n";
+    out += "rederived:         " +
+           std::to_string(mc.rederived.load(std::memory_order_relaxed)) +
+           "\n";
+  }
+  return out;
 }
 
 StatusOr<std::string> Database::PlanListing(const std::string& module_name,

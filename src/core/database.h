@@ -17,6 +17,7 @@
 #include "src/analysis/diagnostics.h"
 #include "src/core/builtins.h"
 #include "src/core/module_manager.h"
+#include "src/core/update.h"
 #include "src/data/term_factory.h"
 #include "src/lang/ast.h"
 #include "src/obs/stats.h"
@@ -87,6 +88,28 @@ class Database {
   /// Deletes all stored facts subsumed by the given fact pattern;
   /// returns how many were removed.
   StatusOr<size_t> DeleteFacts(const Rule& fact);
+
+  /// Commits one batch of base-fact mutations atomically — deletions
+  /// first (patterns, subsumption-expanded like DeleteFacts), then
+  /// insertions — and brings every affected saved module instance up to
+  /// date: incrementally (counting / DRed, docs/MAINTENANCE.md) where the
+  /// module's shape is covered, by invalidation otherwise. Either way, no
+  /// later query can observe a stale answer. Returns what was done.
+  StatusOr<UpdateResult> ApplyUpdate(const UpdateBatch& batch);
+
+  /// Counters for the update path (updates committed, instances
+  /// maintained vs. invalidated, derived-tuple churn).
+  const obs::MaintenanceCounters& maintenance_counters() const {
+    return maintenance_counters_;
+  }
+
+  /// When off, ApplyUpdate never maintains incrementally: every affected
+  /// saved instance is invalidated and recomputed by its next query.
+  /// Answers are identical either way — this is the from-scratch baseline
+  /// for bench_update and a workaround switch should a maintenance bug
+  /// ever need ruling out in the field.
+  void set_maintenance(bool on) { maintenance_enabled_ = on; }
+  bool maintenance_enabled() const { return maintenance_enabled_; }
 
   // ---- program loading ----
   /// Parses and applies `text`: facts, indices, aggregate selections and
@@ -271,11 +294,13 @@ class Database {
   bool strict_ = false;
   bool auto_optimize_ = true;
   bool use_vm_ = true;
+  bool maintenance_enabled_ = true;
   obs::VmCounters vm_counters_;
   int num_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;
   bool profiling_ = false;
   obs::StatsRegistry stats_;
+  obs::MaintenanceCounters maintenance_counters_;
   obs::TraceSink* trace_sink_ = nullptr;
 };
 

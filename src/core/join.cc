@@ -136,6 +136,62 @@ bool NegatedIteratorGoalSource::Next(Trail* trail) {
   return true;
 }
 
+bool TupleListGoalSource::Next(Trail* trail) {
+  trail->UndoTo(base_);
+  while (pos_ < tuples_->size()) {
+    const Tuple* t = (*tuples_)[pos_++];
+    tuple_env_.EnsureSize(t->var_count());
+    if (UnifyTupleWithLiteral(t, &tuple_env_, *lit_, env_, trail)) {
+      return true;
+    }
+    trail->UndoTo(base_);
+  }
+  return false;
+}
+
+void FilteredRelationGoalSource::DoReset() {
+  std::vector<TermRef> refs = LiteralRefs(*lit_, env_);
+  it_ = rel_->Select(refs, 0, kMaxMark);
+}
+
+bool FilteredRelationGoalSource::Next(Trail* trail) {
+  trail->UndoTo(base_);
+  if (it_ == nullptr) return false;
+  while (const Tuple* t = it_->Next()) {
+    if (exclude_ != nullptr && exclude_->count(t) > 0) continue;
+    tuple_env_.EnsureSize(t->var_count());
+    if (UnifyTupleWithLiteral(t, &tuple_env_, *lit_, env_, trail)) {
+      return true;
+    }
+    trail->UndoTo(base_);
+  }
+  return false;
+}
+
+void UnionGoalSource::DoReset() {
+  idx_ = 0;
+  if (!parts_.empty()) parts_[0]->Reset(trail_);
+}
+
+bool UnionGoalSource::Next(Trail* trail) {
+  while (idx_ < parts_.size()) {
+    GoalSource& part = *parts_[idx_];
+    if (part.Next(trail)) return true;
+    if (!part.status().ok() && status_.ok()) status_ = part.status();
+    ++idx_;
+    if (idx_ < parts_.size()) parts_[idx_]->Reset(trail);
+  }
+  return false;
+}
+
+const Status& UnionGoalSource::status() const {
+  if (!status_.ok()) return status_;
+  for (const auto& p : parts_) {
+    if (!p->status().ok()) return p->status();
+  }
+  return GoalSource::status();
+}
+
 RuleCursor::RuleCursor(std::vector<std::unique_ptr<GoalSource>> sources,
                        std::vector<int> backtrack, bool intelligent_bt,
                        Trail* trail)

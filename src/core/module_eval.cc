@@ -419,10 +419,16 @@ Status MaterializedInstance::Seed(std::span<const TermRef> query_args) {
   }
   Relation* magic = internal(prog_->seed_pred);
   CORAL_CHECK(magic != nullptr);
-  if (magic->Insert(seed) && complete_) {
-    // Save-module resumption: new subgoal, continue incrementally.
-    complete_ = false;
-    cur_scc_ = 0;
+  if (magic->Insert(seed)) {
+    // Engine-fed tuple: pinned against maintenance deletion, and the
+    // resumed evaluation will derive tuples the support counts missed.
+    engine_seeds_[prog_->seed_pred].insert(seed);
+    counts_valid_ = false;
+    if (complete_) {
+      // Save-module resumption: new subgoal, continue incrementally.
+      complete_ = false;
+      cur_scc_ = 0;
+    }
   }
   return Status::OK();
 }

@@ -10,10 +10,12 @@
 
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/aggregate.h"
 #include "src/core/join.h"
+#include "src/core/update.h"
 #include "src/obs/stats.h"
 #include "src/obs/trace.h"
 #include "src/rel/hash_relation.h"
@@ -109,8 +111,27 @@ class MaterializedInstance {
   /// the VM (test hook).
   bool vm_active() const { return vm_active_; }
 
+  // --- incremental view maintenance (maintenance.cc) ---
+  /// True when this completed activation's shape is covered by the
+  /// maintenance algorithms: materialized Basic Semi-Naive save module,
+  /// no Ordered Search / @explain, no negation, no aggregation (rule
+  /// heads or selections), no multiset relations, no inter-module body
+  /// literals, no side-effecting builtins, and every stored body
+  /// predicate an in-memory relation. Uncovered shapes fall back to
+  /// invalidation (the caller drops the instance).
+  bool CanMaintain() const;
+
+  /// Absorbs one committed base-relation delta into this completed
+  /// instance: support-count propagation (the counting algorithm) for
+  /// non-recursive SCCs and delete-rederive (DRed) plus a resumed
+  /// semi-naive fixpoint for recursive ones (docs/MAINTENANCE.md). The
+  /// caller checked CanMaintain and serializes writers. On error the
+  /// instance is half-updated and MUST be discarded.
+  Status Maintain(const UpdateDelta& delta, UpdateResult* result);
+
  private:
   friend class OrderedSearchEval;
+  friend class MaintenancePass;
 
   // --- observability (fixpoint.cc hooks) ---
   /// The display (pre-rewriting) name of an internal predicate.
@@ -212,6 +233,28 @@ class MaterializedInstance {
   std::vector<std::vector<std::unique_ptr<BindEnv>>> version_envs_;
   std::vector<std::vector<std::unique_ptr<BindEnv>>> once_envs_;
   std::unordered_map<uint32_t, AggHeadSpec> agg_specs_;
+
+  // Incremental-maintenance state (maintenance.cc). Support counts map
+  // each derived tuple of a non-recursive ("counting") SCC to its number
+  // of rule derivations in the completed fixpoint. Built lazily at the
+  // first maintenance pass against the reconstructed pre-update state;
+  // dropped whenever a new magic seed resumes evaluation (the resumed
+  // run derives tuples the counts would miss).
+  bool counts_valid_ = false;
+  std::unordered_map<PredRef, std::unordered_map<const Tuple*, int64_t>,
+                     PredRefHash>
+      support_counts_;
+  // Tuples the engine inserted directly (magic seeds): pinned — never
+  // deleted by maintenance, whatever their support count.
+  std::unordered_map<PredRef, std::unordered_set<const Tuple*>, PredRefHash>
+      engine_seeds_;
+  // Forces EffectiveThreads() == 1 while a maintenance pass (including
+  // its resumed fixpoint) runs: delta bookkeeping is single-threaded.
+  bool maintenance_mode_ = false;
+  // Argument indexes for the maintenance joins' probe patterns (which
+  // the evaluation-time planned indexes need not cover) are created once
+  // per instance, at the first pass.
+  bool maintenance_indexes_built_ = false;
 
   EvalStats stats_;
   std::vector<Derivation> derivations_;  // @explain only

@@ -237,6 +237,26 @@ StatusOr<ModuleManager::CompiledForm*> ModuleManager::CompileFormLocked(
   }
   CompiledForm cf;
   cf.prog = std::make_unique<RewrittenProgram>(std::move(prog));
+  // Dependency set for update routing: body predicates of the rewritten
+  // rules that are neither module-internal (some rule's head) nor
+  // builtins are base relations this form reads; module calls make the
+  // form's answers depend on state we do not track.
+  {
+    std::unordered_set<PredRef, PredRefHash> heads;
+    for (const Rule& r : cf.prog->rules) heads.insert(r.head.pred_ref());
+    for (const Rule& r : cf.prog->rules) {
+      for (const Literal& lit : r.body) {
+        PredRef p = lit.pred_ref();
+        if (heads.count(p) > 0) continue;
+        if (ropts.is_builtin(p.sym->name, p.arity)) continue;
+        if (ExportsUnlocked(p) || HasLocalOwnerUnlocked(p)) {
+          cf.external_module_deps = true;
+          continue;
+        }
+        cf.base_deps.insert(p);
+      }
+    }
+  }
   // Lower the rule versions to join bytecode (docs/VM.md). Compiled
   // unconditionally so a later set_use_vm(true) finds the cached form
   // ready; whether it actually runs is decided at activation time.
@@ -258,6 +278,89 @@ StatusOr<ModuleManager::CompiledForm*> ModuleManager::CompileFormLocked(
   auto [nit, inserted] = entry->forms.emplace(key, std::move(cf));
   CORAL_CHECK(inserted);
   return &nit->second;
+}
+
+void ModuleManager::InvalidateDependents(const PredRef& pred) {
+  MutexLock lock(&mu_);
+  for (auto& entry : modules_) {
+    for (auto& [key, cf] : entry->forms) {
+      if (cf.saved == nullptr) continue;
+      if (cf.external_module_deps || cf.base_deps.count(pred) > 0) {
+        cf.saved.reset();
+      }
+    }
+  }
+}
+
+void ModuleManager::PropagateUpdate(const UpdateDelta& delta,
+                                    UpdateResult* result) {
+  // Phase 1, under mu_: collect the affected saved instances. The
+  // CompiledForm pointers stay valid outside the lock (node-stable map,
+  // entries never destroyed); the shared_ptr keeps each instance alive.
+  struct Affected {
+    CompiledForm* cf;
+    std::shared_ptr<MaterializedInstance> inst;
+  };
+  std::vector<Affected> affected;
+  {
+    MutexLock lock(&mu_);
+    for (auto& entry : modules_) {
+      for (auto& [key, cf] : entry->forms) {
+        if (cf.saved == nullptr) continue;
+        bool touched = cf.external_module_deps;
+        if (!touched) {
+          for (const auto& [p, vec] : delta.plus) {
+            if (cf.base_deps.count(p) > 0) {
+              touched = true;
+              break;
+            }
+          }
+        }
+        if (!touched) {
+          for (const auto& [p, vec] : delta.minus) {
+            if (cf.base_deps.count(p) > 0) {
+              touched = true;
+              break;
+            }
+          }
+        }
+        if (touched) affected.push_back({&cf, cf.saved});
+      }
+    }
+  }
+
+  // Phase 2, outside mu_ (the caller's commit lock serializes writers):
+  // maintain covered shapes, mark the rest for invalidation. A failed
+  // maintenance pass leaves the instance half-updated, so it is dropped
+  // like an unmaintainable one.
+  std::vector<CompiledForm*> drop;
+  for (Affected& a : affected) {
+    bool maintained = false;
+    if (db_->maintenance_enabled() && delta.ground_only &&
+        !a.cf->external_module_deps && a.inst->CanMaintain()) {
+      maintained = a.inst->Maintain(delta, result).ok();
+    }
+    if (maintained) {
+      ++result->maintained;
+    } else {
+      ++result->invalidated;
+      drop.push_back(a.cf);
+    }
+  }
+
+  // Phase 3, under mu_: drop the failures. Only reset if the saved
+  // pointer is still the instance we worked on (a concurrent reader
+  // cannot have replaced it — writers are serialized — but be exact).
+  if (!drop.empty()) {
+    MutexLock lock(&mu_);
+    for (size_t i = 0; i < affected.size(); ++i) {
+      CompiledForm* cf = affected[i].cf;
+      if (std::find(drop.begin(), drop.end(), cf) != drop.end() &&
+          cf->saved == affected[i].inst) {
+        cf->saved.reset();
+      }
+    }
+  }
 }
 
 StatusOr<std::unique_ptr<TupleIterator>> ModuleManager::OpenQuery(

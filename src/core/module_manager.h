@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/analysis/diagnostics.h"
@@ -90,6 +91,24 @@ class ModuleManager {
     return names_;
   }
 
+  /// Drops the saved instance of every compiled form that (transitively
+  /// within the module) reads base predicate `pred` — or that calls into
+  /// another module, where dependencies are not tracked. Called by the
+  /// database on any base-fact mutation that bypasses ApplyUpdate
+  /// (InsertFact, DeleteFacts, Consult, assert/retract, relation
+  /// registration): stale answers are never served; the next query
+  /// recomputes.
+  void InvalidateDependents(const PredRef& pred);
+
+  /// Applies one committed base-relation delta to every affected saved
+  /// instance: incrementally (CanMaintain + Maintain) where the shape is
+  /// covered, by dropping the instance otherwise. Counts land in
+  /// `result`. The caller holds the database commit lock, serializing
+  /// writers; mu_ is only taken to collect and to record outcomes, never
+  /// across a maintenance pass (Maintain resolves exports/base relations,
+  /// which take locks ranking around mu_).
+  void PropagateUpdate(const UpdateDelta& delta, UpdateResult* result);
+
  private:
   struct CompiledForm {
     std::unique_ptr<RewrittenProgram> prog;
@@ -97,6 +116,14 @@ class ModuleManager {
     /// interpreted); compiled alongside the form, bound per activation.
     std::unique_ptr<vm::ModuleProgram> vm;
     std::shared_ptr<MaterializedInstance> saved;  // save-module only
+    /// Base predicates the form's rewritten rules read (body predicates
+    /// that are neither rule heads nor builtins); computed at compile
+    /// time for update routing.
+    std::unordered_set<PredRef, PredRefHash> base_deps;
+    /// True when some body literal calls another module: its answers can
+    /// change for reasons dependency tracking does not see, so any update
+    /// invalidates the saved instance.
+    bool external_module_deps = false;
   };
   struct ModuleEntry {
     ModuleDecl decl;

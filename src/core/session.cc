@@ -85,4 +85,44 @@ StatusOr<size_t> Session::LoadFacts(std::string_view text) {
   return inserted;
 }
 
+StatusOr<UpdateResult> Session::ApplyUpdate(std::string_view text) {
+  UpdateBatch batch;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? std::string_view::npos
+                                          : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    // Trim.
+    size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string_view::npos) continue;
+    size_t e = line.find_last_not_of(" \t\r");
+    line = line.substr(b, e - b + 1);
+    if (line.empty() || line[0] == '%') continue;
+    char op = line[0];
+    if (op != '+' && op != '-') {
+      return Status::InvalidArgument(
+          "update line must start with '+' or '-': " + std::string(line));
+    }
+    std::string_view fact_text = line.substr(1);
+    Parser parser(fact_text, db_->factory());
+    CORAL_ASSIGN_OR_RETURN(Program prog, parser.ParseProgram());
+    if (prog.top_facts.size() != 1 || !prog.queries.empty() ||
+        !prog.modules.empty() || !prog.top_indexes.empty() ||
+        !prog.top_agg_selections.empty()) {
+      return Status::InvalidArgument("update line must be one fact: " +
+                                     std::string(line));
+    }
+    if (op == '+') {
+      batch.inserts.push_back(std::move(prog.top_facts[0]));
+    } else {
+      batch.deletes.push_back(std::move(prog.top_facts[0]));
+    }
+  }
+  CORAL_ASSIGN_OR_RETURN(UpdateResult result, db_->ApplyUpdate(batch));
+  Refresh();
+  return result;
+}
+
 }  // namespace coral

@@ -62,6 +62,15 @@ class Session {
   /// fact-only text but reports the number of new facts inserted.
   StatusOr<size_t> LoadFacts(std::string_view text);
 
+  /// Writer entry point for incremental updates (docs/MAINTENANCE.md):
+  /// `text` is a sequence of lines, each `+fact.` (insert) or `-fact.`
+  /// (delete; the fact may contain variables and deletes every stored
+  /// fact it subsumes). Blank lines and `%` comments are skipped. The
+  /// batch commits atomically; affected saved module instances are
+  /// maintained in place where possible and invalidated otherwise, and
+  /// the session snapshot is refreshed.
+  StatusOr<UpdateResult> ApplyUpdate(std::string_view text);
+
   /// Drops the cached snapshot; the next query sees all commits made so
   /// far by any session.
   void Refresh() { view_.reset(); }

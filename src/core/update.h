@@ -1,0 +1,61 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Incremental update types (docs/MAINTENANCE.md): one ApplyUpdate commit
+// is described to the view-maintenance machinery as per-predicate lists
+// of base tuples actually inserted and deleted. The lists are exact (net
+// of in-batch cancellation and duplicate/subsumption checks), which is
+// what lets the counting algorithm treat them as derivation deltas.
+
+#ifndef CORAL_CORE_UPDATE_H_
+#define CORAL_CORE_UPDATE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/lang/ast.h"
+
+namespace coral {
+
+class Tuple;
+
+/// One batch of base-fact mutations, applied atomically under the commit
+/// lock: deletions first (patterns, subsumption-expanded like
+/// DeleteFacts), then insertions.
+struct UpdateBatch {
+  std::vector<Rule> inserts;  // facts (rules with empty bodies)
+  std::vector<Rule> deletes;  // fact patterns; may contain variables
+};
+
+/// The net base-relation delta of one committed batch. A tuple appears in
+/// `plus[p]` only if Insert actually changed relation p, and in
+/// `minus[p]` only if it was stored and removed; a tuple both deleted and
+/// re-inserted by the same batch appears in neither.
+struct UpdateDelta {
+  std::unordered_map<PredRef, std::vector<const Tuple*>, PredRefHash> plus;
+  std::unordered_map<PredRef, std::vector<const Tuple*>, PredRefHash> minus;
+  /// False when any delta tuple is non-ground; maintenance then falls
+  /// back to invalidation (counting keys tuples by interned pointer,
+  /// which only ground tuples guarantee).
+  bool ground_only = true;
+
+  bool empty() const { return plus.empty() && minus.empty(); }
+};
+
+/// What happened to one committed update batch.
+struct UpdateResult {
+  size_t base_inserted = 0;  // base tuples actually added
+  size_t base_deleted = 0;   // base tuples actually removed
+  /// Saved module instances brought up to date incrementally.
+  size_t maintained = 0;
+  /// Saved module instances dropped (recomputed on next query).
+  size_t invalidated = 0;
+  // Derived-relation work done by maintenance passes.
+  uint64_t derived_inserted = 0;
+  uint64_t derived_deleted = 0;
+  uint64_t rederived = 0;  // DRed candidates that survived rederivation
+};
+
+}  // namespace coral
+
+#endif  // CORAL_CORE_UPDATE_H_

@@ -153,6 +153,19 @@ class ModuleProfile {
   std::atomic<uint64_t> activations_{0};
 };
 
+/// Database-wide counters for the incremental update path
+/// (Database::ApplyUpdate, docs/MAINTENANCE.md). Relaxed atomics: updates
+/// serialize on the commit lock, so sums are exact; atomics only make
+/// concurrent readers (ProfileReport) race-free.
+struct MaintenanceCounters {
+  std::atomic<uint64_t> updates{0};      // ApplyUpdate batches committed
+  std::atomic<uint64_t> maintained{0};   // saved instances updated in place
+  std::atomic<uint64_t> invalidated{0};  // saved instances dropped
+  std::atomic<uint64_t> derived_inserted{0};
+  std::atomic<uint64_t> derived_deleted{0};
+  std::atomic<uint64_t> rederived{0};  // DRed candidates that survived
+};
+
 /// Registry of per-module profiles, owned by the Database. GetOrCreate is
 /// called from single-threaded compilation/Init paths; profile pointers
 /// stay valid until Clear() or registry destruction.

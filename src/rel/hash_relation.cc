@@ -15,7 +15,7 @@ bool HashRelation::Contains(const Tuple* t) const {
     const bool ground = t->IsGround();
     for (uint32_t s = 0; s < table->sub_count(); ++s) {
       for (const Tuple* stored : table->sub(s)) {
-        if (table->IsDeleted(stored)) continue;
+        if (table->IsDeleted(stored, s)) continue;
         if (ground && stored == t) return true;
         if (!stored->IsGround() && SubsumesTuple(stored, t)) return true;
       }
@@ -70,7 +70,7 @@ std::unique_ptr<TupleIterator> HashRelation::Select(
     return ScanRange(from, to);
   }
   for (const auto& idx : indexes_) {
-    std::vector<const Tuple*> candidates;
+    std::vector<Posting> candidates;
     if (idx->TryLookup(pattern, from, to, &candidates)) {
       return std::make_unique<CandidateIterator>(std::move(candidates),
                                                  &deleted_);
@@ -82,7 +82,7 @@ std::unique_ptr<TupleIterator> HashRelation::Select(
 void HashRelation::Backfill(Index* index) {
   for (uint32_t s = 0; s < subs_.size(); ++s) {
     for (const Tuple* t : subs_[s].tuples) {
-      if (!IsDeleted(t)) index->Add(t, s);
+      if (!IsDeletedAt(t, s)) index->Add(t, s);
     }
   }
 }
@@ -149,22 +149,20 @@ bool HashRelation::ProbeArgs(std::span<const uint32_t> cols,
     }
   }
   if (best == nullptr) return false;
-  size_t base = out->size();
+  std::vector<Posting> postings;
   if (best->cols().size() == cols.size() &&
       std::equal(best->cols().begin(), best->cols().end(), cols.begin())) {
-    best->LookupGround(key, from, to, out);
+    best->LookupGround(key, from, to, &postings);
   } else {
     // Partial-cover probe: reorder the key to the index's column order.
     std::vector<const Arg*> idx_key;
     idx_key.reserve(best->cols().size());
     for (uint32_t c : best->cols()) idx_key.push_back(key[pos_of(c)]);
-    best->LookupGround(idx_key, from, to, out);
+    best->LookupGround(idx_key, from, to, &postings);
   }
-  if (!deleted_.empty()) {
-    out->erase(std::remove_if(
-                   out->begin() + static_cast<ptrdiff_t>(base), out->end(),
-                   [this](const Tuple* t) { return IsDeleted(t); }),
-               out->end());
+  out->reserve(out->size() + postings.size());
+  for (const Posting& p : postings) {
+    if (!IsDeletedAt(p.tuple, p.sub)) out->push_back(p.tuple);
   }
   return true;
 }

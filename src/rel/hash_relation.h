@@ -15,6 +15,30 @@
 
 namespace coral {
 
+/// Yields a prematerialized candidate posting list, filtering each
+/// occurrence against the relation's tombstone boundaries at yield time
+/// (so deletions that happen after materialization — e.g. aggregate-
+/// selection deletes during consumption — are not served).
+class CandidateIterator : public TupleIterator {
+ public:
+  CandidateIterator(std::vector<Posting> candidates,
+                    const TombstoneMap* deleted)
+      : candidates_(std::move(candidates)), deleted_(deleted) {}
+
+  const Tuple* Next() override {
+    while (pos_ < candidates_.size()) {
+      const Posting& p = candidates_[pos_++];
+      if (!TombstonedAt(*deleted_, p.tuple, p.sub)) return p.tuple;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<Posting> candidates_;
+  const TombstoneMap* deleted_;
+  size_t pos_ = 0;
+};
+
 class HashRelation : public MemoryRelation {
  public:
   HashRelation(std::string name, uint32_t arity)

@@ -13,20 +13,20 @@ namespace {
 constexpr uint64_t kKeySeed = 0x1dec5ull;
 
 void AppendPostings(const std::vector<Posting>& postings, uint32_t from,
-                    uint32_t to, std::vector<const Tuple*>* out) {
+                    uint32_t to, std::vector<Posting>* out) {
   // Postings are in non-decreasing `sub` order: binary search the range.
   auto lo = std::lower_bound(
       postings.begin(), postings.end(), from,
       [](const Posting& p, uint32_t s) { return p.sub < s; });
   for (auto it = lo; it != postings.end() && it->sub < to; ++it) {
-    out->push_back(it->tuple);
+    out->push_back(*it);
   }
 }
 
 }  // namespace
 
 void IndexBuckets::AppendRange(uint64_t key, uint32_t from, uint32_t to,
-                               std::vector<const Tuple*>* out) const {
+                               std::vector<Posting>* out) const {
   auto it = by_key.find(key);
   if (it != by_key.end()) AppendPostings(it->second, from, to, out);
   AppendPostings(var_bucket, from, to, out);
@@ -52,7 +52,7 @@ void ArgumentIndex::Add(const Tuple* t, uint32_t sub) {
 }
 
 bool ArgumentIndex::TryLookup(std::span<const TermRef> pattern, uint32_t from,
-                              uint32_t to, std::vector<const Tuple*>* out) {
+                              uint32_t to, std::vector<Posting>* out) {
   uint64_t key = kKeySeed;
   for (uint32_t c : cols_) {
     if (c >= pattern.size()) return false;
@@ -68,7 +68,7 @@ bool ArgumentIndex::TryLookup(std::span<const TermRef> pattern, uint32_t from,
 
 void ArgumentIndex::LookupGround(std::span<const Arg* const> key,
                                  uint32_t from, uint32_t to,
-                                 std::vector<const Tuple*>* out) const {
+                                 std::vector<Posting>* out) const {
   CORAL_DCHECK(key.size() == cols_.size());
   uint64_t k = kKeySeed;
   for (const Arg* a : key) {
@@ -108,7 +108,7 @@ void PatternIndex::Add(const Tuple* t, uint32_t sub) {
 }
 
 bool PatternIndex::TryLookup(std::span<const TermRef> pattern, uint32_t from,
-                             uint32_t to, std::vector<const Tuple*>* out) {
+                             uint32_t to, std::vector<Posting>* out) {
   if (pattern.size() != pattern_.size()) return false;
   BindEnv pat_env(var_count_);
   // Query variables must not acquire bindings here: unify into a scratch

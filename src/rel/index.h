@@ -30,10 +30,17 @@
 
 namespace coral {
 
+/// One indexed tuple occurrence.
+struct Posting {
+  uint32_t sub;
+  const Tuple* tuple;
+};
+
 /// Base of the two index forms. `sub` is the subsidiary relation number a
 /// tuple was inserted into; lookups are restricted to a subsidiary range
-/// so deltas stay indexed. Deleted tuples are filtered by the relation,
-/// not the index.
+/// so deltas stay indexed. Deleted occurrences are filtered by the
+/// relation against each posting's subsidiary (tombstone boundaries,
+/// src/rel/tombstones.h), not by the index.
 class Index {
  public:
   virtual ~Index() = default;
@@ -43,19 +50,14 @@ class Index {
   virtual void Add(const Tuple* t, uint32_t sub) = 0;
 
   /// If the index can serve `pattern` (one TermRef per column), appends a
-  /// candidate superset of the unifying tuples in subsidiaries [from, to)
-  /// to `out` and returns true; returns false when not applicable.
+  /// candidate superset of the unifying occurrences in subsidiaries
+  /// [from, to) to `out` and returns true; returns false when not
+  /// applicable.
   virtual bool TryLookup(std::span<const TermRef> pattern, uint32_t from,
-                         uint32_t to, std::vector<const Tuple*>* out) = 0;
+                         uint32_t to, std::vector<Posting>* out) = 0;
 
   /// Selectivity rank for index choice: higher = more selective.
   virtual int key_width() const = 0;
-};
-
-/// One indexed tuple occurrence.
-struct Posting {
-  uint32_t sub;
-  const Tuple* tuple;
 };
 
 /// Hash buckets shared by both index forms: per-key posting lists plus
@@ -68,7 +70,7 @@ struct IndexBuckets {
   /// Appends postings with from <= sub < to for `key` plus the var
   /// bucket's range.
   void AppendRange(uint64_t key, uint32_t from, uint32_t to,
-                   std::vector<const Tuple*>* out) const;
+                   std::vector<Posting>* out) const;
 };
 
 /// Argument-form index on columns `cols`.
@@ -78,7 +80,7 @@ class ArgumentIndex : public Index {
 
   void Add(const Tuple* t, uint32_t sub) override;
   bool TryLookup(std::span<const TermRef> pattern, uint32_t from, uint32_t to,
-                 std::vector<const Tuple*>* out) override;
+                 std::vector<Posting>* out) override;
   int key_width() const override { return static_cast<int>(cols_.size()); }
 
   /// Probe with a pre-resolved ground key, one Arg per indexed column in
@@ -86,7 +88,7 @@ class ArgumentIndex : public Index {
   /// Appends the candidate superset for subsidiaries [from, to),
   /// var-bucket postings included.
   void LookupGround(std::span<const Arg* const> key, uint32_t from,
-                    uint32_t to, std::vector<const Tuple*>* out) const;
+                    uint32_t to, std::vector<Posting>* out) const;
 
   const std::vector<uint32_t>& cols() const { return cols_; }
 
@@ -110,7 +112,7 @@ class PatternIndex : public Index {
 
   void Add(const Tuple* t, uint32_t sub) override;
   bool TryLookup(std::span<const TermRef> pattern, uint32_t from, uint32_t to,
-                 std::vector<const Tuple*>* out) override;
+                 std::vector<Posting>* out) override;
   int key_width() const override {
     return static_cast<int>(key_slots_.size());
   }

@@ -5,9 +5,9 @@
 namespace coral {
 
 bool ListRelation::Contains(const Tuple* t) const {
-  for (const Subsidiary& sub : subs_) {
-    for (const Tuple* stored : sub.tuples) {
-      if (IsDeleted(stored)) continue;
+  for (uint32_t s = 0; s < subs_.size(); ++s) {
+    for (const Tuple* stored : subs_[s].tuples) {
+      if (IsDeletedAt(stored, s)) continue;
       if (stored == t) return true;  // ground tuples are interned
       if (SubsumesTuple(stored, t)) return true;
     }
@@ -19,9 +19,9 @@ void ListRelation::DoInsert(const Tuple* t) { AppendToCurrent(t); }
 
 bool ListRelation::DoDelete(const Tuple* t) {
   size_t occurrences = 0;
-  for (const Subsidiary& sub : subs_) {
-    for (const Tuple* stored : sub.tuples) {
-      if (stored == t && !IsDeleted(stored)) ++occurrences;
+  for (uint32_t s = 0; s < subs_.size(); ++s) {
+    for (const Tuple* stored : subs_[s].tuples) {
+      if (stored == t && !IsDeletedAt(stored, s)) ++occurrences;
     }
   }
   if (occurrences == 0) return false;

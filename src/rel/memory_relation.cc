@@ -17,8 +17,7 @@ void MemoryRelation::PublishCommitted(uint64_t epoch) {
   table->subs.reserve(closed);
   for (size_t i = 0; i < closed; ++i) table->subs.push_back(&subs_[i].tuples);
   table->tail = subs_.back().tuples;
-  table->tombstones =
-      std::make_shared<const std::unordered_set<const Tuple*>>(deleted_);
+  table->tombstones = std::make_shared<const TombstoneMap>(deleted_);
   const RelReadTable* raw = table.get();
   retired_.push_back(std::move(table));
   pub_.store(raw, std::memory_order_release);

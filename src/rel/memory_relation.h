@@ -17,6 +17,8 @@
 
 #include "src/rel/readview.h"
 #include "src/rel/relation.h"
+#include "src/rel/tombstones.h"
+#include "src/util/logging.h"
 
 namespace coral {
 
@@ -45,6 +47,8 @@ class MemoryRelation : public Relation {
     if (subs_.back().tuples.empty()) {
       return static_cast<Mark>(subs_.size() - 1);
     }
+    // kMaxMark is the open-ended scan bound, never a real subsidiary.
+    CORAL_CHECK(subs_.size() < static_cast<size_t>(kMaxMark));
     subs_.emplace_back();
     OnNewSubsidiary(static_cast<uint32_t>(subs_.size() - 1));
     return static_cast<Mark>(subs_.size() - 1);
@@ -92,23 +96,29 @@ class MemoryRelation : public Relation {
   virtual void OnNewSubsidiary(uint32_t sub) { (void)sub; }
 
   /// Appends to the open subsidiary and maintains live bookkeeping.
-  /// Returns the subsidiary number the tuple landed in.
+  /// Returns the subsidiary number the tuple landed in. Re-insertion
+  /// after deletion is live by position (the open subsidiary is at or
+  /// above any tombstone boundary); the dead occurrences stay dead, so
+  /// live_ accounting is exact across delete-then-reinsert sequences.
   uint32_t AppendToCurrent(const Tuple* t) {
     uint32_t sub = static_cast<uint32_t>(subs_.size() - 1);
     subs_[sub].tuples.push_back(t);
-    // Reinsertion after deletion clears the tombstone; the old occurrence
-    // becomes visible again, which can only cause a harmless repeat
-    // derivation (inserts de-duplicate).
-    deleted_.erase(t);
     live_.fetch_add(1, std::memory_order_relaxed);
     if (shared_base_) pub_dirty_ = true;
     return sub;
   }
 
-  bool IsDeleted(const Tuple* t) const { return deleted_.count(t) > 0; }
+  /// True iff the occurrence of `t` in subsidiary `sub` is dead.
+  bool IsDeletedAt(const Tuple* t, uint32_t sub) const {
+    return TombstonedAt(deleted_, t, sub);
+  }
 
+  /// Kills every existing occurrence of `t` (the caller counted them as
+  /// `occurrences`). Closes the open subsidiary first so the boundary
+  /// covers all of them.
   void MarkDeleted(const Tuple* t, size_t occurrences) {
-    deleted_.insert(t);
+    uint32_t boundary = static_cast<uint32_t>(Snapshot());
+    deleted_[t] = boundary;  // monotone: Snapshot() never moves backwards
     live_.fetch_sub(occurrences, std::memory_order_relaxed);
     if (shared_base_) pub_dirty_ = true;
   }
@@ -130,7 +140,7 @@ class MemoryRelation : public Relation {
   // deque: closed subsidiaries never move, so published tables can point
   // straight at their tuple vectors.
   std::deque<Subsidiary> subs_;
-  std::unordered_set<const Tuple*> deleted_;
+  TombstoneMap deleted_;
   // relaxed atomic: the optimizer's cardinality heuristic reads size()
   // from compile threads while the writer loads facts.
   std::atomic<size_t> live_{0};
@@ -164,7 +174,7 @@ class MemoryScanIterator : public TupleIterator {
         continue;
       }
       const Tuple* t = tuples[pos_++];
-      if (!rel_->IsDeleted(t)) return t;
+      if (!rel_->IsDeletedAt(t, sub_)) return t;
     }
   }
 
@@ -194,7 +204,7 @@ class TableScanIterator : public TupleIterator {
         continue;
       }
       const Tuple* t = tuples[pos_++];
-      if (!table_->IsDeleted(t)) return t;
+      if (!table_->IsDeleted(t, sub_)) return t;
     }
     return nullptr;
   }
@@ -203,29 +213,6 @@ class TableScanIterator : public TupleIterator {
   const RelReadTable* table_;
   uint32_t sub_;
   uint32_t to_;
-  size_t pos_ = 0;
-};
-
-/// Yields a prematerialized candidate list, skipping tombstones that
-/// appear after materialization (e.g. aggregate-selection deletes during
-/// consumption).
-class CandidateIterator : public TupleIterator {
- public:
-  CandidateIterator(std::vector<const Tuple*> candidates,
-                    const std::unordered_set<const Tuple*>* deleted)
-      : candidates_(std::move(candidates)), deleted_(deleted) {}
-
-  const Tuple* Next() override {
-    while (pos_ < candidates_.size()) {
-      const Tuple* t = candidates_[pos_++];
-      if (deleted_->count(t) == 0) return t;
-    }
-    return nullptr;
-  }
-
- private:
-  std::vector<const Tuple*> candidates_;
-  const std::unordered_set<const Tuple*>* deleted_;
   size_t pos_ = 0;
 };
 

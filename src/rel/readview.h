@@ -19,6 +19,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/rel/tombstones.h"
+
 namespace coral {
 
 class Relation;
@@ -29,12 +31,13 @@ class Tuple;
 /// immutable once closed); `tail` is a copy of the open subsidiary taken
 /// at publication. Subsidiary k of the snapshot is subs[k] for
 /// k < subs.size() and `tail` for k == subs.size(), preserving mark
-/// arithmetic. Tombstones are snapshotted wholesale because deletion and
-/// re-insertion mutate the live set in place.
+/// arithmetic. Tombstones are snapshotted wholesale (the boundary map
+/// mutates in place on deletion); an occurrence is dead iff its
+/// subsidiary is below the tuple's boundary (src/rel/tombstones.h).
 struct RelReadTable {
   std::vector<const std::vector<const Tuple*>*> subs;
   std::vector<const Tuple*> tail;
-  std::shared_ptr<const std::unordered_set<const Tuple*>> tombstones;
+  std::shared_ptr<const TombstoneMap> tombstones;
   uint64_t epoch = 0;
 
   /// Number of subsidiaries the snapshot covers (closed ones + the tail).
@@ -44,8 +47,8 @@ struct RelReadTable {
   const std::vector<const Tuple*>& sub(uint32_t k) const {
     return k < subs.size() ? *subs[k] : tail;
   }
-  bool IsDeleted(const Tuple* t) const {
-    return tombstones != nullptr && tombstones->count(t) > 0;
+  bool IsDeleted(const Tuple* t, uint32_t sub) const {
+    return tombstones != nullptr && TombstonedAt(*tombstones, t, sub);
   }
 };
 

@@ -1,0 +1,42 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Per-occurrence tombstone accounting shared by the in-memory relations,
+// their indexes, and the published epoch snapshots.
+//
+// Storage is append-only (paper §3.2 subsidiary relations), so a deleted
+// tuple cannot be physically removed — published snapshot tables share
+// the closed subsidiaries' tuple vectors by pointer. Instead a deletion
+// records a *boundary* subsidiary number: every occurrence of the tuple
+// in a subsidiary strictly below the boundary is dead, while occurrences
+// at or above it are live. Deletion first closes the open subsidiary, so
+// the boundary covers every occurrence that existed at delete time; a
+// later re-insertion lands in a subsidiary at or above the boundary and
+// is live purely by position. This keeps live-size accounting exact
+// across delete-then-reinsert sequences (the old single tombstone set
+// resurrected every prior occurrence on re-insert while size() gained
+// only one).
+
+#ifndef CORAL_REL_TOMBSTONES_H_
+#define CORAL_REL_TOMBSTONES_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace coral {
+
+class Tuple;
+
+/// tuple -> boundary subsidiary: occurrences in subsidiaries < boundary
+/// are dead.
+using TombstoneMap = std::unordered_map<const Tuple*, uint32_t>;
+
+/// True iff the occurrence of `t` in subsidiary `sub` is dead.
+inline bool TombstonedAt(const TombstoneMap& m, const Tuple* t,
+                         uint32_t sub) {
+  if (m.empty()) return false;
+  auto it = m.find(t);
+  return it != m.end() && sub < it->second;
+}
+
+}  // namespace coral
+
+#endif  // CORAL_REL_TOMBSTONES_H_

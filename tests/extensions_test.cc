@@ -88,15 +88,14 @@ TEST(ReorderJoinsTest, NegationStaysSafe) {
 class FirstColumnMapIndex : public Index {
  public:
   void Add(const Tuple* t, uint32_t sub) override {
-    (void)sub;
     if (t->arg(0)->IsGround()) {
-      by_uid_[t->arg(0)->uid()].push_back(t);
+      by_uid_[t->arg(0)->uid()].push_back(Posting{sub, t});
     } else {
-      var_.push_back(t);
+      var_.push_back(Posting{sub, t});
     }
   }
   bool TryLookup(std::span<const TermRef> pattern, uint32_t from,
-                 uint32_t to, std::vector<const Tuple*>* out) override {
+                 uint32_t to, std::vector<Posting>* out) override {
     (void)from;
     (void)to;  // this toy index ignores mark ranges: superset is allowed
     if (pattern.empty()) return false;
@@ -114,8 +113,8 @@ class FirstColumnMapIndex : public Index {
   int lookups() const { return lookups_; }
 
  private:
-  std::unordered_map<uint64_t, std::vector<const Tuple*>> by_uid_;
-  std::vector<const Tuple*> var_;
+  std::unordered_map<uint64_t, std::vector<Posting>> by_uid_;
+  std::vector<Posting> var_;
   int lookups_ = 0;
 };
 

@@ -503,5 +503,91 @@ TEST_F(RelTest, AggregateSelectionKeepsIndexConsistent) {
   EXPECT_EQ(got[0]->arg(1), I(4));
 }
 
+// ---------------------------------------------------------------------
+// Tombstone / mark edge cases exercised by incremental maintenance
+// (docs/MAINTENANCE.md): exact size accounting across delete/reinsert
+// cycles, and deletion visibility in mark-ranged scans.
+// ---------------------------------------------------------------------
+
+TEST_F(RelTest, DeleteReinsertCyclesKeepSizeExact) {
+  // Regression: live-count drift when a tombstoned tuple is re-inserted
+  // and deleted again across subsidiary boundaries.
+  HashRelation r("p", 1);
+  const Tuple* t = T({I(7)});
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    EXPECT_TRUE(r.Insert(t)) << "cycle " << cycle;
+    EXPECT_EQ(r.size(), 1u) << "cycle " << cycle;
+    EXPECT_TRUE(r.Contains(t));
+    r.Snapshot();  // force the next occurrence into a new subsidiary
+    EXPECT_TRUE(r.Delete(t)) << "cycle " << cycle;
+    EXPECT_EQ(r.size(), 0u) << "cycle " << cycle;
+    EXPECT_FALSE(r.Contains(t));
+    EXPECT_TRUE(Drain(r.Scan().get()).empty()) << "cycle " << cycle;
+  }
+  // Final state: one more insert, size exact, single yield.
+  EXPECT_TRUE(r.Insert(t));
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(Drain(r.Scan().get()).size(), 1u);
+}
+
+TEST_F(RelTest, MultisetDeleteReinsertKeepsSizeExact) {
+  HashRelation r("p", 1);
+  r.set_multiset(true);
+  const Tuple* t = T({I(7)});
+  r.Insert(t);
+  r.Insert(t);
+  r.Snapshot();
+  r.Insert(t);  // three occurrences across two subsidiaries
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_TRUE(r.Delete(t));  // kills all occurrences
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_TRUE(Drain(r.Scan().get()).empty());
+  r.Insert(t);  // back to exactly one live occurrence
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(Drain(r.Scan().get()).size(), 1u);
+}
+
+TEST_F(RelTest, DeletionVisibleToMarkRangedScans) {
+  HashRelation r("p", 1);
+  const Tuple* t1 = T({I(1)});
+  const Tuple* t2 = T({I(2)});
+  r.Insert(t1);
+  Mark m1 = r.Snapshot();
+  r.Insert(t2);
+  // Delete t1 (stored below m1): both the full scan and the old window
+  // must stop yielding it; the delta window never had it.
+  ASSERT_TRUE(r.Delete(t1));
+  EXPECT_TRUE(Drain(r.ScanRange(0, m1).get()).empty());
+  EXPECT_EQ(Drain(r.ScanRange(m1, kMaxMark).get()),
+            (std::vector<const Tuple*>{t2}));
+  EXPECT_EQ(Drain(r.Scan().get()), (std::vector<const Tuple*>{t2}));
+  // Re-insert: the new occurrence lands at/above the tombstone boundary,
+  // so it is visible to the full scan and to a fresh delta window, but
+  // the pre-deletion window stays empty.
+  Mark m2 = r.Snapshot();
+  ASSERT_TRUE(r.Insert(t1));
+  EXPECT_TRUE(Drain(r.ScanRange(0, m1).get()).empty());
+  EXPECT_EQ(Drain(r.ScanRange(m2, kMaxMark).get()),
+            (std::vector<const Tuple*>{t1}));
+  EXPECT_EQ(Drain(r.Scan().get()).size(), 2u);
+}
+
+TEST_F(RelTest, EmptySubsidiaryAndMarkEdges) {
+  HashRelation r("p", 1);
+  // Snapshot on a brand-new relation: no empty subsidiary churn.
+  Mark m0 = r.Snapshot();
+  EXPECT_EQ(m0, r.Snapshot());
+  EXPECT_EQ(m0, r.CurrentMark());
+  // Degenerate windows are empty, including from == to and inverted.
+  EXPECT_TRUE(Drain(r.ScanRange(m0, m0).get()).empty());
+  EXPECT_TRUE(Drain(r.ScanRange(kMaxMark, kMaxMark).get()).empty());
+  r.Insert(T({I(1)}));
+  Mark m1 = r.Snapshot();
+  EXPECT_TRUE(Drain(r.ScanRange(m1, m0).get()).empty());
+  // A window far beyond the current mark clamps to what exists.
+  EXPECT_EQ(Drain(r.ScanRange(0, kMaxMark).get()).size(), 1u);
+  EXPECT_TRUE(Drain(r.ScanRange(m1 + 100, kMaxMark).get()).empty());
+}
+
 }  // namespace
 }  // namespace coral
