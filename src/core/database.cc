@@ -576,6 +576,28 @@ StatusOr<std::string> Database::PlanListing(const std::string& module_name,
 
 std::string Database::PlanReport() const { return modules_->PlanReport(); }
 
+std::string Database::BytecodeVerifierReport() {
+  std::string out = "=== bytecode verifier ===\n";
+  for (ModuleManager::FormBytecodeAudit& fa : modules_->AuditAllBytecode()) {
+    out += "module " + fa.module + ", query form " + fa.pred;
+    if (!fa.adornment.empty()) out += "(" + fa.adornment + ")";
+    out += ":\n";
+    if (!fa.error.empty()) {
+      out += "  " + fa.error + "\n";
+      continue;
+    }
+    out += "  compiled " + std::to_string(fa.compiled) + ", interpreted " +
+           std::to_string(fa.skipped) + "\n";
+    std::string audit = fa.audit.ToString();
+    if (audit.empty()) audit = "no compiled programs\n";
+    std::istringstream lines(audit);
+    for (std::string line; std::getline(lines, line);) {
+      out += "  " + line + "\n";
+    }
+  }
+  return out;
+}
+
 StatusOr<std::string> Database::Run(std::string_view text) {
   CORAL_ASSIGN_OR_RETURN(std::vector<Query> queries, Consult(text));
   std::string out;

@@ -194,6 +194,11 @@ class Database {
                                     const std::string& adornment);
   /// Concatenated plans of every form compiled so far, with headers.
   std::string PlanReport() const;
+  /// Bytecode verifier verdicts for every export form of every module
+  /// (compiling forms on demand): per-form verified/rejected/warning
+  /// counts and the non-note findings. See docs/VM.md "Verification" and
+  /// coral_prof --verify.
+  std::string BytecodeVerifierReport();
 
   // ---- observability (paper §6, §8: profiling & tracing) ----
   /// Global profiling switch: when on, every materialized or pipelined

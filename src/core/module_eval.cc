@@ -330,6 +330,8 @@ void MaterializedInstance::BindVmPrograms() {
     if (rp == nullptr) return b;
     auto* head = dynamic_cast<HashRelation*>(internal(rp->head_pred));
     if (head == nullptr || head->multiset() || !head->selections().empty()) {
+      db_->vm_counters()->bind_fallbacks.fetch_add(1,
+                                                  std::memory_order_relaxed);
       return b;
     }
     std::vector<Relation*> rels;
@@ -340,6 +342,8 @@ void MaterializedInstance::BindVmPrograms() {
         if (db_->builtins()->Find(pred.sym->name, pred.arity) != nullptr ||
             db_->modules()->Exports(pred) ||
             !db_->modules()->LocalOwner(pred).empty()) {
+          db_->vm_counters()->bind_fallbacks.fetch_add(
+              1, std::memory_order_relaxed);
           return b;
         }
         rel = db_->GetOrCreateBaseRelation(pred);

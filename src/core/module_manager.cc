@@ -271,6 +271,70 @@ StatusOr<ModuleManager::CompiledForm*> ModuleManager::CompileFormLocked(
     };
     cf.vm = std::make_unique<vm::ModuleProgram>(
         vm::CompileModule(*cf.prog, entry->decl, cenv));
+    // Whole-plan audit (docs/VM.md "Verification"): cross-check every
+    // compiled program against the rewritten plan, declared indexes, and
+    // the absint type facts. Audit-rejected programs are nulled out here
+    // so they can never bind; they run interpreted with the reason in
+    // the listing (CRL301).
+    if (cf.vm->compiled > 0) {
+      absint::AbsIntOptions aopts;
+      aopts.is_builtin = ropts.is_builtin;
+      aopts.base_card = ropts.base_card;
+      if (cf.prog->answer_pred.sym != nullptr &&
+          !cf.prog->answer_adornment.empty()) {
+        std::vector<bool> bound;
+        for (char c : cf.prog->answer_adornment) bound.push_back(c == 'b');
+        aopts.seeds[cf.prog->answer_pred] = std::move(bound);
+      }
+      if (cf.prog->uses_magic && cf.prog->seed_pred.sym != nullptr) {
+        aopts.assumed_facts.insert(cf.prog->seed_pred);
+      }
+      for (const auto& [magic, done] : cf.prog->done_of) {
+        aopts.assumed_facts.insert(done);
+      }
+      absint::AnalysisResult facts =
+          absint::AnalyzeRules(cf.prog->rules, cf.prog->graph, aopts);
+      vm::AuditOptions vopts;
+      vopts.rewritten = cf.prog.get();
+      vopts.decl = &entry->decl;
+      vopts.facts = &facts;
+      vopts.index_plan_authoritative = db_->auto_optimize();
+      cf.audit = std::make_unique<vm::ModuleAudit>(
+          vm::AuditModule(*cf.vm, vopts));
+      for (const vm::ProgramVerdict& v : cf.audit->verdicts) {
+        if (v.report.ok()) continue;
+        auto& tbl = v.once ? cf.vm->sccs[v.scc].once
+                           : cf.vm->sccs[v.scc].versions;
+        if (v.index < tbl.size() && tbl[v.index] != nullptr) {
+          tbl[v.index].reset();
+          --cf.vm->compiled;
+          ++cf.vm->skipped;
+          --cf.vm->verified;
+          ++cf.vm->verifier_rejected;
+          cf.vm->listing += "scc " + std::to_string(v.scc) +
+                            (v.once ? " once " : " version ") +
+                            std::to_string(v.index) +
+                            " audit rejected: " +
+                            v.report.FirstError()->ToString() + " [" +
+                            vm::vdiag::kUnverifiable + "]\n";
+        }
+      }
+    }
+    obs::VmCounters& vc = *db_->vm_counters();
+    vc.programs_verified.fetch_add(cf.vm->verified,
+                                   std::memory_order_relaxed);
+    vc.verifier_rejected.fetch_add(cf.vm->verifier_rejected,
+                                   std::memory_order_relaxed);
+    vc.compile_skips.fetch_add(cf.vm->skipped - cf.vm->verifier_rejected,
+                               std::memory_order_relaxed);
+    if (cf.audit != nullptr) {
+      vc.verifier_warnings.fetch_add(cf.audit->warnings,
+                                     std::memory_order_relaxed);
+      std::string audit_text = cf.audit->ToString();
+      if (!audit_text.empty()) {
+        cf.prog->plan += "--- bytecode verifier ---\n" + audit_text;
+      }
+    }
     if (!cf.vm->listing.empty()) {
       cf.prog->plan += "--- join bytecode ---\n" + cf.vm->listing;
     }
@@ -278,6 +342,50 @@ StatusOr<ModuleManager::CompiledForm*> ModuleManager::CompileFormLocked(
   auto [nit, inserted] = entry->forms.emplace(key, std::move(cf));
   CORAL_CHECK(inserted);
   return &nit->second;
+}
+
+std::vector<ModuleManager::FormBytecodeAudit>
+ModuleManager::AuditAllBytecode() {
+  MutexLock lock(&mu_);
+  std::vector<FormBytecodeAudit> out;
+  for (auto& entry : modules_) {
+    for (const QueryFormDecl& form : entry->decl.exports) {
+      FormBytecodeAudit fa;
+      fa.module = entry->decl.name;
+      fa.pred = form.pred->name + "/" +
+                std::to_string(form.adornment.size());
+      fa.adornment = form.adornment;
+      if (entry->pipelined != nullptr) {
+        fa.fallback_reason = "pipelined module: runs interpreted";
+        out.push_back(std::move(fa));
+        continue;
+      }
+      StatusOr<CompiledForm*> cf = CompileFormLocked(entry.get(), form);
+      if (!cf.ok()) {
+        fa.error = cf.status().message();
+      } else {
+        const CompiledForm* f = *cf;
+        if (f->vm != nullptr) {
+          fa.compiled = f->vm->compiled;
+          fa.skipped = f->vm->skipped;
+          // A module-level skip ("module interpreted: <why>") leaves no
+          // compiled programs; surface the reason.
+          if (f->vm->sccs.empty() && !f->vm->listing.empty()) {
+            std::string_view l = f->vm->listing;
+            if (l.rfind("module interpreted: ", 0) == 0) {
+              l.remove_prefix(sizeof("module interpreted: ") - 1);
+              size_t nl = l.find('\n');
+              fa.fallback_reason =
+                  std::string(l.substr(0, nl)) + ": runs interpreted";
+            }
+          }
+        }
+        if (f->audit != nullptr) fa.audit = *f->audit;
+      }
+      out.push_back(std::move(fa));
+    }
+  }
+  return out;
 }
 
 void ModuleManager::InvalidateDependents(const PredRef& pred) {

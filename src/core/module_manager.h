@@ -19,6 +19,7 @@
 #include "src/core/module_eval.h"
 #include "src/core/pipeline.h"
 #include "src/util/sync.h"
+#include "src/vm/verifier.h"
 
 namespace coral {
 
@@ -100,6 +101,29 @@ class ModuleManager {
   /// recomputes.
   void InvalidateDependents(const PredRef& pred);
 
+  /// Bytecode verifier outcome of one compiled query form (docs/VM.md
+  /// "Verification"): the whole-module audit plus the compile counters,
+  /// or `error` when the form does not compile at all.
+  struct FormBytecodeAudit {
+    std::string module;
+    std::string pred;        // "p/2"
+    std::string adornment;   // "" when the form has none
+    vm::ModuleAudit audit;
+    uint64_t compiled = 0;
+    uint64_t skipped = 0;
+    /// Non-empty: the whole form runs interpreted for this (legitimate)
+    /// reason — pipelined evaluation, @no_vm, ordered search.
+    std::string fallback_reason;
+    std::string error;       // non-empty: rewrite/compile failure
+  };
+
+  /// Compiles (on demand) every export form of every registered module
+  /// and returns each form's verifier audit, in registration order.
+  /// Pipelined modules are reported with an explanatory
+  /// `fallback_reason`. Used by coral_bcverify and
+  /// Database::BytecodeVerifierReport.
+  std::vector<FormBytecodeAudit> AuditAllBytecode();
+
   /// Applies one committed base-relation delta to every affected saved
   /// instance: incrementally (CanMaintain + Maintain) where the shape is
   /// covered, by dropping the instance otherwise. Counts land in
@@ -115,6 +139,9 @@ class ModuleManager {
     /// Join bytecode for the rule versions of `prog` (null entries stay
     /// interpreted); compiled alongside the form, bound per activation.
     std::unique_ptr<vm::ModuleProgram> vm;
+    /// Whole-plan verifier audit of `vm` (null when nothing compiled);
+    /// audit-rejected programs are nulled out of `vm` before caching.
+    std::unique_ptr<vm::ModuleAudit> audit;
     std::shared_ptr<MaterializedInstance> saved;  // save-module only
     /// Base predicates the form's rewritten rules read (body predicates
     /// that are neither rule heads nor builtins); computed at compile

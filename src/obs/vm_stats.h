@@ -23,6 +23,21 @@ struct VmCounters {
   /// the planned argument index is absent on the bound relation.
   std::atomic<uint64_t> probe_scan_fallbacks{0};
 
+  // Static verifier outcomes (src/vm/verifier.h), counted at form
+  // compile time — why a rule version runs interpreted.
+  /// Programs that passed the whole-plan audit.
+  std::atomic<uint64_t> programs_verified{0};
+  /// Programs the verifier/audit rejected (forced interpreter fallback).
+  std::atomic<uint64_t> verifier_rejected{0};
+  /// Warning findings (CRL302 probe-without-index, CRL303 always-fail).
+  std::atomic<uint64_t> verifier_warnings{0};
+  /// Rule versions the compiler skipped for shape reasons (aggregates,
+  /// negation, builtins the VM lacks, ...).
+  std::atomic<uint64_t> compile_skips{0};
+  /// Compiled programs that failed to bind at activation time (head or
+  /// body relation shape unsupported) and ran interpreted.
+  std::atomic<uint64_t> bind_fallbacks{0};
+
   // Per-opcode execution counts.
   std::atomic<uint64_t> scan_full{0};
   std::atomic<uint64_t> scan_delta{0};
@@ -35,8 +50,9 @@ struct VmCounters {
   void Reset() {
     for (std::atomic<uint64_t>* c :
          {&applications, &runtime_fallbacks, &probe_scan_fallbacks,
-          &scan_full, &scan_delta, &probe_index, &unify_arg, &test_builtin,
-          &project, &insert}) {
+          &programs_verified, &verifier_rejected, &verifier_warnings,
+          &compile_skips, &bind_fallbacks, &scan_full, &scan_delta,
+          &probe_index, &unify_arg, &test_builtin, &project, &insert}) {
       c->store(0, std::memory_order_relaxed);
     }
   }
@@ -51,6 +67,11 @@ inline std::string RenderVmCounters(const VmCounters& c) {
      << "applications:         " << v(c.applications) << "\n"
      << "runtime fallbacks:    " << v(c.runtime_fallbacks) << "\n"
      << "probe->scan degrades: " << v(c.probe_scan_fallbacks) << "\n"
+     << "programs verified:    " << v(c.programs_verified) << "\n"
+     << "verifier rejected:    " << v(c.verifier_rejected) << "\n"
+     << "verifier warnings:    " << v(c.verifier_warnings) << "\n"
+     << "compile skips:        " << v(c.compile_skips) << "\n"
+     << "bind fallbacks:       " << v(c.bind_fallbacks) << "\n"
      << "SCAN_FULL:            " << v(c.scan_full) << "\n"
      << "SCAN_DELTA:           " << v(c.scan_delta) << "\n"
      << "PROBE_INDEX:          " << v(c.probe_index) << "\n"

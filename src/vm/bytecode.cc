@@ -8,10 +8,16 @@
 #include <vector>
 
 #include "src/lang/parser.h"
+#include "src/vm/verifier.h"
 
 namespace coral::vm {
 
 namespace {
+
+/// Serialization format version, bumped on any change to the textual
+/// opcode grammar so checked-in goldens and coral_bcverify corpora fail
+/// loudly instead of misparsing. Emitted as the first Disassemble line.
+constexpr uint32_t kFormatVersion = 1;
 
 const char* OpName(Op op) {
   switch (op) {
@@ -73,13 +79,14 @@ std::string_view KeyedValue(std::string_view tok, std::string_view key) {
 }
 
 bool ParseU32(std::string_view s, uint32_t* out) {
-  if (s.empty()) return false;
-  uint32_t v = 0;
+  if (s.empty() || s.size() > 10) return false;  // overflow guard
+  uint64_t v = 0;
   for (char ch : s) {
     if (!std::isdigit(static_cast<unsigned char>(ch))) return false;
-    v = v * 10 + static_cast<uint32_t>(ch - '0');
+    v = v * 10 + static_cast<uint64_t>(ch - '0');
   }
-  *out = v;
+  if (v > UINT32_MAX) return false;
+  *out = static_cast<uint32_t>(v);
   return true;
 }
 
@@ -223,6 +230,7 @@ Status BuildLevels(RuleProgram* prog) {
 
 std::string Disassemble(const RuleProgram& prog) {
   std::ostringstream os;
+  os << "coralbc " << kFormatVersion << "\n";
   os << "rule " << prog.rule_index << " head " << prog.head_pred.ToString()
      << " regs " << prog.nregs << "\n";
   for (size_t i = 0; i < prog.consts.size(); ++i) {
@@ -263,7 +271,9 @@ std::string Disassemble(const RuleProgram& prog) {
 StatusOr<RuleProgram> Deserialize(std::string_view text,
                                   TermFactory* factory) {
   RuleProgram prog;
+  bool saw_version = false;
   bool saw_header = false;
+  int64_t last_lit = -1;  // scans must open strictly increasing literals
   size_t pos = 0;
   while (pos < text.size()) {
     size_t eol = text.find('\n', pos);
@@ -276,6 +286,25 @@ StatusOr<RuleProgram> Deserialize(std::string_view text,
 
     std::vector<std::string_view> toks = Tokens(line);
     std::string_view kw = toks[0];
+    if (!saw_version) {
+      // The first line must be the format-version header; refuse text
+      // from a different (or missing) serialization version outright.
+      uint32_t version = 0;
+      if (kw != "coralbc" || toks.size() != 2 ||
+          !ParseU32(toks[1], &version)) {
+        return Status::InvalidArgument(
+            "vm: missing 'coralbc <version>' header, got: " +
+            std::string(line));
+      }
+      if (version != kFormatVersion) {
+        return Status::InvalidArgument(
+            "vm: unsupported bytecode format version " +
+            std::string(toks[1]) + " (this build reads version " +
+            std::to_string(kFormatVersion) + ")");
+      }
+      saw_version = true;
+      continue;
+    }
     if (kw == "rule") {
       if (saw_header || toks.size() != 6 || toks[2] != "head" ||
           toks[4] != "regs") {
@@ -287,6 +316,10 @@ StatusOr<RuleProgram> Deserialize(std::string_view text,
           !ParseU32(toks[5], &prog.nregs)) {
         return Status::InvalidArgument("vm: bad rule header: " +
                                        std::string(line));
+      }
+      if (prog.nregs > kMaxRegisters) {
+        return Status::InvalidArgument(
+            "vm: implausible register count in: " + std::string(line));
       }
       saw_header = true;
       continue;
@@ -343,6 +376,13 @@ StatusOr<RuleProgram> Deserialize(std::string_view text,
       } else {
         return Status::InvalidArgument("vm: bad window: " + std::string(line));
       }
+      if (in.lit >= kMaxLiterals ||
+          static_cast<int64_t>(in.lit) <= last_lit) {
+        return Status::InvalidArgument(
+            "vm: scans must open strictly increasing literals: " +
+            std::string(line));
+      }
+      last_lit = in.lit;
       in.pred = static_cast<uint32_t>(prog.preds.size());
       prog.preds.push_back(pred);
     } else if (kw == "UNIFY_ARG") {
@@ -359,6 +399,14 @@ StatusOr<RuleProgram> Deserialize(std::string_view text,
         in.mode = UnifyMode::kCheckReg;
       } else {
         return Status::InvalidArgument("vm: bad unify mode: " +
+                                       std::string(line));
+      }
+      // The const pool is complete by the time code lines appear, so
+      // operand references are checkable at parse time.
+      if (in.mode == UnifyMode::kMatchConst
+              ? (!in.a.is_const || in.a.index >= prog.consts.size())
+              : (in.a.is_const || in.a.index >= prog.nregs)) {
+        return Status::InvalidArgument("vm: unify operand out of range: " +
                                        std::string(line));
       }
     } else if (kw == "TEST_BUILTIN") {
@@ -383,11 +431,24 @@ StatusOr<RuleProgram> Deserialize(std::string_view text,
       } else {
         return Status::InvalidArgument("vm: bad cmp: " + std::string(line));
       }
+      auto in_range = [&](const Operand& o) {
+        return o.index < (o.is_const ? prog.consts.size()
+                                     : static_cast<size_t>(prog.nregs));
+      };
+      if (!in_range(in.a) || !in_range(in.b)) {
+        return Status::InvalidArgument("vm: test operand out of range: " +
+                                       std::string(line));
+      }
     } else if (kw == "PROJECT") {
       in.op = Op::kProject;
+      if (!prog.head.empty()) {
+        return Status::InvalidArgument("vm: duplicate PROJECT");
+      }
       for (size_t i = 1; i < toks.size(); ++i) {
         Operand o;
-        if (!ParseOperand(toks[i], &o)) {
+        if (!ParseOperand(toks[i], &o) ||
+            o.index >= (o.is_const ? prog.consts.size()
+                                   : static_cast<size_t>(prog.nregs))) {
           return Status::InvalidArgument("vm: bad PROJECT operand: " +
                                          std::string(line));
         }
@@ -411,6 +472,13 @@ StatusOr<RuleProgram> Deserialize(std::string_view text,
   }
   Status st = BuildLevels(&prog);
   if (!st.ok()) return st;
+  // Untrusted text must additionally pass the full static verifier, so a
+  // structurally corrupt program never reaches the bind path.
+  VerifyReport report = VerifyProgram(prog);
+  if (const VerifyFinding* err = report.FirstError(); err != nullptr) {
+    return Status::InvalidArgument("vm: verifier rejected program: " +
+                                   err->ToString());
+  }
   return prog;
 }
 

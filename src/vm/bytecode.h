@@ -108,13 +108,18 @@ struct RuleProgram {
 /// and INSERT close the program. Shared by the compiler and Deserialize.
 Status BuildLevels(RuleProgram* prog);
 
-/// Textual form of one rule program; also the serialization format.
+/// Textual form of one rule program; also the serialization format. The
+/// first line is a "coralbc <version>" format header so checked-in
+/// corpora fail loudly across grammar changes.
 std::string Disassemble(const RuleProgram& prog);
 
 /// Parses the Disassemble output back into a program (constants are
 /// re-parsed into `factory`, predicate names re-interned). The result has
 /// levels rebuilt, so Disassemble(Deserialize(Disassemble(p))) ==
-/// Disassemble(p).
+/// Disassemble(p). The text is treated as untrusted: the format header
+/// is required, every operand reference is bounds-checked at parse time,
+/// and the parsed program must pass the static verifier
+/// (src/vm/verifier.h), so malformed text never reaches the executor.
 StatusOr<RuleProgram> Deserialize(std::string_view text,
                                   TermFactory* factory);
 
@@ -131,6 +136,11 @@ struct ModuleProgram {
   std::vector<SccPrograms> sccs;
   uint64_t compiled = 0;
   uint64_t skipped = 0;
+  /// Programs that passed / failed the post-compile static verifier
+  /// (src/vm/verifier.h). A failed program is nulled out of `sccs` and
+  /// counted under `skipped` with a "verifier:" reason in the listing.
+  uint64_t verified = 0;
+  uint64_t verifier_rejected = 0;
   /// Disassembly of every compiled version plus one-line skip reasons;
   /// appended to the module's plan listing.
   std::string listing;

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "src/vm/verifier.h"
+
 namespace coral::vm {
 
 namespace {
@@ -239,6 +241,21 @@ ModuleProgram CompileModule(const RewrittenProgram& prog,
             std::string why;
             VersionCompiler vc(prog, versions[vi], internal, env);
             std::unique_ptr<RuleProgram> rp = vc.Compile(&why);
+            if (rp != nullptr) {
+              // Verify-after-compile: a program the static verifier
+              // rejects must never bind; it falls back to the
+              // interpreter with the verifier's reason (CRL301).
+              VerifyReport report = VerifyProgram(*rp);
+              if (const VerifyFinding* err = report.FirstError();
+                  err != nullptr) {
+                why = "verifier: " + err->ToString() + " [" +
+                      vdiag::kUnverifiable + "]";
+                ++out.verifier_rejected;
+                rp.reset();
+              } else {
+                ++out.verified;
+              }
+            }
             listing << "scc " << si << " " << kind << " " << vi;
             if (rp != nullptr) {
               ++out.compiled;

@@ -1,0 +1,716 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+
+#include "src/vm/verifier.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace coral::vm {
+
+namespace {
+
+using absint::kTNumeric;
+using absint::kTypeBottom;
+using absint::kTypeTop;
+using absint::TypeSet;
+
+/// Findings past this cap are dropped: a corrupted program tends to
+/// cascade, and the first few findings carry all the signal.
+constexpr size_t kMaxFindings = 64;
+
+/// Mirrors absint's numeric widening: the engine's comparisons equate
+/// across numeric kinds, so int-vs-double is never an always-fail proof.
+TypeSet WidenNumeric(TypeSet t) {
+  return (t & kTNumeric) != 0 ? (t | kTNumeric) : t;
+}
+
+/// Constructor class of a ground constant-pool term (the const pool is
+/// ground by construction, so no variable environment is needed).
+TypeSet TypeOfConst(const Arg* t) {
+  switch (t->kind()) {
+    case ArgKind::kInt: return absint::kTInt;
+    case ArgKind::kDouble: return absint::kTDouble;
+    case ArgKind::kString: return absint::kTString;
+    case ArgKind::kBigInt: return absint::kTBigInt;
+    case ArgKind::kSet: return absint::kTSet;
+    case ArgKind::kUser: return absint::kTUser;
+    case ArgKind::kVariable: return kTypeTop;  // unreachable: pool is ground
+    case ArgKind::kAtomOrFunctor: {
+      const auto* f = ArgCast<FunctorArg>(t);
+      if (f->name() == kGroupMarker) return absint::kTSet;
+      if (f->arity() == 0) {
+        return f->name() == "[]" ? absint::kTList : absint::kTAtom;
+      }
+      if (f->arity() == 2 && f->name() == ".") return absint::kTList;
+      return absint::kTFunctor;
+    }
+  }
+  return kTypeTop;
+}
+
+const char* WindowText(RangeSel w) {
+  switch (w) {
+    case RangeSel::kFull: return "full";
+    case RangeSel::kOld: return "old";
+    case RangeSel::kDelta: return "delta";
+  }
+  return "?";
+}
+
+std::string ColsText(const std::vector<uint32_t>& cols) {
+  std::string s = "(";
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(cols[i]);
+  }
+  return s + ")";
+}
+
+/// Accumulates findings with the cap applied.
+class Sink {
+ public:
+  explicit Sink(VerifyReport* out) : out_(out) {}
+
+  void Add(VerifySeverity sev, const char* code, std::string msg) {
+    if (out_->findings.size() >= kMaxFindings) return;
+    out_->findings.push_back({sev, code, std::move(msg)});
+  }
+  void Error(const char* code, std::string msg) {
+    Add(VerifySeverity::kError, code, std::move(msg));
+  }
+  void Warn(const char* code, std::string msg) {
+    Add(VerifySeverity::kWarning, code, std::move(msg));
+  }
+  void Note(const char* code, std::string msg) {
+    Add(VerifySeverity::kNote, code, std::move(msg));
+  }
+
+ private:
+  VerifyReport* out_;
+};
+
+std::string RegName(const Operand& o) {
+  return (o.is_const ? "c" : "r") + std::to_string(o.index);
+}
+
+}  // namespace
+
+const char* VerifySeverityName(VerifySeverity s) {
+  switch (s) {
+    case VerifySeverity::kError: return "error";
+    case VerifySeverity::kWarning: return "warning";
+    case VerifySeverity::kNote: return "note";
+  }
+  return "?";
+}
+
+std::string VerifyFinding::ToString() const {
+  std::string s = VerifySeverityName(severity);
+  s += "[";
+  s += code;
+  s += "]: ";
+  s += message;
+  return s;
+}
+
+size_t VerifyReport::error_count() const {
+  size_t n = 0;
+  for (const VerifyFinding& f : findings) {
+    if (f.severity == VerifySeverity::kError) ++n;
+  }
+  return n;
+}
+
+size_t VerifyReport::warning_count() const {
+  size_t n = 0;
+  for (const VerifyFinding& f : findings) {
+    if (f.severity == VerifySeverity::kWarning) ++n;
+  }
+  return n;
+}
+
+const VerifyFinding* VerifyReport::FirstError() const {
+  for (const VerifyFinding& f : findings) {
+    if (f.severity == VerifySeverity::kError) return &f;
+  }
+  return nullptr;
+}
+
+bool VerifyReport::Has(const char* code) const {
+  for (const VerifyFinding& f : findings) {
+    if (std::string_view(f.code) == code) return true;
+  }
+  return false;
+}
+
+std::string VerifyReport::ToString() const {
+  std::string s;
+  for (const VerifyFinding& f : findings) {
+    s += f.ToString();
+    s += "\n";
+  }
+  return s;
+}
+
+VerifyReport VerifyProgram(const RuleProgram& prog) {
+  VerifyReport report;
+  Sink sink(&report);
+
+  // Sanity caps first: everything below sizes vectors by these counts.
+  if (prog.nregs > kMaxRegisters) {
+    sink.Error(vdiag::kOperandBounds,
+               "implausible register count " + std::to_string(prog.nregs));
+    return report;
+  }
+  if (prog.code.empty()) {
+    sink.Error(vdiag::kShape, "empty program");
+    return report;
+  }
+  for (size_t i = 0; i < prog.consts.size(); ++i) {
+    if (prog.consts[i] == nullptr || !prog.consts[i]->IsGround()) {
+      sink.Error(vdiag::kOperandBounds,
+                 "constant pool slot c" + std::to_string(i) +
+                     " is not a ground term");
+      return report;
+    }
+  }
+
+  // Register dataflow state: which level (ordinal) loaded each register,
+  // -1 = not yet loaded. `referenced` drives the dead-register note.
+  std::vector<int> load_level(prog.nregs, -1);
+  std::vector<bool> referenced(prog.nregs, false);
+
+  // Checks a source operand (kCheckReg/TEST/PROJECT position): constants
+  // must be in the pool, registers in range and already loaded.
+  auto check_source = [&](const Operand& o, const char* what) {
+    if (o.is_const) {
+      if (o.index >= prog.consts.size()) {
+        sink.Error(vdiag::kOperandBounds,
+                   std::string(what) + " constant " + RegName(o) +
+                       " out of range (pool has " +
+                       std::to_string(prog.consts.size()) + ")");
+        return false;
+      }
+      return true;
+    }
+    if (o.index >= prog.nregs) {
+      sink.Error(vdiag::kRegisterDataflow,
+                 std::string(what) + " register " + RegName(o) +
+                     " out of range (nregs=" + std::to_string(prog.nregs) +
+                     ")");
+      return false;
+    }
+    referenced[o.index] = true;
+    if (load_level[o.index] < 0) {
+      sink.Error(vdiag::kRegisterDataflow, std::string(what) +
+                                               " of unloaded register " +
+                                               RegName(o));
+      return false;
+    }
+    return true;
+  };
+
+  int cur_level = -1;     // ordinal of the open level
+  int64_t last_lit = -1;  // last scan's body-literal index
+  uint32_t cur_arity = 0;
+  bool cur_arity_known = false;
+  bool cur_is_probe = false;
+  uint32_t cur_key_cols = 0;
+  bool closed = false;  // PROJECT seen
+  uint32_t scans = 0;
+
+  auto close_level = [&]() {
+    if (cur_level >= 0 && cur_is_probe && cur_key_cols == 0) {
+      sink.Error(vdiag::kShape,
+                 "PROBE_INDEX level at literal " + std::to_string(last_lit) +
+                     " has no key column (no constant or outer-register "
+                     "check)");
+    }
+  };
+
+  for (size_t i = 0; i < prog.code.size(); ++i) {
+    const Instr& in = prog.code[i];
+    switch (in.op) {
+      case Op::kScanFull:
+      case Op::kScanDelta:
+      case Op::kProbeIndex: {
+        if (closed) {
+          sink.Error(vdiag::kShape, "scan after PROJECT");
+          return report;
+        }
+        close_level();
+        if (in.lit >= kMaxLiterals) {
+          sink.Error(vdiag::kShape, "implausible scan literal index " +
+                                        std::to_string(in.lit));
+          return report;
+        }
+        if (static_cast<int64_t>(in.lit) <= last_lit) {
+          sink.Error(vdiag::kShape,
+                     "scan literals must strictly increase (lit=" +
+                         std::to_string(in.lit) + " after lit=" +
+                         std::to_string(last_lit) + ")");
+        }
+        last_lit = in.lit;
+        ++cur_level;
+        cur_is_probe = in.op == Op::kProbeIndex;
+        cur_key_cols = 0;
+        cur_arity_known = false;
+        if (in.pred >= prog.preds.size()) {
+          sink.Error(vdiag::kOperandBounds,
+                     "scan pred slot " + std::to_string(in.pred) +
+                         " out of range (table has " +
+                         std::to_string(prog.preds.size()) + ")");
+        } else {
+          if (in.pred != static_cast<uint32_t>(cur_level)) {
+            sink.Error(vdiag::kShape,
+                       "scan pred slot " + std::to_string(in.pred) +
+                           " does not match level ordinal " +
+                           std::to_string(cur_level));
+          }
+          cur_arity = prog.preds[in.pred].arity;
+          cur_arity_known = true;
+        }
+        // Window/opcode agreement: SCAN_DELTA is exactly "plain scan of
+        // the delta window"; a probe may carry any window.
+        if (in.op == Op::kScanDelta && in.window != RangeSel::kDelta) {
+          sink.Error(vdiag::kShape, "SCAN_DELTA with window=" +
+                                        std::string(WindowText(in.window)));
+        }
+        if (in.op == Op::kScanFull && in.window == RangeSel::kDelta) {
+          sink.Error(vdiag::kShape, "SCAN_FULL over the delta window");
+        }
+        ++scans;
+        break;
+      }
+      case Op::kUnifyArg: {
+        if (cur_level < 0 || closed) {
+          sink.Error(vdiag::kShape, "UNIFY_ARG outside a level");
+          return report;
+        }
+        if (cur_arity_known && in.col >= cur_arity) {
+          sink.Error(vdiag::kOperandBounds,
+                     "UNIFY_ARG column " + std::to_string(in.col) +
+                         " out of range for " +
+                         prog.preds[cur_level].ToString());
+        }
+        switch (in.mode) {
+          case UnifyMode::kMatchConst:
+            if (!in.a.is_const) {
+              sink.Error(vdiag::kOperandBounds,
+                         "UNIFY_ARG match with register operand " +
+                             RegName(in.a));
+            } else if (in.a.index >= prog.consts.size()) {
+              sink.Error(vdiag::kOperandBounds,
+                         "UNIFY_ARG match constant " + RegName(in.a) +
+                             " out of range (pool has " +
+                             std::to_string(prog.consts.size()) + ")");
+            } else {
+              ++cur_key_cols;
+            }
+            break;
+          case UnifyMode::kLoadReg:
+            if (in.a.is_const) {
+              sink.Error(vdiag::kRegisterDataflow,
+                         "UNIFY_ARG load of constant operand " +
+                             RegName(in.a));
+            } else if (in.a.index >= prog.nregs) {
+              sink.Error(vdiag::kRegisterDataflow,
+                         "UNIFY_ARG load register " + RegName(in.a) +
+                             " out of range (nregs=" +
+                             std::to_string(prog.nregs) + ")");
+            } else if (load_level[in.a.index] >= 0) {
+              sink.Error(vdiag::kRegisterDataflow,
+                         "register " + RegName(in.a) +
+                             " loaded twice (registers are defined exactly "
+                             "once)");
+            } else {
+              load_level[in.a.index] = cur_level;
+            }
+            break;
+          case UnifyMode::kCheckReg:
+            if (in.a.is_const) {
+              sink.Error(vdiag::kRegisterDataflow,
+                         "UNIFY_ARG check with constant operand " +
+                             RegName(in.a));
+            } else if (check_source(in.a, "UNIFY_ARG check") &&
+                       load_level[in.a.index] < cur_level) {
+              // Available before this loop opens: joins the probe key.
+              ++cur_key_cols;
+            }
+            break;
+        }
+        break;
+      }
+      case Op::kTestBuiltin:
+        if (cur_level < 0 || closed) {
+          sink.Error(vdiag::kShape, "TEST_BUILTIN outside a level");
+          return report;
+        }
+        check_source(in.a, "TEST_BUILTIN");
+        check_source(in.b, "TEST_BUILTIN");
+        break;
+      case Op::kProject: {
+        if (cur_level < 0) {
+          sink.Error(vdiag::kShape, "PROJECT before any scan");
+          return report;
+        }
+        if (closed) {
+          sink.Error(vdiag::kShape, "duplicate PROJECT");
+          return report;
+        }
+        if (i + 2 != prog.code.size()) {
+          sink.Error(vdiag::kShape,
+                     "PROJECT must be the second-to-last instruction");
+        }
+        close_level();
+        if (prog.head.size() != prog.head_pred.arity) {
+          sink.Error(vdiag::kOperandBounds,
+                     "head operand count " + std::to_string(prog.head.size()) +
+                         " does not match head arity of " +
+                         prog.head_pred.ToString());
+        }
+        for (const Operand& o : prog.head) check_source(o, "head operand");
+        closed = true;
+        break;
+      }
+      case Op::kInsert:
+        if (!closed || i + 1 != prog.code.size()) {
+          sink.Error(vdiag::kShape,
+                     "INSERT must immediately follow PROJECT and terminate "
+                     "the program");
+          if (!closed) return report;
+        }
+        break;
+    }
+  }
+  if (!closed) {
+    sink.Error(vdiag::kShape, "program has no PROJECT/INSERT tail");
+  }
+  if (scans != prog.preds.size()) {
+    sink.Error(vdiag::kOperandBounds,
+               "pred table has " + std::to_string(prog.preds.size()) +
+                   " entries but the program opens " + std::to_string(scans) +
+                   " levels");
+  }
+
+  // Dead registers: allocated slots never loaded (and never referenced —
+  // a reference without a load is a CRL310 error above). The compiler
+  // numbers registers by rule variable slot, so unused slots are routine
+  // in correct output: a note, never a rejection.
+  std::vector<uint32_t> dead;
+  for (uint32_t r = 0; r < prog.nregs; ++r) {
+    if (load_level[r] < 0 && !referenced[r]) dead.push_back(r);
+  }
+  if (!dead.empty()) {
+    std::string regs;
+    for (size_t i = 0; i < dead.size() && i < 8; ++i) {
+      if (i > 0) regs += ", ";
+      regs += "r" + std::to_string(dead[i]);
+    }
+    if (dead.size() > 8) regs += ", ...";
+    sink.Note(vdiag::kDeadRegister,
+              std::to_string(dead.size()) + " register slot(s) never loaded (" +
+                  regs + ")");
+  }
+  return report;
+}
+
+namespace {
+
+/// Plan-consistency and type-lattice checks for one structurally valid
+/// program (AuditModule's per-program second pass).
+void AuditProgram(const RuleProgram& prog, bool once, uint32_t scc,
+                  uint32_t index, const AuditOptions& opts, Sink* sink) {
+  const RewrittenProgram* rw = opts.rewritten;
+  const Rule* rule = nullptr;
+  if (rw != nullptr) {
+    if (prog.rule_index >= rw->rules.size()) {
+      sink->Error(vdiag::kOperandBounds,
+                  "rule index " + std::to_string(prog.rule_index) +
+                      " out of range (program has " +
+                      std::to_string(rw->rules.size()) + " rules)");
+    } else {
+      rule = &rw->rules[prog.rule_index];
+      if (!(prog.head_pred == rule->head.pred_ref())) {
+        sink->Error(vdiag::kPlanMismatch,
+                    "head " + prog.head_pred.ToString() +
+                        " disagrees with rule head " +
+                        rule->head.pred_ref().ToString());
+      }
+    }
+  }
+
+  // The semi-naive version this program claims to implement: windows must
+  // match its per-literal ranges (SCAN_DELTA only in delta versions).
+  const RuleVersion* version = nullptr;
+  if (rw != nullptr) {
+    if (scc < rw->seminaive.sccs.size()) {
+      const SccPlan& plan = rw->seminaive.sccs[scc];
+      const std::vector<RuleVersion>& table =
+          once ? plan.once : plan.versions;
+      if (index < table.size()) version = &table[index];
+    }
+    if (version == nullptr) {
+      sink->Error(vdiag::kPlanMismatch,
+                  "no matching semi-naive rule version in the plan");
+    } else if (version->rule_index != prog.rule_index) {
+      sink->Error(vdiag::kPlanMismatch,
+                  "rule index " + std::to_string(prog.rule_index) +
+                      " disagrees with the plan version's rule " +
+                      std::to_string(version->rule_index));
+    }
+  }
+
+  for (const Level& lv : prog.levels) {
+    if (lv.pred >= prog.preds.size()) continue;  // structural error already
+    const PredRef& pred = prog.preds[lv.pred];
+    if (rule != nullptr) {
+      if (lv.lit >= rule->body.size()) {
+        sink->Error(vdiag::kOperandBounds,
+                    "scan literal " + std::to_string(lv.lit) +
+                        " out of range (rule body has " +
+                        std::to_string(rule->body.size()) + " literals)");
+      } else if (!(pred == rule->body[lv.lit].pred_ref())) {
+        sink->Error(vdiag::kPlanMismatch,
+                    "scan of " + pred.ToString() + " at literal " +
+                        std::to_string(lv.lit) +
+                        " disagrees with body literal " +
+                        rule->body[lv.lit].pred_ref().ToString());
+      }
+    }
+    if (version != nullptr) {
+      RangeSel want = lv.lit < version->ranges.size()
+                          ? version->ranges[lv.lit]
+                          : RangeSel::kFull;
+      if (lv.window != want) {
+        sink->Error(vdiag::kPlanMismatch,
+                    "window " + std::string(WindowText(lv.window)) +
+                        " at literal " + std::to_string(lv.lit) +
+                        ", plan version says " + WindowText(want));
+      }
+    }
+
+    // CRL302: a probe whose key columns no planned (or declared) argument
+    // index can serve will degrade to a window scan at run time. Only
+    // meaningful when automatic index planning ran; ProbeArgs accepts any
+    // index whose columns are a subset of the probe key.
+    if (lv.scan == Op::kProbeIndex && opts.index_plan_authoritative &&
+        rw != nullptr && !lv.key_cols.empty()) {
+      auto subset_of_key = [&](const std::vector<uint32_t>& cols) {
+        if (cols.empty()) return false;
+        for (uint32_t c : cols) {
+          if (std::find(lv.key_cols.begin(), lv.key_cols.end(), c) ==
+              lv.key_cols.end()) {
+            return false;
+          }
+        }
+        return true;
+      };
+      bool backed = false;
+      for (const PlannedIndex& pi : rw->index_plan) {
+        if (pi.pred == pred && subset_of_key(pi.cols)) {
+          backed = true;
+          break;
+        }
+      }
+      if (!backed && pred == rw->answer_pred &&
+          !rw->bound_positions.empty() &&
+          rw->bound_positions.size() < rw->answer_pred.arity &&
+          subset_of_key(rw->bound_positions)) {
+        backed = true;  // the answer relation is indexed on its adornment
+      }
+      if (!backed && opts.decl != nullptr) {
+        // @make_index declarations attach through the pre-adornment name.
+        Symbol orig = pred.sym;
+        auto oit = rw->original_of.find(pred);
+        if (oit != rw->original_of.end()) orig = oit->second.sym;
+        for (const IndexDecl& decl : opts.decl->indexes) {
+          if (decl.argument_form && decl.pred == orig &&
+              decl.pattern.size() == pred.arity && subset_of_key(decl.cols)) {
+            backed = true;
+            break;
+          }
+        }
+      }
+      if (!backed) {
+        sink->Warn(vdiag::kProbeNoIndex,
+                   "probe of " + pred.ToString() + " on columns " +
+                       ColsText(lv.key_cols) +
+                       " has no backing planned index; degrades to a scan");
+      }
+    }
+  }
+
+  // CRL303: always-fail unification proven by the type lattice. Register
+  // types come from the columns that load them (absint facts for derived
+  // predicates, top for base relations); a meet that is empty after
+  // numeric widening can never succeed at run time.
+  auto col_type = [&](int level, uint32_t col) -> TypeSet {
+    if (opts.facts == nullptr || level < 0 ||
+        level >= static_cast<int>(prog.preds.size())) {
+      return kTypeTop;
+    }
+    const absint::PredFacts* pf = opts.facts->Find(prog.preds[level]);
+    if (pf == nullptr || col >= pf->args.size()) return kTypeTop;
+    return pf->args[col].types;
+  };
+  std::vector<TypeSet> reg_types(prog.nregs, kTypeTop);
+  auto operand_type = [&](const Operand& o) -> TypeSet {
+    if (o.is_const) {
+      return o.index < prog.consts.size() ? TypeOfConst(prog.consts[o.index])
+                                          : kTypeTop;
+    }
+    return o.index < reg_types.size() ? reg_types[o.index] : kTypeTop;
+  };
+  auto disjoint = [](TypeSet a, TypeSet b) {
+    return a != kTypeBottom && b != kTypeBottom &&
+           (WidenNumeric(a) & WidenNumeric(b)) == 0;
+  };
+  int level = -1;
+  for (const Instr& in : prog.code) {
+    switch (in.op) {
+      case Op::kScanFull:
+      case Op::kScanDelta:
+      case Op::kProbeIndex:
+        ++level;
+        break;
+      case Op::kUnifyArg: {
+        TypeSet ct = col_type(level, in.col);
+        switch (in.mode) {
+          case UnifyMode::kLoadReg:
+            if (!in.a.is_const && in.a.index < reg_types.size()) {
+              reg_types[in.a.index] = ct;
+            }
+            break;
+          case UnifyMode::kMatchConst:
+            if (in.a.is_const && in.a.index < prog.consts.size() &&
+                disjoint(TypeOfConst(prog.consts[in.a.index]), ct)) {
+              sink->Warn(vdiag::kAlwaysFailUnify,
+                         "constant " + prog.consts[in.a.index]->ToString() +
+                             " can never match column " +
+                             std::to_string(in.col) + " of " +
+                             (level >= 0 &&
+                                      level < static_cast<int>(
+                                                  prog.preds.size())
+                                  ? prog.preds[level].ToString()
+                                  : "?") +
+                             " (type lattice meet is empty)");
+            }
+            break;
+          case UnifyMode::kCheckReg:
+            if (!in.a.is_const && in.a.index < reg_types.size() &&
+                disjoint(reg_types[in.a.index], ct)) {
+              sink->Warn(vdiag::kAlwaysFailUnify,
+                         "register " + RegName(in.a) +
+                             " can never match column " +
+                             std::to_string(in.col) + " of " +
+                             (level >= 0 &&
+                                      level < static_cast<int>(
+                                                  prog.preds.size())
+                                  ? prog.preds[level].ToString()
+                                  : "?") +
+                             " (type lattice meet is empty)");
+            }
+            break;
+        }
+        break;
+      }
+      case Op::kTestBuiltin: {
+        TypeSet ta = operand_type(in.a);
+        TypeSet tb = operand_type(in.b);
+        bool both_const = in.a.is_const && in.b.is_const &&
+                          in.a.index < prog.consts.size() &&
+                          in.b.index < prog.consts.size();
+        if (in.cmp == CmpOp::kEq) {
+          if (disjoint(ta, tb)) {
+            sink->Warn(vdiag::kAlwaysFailUnify,
+                       "eq of " + RegName(in.a) + " and " + RegName(in.b) +
+                           " can never succeed (disjoint types)");
+          } else if (both_const &&
+                     prog.consts[in.a.index] != prog.consts[in.b.index]) {
+            // Distinct canonical constants of the same non-numeric-mixing
+            // kind are never equal (numerics can equate across kinds).
+            ArgKind ka = prog.consts[in.a.index]->kind();
+            ArgKind kb = prog.consts[in.b.index]->kind();
+            if (ka == kb && (ka == ArgKind::kInt || ka == ArgKind::kString ||
+                             ka == ArgKind::kAtomOrFunctor)) {
+              sink->Warn(vdiag::kAlwaysFailUnify,
+                         "eq of distinct constants " +
+                             prog.consts[in.a.index]->ToString() + " and " +
+                             prog.consts[in.b.index]->ToString() +
+                             " can never succeed");
+            }
+          }
+        } else if (in.cmp == CmpOp::kNe && both_const &&
+                   prog.consts[in.a.index] == prog.consts[in.b.index]) {
+          sink->Warn(vdiag::kAlwaysFailUnify,
+                     "ne of the constant " +
+                         prog.consts[in.a.index]->ToString() +
+                         " with itself can never succeed");
+        }
+        break;
+      }
+      case Op::kProject:
+      case Op::kInsert:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string ModuleAudit::ToString() const {
+  if (verdicts.empty()) return "";
+  std::ostringstream os;
+  os << "programs: " << verified << " verified, " << rejected
+     << " rejected, " << warnings << " warning(s)\n";
+  for (const ProgramVerdict& v : verdicts) {
+    for (const VerifyFinding& f : v.report.findings) {
+      if (f.severity == VerifySeverity::kNote) continue;
+      os << "scc " << v.scc << " " << (v.once ? "once" : "version") << " "
+         << v.index << " rule " << v.rule_index << " head " << v.head << ": "
+         << f.ToString() << "\n";
+    }
+  }
+  return os.str();
+}
+
+ModuleAudit AuditModule(const ModuleProgram& mp, const AuditOptions& opts) {
+  ModuleAudit audit;
+  for (size_t si = 0; si < mp.sccs.size(); ++si) {
+    const SccPrograms& sp = mp.sccs[si];
+    auto table = [&](const std::vector<std::unique_ptr<RuleProgram>>& progs,
+                     bool once) {
+      for (size_t vi = 0; vi < progs.size(); ++vi) {
+        const RuleProgram* rp = progs[vi].get();
+        if (rp == nullptr) continue;  // interpreted version
+        ProgramVerdict v;
+        v.scc = static_cast<uint32_t>(si);
+        v.once = once;
+        v.index = static_cast<uint32_t>(vi);
+        v.rule_index = rp->rule_index;
+        v.head = rp->head_pred.ToString();
+        v.report = VerifyProgram(*rp);
+        if (v.report.ok()) {
+          // Plan-consistency and type checks assume structural validity
+          // (they index by the shapes the structural pass establishes).
+          Sink sink(&v.report);
+          AuditProgram(*rp, once, v.scc, v.index, opts, &sink);
+        }
+        if (v.report.ok()) {
+          ++audit.verified;
+        } else {
+          ++audit.rejected;
+        }
+        audit.warnings += v.report.warning_count();
+        audit.verdicts.push_back(std::move(v));
+      }
+    };
+    table(sp.versions, /*once=*/false);
+    table(sp.once, /*once=*/true);
+  }
+  return audit;
+}
+
+}  // namespace coral::vm

@@ -1,0 +1,153 @@
+// Copyright (c) 1993-style CORAL reproduction authors.
+// Static bytecode verifier and whole-plan auditor for the join VM
+// (docs/VM.md "Verification"). Every compiled RuleProgram must pass
+// VerifyProgram before it is eligible to bind, and Deserialize runs it on
+// untrusted disassembly text, so a miscompiled or corrupted program is
+// rejected with a stable CRL3xx code instead of silently producing wrong
+// answers — the VM-level counterpart of the CRL1xx semantic analyzer and
+// the CRL2xx abstract-interpretation checks on source programs.
+//
+// Two layers:
+//
+//   VerifyProgram  — per-program structural pass over the instruction
+//                    list alone: register dataflow (loaded exactly once
+//                    before any use), operand bounds (const pool,
+//                    registers, pred slots, columns vs predicate arity),
+//                    and shape legality (scans open levels in strictly
+//                    increasing literal order, window/opcode agreement,
+//                    exactly one PROJECT+INSERT tail, head arity).
+//
+//   AuditModule    — whole-module pass that additionally cross-checks
+//                    each program against the rewritten plan it was
+//                    compiled from: rule indexes and head predicates,
+//                    scan windows vs the semi-naive version's ranges
+//                    (SCAN_DELTA only in delta rule versions), probe
+//                    patterns vs the optimizer's planned argument
+//                    indexes (CRL302), and always-fail unifications
+//                    proven by the absint type lattice (CRL303).
+
+#ifndef CORAL_VM_VERIFIER_H_
+#define CORAL_VM_VERIFIER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/analysis/absint.h"
+#include "src/rewrite/rewriter.h"
+#include "src/vm/bytecode.h"
+
+namespace coral::vm {
+
+/// Stable CRL3xx diagnostic codes for bytecode verification; the catalog
+/// lives in docs/LANGUAGE.md alongside CRL1xx/CRL2xx. 30x are findings
+/// about otherwise-valid programs; 31x are hard rejections.
+namespace vdiag {
+/// Program failed verification; runs interpreted (with reason).
+inline constexpr const char* kUnverifiable = "CRL301";
+/// PROBE_INDEX key pattern has no backing planned index; degrades to a
+/// window scan at run time.
+inline constexpr const char* kProbeNoIndex = "CRL302";
+/// Unification or comparison the type lattice proves can never succeed.
+inline constexpr const char* kAlwaysFailUnify = "CRL303";
+/// Register slot allocated but never loaded (note; the compiler numbers
+/// registers by rule variable slot, so unused slots are routine).
+inline constexpr const char* kDeadRegister = "CRL304";
+/// Register dataflow violation: use before load, double load, load of a
+/// constant operand, or register index out of range.
+inline constexpr const char* kRegisterDataflow = "CRL310";
+/// Operand bounds violation: const pool, pred slot, column vs arity,
+/// head operand count, rule index.
+inline constexpr const char* kOperandBounds = "CRL311";
+/// Shape violation: scan order, window/opcode disagreement, misplaced
+/// PROJECT/INSERT, probe without a key column.
+inline constexpr const char* kShape = "CRL312";
+/// Program disagrees with the rewritten plan it claims to implement.
+inline constexpr const char* kPlanMismatch = "CRL313";
+}  // namespace vdiag
+
+/// Hard upper bounds on deserialized programs, so untrusted text cannot
+/// make the verifier (or the executor's bind path) allocate absurdly.
+inline constexpr uint32_t kMaxRegisters = 1u << 20;
+inline constexpr uint32_t kMaxLiterals = 1u << 12;
+
+enum class VerifySeverity : uint8_t { kError, kWarning, kNote };
+
+const char* VerifySeverityName(VerifySeverity s);
+
+struct VerifyFinding {
+  VerifySeverity severity = VerifySeverity::kError;
+  const char* code = "";  // vdiag constant (static storage)
+  std::string message;
+
+  /// "error[CRL310]: check of unloaded register r2" — one line.
+  std::string ToString() const;
+};
+
+/// Findings from verifying one program. A program with no errors is
+/// eligible to bind; warnings and notes are advisory.
+struct VerifyReport {
+  std::vector<VerifyFinding> findings;
+
+  bool ok() const { return error_count() == 0; }
+  size_t error_count() const;
+  size_t warning_count() const;
+  const VerifyFinding* FirstError() const;
+  bool Has(const char* code) const;
+  /// One finding per line, errors first retained in discovery order.
+  std::string ToString() const;
+};
+
+/// Structural verification of one program from its instruction list
+/// alone (no plan context required). Pure; does not touch prog.levels.
+VerifyReport VerifyProgram(const RuleProgram& prog);
+
+struct AuditOptions {
+  /// The rewritten program the module was compiled from; enables the
+  /// plan-consistency checks (rule/head identity, windows vs semi-naive
+  /// ranges, scan literals vs rule bodies). Null: structural pass only.
+  const RewrittenProgram* rewritten = nullptr;
+  /// The module declaration, for @make_index declarations that can back
+  /// a probe the optimizer did not plan for. May be null.
+  const ModuleDecl* decl = nullptr;
+  /// Absint facts over rewritten->rules; enables CRL303 (always-fail
+  /// unify by the type lattice). May be null.
+  const absint::AnalysisResult* facts = nullptr;
+  /// True when automatic index planning ran (rewritten->index_plan is
+  /// the complete probe plan); enables CRL302. When index planning was
+  /// off every probe would trivially lack a backing index, so the check
+  /// stays quiet.
+  bool index_plan_authoritative = false;
+};
+
+/// The verdict on one compiled rule version.
+struct ProgramVerdict {
+  uint32_t scc = 0;
+  bool once = false;     // plan.once (vs plan.versions) table
+  uint32_t index = 0;    // slot within the table
+  uint32_t rule_index = 0;
+  std::string head;      // "p/2"
+  VerifyReport report;
+};
+
+/// Whole-module audit result: one verdict per compiled program.
+struct ModuleAudit {
+  std::vector<ProgramVerdict> verdicts;
+  uint64_t verified = 0;  // programs with no errors
+  uint64_t rejected = 0;  // programs with errors (must not bind)
+  uint64_t warnings = 0;  // warning findings across all programs
+
+  bool ok() const { return rejected == 0; }
+  /// Summary line plus one line per non-note finding; "" when the module
+  /// has no compiled programs.
+  std::string ToString() const;
+};
+
+/// Runs VerifyProgram on every compiled program of `mp` plus the plan-
+/// consistency checks AuditOptions enables. Null table entries
+/// (interpreted versions) are skipped.
+ModuleAudit AuditModule(const ModuleProgram& mp, const AuditOptions& opts);
+
+}  // namespace coral::vm
+
+#endif  // CORAL_VM_VERIFIER_H_

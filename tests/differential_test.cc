@@ -21,6 +21,7 @@
 #include "src/rewrite/rewriter.h"
 #include "src/vm/bytecode.h"
 #include "src/vm/compiler.h"
+#include "src/vm/verifier.h"
 
 namespace coral {
 namespace {
@@ -886,6 +887,50 @@ TEST(VmBytecodeRoundTrip, DisassembleDeserializeIsFixedPoint) {
     }
   }
   // The property must have been exercised on real programs.
+  EXPECT_GT(compiled, 100u);
+}
+
+// Verifier soundness over the same fuzzed corpus: every program the
+// compiler emits must pass the static verifier and the whole-plan audit
+// with zero errors (docs/VM.md "Verification") — the verify-after-compile
+// gate must never reject legitimate compiler output.
+TEST(VmVerifierProperty, CompilerOutputAlwaysVerifies) {
+  static const char* kStrategies[] = {"", "@psn.", "@naive.",
+                                      "@no_rewriting.", "@magic."};
+  uint64_t compiled = 0;
+  for (uint64_t seed = 9000; seed <= 9099; ++seed) {
+    Lcg rng(seed);
+    std::vector<GRule> rules =
+        GenProgram(&rng, /*with_negation=*/rng.Next(2) == 1);
+    if (rules.empty()) continue;
+    Db base = GenBaseFacts(&rng);
+    std::string text =
+        ProgramText(rules, base, kStrategies[rng.Next(5)]);
+
+    TermFactory factory;
+    Parser parser(text, &factory);
+    auto prog = parser.ParseProgram();
+    ASSERT_TRUE(prog.ok()) << prog.status().ToString() << "\n" << text;
+    ASSERT_EQ(prog->modules.size(), 1u);
+    const ModuleDecl& decl = prog->modules[0];
+
+    RewriteOptions ropts;
+    for (const QueryFormDecl& form : decl.exports) {
+      auto rewritten = RewriteModule(decl, form, &factory, ropts);
+      if (!rewritten.ok()) continue;  // unrewritable form: nothing compiled
+      vm::CompileEnv cenv;
+      vm::ModuleProgram mp = vm::CompileModule(*rewritten, decl, cenv);
+      vm::AuditOptions opts;
+      opts.rewritten = &*rewritten;
+      opts.decl = &decl;
+      opts.index_plan_authoritative = true;
+      vm::ModuleAudit audit = vm::AuditModule(mp, opts);
+      EXPECT_TRUE(audit.ok())
+          << "seed " << seed << "\n" << audit.ToString() << text;
+      EXPECT_EQ(audit.rejected, 0u) << "seed " << seed;
+      compiled += audit.verified;
+    }
+  }
   EXPECT_GT(compiled, 100u);
 }
 

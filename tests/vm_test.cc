@@ -48,12 +48,14 @@ TEST(VmDisassemblyGolden, TransitiveClosure) {
   ASSERT_TRUE(st.ok()) << st.status().ToString();
   EXPECT_EQ(BytecodeSection(&db, "tc", "path", "bf"),
             "scc 0 version 0 delta=0\n"
+            "coralbc 1\n"
             "rule 1 head m_path@bf/1 regs 3\n"
             "  SCAN_DELTA lit=0 rel=m_path@bf/1 window=delta\n"
             "  UNIFY_ARG col=0 load r0\n"
             "  PROJECT r0\n"
             "  INSERT m_path@bf/1\n"
             "scc 1 version 0 delta=0\n"
+            "coralbc 1\n"
             "rule 0 head path@bf/2 regs 2\n"
             "  SCAN_DELTA lit=0 rel=m_path@bf/1 window=delta\n"
             "  UNIFY_ARG col=0 load r0\n"
@@ -63,6 +65,7 @@ TEST(VmDisassemblyGolden, TransitiveClosure) {
             "  PROJECT r0 r1\n"
             "  INSERT path@bf/2\n"
             "scc 1 version 1 delta=0\n"
+            "coralbc 1\n"
             "rule 2 head path@bf/2 regs 3\n"
             "  SCAN_DELTA lit=0 rel=m_path@bf/1 window=delta\n"
             "  UNIFY_ARG col=0 load r0\n"
@@ -75,6 +78,7 @@ TEST(VmDisassemblyGolden, TransitiveClosure) {
             "  PROJECT r0 r1\n"
             "  INSERT path@bf/2\n"
             "scc 1 version 2 delta=1\n"
+            "coralbc 1\n"
             "rule 2 head path@bf/2 regs 3\n"
             "  SCAN_FULL lit=0 rel=m_path@bf/1 window=full\n"
             "  UNIFY_ARG col=0 load r0\n"
@@ -102,6 +106,7 @@ TEST(VmDisassemblyGolden, SameGeneration) {
   // the recursive call; the recursive version probes sg by its delta.
   EXPECT_EQ(BytecodeSection(&db, "sg", "sg", "bf"),
             "scc 0 version 0 delta=0\n"
+            "coralbc 1\n"
             "rule 1 head sup@2_1_sg@bf/2 regs 4\n"
             "  SCAN_DELTA lit=0 rel=m_sg@bf/1 window=delta\n"
             "  UNIFY_ARG col=0 load r0\n"
@@ -111,6 +116,7 @@ TEST(VmDisassemblyGolden, SameGeneration) {
             "  PROJECT r0 r2\n"
             "  INSERT sup@2_1_sg@bf/2\n"
             "scc 0 version 1 delta=0\n"
+            "coralbc 1\n"
             "rule 2 head m_sg@bf/1 regs 4\n"
             "  SCAN_DELTA lit=0 rel=sup@2_1_sg@bf/2 window=delta\n"
             "  UNIFY_ARG col=0 load r0\n"
@@ -118,6 +124,7 @@ TEST(VmDisassemblyGolden, SameGeneration) {
             "  PROJECT r2\n"
             "  INSERT m_sg@bf/1\n"
             "scc 1 version 0 delta=0\n"
+            "coralbc 1\n"
             "rule 0 head sg@bf/2 regs 2\n"
             "  SCAN_DELTA lit=0 rel=m_sg@bf/1 window=delta\n"
             "  UNIFY_ARG col=0 load r0\n"
@@ -127,6 +134,7 @@ TEST(VmDisassemblyGolden, SameGeneration) {
             "  PROJECT r0 r1\n"
             "  INSERT sg@bf/2\n"
             "scc 1 version 1 delta=1\n"
+            "coralbc 1\n"
             "rule 3 head sg@bf/2 regs 4\n"
             "  SCAN_FULL lit=0 rel=sup@2_1_sg@bf/2 window=full\n"
             "  UNIFY_ARG col=0 load r0\n"
@@ -154,6 +162,7 @@ TEST(VmDisassemblyGolden, MagicAncestor) {
   ASSERT_TRUE(st.ok()) << st.status().ToString();
   EXPECT_EQ(BytecodeSection(&db, "m", "anc", "bf"),
             "scc 0 version 0 delta=0\n"
+            "coralbc 1\n"
             "rule 1 head m_anc@bf/1 regs 3\n"
             "  SCAN_DELTA lit=0 rel=m_anc@bf/1 window=delta\n"
             "  UNIFY_ARG col=0 load r0\n"
@@ -163,6 +172,7 @@ TEST(VmDisassemblyGolden, MagicAncestor) {
             "  PROJECT r2\n"
             "  INSERT m_anc@bf/1\n"
             "scc 1 version 0 delta=0\n"
+            "coralbc 1\n"
             "rule 0 head anc@bf/2 regs 2\n"
             "  SCAN_DELTA lit=0 rel=m_anc@bf/1 window=delta\n"
             "  UNIFY_ARG col=0 load r0\n"
@@ -172,6 +182,7 @@ TEST(VmDisassemblyGolden, MagicAncestor) {
             "  PROJECT r0 r1\n"
             "  INSERT anc@bf/2\n"
             "scc 1 version 1 delta=0\n"
+            "coralbc 1\n"
             "rule 2 head anc@bf/2 regs 3\n"
             "  SCAN_DELTA lit=0 rel=m_anc@bf/1 window=delta\n"
             "  UNIFY_ARG col=0 load r0\n"
@@ -184,6 +195,7 @@ TEST(VmDisassemblyGolden, MagicAncestor) {
             "  PROJECT r0 r1\n"
             "  INSERT anc@bf/2\n"
             "scc 1 version 2 delta=2\n"
+            "coralbc 1\n"
             "rule 2 head anc@bf/2 regs 3\n"
             "  SCAN_FULL lit=0 rel=m_anc@bf/1 window=full\n"
             "  UNIFY_ARG col=0 load r0\n"
@@ -211,6 +223,7 @@ TEST(VmDisassemblyGolden, ConstantMatchAndBuiltin) {
   // scan a probe even though only a constant (no register) is the key.
   EXPECT_EQ(BytecodeSection(&db, "ct", "p", "f"),
             "scc 0 once 0 delta=-1\n"
+            "coralbc 1\n"
             "rule 0 head p/1 regs 1\n"
             "  const c0 = 5\n"
             "  PROBE_INDEX lit=0 rel=e/2 window=full\n"
@@ -282,6 +295,7 @@ TEST(VmExecutionTrace, ComparisonBuiltinCounters) {
   ASSERT_TRUE(st.ok()) << st.status().ToString();
   EXPECT_EQ(BytecodeSection(&db, "cmp", "p", "ff"),
             "scc 0 once 0 delta=-1\n"
+            "coralbc 1\n"
             "rule 0 head p/2 regs 2\n"
             "  SCAN_FULL lit=0 rel=e/2 window=full\n"
             "  UNIFY_ARG col=0 load r0\n"
@@ -450,6 +464,134 @@ TEST(VmFallback, ProbeDegradesToScanWithoutIndex) {
   EXPECT_EQ(Count(c.runtime_fallbacks), 0u);
   EXPECT_GT(Count(c.probe_scan_fallbacks), 0u);
   EXPECT_EQ(Count(c.probe_scan_fallbacks), Count(c.scan_full) - 1);
+}
+
+// ---------------------------------------------------------------------
+// Deserialize hardening: malformed or corrupt bytecode text must be
+// refused with InvalidArgument at parse time — it never reaches the
+// executor (docs/VM.md "Verification")
+// ---------------------------------------------------------------------
+
+// A minimal well-formed program every mutation below starts from.
+constexpr char kGoodProgram[] =
+    "coralbc 1\n"
+    "rule 0 head p/2 regs 2\n"
+    "  SCAN_FULL lit=0 rel=e/2 window=full\n"
+    "  UNIFY_ARG col=0 load r0\n"
+    "  UNIFY_ARG col=1 load r1\n"
+    "  PROJECT r0 r1\n"
+    "  INSERT p/2\n";
+
+TEST(VmDeserializeHardening, WellFormedProgramRoundTrips) {
+  Database db;
+  auto prog = vm::Deserialize(kGoodProgram, db.factory());
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  EXPECT_EQ(vm::Disassemble(*prog), kGoodProgram);
+}
+
+// Replaces the first occurrence of `from` in kGoodProgram with `to` and
+// expects Deserialize to refuse the result with a message containing
+// `why`.
+void ExpectRejected(const std::string& from, const std::string& to,
+                    const std::string& why) {
+  std::string text = kGoodProgram;
+  size_t pos = text.find(from);
+  ASSERT_NE(pos, std::string::npos) << from;
+  text.replace(pos, from.size(), to);
+  Database db;
+  auto prog = vm::Deserialize(text, db.factory());
+  ASSERT_FALSE(prog.ok()) << "accepted: " << text;
+  EXPECT_EQ(prog.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(prog.status().message().find(why), std::string::npos)
+      << prog.status().ToString();
+}
+
+TEST(VmDeserializeHardening, MissingFormatHeader) {
+  ExpectRejected("coralbc 1\n", "", "coralbc");
+}
+
+TEST(VmDeserializeHardening, WrongFormatVersion) {
+  ExpectRejected("coralbc 1", "coralbc 2", "unsupported bytecode format");
+}
+
+TEST(VmDeserializeHardening, HeaderMustComeFirst) {
+  Database db;
+  std::string text = std::string("rule 0 head p/1 regs 1\n") + kGoodProgram;
+  auto prog = vm::Deserialize(text, db.factory());
+  ASSERT_FALSE(prog.ok());
+  EXPECT_NE(prog.status().message().find("coralbc"), std::string::npos);
+}
+
+TEST(VmDeserializeHardening, RegisterCountOverflow) {
+  ExpectRejected("regs 2", "regs 99999999999", "bad rule header");
+}
+
+TEST(VmDeserializeHardening, RegisterCountImplausible) {
+  ExpectRejected("regs 2", "regs 2000000", "implausible register count");
+}
+
+TEST(VmDeserializeHardening, OutOfRangeRegisterOperand) {
+  ExpectRejected("load r1", "load r7", "operand out of range");
+}
+
+TEST(VmDeserializeHardening, OutOfRangeConstOperand) {
+  // The const pool is empty, so any match refers past its end.
+  ExpectRejected("load r1", "match c0", "operand out of range");
+}
+
+TEST(VmDeserializeHardening, NonIncreasingScanLiterals) {
+  ExpectRejected("PROJECT r0 r1",
+                 "SCAN_FULL lit=0 rel=f/2 window=full\n  PROJECT r0 r1",
+                 "strictly increasing literals");
+}
+
+TEST(VmDeserializeHardening, DuplicateProject) {
+  ExpectRejected("PROJECT r0 r1", "PROJECT r0 r1\n  PROJECT r0",
+                 "duplicate PROJECT");
+}
+
+TEST(VmDeserializeHardening, DuplicateRuleHeader) {
+  ExpectRejected("  SCAN_FULL", "rule 1 head p/2 regs 2\n  SCAN_FULL",
+                 "bad rule header");
+}
+
+TEST(VmDeserializeHardening, InsertPredMustMatchHead) {
+  ExpectRejected("INSERT p/2", "INSERT q/2", "bad INSERT");
+}
+
+TEST(VmDeserializeHardening, UnknownOpcode) {
+  ExpectRejected("PROJECT r0 r1", "FROBNICATE r0", "unknown opcode");
+}
+
+TEST(VmDeserializeHardening, UseOfUnloadedRegisterFailsVerifier) {
+  // Reading a register no instruction loaded is refused (BuildLevels
+  // catches it structurally; the verifier's CRL310 pass backstops it).
+  ExpectRejected("col=1 load r1", "col=1 check r1", "unloaded register");
+}
+
+TEST(VmDeserializeHardening, DeltaScanInNonDeltaWindowFailsVerifier) {
+  // SCAN_DELTA over a full window is shape-invalid (CRL312): delta scans
+  // exist only in delta rule versions.
+  ExpectRejected("SCAN_FULL lit=0 rel=e/2 window=full",
+                 "SCAN_DELTA lit=0 rel=e/2 window=full",
+                 "verifier rejected");
+}
+
+TEST(VmDeserializeHardening, NonGroundConstRejected) {
+  std::string text =
+      "coralbc 1\n"
+      "rule 0 head p/1 regs 1\n"
+      "  const c0 = f(X)\n"
+      "  SCAN_FULL lit=0 rel=e/1 window=full\n"
+      "  UNIFY_ARG col=0 load r0\n"
+      "  PROJECT r0\n"
+      "  INSERT p/1\n";
+  Database db;
+  auto prog = vm::Deserialize(text, db.factory());
+  ASSERT_FALSE(prog.ok());
+  EXPECT_NE(prog.status().message().find("non-ground const"),
+            std::string::npos)
+      << prog.status().ToString();
 }
 
 }  // namespace

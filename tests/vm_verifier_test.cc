@@ -1,0 +1,463 @@
+// Mutation-kill tests for the static bytecode verifier (docs/VM.md
+// "Verification"): every compiler-produced program for the canonical
+// recursive modules is corrupted field by field, and each mutant must be
+// rejected with the expected CRL3xx diagnostic — before anything binds.
+// The whole-plan auditor (AuditModule) is exercised the same way for the
+// plan-consistency (CRL313), probe-index (CRL302), and type-lattice
+// (CRL303) passes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/lang/parser.h"
+#include "src/rewrite/rewriter.h"
+#include "src/vm/bytecode.h"
+#include "src/vm/compiler.h"
+#include "src/vm/verifier.h"
+
+namespace coral {
+namespace {
+
+// The golden modules of vm_test, spanning the interesting shapes: plain
+// recursion, supplementary magic, @magic, and a constant-match body.
+constexpr char kTransitiveClosure[] = R"(
+  module tc.
+  export path(bf).
+  path(X, Y) :- edge(X, Y).
+  path(X, Y) :- path(X, Z), edge(Z, Y).
+  end_module.
+)";
+
+constexpr char kSameGeneration[] = R"(
+  module sg.
+  export sg(bf).
+  sg(X, Y) :- flat(X, Y).
+  sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+  end_module.
+)";
+
+constexpr char kMagicAncestor[] = R"(
+  module m.
+  export anc(bf).
+  @magic.
+  anc(X, Y) :- par(X, Y).
+  anc(X, Y) :- par(X, Z), anc(Z, Y).
+  end_module.
+)";
+
+constexpr char kConstantMatch[] = R"(
+  module ct.
+  export p(f).
+  @no_rewriting.
+  p(X) :- e(X, 5).
+  end_module.
+)";
+
+/// One module compiled the way the engine compiles it; owns everything
+/// the audit needs to stay alive.
+struct CompiledForm {
+  std::unique_ptr<TermFactory> factory;
+  Program program;
+  std::unique_ptr<RewrittenProgram> rewritten;
+  vm::ModuleProgram mp;
+};
+
+void CompileText(const std::string& text, CompiledForm* out) {
+  out->factory = std::make_unique<TermFactory>();
+  Parser parser(text, out->factory.get());
+  auto prog = parser.ParseProgram();
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  ASSERT_EQ(prog->modules.size(), 1u);
+  out->program = std::move(*prog);
+  const ModuleDecl& decl = out->program.modules[0];
+  ASSERT_FALSE(decl.exports.empty());
+  RewriteOptions ropts;
+  auto rewritten =
+      RewriteModule(decl, decl.exports[0], out->factory.get(), ropts);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  out->rewritten = std::make_unique<RewrittenProgram>(std::move(*rewritten));
+  vm::CompileEnv cenv;  // default callbacks: nothing external
+  out->mp = vm::CompileModule(*out->rewritten, decl, cenv);
+  ASSERT_GT(out->mp.compiled, 0u);
+}
+
+/// Every compiled program of a module, in a stable order.
+std::vector<vm::RuleProgram*> Programs(vm::ModuleProgram* mp) {
+  std::vector<vm::RuleProgram*> out;
+  for (vm::SccPrograms& sp : mp->sccs) {
+    for (auto* table : {&sp.versions, &sp.once}) {
+      for (auto& rp : *table) {
+        if (rp != nullptr) out.push_back(rp.get());
+      }
+    }
+  }
+  return out;
+}
+
+bool HasError(const vm::VerifyReport& r, const char* code) {
+  for (const vm::VerifyFinding& f : r.findings) {
+    if (f.severity == vm::VerifySeverity::kError &&
+        std::string_view(f.code) == code) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Applies one mutation to a copy of `prog` and requires the verifier to
+/// reject it with an error carrying `code`. Returns 1 (a killed mutant)
+/// so call sites tally coverage.
+template <typename Fn>
+size_t Killed(const vm::RuleProgram& prog, const char* code, Fn mutate) {
+  vm::RuleProgram m = prog;
+  mutate(&m);
+  vm::VerifyReport r = vm::VerifyProgram(m);
+  EXPECT_FALSE(r.ok()) << "mutant survived (" << code << "):\n"
+                       << vm::Disassemble(m);
+  EXPECT_TRUE(HasError(r, code))
+      << "expected " << code << ", got:\n"
+      << r.ToString() << "program:\n"
+      << vm::Disassemble(m);
+  return 1;
+}
+
+/// Corrupts every corruptible field of one program, pairing each mutation
+/// class with the CRL3xx code the verifier must emit.
+size_t MutateProgram(const vm::RuleProgram& prog) {
+  namespace vd = vm::vdiag;
+  size_t mutants = 0;
+
+  // Whole-program shape and bounds.
+  mutants += Killed(prog, vd::kOperandBounds,
+                    [](vm::RuleProgram* m) { m->nregs = vm::kMaxRegisters + 1; });
+  mutants += Killed(prog, vd::kShape,
+                    [](vm::RuleProgram* m) { m->code.clear(); });
+  // Dropping INSERT leaves PROJECT mis-positioned; dropping both loses
+  // the tail entirely.
+  mutants += Killed(prog, vd::kShape,
+                    [](vm::RuleProgram* m) { m->code.pop_back(); });
+  mutants += Killed(prog, vd::kShape, [](vm::RuleProgram* m) {
+    m->code.pop_back();
+    m->code.pop_back();
+  });
+  // An extra head operand breaks the head-arity agreement.
+  mutants += Killed(prog, vd::kOperandBounds, [](vm::RuleProgram* m) {
+    m->head.push_back(vm::Operand{});
+  });
+  // A truncated pred table orphans the last scan level.
+  mutants += Killed(prog, vd::kOperandBounds,
+                    [](vm::RuleProgram* m) { m->preds.pop_back(); });
+  if (!prog.consts.empty()) {
+    mutants += Killed(prog, vd::kOperandBounds,
+                      [](vm::RuleProgram* m) { m->consts[0] = nullptr; });
+  }
+  if (!prog.head.empty() && !prog.head[0].is_const) {
+    mutants += Killed(prog, vd::kRegisterDataflow, [](vm::RuleProgram* m) {
+      m->head[0].index = m->nregs;
+    });
+  }
+
+  // Per-instruction field corruption.
+  bool first_scan = true;
+  for (size_t i = 0; i < prog.code.size(); ++i) {
+    const vm::Instr& in = prog.code[i];
+    switch (in.op) {
+      case vm::Op::kScanFull:
+      case vm::Op::kScanDelta:
+      case vm::Op::kProbeIndex:
+        mutants += Killed(prog, vd::kOperandBounds, [i](vm::RuleProgram* m) {
+          m->code[i].pred = static_cast<uint32_t>(m->preds.size());
+        });
+        mutants += Killed(prog, vd::kShape, [i](vm::RuleProgram* m) {
+          m->code[i].lit = vm::kMaxLiterals;
+        });
+        if (!first_scan && in.lit > 0) {
+          // Re-opening an already-passed literal index.
+          mutants += Killed(prog, vd::kShape, [i](vm::RuleProgram* m) {
+            m->code[i].lit = 0;
+          });
+        }
+        if (in.op == vm::Op::kScanDelta) {
+          mutants += Killed(prog, vd::kShape, [i](vm::RuleProgram* m) {
+            m->code[i].window = RangeSel::kFull;
+          });
+        }
+        if (in.op == vm::Op::kScanFull) {
+          mutants += Killed(prog, vd::kShape, [i](vm::RuleProgram* m) {
+            m->code[i].window = RangeSel::kDelta;
+          });
+        }
+        first_scan = false;
+        break;
+      case vm::Op::kUnifyArg:
+        mutants += Killed(prog, vd::kOperandBounds, [i](vm::RuleProgram* m) {
+          m->code[i].col = 200;  // far beyond any test predicate's arity
+        });
+        switch (in.mode) {
+          case vm::UnifyMode::kLoadReg:
+            mutants +=
+                Killed(prog, vd::kRegisterDataflow, [i](vm::RuleProgram* m) {
+                  m->code[i].a.index = m->nregs;
+                });
+            mutants +=
+                Killed(prog, vd::kRegisterDataflow, [i](vm::RuleProgram* m) {
+                  m->code[i].a.is_const = true;
+                });
+            break;
+          case vm::UnifyMode::kMatchConst:
+            mutants +=
+                Killed(prog, vd::kOperandBounds, [i](vm::RuleProgram* m) {
+                  m->code[i].a.is_const = false;
+                });
+            mutants +=
+                Killed(prog, vd::kOperandBounds, [i](vm::RuleProgram* m) {
+                  m->code[i].a.index =
+                      static_cast<uint32_t>(m->consts.size());
+                });
+            break;
+          case vm::UnifyMode::kCheckReg:
+            mutants +=
+                Killed(prog, vd::kRegisterDataflow, [i](vm::RuleProgram* m) {
+                  m->code[i].a.index = m->nregs;
+                });
+            // A check implies the register is already loaded, so turning
+            // the check into a load violates load-exactly-once.
+            mutants +=
+                Killed(prog, vd::kRegisterDataflow, [i](vm::RuleProgram* m) {
+                  m->code[i].mode = vm::UnifyMode::kLoadReg;
+                });
+            break;
+        }
+        break;
+      case vm::Op::kTestBuiltin:
+        for (auto field : {&vm::Instr::a, &vm::Instr::b}) {
+          const vm::Operand& o = in.*field;
+          mutants += Killed(
+              prog, o.is_const ? vd::kOperandBounds : vd::kRegisterDataflow,
+              [i, field](vm::RuleProgram* m) {
+                vm::Operand& mo = m->code[i].*field;
+                mo.index = mo.is_const
+                               ? static_cast<uint32_t>(m->consts.size())
+                               : m->nregs;
+              });
+        }
+        break;
+      case vm::Op::kProject:
+        // INSERT before PROJECT: the tail must close in order.
+        if (i + 1 < prog.code.size()) {
+          mutants += Killed(prog, vd::kShape, [i](vm::RuleProgram* m) {
+            std::swap(m->code[i], m->code[i + 1]);
+          });
+        }
+        break;
+      case vm::Op::kInsert:
+        break;
+    }
+  }
+  return mutants;
+}
+
+TEST(VmVerifierMutation, EveryCorruptedFieldIsRejected) {
+  size_t mutants = 0;
+  for (const char* source : {kTransitiveClosure, kSameGeneration,
+                             kMagicAncestor, kConstantMatch}) {
+    CompiledForm cf;
+    CompileText(source, &cf);
+    if (::testing::Test::HasFatalFailure()) return;
+    for (vm::RuleProgram* rp : Programs(&cf.mp)) {
+      // The unmutated program is clean (modulo dead-register notes).
+      EXPECT_TRUE(vm::VerifyProgram(*rp).ok()) << vm::Disassemble(*rp);
+      mutants += MutateProgram(*rp);
+    }
+  }
+  // The matrix must be a real gauntlet, not a handful of spot checks.
+  EXPECT_GT(mutants, 100u);
+}
+
+// Every mutant must also be unserializable: Disassemble the corrupt
+// program and Deserialize must refuse it (operand mutations) or the
+// verifier embedded in Deserialize must (shape mutations). Spot-check
+// the classes whose disassembly is still parseable text.
+TEST(VmVerifierMutation, MutantsDoNotRoundTripThroughDeserialize) {
+  CompiledForm cf;
+  CompileText(kTransitiveClosure, &cf);
+  if (::testing::Test::HasFatalFailure()) return;
+  std::vector<vm::RuleProgram*> progs = Programs(&cf.mp);
+  ASSERT_FALSE(progs.empty());
+  size_t checked = 0;
+  for (vm::RuleProgram* rp : progs) {
+    for (size_t i = 0; i < rp->code.size(); ++i) {
+      if (rp->code[i].op != vm::Op::kScanDelta) continue;
+      vm::RuleProgram m = *rp;
+      m.code[i].window = RangeSel::kFull;  // SCAN_DELTA window=full
+      auto back = vm::Deserialize(vm::Disassemble(m), cf.factory.get());
+      EXPECT_FALSE(back.ok()) << vm::Disassemble(m);
+      ++checked;
+    }
+    if (rp->code.size() >= 2) {
+      vm::RuleProgram m = *rp;
+      m.code.pop_back();  // drop INSERT: no PROJECT/INSERT tail
+      auto back = vm::Deserialize(vm::Disassemble(m), cf.factory.get());
+      EXPECT_FALSE(back.ok()) << vm::Disassemble(m);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Whole-plan audit: CRL313 plan consistency, CRL302 probe-vs-index,
+// CRL303 type lattice
+// ---------------------------------------------------------------------
+
+bool AnyVerdictHas(const vm::ModuleAudit& audit, const char* code) {
+  for (const vm::ProgramVerdict& v : audit.verdicts) {
+    if (v.report.Has(code)) return true;
+  }
+  return false;
+}
+
+TEST(VmVerifierAudit, CleanCompileAuditsClean) {
+  for (const char* source : {kTransitiveClosure, kSameGeneration,
+                             kMagicAncestor, kConstantMatch}) {
+    CompiledForm cf;
+    CompileText(source, &cf);
+    if (::testing::Test::HasFatalFailure()) return;
+    vm::AuditOptions opts;
+    opts.rewritten = cf.rewritten.get();
+    opts.decl = &cf.program.modules[0];
+    opts.index_plan_authoritative = true;
+    vm::ModuleAudit audit = vm::AuditModule(cf.mp, opts);
+    EXPECT_TRUE(audit.ok()) << audit.ToString();
+    EXPECT_EQ(audit.rejected, 0u);
+    EXPECT_EQ(audit.warnings, 0u) << audit.ToString();
+    EXPECT_GT(audit.verified, 0u);
+  }
+}
+
+TEST(VmVerifierAudit, RuleIndexOutOfRangeIsRejected) {
+  CompiledForm cf;
+  CompileText(kTransitiveClosure, &cf);
+  if (::testing::Test::HasFatalFailure()) return;
+  std::vector<vm::RuleProgram*> progs = Programs(&cf.mp);
+  ASSERT_FALSE(progs.empty());
+  progs[0]->rule_index += 1000;
+  vm::AuditOptions opts;
+  opts.rewritten = cf.rewritten.get();
+  vm::ModuleAudit audit = vm::AuditModule(cf.mp, opts);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_EQ(audit.rejected, 1u);
+  EXPECT_TRUE(AnyVerdictHas(audit, vm::vdiag::kOperandBounds))
+      << audit.ToString();
+}
+
+TEST(VmVerifierAudit, WindowDisagreeingWithPlanIsRejected) {
+  CompiledForm cf;
+  CompileText(kTransitiveClosure, &cf);
+  if (::testing::Test::HasFatalFailure()) return;
+  // Flip one full-window probe to the old window: structurally legal, but
+  // it no longer implements the semi-naive version it claims to.
+  bool flipped = false;
+  for (vm::RuleProgram* rp : Programs(&cf.mp)) {
+    for (vm::Instr& in : rp->code) {
+      if (in.op == vm::Op::kProbeIndex && in.window == RangeSel::kFull) {
+        in.window = RangeSel::kOld;
+        ASSERT_TRUE(vm::BuildLevels(rp).ok());
+        flipped = true;
+        break;
+      }
+    }
+    if (flipped) break;
+  }
+  ASSERT_TRUE(flipped);
+  vm::AuditOptions opts;
+  opts.rewritten = cf.rewritten.get();
+  vm::ModuleAudit audit = vm::AuditModule(cf.mp, opts);
+  EXPECT_FALSE(audit.ok());
+  EXPECT_TRUE(AnyVerdictHas(audit, vm::vdiag::kPlanMismatch))
+      << audit.ToString();
+}
+
+TEST(VmVerifierAudit, ProbeWithoutPlannedIndexWarnsCRL302) {
+  CompiledForm cf;
+  CompileText(kTransitiveClosure, &cf);
+  if (::testing::Test::HasFatalFailure()) return;
+  // Discard the optimizer's index plan while claiming it is
+  // authoritative: the probes of edge/2 lose their backing index.
+  cf.rewritten->index_plan.clear();
+  vm::AuditOptions opts;
+  opts.rewritten = cf.rewritten.get();
+  opts.decl = &cf.program.modules[0];
+  opts.index_plan_authoritative = true;
+  vm::ModuleAudit audit = vm::AuditModule(cf.mp, opts);
+  EXPECT_TRUE(audit.ok());  // a degraded probe still runs correctly
+  EXPECT_GT(audit.warnings, 0u);
+  EXPECT_TRUE(AnyVerdictHas(audit, vm::vdiag::kProbeNoIndex))
+      << audit.ToString();
+}
+
+TEST(VmVerifierAudit, AlwaysFailComparisonWarnsCRL303) {
+  CompiledForm cf;
+  CompileText(kTransitiveClosure, &cf);
+  if (::testing::Test::HasFatalFailure()) return;
+  std::vector<vm::RuleProgram*> progs = Programs(&cf.mp);
+  ASSERT_FALSE(progs.empty());
+  vm::RuleProgram* rp = progs[0];
+  // Graft "1 = 2" into the innermost level: two distinct canonical int
+  // constants compared for equality can never succeed.
+  uint32_t vars = 0;
+  auto one = Parser::ParseTerm("1", cf.factory.get(), &vars);
+  auto two = Parser::ParseTerm("2", cf.factory.get(), &vars);
+  ASSERT_TRUE(one.ok() && two.ok());
+  uint32_t c1 = static_cast<uint32_t>(rp->consts.size());
+  rp->consts.push_back(*one);
+  rp->consts.push_back(*two);
+  vm::Instr test;
+  test.op = vm::Op::kTestBuiltin;
+  test.cmp = vm::CmpOp::kEq;
+  test.a = vm::Operand{true, c1};
+  test.b = vm::Operand{true, c1 + 1};
+  ASSERT_GE(rp->code.size(), 2u);
+  rp->code.insert(rp->code.end() - 2, test);  // before PROJECT
+  ASSERT_TRUE(vm::BuildLevels(rp).ok());
+  vm::AuditOptions opts;
+  opts.rewritten = cf.rewritten.get();
+  vm::ModuleAudit audit = vm::AuditModule(cf.mp, opts);
+  EXPECT_GT(audit.warnings, 0u);
+  EXPECT_TRUE(AnyVerdictHas(audit, vm::vdiag::kAlwaysFailUnify))
+      << audit.ToString();
+}
+
+TEST(VmVerifierAudit, SelfInequalityWarnsCRL303) {
+  CompiledForm cf;
+  CompileText(kTransitiveClosure, &cf);
+  if (::testing::Test::HasFatalFailure()) return;
+  std::vector<vm::RuleProgram*> progs = Programs(&cf.mp);
+  ASSERT_FALSE(progs.empty());
+  vm::RuleProgram* rp = progs[0];
+  uint32_t vars = 0;
+  auto one = Parser::ParseTerm("1", cf.factory.get(), &vars);
+  ASSERT_TRUE(one.ok());
+  uint32_t c = static_cast<uint32_t>(rp->consts.size());
+  rp->consts.push_back(*one);
+  vm::Instr test;
+  test.op = vm::Op::kTestBuiltin;
+  test.cmp = vm::CmpOp::kNe;
+  test.a = vm::Operand{true, c};
+  test.b = vm::Operand{true, c};  // the same canonical constant
+  ASSERT_GE(rp->code.size(), 2u);
+  rp->code.insert(rp->code.end() - 2, test);
+  ASSERT_TRUE(vm::BuildLevels(rp).ok());
+  vm::AuditOptions opts;
+  opts.rewritten = cf.rewritten.get();
+  vm::ModuleAudit audit = vm::AuditModule(cf.mp, opts);
+  EXPECT_TRUE(AnyVerdictHas(audit, vm::vdiag::kAlwaysFailUnify))
+      << audit.ToString();
+}
+
+}  // namespace
+}  // namespace coral

@@ -17,14 +17,20 @@
 // warnings are errors and exit 2.
 
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "src/analysis/analyzer.h"
 #include <coral/coral.h>
 #include "src/lang/parser.h"
+#include "src/rewrite/rewriter.h"
+#include "src/vm/compiler.h"
+#include "src/vm/verifier.h"
 
 namespace {
 
@@ -39,6 +45,109 @@ std::string Render(const std::string& file, const coral::Diagnostic& d) {
   oss << d.message;
   if (d.code != nullptr && d.code[0] != '\0') oss << " [" << d.code << "]";
   return oss.str();
+}
+
+/// Bytecode-verifier findings (CRL3xx, src/vm/verifier.h) as lint rows:
+/// compiles every export form of every materialized module the same way
+/// the engine would and audits the result. A program the verifier
+/// rejects runs interpreted (correct, just slower), so CRL301 is a
+/// warning; CRL303 (always-fail unify) is a warning; CRL302 (probe
+/// without a backing index) is a note — the optimizer's plan is advisory
+/// at lint time. CRL304 dead-register notes are compiler-routine and not
+/// surfaced here.
+void AppendBytecodeFindings(
+    const coral::Program& prog, coral::TermFactory* factory,
+    const std::function<bool(const std::string&, uint32_t)>& is_builtin,
+    coral::DiagnosticList* out) {
+  using coral::PredRef;
+  // Cross-module visibility within this file: exported or local
+  // predicates of *any* module here are module calls, not base scans.
+  std::unordered_set<PredRef, coral::PredRefHash> module_preds;
+  for (const coral::ModuleDecl& m : prog.modules) {
+    for (const coral::QueryFormDecl& f : m.exports) {
+      module_preds.insert(
+          PredRef{f.pred, static_cast<uint32_t>(f.adornment.size())});
+    }
+    for (const coral::Rule& r : m.rules) {
+      module_preds.insert(r.head.pred_ref());
+    }
+  }
+  for (const coral::ModuleDecl& m : prog.modules) {
+    if (m.eval_mode == coral::EvalMode::kPipelined) continue;
+    std::unordered_set<PredRef, coral::PredRefHash> own;
+    for (const coral::Rule& r : m.rules) own.insert(r.head.pred_ref());
+    for (const coral::QueryFormDecl& form : m.exports) {
+      coral::RewriteOptions ropts;
+      ropts.is_builtin = is_builtin;
+      auto rewritten = RewriteModule(m, form, factory, ropts);
+      if (!rewritten.ok()) continue;  // reported by the analyzer already
+      coral::vm::CompileEnv cenv;
+      cenv.is_builtin = is_builtin;
+      cenv.is_module_pred = [&](const PredRef& p) {
+        return module_preds.count(p) > 0 && own.count(p) == 0;
+      };
+      coral::vm::ModuleProgram mp =
+          coral::vm::CompileModule(*rewritten, m, cenv);
+      if (mp.compiled == 0 && mp.verifier_rejected == 0) continue;
+      coral::absint::AbsIntOptions aopts;
+      aopts.is_builtin = is_builtin;
+      if (rewritten->answer_pred.sym != nullptr &&
+          !rewritten->answer_adornment.empty()) {
+        std::vector<bool> bound;
+        for (char c : rewritten->answer_adornment) {
+          bound.push_back(c == 'b');
+        }
+        aopts.seeds[rewritten->answer_pred] = std::move(bound);
+      }
+      if (rewritten->uses_magic && rewritten->seed_pred.sym != nullptr) {
+        aopts.assumed_facts.insert(rewritten->seed_pred);
+      }
+      for (const auto& [magic, done] : rewritten->done_of) {
+        aopts.assumed_facts.insert(done);
+      }
+      coral::absint::AnalysisResult facts = coral::absint::AnalyzeRules(
+          rewritten->rules, rewritten->graph, aopts);
+      coral::vm::AuditOptions vopts;
+      vopts.rewritten = &*rewritten;
+      vopts.decl = &m;
+      vopts.facts = &facts;
+      vopts.index_plan_authoritative = true;
+      coral::vm::ModuleAudit audit = coral::vm::AuditModule(mp, vopts);
+      for (const coral::vm::ProgramVerdict& v : audit.verdicts) {
+        coral::SourceLoc loc;
+        if (v.rule_index < rewritten->rules.size()) {
+          loc = rewritten->rules[v.rule_index].loc;
+        }
+        auto add = [&](const char* code, const std::string& msg,
+                       coral::DiagSeverity sev) {
+          coral::Diagnostic d;
+          d.severity = sev;
+          d.code = code;
+          d.message = msg;
+          d.module_name = m.name;
+          d.pred = v.head;
+          d.loc = loc;
+          out->Add(std::move(d));
+        };
+        if (const coral::vm::VerifyFinding* err = v.report.FirstError();
+            err != nullptr) {
+          add(coral::vm::vdiag::kUnverifiable,
+              "rule version compiled to unverifiable bytecode, runs "
+              "interpreted: " + err->message,
+              coral::DiagSeverity::kWarning);
+          continue;
+        }
+        for (const coral::vm::VerifyFinding& f : v.report.findings) {
+          std::string_view code = f.code;
+          if (code == coral::vm::vdiag::kProbeNoIndex) {
+            add(f.code, f.message, coral::DiagSeverity::kNote);
+          } else if (code == coral::vm::vdiag::kAlwaysFailUnify) {
+            add(f.code, f.message, coral::DiagSeverity::kWarning);
+          }
+        }
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -101,6 +210,8 @@ int main(int argc, char** argv) {
         diags.Add(std::move(d));
       } else {
         diags = AnalyzeProgram(*prog, opts);
+        AppendBytecodeFindings(*prog, db.factory(), opts.is_builtin,
+                               &diags);
       }
     }
     diags.Normalize();

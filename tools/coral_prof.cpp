@@ -26,6 +26,11 @@
 // bytecode VM off (rule bodies interpret), for comparing profiles; the
 // bytecode listing still prints, since compilation is unconditional.
 //
+// With --verify, the report ends with the bytecode verifier verdicts of
+// every export form (docs/VM.md "Verification"): per-form verified /
+// rejected / warning counts with the CRL3xx findings, plus the verifier
+// counters — why a rule version runs interpreted.
+//
 // --deadline-ms bounds each --query evaluation (a query over budget
 // fails with DeadlineExceeded — profile the ones that finish).
 // --max-inflight=N runs the --query list through N concurrent sessions
@@ -52,6 +57,7 @@ int main(int argc, char** argv) {
   int max_inflight = 1;
   bool plan = false;
   bool bytecode = false;
+  bool verify = false;
   bool auto_optimize = true;
   bool use_vm = true;
   for (int i = 1; i < argc; ++i) {
@@ -70,6 +76,8 @@ int main(int argc, char** argv) {
       plan = true;
     } else if (arg == "--bytecode") {
       bytecode = true;
+    } else if (arg == "--verify") {
+      verify = true;
     } else if (arg == "--no-auto-optimize") {
       auto_optimize = false;
     } else if (arg == "--no-vm") {
@@ -77,7 +85,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: coral_prof [--query='p(X)'] [--trace=FILE.jsonl]"
                    " [--threads=N] [--deadline-ms=N] [--max-inflight=N]"
-                   " [--plan] [--bytecode]"
+                   " [--plan] [--bytecode] [--verify]"
                    " [--no-auto-optimize] [--no-vm] file.crl ...\n";
       return 0;
     } else {
@@ -87,7 +95,7 @@ int main(int argc, char** argv) {
   if (files.empty()) {
     std::cerr << "usage: coral_prof [--query='p(X)'] [--trace=FILE.jsonl]"
                  " [--threads=N] [--deadline-ms=N] [--max-inflight=N]"
-                 " [--plan] [--bytecode]"
+                 " [--plan] [--bytecode] [--verify]"
                  " [--no-auto-optimize] [--no-vm] file.crl ...\n";
     return 2;
   }
@@ -185,6 +193,15 @@ int main(int argc, char** argv) {
                 << db.PlanReport();
     }
     std::cout << "\n" << coral::obs::RenderVmCounters(*db.vm_counters());
+  }
+  if (verify) {
+    // Per-form bytecode verifier verdicts: why each rule version runs
+    // compiled or interpreted (docs/VM.md "Verification"), plus the
+    // verifier counters.
+    std::cout << "\n" << db.BytecodeVerifierReport();
+    if (!bytecode) {
+      std::cout << "\n" << coral::obs::RenderVmCounters(*db.vm_counters());
+    }
   }
   if (sink != nullptr) {
     std::cout << "trace written to " << trace_path << "\n";
